@@ -1,0 +1,170 @@
+package datacell
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"datacell/internal/bench"
+)
+
+// Figure benchmarks: each regenerates one of the paper's tables/figures
+// per benchmark iteration at a reduced scale (testing.B wants short
+// iterations; use cmd/dcbench for full-scale tables). The per-op time is
+// the cost of regenerating the whole figure once.
+
+func benchFigure(b *testing.B, run func(bench.Config) (*bench.Table, error), cfg bench.Config) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tbl, err := run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tbl.Rows) == 0 {
+			b.Fatal("figure produced no rows")
+		}
+	}
+}
+
+// BenchmarkFig4aBasicPerformanceQ1 regenerates Fig 4(a): Q1 response time
+// per window, DataCellR vs DataCell.
+func BenchmarkFig4aBasicPerformanceQ1(b *testing.B) {
+	benchFigure(b, bench.RunFig4a, bench.Config{Scale: 256, Windows: 5})
+}
+
+// BenchmarkFig4bBasicPerformanceQ2 regenerates Fig 4(b): the join query.
+func BenchmarkFig4bBasicPerformanceQ2(b *testing.B) {
+	benchFigure(b, bench.RunFig4b, bench.Config{Scale: 256, Windows: 5})
+}
+
+// BenchmarkFig5aVarySelectivity regenerates Fig 5(a).
+func BenchmarkFig5aVarySelectivity(b *testing.B) {
+	benchFigure(b, bench.RunFig5a, bench.Config{Scale: 1024, Windows: 3})
+}
+
+// BenchmarkFig5bVaryJoinSelectivity regenerates Fig 5(b).
+func BenchmarkFig5bVaryJoinSelectivity(b *testing.B) {
+	benchFigure(b, bench.RunFig5b, bench.Config{Scale: 1024, Windows: 3})
+}
+
+// BenchmarkFig6aVaryWindowSize regenerates Fig 6(a).
+func BenchmarkFig6aVaryWindowSize(b *testing.B) {
+	benchFigure(b, bench.RunFig6a, bench.Config{Scale: 2048, Windows: 3})
+}
+
+// BenchmarkFig6bLandmark regenerates Fig 6(b): the landmark query Q3.
+func BenchmarkFig6bLandmark(b *testing.B) {
+	benchFigure(b, bench.RunFig6b, bench.Config{Scale: 2048, Windows: 10})
+}
+
+// BenchmarkFig7aBasicWindowsQ1 regenerates Fig 7(a): cost vs number of
+// basic windows with the main/merge breakdown.
+func BenchmarkFig7aBasicWindowsQ1(b *testing.B) {
+	benchFigure(b, bench.RunFig7a, bench.Config{Scale: 1024, Windows: 3})
+}
+
+// BenchmarkFig7bBasicWindowsQ2 regenerates Fig 7(b) for the join query.
+func BenchmarkFig7bBasicWindowsQ2(b *testing.B) {
+	benchFigure(b, bench.RunFig7b, bench.Config{Scale: 1024, Windows: 3})
+}
+
+// BenchmarkFig8AdaptiveChunking regenerates Fig 8: the self-adapting
+// chunked processing of the newest basic window.
+func BenchmarkFig8AdaptiveChunking(b *testing.B) {
+	benchFigure(b, bench.RunFig8, bench.Config{Scale: 1024, Windows: 30})
+}
+
+// BenchmarkFig9AgainstStreamEngine regenerates Fig 9: full stack (csv,
+// loading, processing) against the tuple-at-a-time SystemX stand-in.
+func BenchmarkFig9AgainstStreamEngine(b *testing.B) {
+	benchFigure(b, bench.RunFig9, bench.Config{Scale: 2048, Windows: 10})
+}
+
+// BenchmarkFig9InsetLoadingBreakdown regenerates the Section 4.2 cost
+// breakdown inset (loading vs query processing).
+func BenchmarkFig9InsetLoadingBreakdown(b *testing.B) {
+	benchFigure(b, bench.RunFig9Inset, bench.Config{Scale: 2048, Windows: 10})
+}
+
+// --- Micro-benchmarks of the public API -----------------------------------
+
+// BenchmarkIncrementalStepQ1 measures one steady-state incremental slide
+// of the paper's Q1 (window 64k, step 1k).
+func BenchmarkIncrementalStepQ1(b *testing.B) {
+	benchStepQ1(b, Incremental)
+}
+
+// BenchmarkReevaluationStepQ1 measures one steady-state re-evaluation
+// slide of Q1 at the same parameters — the DataCellR baseline.
+func BenchmarkReevaluationStepQ1(b *testing.B) {
+	benchStepQ1(b, Reevaluation)
+}
+
+func benchStepQ1(b *testing.B, mode Mode) {
+	b.ReportAllocs()
+	db := New()
+	db.MustRegisterStream("s", Col("x1", Int64), Col("x2", Int64))
+	q, err := db.Register(`SELECT x1, sum(x2) FROM s [RANGE 65536 SLIDE 1024] WHERE x1 > 199 GROUP BY x1`,
+		Options{Mode: mode})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	step := func(n int) {
+		rows := make([][]Value, n)
+		for i := range rows {
+			rows[i] = []Value{Int(rng.Int63n(1000)), Int(rng.Int63n(1000))}
+		}
+		if err := db.Append("s", rows...); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := db.Pump(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	step(65536) // fill the first window
+	if q.Windows() != 1 {
+		b.Fatalf("priming failed: %d windows", q.Windows())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		step(1024)
+	}
+}
+
+// BenchmarkAppendThroughput measures raw receptor-side loading.
+func BenchmarkAppendThroughput(b *testing.B) {
+	b.ReportAllocs()
+	db := New()
+	db.MustRegisterStream("s", Col("x1", Int64), Col("x2", Int64))
+	if _, err := db.Register(`SELECT count(*) FROM s [RANGE 1000000 SLIDE 1000000]`, Options{}); err != nil {
+		b.Fatal(err)
+	}
+	rows := make([][]Value, 1000)
+	for i := range rows {
+		rows[i] = []Value{Int(int64(i)), Int(int64(i))}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := db.Append("s", rows...); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(len(rows)) * 16)
+}
+
+func ExampleDB() {
+	db := New()
+	db.MustRegisterStream("s", Col("k", Int64), Col("v", Int64))
+	q, _ := db.Register(`SELECT k, sum(v) FROM s [RANGE 4 SLIDE 4] GROUP BY k ORDER BY k`, Options{})
+	q.OnResult(func(r *Result) { fmt.Print(r.Table) })
+	_ = db.Append("s",
+		[]Value{Int(1), Int(10)}, []Value{Int(2), Int(20)},
+		[]Value{Int(1), Int(30)}, []Value{Int(2), Int(40)})
+	_, _ = db.Pump()
+	// Output:
+	// k	sum(v)
+	// 1	40
+	// 2	60
+}

@@ -1,0 +1,298 @@
+// Command datacelld is a small interactive shell around the DataCell
+// engine: declare streams and tables, register continuous queries, feed
+// csv data, and watch window results stream out.
+//
+// Commands (terminated by newline; SQL statements by ';'):
+//
+//	CREATE STREAM <name> (<col> <type>, ...)
+//	CREATE TABLE  <name> (<col> <type>, ...)
+//	REGISTER [REEVAL] SELECT ... ;         -- continuous query
+//	SELECT ... ;                           -- one-time query over tables
+//	FEED <stream> <file.csv> [batch]       -- append csv rows to a stream
+//	LOAD <table> <file.csv>                -- insert csv rows into a table
+//	QUERIES                                -- list registered queries
+//	HELP | QUIT
+//
+// Types: BIGINT, DOUBLE, VARCHAR, BOOLEAN, TIMESTAMP.
+//
+// Example session:
+//
+//	CREATE STREAM s (x1 BIGINT, x2 BIGINT)
+//	REGISTER SELECT x1, sum(x2) FROM s [RANGE 1000 SLIDE 100] GROUP BY x1;
+//	FEED s data.csv
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"datacell"
+	"datacell/internal/vector"
+	"datacell/internal/workload"
+)
+
+func main() {
+	db := datacell.New()
+	in := bufio.NewScanner(os.Stdin)
+	in.Buffer(make([]byte, 1<<20), 1<<20)
+	fmt.Println("DataCell shell — HELP for commands")
+	var pending strings.Builder
+	queries := map[string]*datacell.Query{}
+	nextID := 0
+
+	for {
+		if pending.Len() == 0 {
+			fmt.Print("datacell> ")
+		} else {
+			fmt.Print("      ... ")
+		}
+		if !in.Scan() {
+			return
+		}
+		line := strings.TrimSpace(in.Text())
+		if line == "" {
+			continue
+		}
+		upper := strings.ToUpper(line)
+
+		// Statement accumulation for SQL (';'-terminated).
+		if pending.Len() > 0 || strings.HasPrefix(upper, "SELECT") || strings.HasPrefix(upper, "REGISTER") {
+			pending.WriteString(line)
+			pending.WriteByte(' ')
+			if !strings.HasSuffix(line, ";") {
+				continue
+			}
+			stmt := strings.TrimSpace(pending.String())
+			pending.Reset()
+			runSQL(db, stmt, queries, &nextID)
+			continue
+		}
+
+		switch {
+		case upper == "QUIT" || upper == "EXIT":
+			return
+		case upper == "HELP":
+			fmt.Println("CREATE STREAM/TABLE name (col TYPE, ...) | REGISTER [REEVAL] SELECT ...; | SELECT ...; | FEED stream file [batch] | LOAD table file | QUERIES | QUIT")
+		case upper == "QUERIES":
+			for id, q := range queries {
+				fmt.Printf("%s [%s, %d windows]: %s\n", id, q.Mode(), q.Windows(), q.SQL())
+			}
+		case strings.HasPrefix(upper, "CREATE STREAM "), strings.HasPrefix(upper, "CREATE TABLE "):
+			if err := runCreate(db, line); err != nil {
+				fmt.Println("error:", err)
+			}
+		case strings.HasPrefix(upper, "FEED "):
+			if err := runFeed(db, line); err != nil {
+				fmt.Println("error:", err)
+			}
+		case strings.HasPrefix(upper, "LOAD "):
+			if err := runLoad(db, line); err != nil {
+				fmt.Println("error:", err)
+			}
+		default:
+			fmt.Println("error: unknown command (HELP for usage)")
+		}
+	}
+}
+
+func runSQL(db *datacell.DB, stmt string, queries map[string]*datacell.Query, nextID *int) {
+	stmt = strings.TrimSuffix(stmt, ";")
+	upper := strings.ToUpper(stmt)
+	switch {
+	case strings.HasPrefix(upper, "REGISTER"):
+		rest := strings.TrimSpace(stmt[len("REGISTER"):])
+		opts := datacell.Options{}
+		if strings.HasPrefix(strings.ToUpper(rest), "REEVAL") {
+			opts.Mode = datacell.Reevaluation
+			rest = strings.TrimSpace(rest[len("REEVAL"):])
+		}
+		q, err := db.Register(rest, opts)
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		*nextID++
+		id := fmt.Sprintf("q%d", *nextID)
+		queries[id] = q
+		q.OnResult(func(r *datacell.Result) {
+			fmt.Printf("[%s window %d, %v]\n%s", id, r.Window, r.Latency.Round(0), r.Table)
+		})
+		fmt.Printf("registered %s (%s)\n", id, q.Mode())
+	default:
+		tbl, err := db.QueryOnce(stmt)
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		fmt.Print(tbl)
+	}
+}
+
+func runCreate(db *datacell.DB, line string) error {
+	open := strings.Index(line, "(")
+	closeIdx := strings.LastIndex(line, ")")
+	if open < 0 || closeIdx < open {
+		return fmt.Errorf("expected CREATE STREAM|TABLE name (col TYPE, ...)")
+	}
+	head := strings.Fields(strings.TrimSpace(line[:open]))
+	if len(head) != 3 {
+		return fmt.Errorf("expected CREATE STREAM|TABLE name")
+	}
+	kind := strings.ToUpper(head[1])
+	name := strings.ToLower(head[2])
+	var cols []datacell.ColumnDef
+	for _, part := range strings.Split(line[open+1:closeIdx], ",") {
+		fields := strings.Fields(strings.TrimSpace(part))
+		if len(fields) != 2 {
+			return fmt.Errorf("bad column definition %q", part)
+		}
+		t, err := parseType(fields[1])
+		if err != nil {
+			return err
+		}
+		cols = append(cols, datacell.Col(strings.ToLower(fields[0]), t))
+	}
+	var err error
+	if kind == "STREAM" {
+		err = db.RegisterStream(name, cols...)
+	} else {
+		err = db.RegisterTable(name, cols...)
+	}
+	if err == nil {
+		fmt.Printf("created %s %s (%d columns)\n", strings.ToLower(kind), name, len(cols))
+	}
+	return err
+}
+
+func parseType(s string) (datacell.Type, error) {
+	switch strings.ToUpper(s) {
+	case "BIGINT", "INT", "INTEGER":
+		return datacell.Int64, nil
+	case "DOUBLE", "FLOAT":
+		return datacell.Float64, nil
+	case "VARCHAR", "TEXT", "STRING":
+		return datacell.String, nil
+	case "BOOLEAN", "BOOL":
+		return datacell.Bool, nil
+	case "TIMESTAMP":
+		return datacell.Timestamp, nil
+	}
+	return 0, fmt.Errorf("unknown type %q", s)
+}
+
+func runFeed(db *datacell.DB, line string) error {
+	fields := strings.Fields(line)
+	if len(fields) < 3 {
+		return fmt.Errorf("usage: FEED stream file.csv [batch]")
+	}
+	stream, path := strings.ToLower(fields[1]), fields[2]
+	batch := 1024
+	if len(fields) > 3 {
+		if b, err := strconv.Atoi(fields[3]); err == nil && b > 0 {
+			batch = b
+		}
+	}
+	rows, err := feedCSV(db, stream, path, batch)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("fed %d rows into %s\n", rows, stream)
+	return nil
+}
+
+// feedCSV streams integer csv rows into a stream in batches, pumping after
+// each batch so results interleave with loading.
+func feedCSV(db *datacell.DB, stream, path string, batch int) (int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	// Probe arity from the first line.
+	br := bufio.NewReader(f)
+	first, err := br.ReadString('\n')
+	if err != nil && err != io.EOF {
+		return 0, err
+	}
+	arity := strings.Count(first, ",") + 1
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return 0, err
+	}
+	r := workload.NewCSVReader(f, arity)
+	for {
+		cols, rerr := r.ReadBatch(batch)
+		if cols[0].Len() > 0 {
+			rows := colsToRows(cols)
+			if err := db.Append(stream, rows...); err != nil {
+				return r.Rows(), err
+			}
+			if _, err := db.Pump(); err != nil {
+				return r.Rows(), err
+			}
+		}
+		if rerr == io.EOF {
+			return r.Rows(), nil
+		}
+		if rerr != nil {
+			return r.Rows(), rerr
+		}
+	}
+}
+
+func runLoad(db *datacell.DB, line string) error {
+	fields := strings.Fields(line)
+	if len(fields) != 3 {
+		return fmt.Errorf("usage: LOAD table file.csv")
+	}
+	table, path := strings.ToLower(fields[1]), fields[2]
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	first, err := br.ReadString('\n')
+	if err != nil && err != io.EOF {
+		return err
+	}
+	arity := strings.Count(first, ",") + 1
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	r := workload.NewCSVReader(f, arity)
+	total := int64(0)
+	for {
+		cols, rerr := r.ReadBatch(4096)
+		if cols[0].Len() > 0 {
+			if err := db.InsertRows(table, colsToRows(cols)...); err != nil {
+				return err
+			}
+		}
+		if rerr == io.EOF {
+			break
+		}
+		if rerr != nil {
+			return rerr
+		}
+	}
+	total = r.Rows()
+	fmt.Printf("loaded %d rows into %s\n", total, table)
+	return nil
+}
+
+func colsToRows(cols []*vector.Vector) [][]datacell.Value {
+	n := cols[0].Len()
+	rows := make([][]datacell.Value, n)
+	for i := 0; i < n; i++ {
+		row := make([]datacell.Value, len(cols))
+		for c, col := range cols {
+			row[c] = col.Get(i)
+		}
+		rows[i] = row
+	}
+	return rows
+}

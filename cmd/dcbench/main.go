@@ -1,0 +1,65 @@
+// Command dcbench regenerates the paper's evaluation figures (Figs 4-9).
+//
+// Usage:
+//
+//	dcbench [-fig 4a|4b|5a|5b|6a|6b|7a|7b|8|9|9inset|all] [-scale N] [-windows N]
+//
+// -scale divides the paper's window sizes (default 64; -scale 1 runs the
+// exact paper parameters — expect long runtimes and several GB of RAM for
+// the 100M-tuple point of Fig 6a).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"datacell/internal/bench"
+)
+
+var figures = []struct {
+	name string
+	run  func(bench.Config) (*bench.Table, error)
+}{
+	{"4a", bench.RunFig4a},
+	{"4b", bench.RunFig4b},
+	{"5a", bench.RunFig5a},
+	{"5b", bench.RunFig5b},
+	{"6a", bench.RunFig6a},
+	{"6b", bench.RunFig6b},
+	{"7a", bench.RunFig7a},
+	{"7b", bench.RunFig7b},
+	{"8", bench.RunFig8},
+	{"9", bench.RunFig9},
+	{"9inset", bench.RunFig9Inset},
+}
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate (4a..9inset, or 'all')")
+	scale := flag.Int("scale", 64, "divide the paper's window sizes by this factor")
+	windows := flag.Int("windows", 0, "override the number of measured windows (0 = paper default)")
+	flag.Parse()
+
+	cfg := bench.Config{Scale: *scale, Windows: *windows}
+	ran := 0
+	for _, f := range figures {
+		if *fig != "all" && !strings.EqualFold(*fig, f.name) {
+			continue
+		}
+		t0 := time.Now()
+		tbl, err := f.run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dcbench: fig %s: %v\n", f.name, err)
+			os.Exit(1)
+		}
+		tbl.Fprint(os.Stdout)
+		fmt.Printf("(fig %s took %s)\n\n", f.name, time.Since(t0).Round(time.Millisecond))
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "dcbench: unknown figure %q\n", *fig)
+		os.Exit(1)
+	}
+}

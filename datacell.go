@@ -1,0 +1,393 @@
+// Package datacell is a stream engine built inside a relational column-store
+// kernel, reproducing "Enhanced Stream Processing in a DBMS Kernel"
+// (Liarou, Idreos, Manegold, Kersten — EDBT 2013).
+//
+// DataCell evaluates continuous sliding-window SQL queries by rewriting
+// ordinary (optimized) relational query plans into incremental plans at the
+// plan level: the stream is split into basic windows, the deepest possible
+// plan prefix is replicated per basic window, partial intermediates are
+// merged with concatenation + compensation operators, and the intermediates
+// slide along with the window. The underlying storage and execution engine
+// is an unmodified bulk columnar kernel.
+//
+// # Quick start
+//
+//	dc := datacell.New()
+//	dc.MustRegisterStream("sensors", datacell.Col("room", datacell.Int64),
+//		datacell.Col("temp", datacell.Float64))
+//
+//	q, _ := dc.Register(
+//		`SELECT room, avg(temp) FROM sensors [RANGE 1000 SLIDE 100] GROUP BY room`,
+//		datacell.Options{})
+//	q.OnResult(func(r *datacell.Result) {
+//		fmt.Println(r.Table)
+//	})
+//
+//	dc.Append("sensors", rows...)   // receptor side
+//	dc.Pump()                       // or dc.Run() for a background scheduler
+//
+// Queries run in one of two modes: Incremental (the paper's contribution,
+// default) or Reevaluation (the DataCellR baseline that recomputes every
+// window from scratch). Both modes produce identical results; the
+// difference is purely in work performed per slide.
+package datacell
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"datacell/internal/catalog"
+	"datacell/internal/engine"
+	"datacell/internal/exec"
+	"datacell/internal/vector"
+)
+
+// Type is a column type.
+type Type = vector.Type
+
+// Column types.
+const (
+	Int64     = vector.Int64
+	Float64   = vector.Float64
+	String    = vector.Str
+	Bool      = vector.Bool
+	Timestamp = vector.Timestamp
+)
+
+// Value is a boxed scalar (see Int, Float, Str and Boolean constructors).
+type Value = vector.Value
+
+// Int boxes an int64 value.
+func Int(x int64) Value { return vector.IntValue(x) }
+
+// Float boxes a float64 value.
+func Float(x float64) Value { return vector.FloatValue(x) }
+
+// Str boxes a string value.
+func Str(x string) Value { return vector.StrValue(x) }
+
+// Boolean boxes a bool value.
+func Boolean(x bool) Value { return vector.BoolValue(x) }
+
+// ColumnDef declares one attribute of a stream or table.
+type ColumnDef struct {
+	Name string
+	Type Type
+}
+
+// Col is a convenience constructor for ColumnDef.
+func Col(name string, t Type) ColumnDef { return ColumnDef{Name: name, Type: t} }
+
+// Mode selects how a continuous query executes.
+type Mode = engine.Mode
+
+// Execution modes.
+const (
+	// Incremental is the paper's plan-level incremental processing.
+	Incremental = engine.Incremental
+	// Reevaluation recomputes the full window every slide (DataCellR).
+	Reevaluation = engine.Reevaluation
+	// Auto selects per query between the two, preferring re-evaluation for
+	// small windows and incremental processing for large ones — the hybrid
+	// system the paper suggests in Section 4.2.
+	Auto = engine.Auto
+)
+
+// Options configure a continuous query.
+type Options struct {
+	// Mode defaults to Incremental.
+	Mode Mode
+	// AutoThreshold overrides the Auto-mode window-size cutoff (tuples).
+	AutoThreshold int64
+	// Chunks > 1 processes each basic window in that many early chunks
+	// (single-stream queries only).
+	Chunks int
+	// AdaptiveChunks enables the self-tuning chunk controller (Fig 8).
+	AdaptiveChunks bool
+}
+
+// Result is one window result.
+type Result struct {
+	// Window is the 1-based window sequence number.
+	Window int
+	// Table holds the result rows.
+	Table *exec.Table
+	// Latency is the processing time of the step that emitted this window.
+	Latency time.Duration
+	// MainLatency and MergeLatency split Latency into the original plan's
+	// work and the incremental merge overhead (incremental mode only).
+	MainLatency, MergeLatency time.Duration
+}
+
+// Table re-exports the result table type.
+type Table = exec.Table
+
+// DB is a DataCell instance: catalog, baskets, factories and scheduler.
+type DB struct {
+	eng *engine.Engine
+
+	mu      sync.Mutex
+	wake    chan struct{}
+	done    chan struct{}
+	running bool
+}
+
+// New creates an empty instance.
+func New() *DB {
+	return &DB{eng: engine.New(), wake: make(chan struct{}, 1)}
+}
+
+func toSchema(cols []ColumnDef) (catalog.Schema, error) {
+	if len(cols) == 0 {
+		return catalog.Schema{}, fmt.Errorf("datacell: at least one column required")
+	}
+	s := catalog.Schema{}
+	for _, c := range cols {
+		s.Cols = append(s.Cols, catalog.Column{Name: c.Name, Type: c.Type})
+	}
+	return s, nil
+}
+
+// RegisterStream declares a stream with the given columns.
+func (db *DB) RegisterStream(name string, cols ...ColumnDef) error {
+	s, err := toSchema(cols)
+	if err != nil {
+		return err
+	}
+	return db.eng.RegisterStream(name, s)
+}
+
+// MustRegisterStream is RegisterStream panicking on error.
+func (db *DB) MustRegisterStream(name string, cols ...ColumnDef) {
+	if err := db.RegisterStream(name, cols...); err != nil {
+		panic(err)
+	}
+}
+
+// RegisterTable declares a persistent table with the given columns.
+func (db *DB) RegisterTable(name string, cols ...ColumnDef) error {
+	s, err := toSchema(cols)
+	if err != nil {
+		return err
+	}
+	return db.eng.RegisterTable(name, s)
+}
+
+// MustRegisterTable is RegisterTable panicking on error.
+func (db *DB) MustRegisterTable(name string, cols ...ColumnDef) {
+	if err := db.RegisterTable(name, cols...); err != nil {
+		panic(err)
+	}
+}
+
+// InsertRows appends rows into a persistent table.
+func (db *DB) InsertRows(table string, rows ...[]Value) error {
+	if len(rows) == 0 {
+		return nil
+	}
+	cols, err := rowsToCols(rows)
+	if err != nil {
+		return err
+	}
+	return db.eng.InsertTable(table, cols)
+}
+
+// Append delivers stream tuples (the receptor side). Timestamps default to
+// the arrival wall clock in microseconds.
+func (db *DB) Append(stream string, rows ...[]Value) error {
+	if len(rows) == 0 {
+		return nil
+	}
+	ts := make([]int64, len(rows))
+	now := time.Now().UnixMicro()
+	for i := range ts {
+		ts[i] = now
+	}
+	if err := db.eng.AppendRows(stream, rows, ts); err != nil {
+		return err
+	}
+	db.notify()
+	return nil
+}
+
+// AppendAt delivers stream tuples with explicit event timestamps
+// (microseconds), required for time-based windows with event-time
+// semantics.
+func (db *DB) AppendAt(stream string, ts []int64, rows ...[]Value) error {
+	if err := db.eng.AppendRows(stream, rows, ts); err != nil {
+		return err
+	}
+	db.notify()
+	return nil
+}
+
+// SetWatermark advances a stream's event-time watermark so time windows
+// can close without further tuples.
+func (db *DB) SetWatermark(stream string, tsMicros int64) error {
+	if err := db.eng.SetWatermark(stream, tsMicros); err != nil {
+		return err
+	}
+	db.notify()
+	return nil
+}
+
+func rowsToCols(rows [][]Value) ([]*vector.Vector, error) {
+	arity := len(rows[0])
+	cols := make([]*vector.Vector, arity)
+	for i := range cols {
+		cols[i] = vector.New(rows[0][i].Typ, len(rows))
+	}
+	for _, r := range rows {
+		if len(r) != arity {
+			return nil, fmt.Errorf("datacell: ragged rows (%d vs %d values)", len(r), arity)
+		}
+		for i, v := range r {
+			cols[i].AppendValue(v)
+		}
+	}
+	return cols, nil
+}
+
+// Query is a registered continuous query.
+type Query struct {
+	db *DB
+	cq *engine.ContinuousQuery
+
+	mu       sync.Mutex
+	handler  func(*Result)
+	buffered []*Result
+}
+
+// Register compiles and installs a continuous query written in the
+// DataCell SQL dialect (see the package documentation and README).
+func (db *DB) Register(query string, opts Options) (*Query, error) {
+	q := &Query{db: db}
+	cq, err := db.eng.Register(query, engine.Options{
+		Mode:           opts.Mode,
+		AutoThreshold:  opts.AutoThreshold,
+		Chunks:         opts.Chunks,
+		AdaptiveChunks: opts.AdaptiveChunks,
+		OnResult: func(r *engine.Result) {
+			q.deliver(&Result{
+				Window:       r.Window,
+				Table:        r.Table,
+				Latency:      time.Duration(r.StepNS),
+				MainLatency:  time.Duration(r.Stats.MainNS),
+				MergeLatency: time.Duration(r.Stats.MergeNS),
+			})
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	q.cq = cq
+	return q, nil
+}
+
+func (q *Query) deliver(r *Result) {
+	q.mu.Lock()
+	h := q.handler
+	if h == nil {
+		q.buffered = append(q.buffered, r)
+	}
+	q.mu.Unlock()
+	if h != nil {
+		h(r)
+	}
+}
+
+// OnResult installs the result handler; any results buffered before the
+// handler was installed are replayed first (in order).
+func (q *Query) OnResult(h func(*Result)) {
+	q.mu.Lock()
+	backlog := q.buffered
+	q.buffered = nil
+	q.handler = h
+	q.mu.Unlock()
+	for _, r := range backlog {
+		h(r)
+	}
+}
+
+// Results drains and returns the results buffered so far (only meaningful
+// when no OnResult handler is installed).
+func (q *Query) Results() []*Result {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := q.buffered
+	q.buffered = nil
+	return out
+}
+
+// Windows reports how many window results have been produced.
+func (q *Query) Windows() int { return q.cq.Windows() }
+
+// SQL returns the query text.
+func (q *Query) SQL() string { return q.cq.SQL }
+
+// Mode returns the execution mode.
+func (q *Query) Mode() Mode { return q.cq.Mode }
+
+// Close deregisters the query.
+func (q *Query) Close() { q.db.eng.Deregister(q.cq) }
+
+// QueryOnce runs a one-time query over persistent tables.
+func (db *DB) QueryOnce(query string) (*Table, error) { return db.eng.QueryOnce(query) }
+
+// Pump synchronously fires every query that has enough buffered data and
+// returns the number of steps executed. Use it for deterministic
+// processing (tests, benchmarks, batch drivers).
+func (db *DB) Pump() (int, error) { return db.eng.Pump() }
+
+// Run starts the background scheduler: a goroutine that pumps whenever new
+// data arrives. Stop with Stop.
+func (db *DB) Run() {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.running {
+		return
+	}
+	db.running = true
+	db.done = make(chan struct{})
+	go func(done chan struct{}) {
+		for {
+			select {
+			case <-done:
+				return
+			case <-db.wake:
+				// Drain everything that became ready.
+				if _, err := db.eng.Pump(); err != nil {
+					// Scheduler errors are terminal for the loop; queries
+					// keep their last state and Pump reports the error to
+					// synchronous callers.
+					return
+				}
+			}
+		}
+	}(db.done)
+}
+
+// Stop halts the background scheduler (no-op when not running).
+func (db *DB) Stop() {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if !db.running {
+		return
+	}
+	db.running = false
+	close(db.done)
+}
+
+func (db *DB) notify() {
+	db.mu.Lock()
+	running := db.running
+	db.mu.Unlock()
+	if !running {
+		return
+	}
+	select {
+	case db.wake <- struct{}{}:
+	default:
+	}
+}

@@ -1,0 +1,57 @@
+// Quickstart: register a continuous sliding-window query over one stream
+// and watch incremental results arrive as tuples are appended.
+//
+// The query is the paper's Q1 shape:
+//
+//	SELECT x1, sum(x2) FROM readings [RANGE 100 SLIDE 20]
+//	WHERE x1 > 2 GROUP BY x1
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"datacell"
+)
+
+func main() {
+	db := datacell.New()
+	db.MustRegisterStream("readings",
+		datacell.Col("x1", datacell.Int64),
+		datacell.Col("x2", datacell.Int64),
+	)
+
+	q, err := db.Register(
+		`SELECT x1, sum(x2) FROM readings [RANGE 100 SLIDE 20] WHERE x1 > 2 GROUP BY x1`,
+		datacell.Options{}, // Mode defaults to Incremental
+	)
+	if err != nil {
+		panic(err)
+	}
+	q.OnResult(func(r *datacell.Result) {
+		fmt.Printf("window %d (%d groups, processed in %v):\n%s\n",
+			r.Window, r.Table.NumRows(), r.Latency.Round(0), r.Table)
+	})
+
+	// Feed 200 random tuples in small batches; windows fire as soon as the
+	// stream has advanced one slide.
+	rng := rand.New(rand.NewSource(1))
+	for batch := 0; batch < 20; batch++ {
+		rows := make([][]datacell.Value, 10)
+		for i := range rows {
+			rows[i] = []datacell.Value{
+				datacell.Int(rng.Int63n(6)),
+				datacell.Int(rng.Int63n(100)),
+			}
+		}
+		if err := db.Append("readings", rows...); err != nil {
+			panic(err)
+		}
+		if _, err := db.Pump(); err != nil {
+			panic(err)
+		}
+	}
+	fmt.Printf("produced %d windows over 200 tuples\n", q.Windows())
+}

@@ -1,0 +1,529 @@
+package algebra
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"datacell/internal/vector"
+)
+
+func TestCmpOpStrings(t *testing.T) {
+	want := map[CmpOp]string{Lt: "<", Le: "<=", Gt: ">", Ge: ">=", Eq: "=", Ne: "<>"}
+	for op, s := range want {
+		if op.String() != s {
+			t.Errorf("%v.String() = %q want %q", op, op.String(), s)
+		}
+	}
+}
+
+func TestCmpOpNegateFlip(t *testing.T) {
+	for _, op := range []CmpOp{Lt, Le, Gt, Ge, Eq, Ne} {
+		if op.Negate().Negate() != op {
+			t.Errorf("double negate of %v changed it", op)
+		}
+		if op.Flip().Flip() != op {
+			t.Errorf("double flip of %v changed it", op)
+		}
+	}
+	if Lt.Negate() != Ge || Eq.Negate() != Ne {
+		t.Error("negate mapping wrong")
+	}
+	if Lt.Flip() != Gt || Eq.Flip() != Eq {
+		t.Error("flip mapping wrong")
+	}
+}
+
+// refSelect is the naive reference for Select used by equivalence tests.
+func refSelect(vals []int64, op CmpOp, c int64, cand vector.Sel) vector.Sel {
+	var out vector.Sel
+	check := func(i int32, x int64) {
+		keep := false
+		switch op {
+		case Lt:
+			keep = x < c
+		case Le:
+			keep = x <= c
+		case Gt:
+			keep = x > c
+		case Ge:
+			keep = x >= c
+		case Eq:
+			keep = x == c
+		case Ne:
+			keep = x != c
+		}
+		if keep {
+			out = append(out, i)
+		}
+	}
+	if cand == nil {
+		for i, x := range vals {
+			check(int32(i), x)
+		}
+	} else {
+		for _, i := range cand {
+			check(i, vals[i])
+		}
+	}
+	return out
+}
+
+func selEqual(a, b vector.Sel) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestSelectInt64AllOps(t *testing.T) {
+	vals := []int64{5, -1, 3, 5, 9, 0, 5}
+	v := vector.FromInt64(vals)
+	for _, op := range []CmpOp{Lt, Le, Gt, Ge, Eq, Ne} {
+		got := Select(v, op, vector.IntValue(5), nil)
+		want := refSelect(vals, op, 5, nil)
+		if !selEqual(got, want) {
+			t.Errorf("op %v: got %v want %v", op, got, want)
+		}
+	}
+}
+
+func TestSelectWithCandidates(t *testing.T) {
+	vals := []int64{5, -1, 3, 5, 9, 0, 5}
+	v := vector.FromInt64(vals)
+	cand := vector.Sel{0, 2, 4, 6}
+	for _, op := range []CmpOp{Lt, Le, Gt, Ge, Eq, Ne} {
+		got := Select(v, op, vector.IntValue(5), cand)
+		want := refSelect(vals, op, 5, cand)
+		if !selEqual(got, want) {
+			t.Errorf("op %v with cand: got %v want %v", op, got, want)
+		}
+	}
+}
+
+func TestSelectFloatAndGeneric(t *testing.T) {
+	vf := vector.FromFloat64([]float64{1.5, 2.5, 3.5})
+	if got := Select(vf, Gt, vector.FloatValue(2.0), nil); !selEqual(got, vector.Sel{1, 2}) {
+		t.Errorf("float select: %v", got)
+	}
+	if got := Select(vf, Le, vector.FloatValue(2.5), vector.Sel{0, 1, 2}); !selEqual(got, vector.Sel{0, 1}) {
+		t.Errorf("float select cand: %v", got)
+	}
+	vs := vector.FromStr([]string{"b", "a", "c"})
+	if got := Select(vs, Eq, vector.StrValue("a"), nil); !selEqual(got, vector.Sel{1}) {
+		t.Errorf("str select: %v", got)
+	}
+	if got := Select(vs, Ge, vector.StrValue("b"), vector.Sel{0, 1, 2}); !selEqual(got, vector.Sel{0, 2}) {
+		t.Errorf("str select cand: %v", got)
+	}
+	// int column against float constant goes through the generic path
+	vi := vector.FromInt64([]int64{1, 2, 3})
+	if got := Select(vi, Gt, vector.FloatValue(1.5), nil); !selEqual(got, vector.Sel{1, 2}) {
+		t.Errorf("int vs float const: %v", got)
+	}
+}
+
+func TestSelectRange(t *testing.T) {
+	v := vector.FromInt64([]int64{0, 1, 2, 3, 4, 5})
+	got := SelectRange(v, vector.IntValue(1), vector.IntValue(4), true, false, nil)
+	if !selEqual(got, vector.Sel{1, 2, 3}) {
+		t.Errorf("range [1,4): %v", got)
+	}
+	got = SelectRange(v, vector.IntValue(1), vector.IntValue(4), false, true, nil)
+	if !selEqual(got, vector.Sel{2, 3, 4}) {
+		t.Errorf("range (1,4]: %v", got)
+	}
+}
+
+func TestSelectBools(t *testing.T) {
+	v := vector.FromBool([]bool{true, false, true, true})
+	if got := SelectBools(v, nil); !selEqual(got, vector.Sel{0, 2, 3}) {
+		t.Errorf("bools: %v", got)
+	}
+	if got := SelectBools(v, vector.Sel{1, 2}); !selEqual(got, vector.Sel{2}) {
+		t.Errorf("bools cand: %v", got)
+	}
+}
+
+func TestSelCompose(t *testing.T) {
+	outer := vector.Sel{10, 20, 30}
+	inner := vector.Sel{2, 0}
+	if got := SelCompose(outer, inner); !selEqual(got, vector.Sel{30, 10}) {
+		t.Errorf("compose: %v", got)
+	}
+}
+
+// Property: Select(op) ∪ Select(negate op) partitions the candidate space.
+func TestSelectPartitionProperty(t *testing.T) {
+	f := func(vals []int64, c int64) bool {
+		v := vector.FromInt64(vals)
+		pos := Select(v, Lt, vector.IntValue(c), nil)
+		neg := Select(v, Ge, vector.IntValue(c), nil)
+		return len(pos)+len(neg) == len(vals)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHashJoinBasic(t *testing.T) {
+	l := vector.FromInt64([]int64{1, 2, 3, 2})
+	r := vector.FromInt64([]int64{2, 4, 2})
+	j := HashJoin(l, nil, r, nil)
+	// probe order: left rows 1 and 3 match right rows 0 and 2.
+	wantL := vector.Sel{1, 1, 3, 3}
+	wantR := vector.Sel{0, 2, 0, 2}
+	if !selEqual(j.Left, wantL) || !selEqual(j.Right, wantR) {
+		t.Errorf("join got L=%v R=%v", j.Left, j.Right)
+	}
+	if j.Len() != 4 {
+		t.Errorf("join len %d", j.Len())
+	}
+}
+
+func TestHashJoinWithSelections(t *testing.T) {
+	l := vector.FromInt64([]int64{1, 2, 3})
+	r := vector.FromInt64([]int64{3, 2, 1})
+	j := HashJoin(l, vector.Sel{0, 2}, r, vector.Sel{0, 1})
+	// left row 2 (value 3) matches right row 0 (value 3).
+	if j.Len() != 1 || j.Left[0] != 2 || j.Right[0] != 0 {
+		t.Errorf("join with sels: L=%v R=%v", j.Left, j.Right)
+	}
+}
+
+func TestHashJoinGenericStrings(t *testing.T) {
+	l := vector.FromStr([]string{"a", "b"})
+	r := vector.FromStr([]string{"b", "b", "c"})
+	j := HashJoin(l, nil, r, nil)
+	if j.Len() != 2 || j.Left[0] != 1 || j.Right[0] != 0 || j.Right[1] != 1 {
+		t.Errorf("string join: L=%v R=%v", j.Left, j.Right)
+	}
+	// With candidate lists through the generic path.
+	j = HashJoin(l, vector.Sel{1}, r, vector.Sel{1, 2})
+	if j.Len() != 1 || j.Left[0] != 1 || j.Right[0] != 1 {
+		t.Errorf("string join with sels: L=%v R=%v", j.Left, j.Right)
+	}
+}
+
+// Property: hash join pair count equals the nested-loop pair count.
+func TestHashJoinCountProperty(t *testing.T) {
+	f := func(lRaw, rRaw []uint8) bool {
+		l := make([]int64, len(lRaw))
+		for i, x := range lRaw {
+			l[i] = int64(x % 16)
+		}
+		r := make([]int64, len(rRaw))
+		for i, x := range rRaw {
+			r[i] = int64(x % 16)
+		}
+		want := 0
+		for _, a := range l {
+			for _, b := range r {
+				if a == b {
+					want++
+				}
+			}
+		}
+		j := HashJoin(vector.FromInt64(l), nil, vector.FromInt64(r), nil)
+		if j.Len() != want {
+			return false
+		}
+		for i := range j.Left {
+			if l[j.Left[i]] != r[j.Right[i]] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGroupSingleKey(t *testing.T) {
+	v := vector.FromInt64([]int64{7, 8, 7, 9, 8})
+	g := Group([]*vector.Vector{v}, nil)
+	if g.K != 3 {
+		t.Fatalf("K=%d want 3", g.K)
+	}
+	wantIDs := []int32{0, 1, 0, 2, 1}
+	for i, id := range g.IDs {
+		if id != wantIDs[i] {
+			t.Errorf("IDs[%d]=%d want %d", i, id, wantIDs[i])
+		}
+	}
+	if !selEqual(g.Repr, vector.Sel{0, 1, 3}) {
+		t.Errorf("Repr=%v", g.Repr)
+	}
+	if g.Len() != 5 {
+		t.Errorf("Len=%d", g.Len())
+	}
+}
+
+func TestGroupWithSelAndMultiKey(t *testing.T) {
+	k1 := vector.FromInt64([]int64{1, 1, 2, 2})
+	k2 := vector.FromStr([]string{"a", "b", "a", "a"})
+	g := Group([]*vector.Vector{k1, k2}, vector.Sel{0, 1, 2, 3})
+	if g.K != 3 {
+		t.Fatalf("multikey K=%d want 3", g.K)
+	}
+	g2 := Group([]*vector.Vector{k1}, vector.Sel{2, 3})
+	if g2.K != 1 || g2.Repr[0] != 2 {
+		t.Errorf("group with sel: K=%d Repr=%v", g2.K, g2.Repr)
+	}
+}
+
+func TestGroupNoKeysPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Group with no keys did not panic")
+		}
+	}()
+	Group(nil, nil)
+}
+
+func TestDistinct(t *testing.T) {
+	v := vector.FromInt64([]int64{5, 5, 6, 5, 7})
+	if got := Distinct([]*vector.Vector{v}, nil); !selEqual(got, vector.Sel{0, 2, 4}) {
+		t.Errorf("distinct: %v", got)
+	}
+}
+
+func TestSumCount(t *testing.T) {
+	vi := vector.FromInt64([]int64{1, 2, 3})
+	if Sum(vi, nil).I != 6 {
+		t.Error("int sum")
+	}
+	if Sum(vi, vector.Sel{0, 2}).I != 4 {
+		t.Error("int sum sel")
+	}
+	vf := vector.FromFloat64([]float64{0.5, 1.5})
+	if Sum(vf, nil).F != 2.0 {
+		t.Error("float sum")
+	}
+	if Sum(vf, vector.Sel{1}).F != 1.5 {
+		t.Error("float sum sel")
+	}
+	if Count(vi, nil).I != 3 || Count(vi, vector.Sel{1}).I != 1 {
+		t.Error("count")
+	}
+	if Sum(vector.New(vector.Int64, 0), nil).I != 0 {
+		t.Error("empty sum not zero")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	v := vector.FromInt64([]int64{4, -2, 9})
+	if m, ok := Min(v, nil); !ok || m.I != -2 {
+		t.Error("min int")
+	}
+	if m, ok := Max(v, nil); !ok || m.I != 9 {
+		t.Error("max int")
+	}
+	if m, ok := Max(v, vector.Sel{0, 1}); !ok || m.I != 4 {
+		t.Error("max sel")
+	}
+	if _, ok := Min(vector.New(vector.Int64, 0), nil); ok {
+		t.Error("min of empty should be !ok")
+	}
+	vf := vector.FromFloat64([]float64{2.5, -1.5})
+	if m, ok := Min(vf, nil); !ok || m.F != -1.5 {
+		t.Error("min float")
+	}
+	if m, ok := Max(vf, vector.Sel{0}); !ok || m.F != 2.5 {
+		t.Error("max float sel")
+	}
+	vs := vector.FromStr([]string{"b", "a", "c"})
+	if m, ok := Min(vs, nil); !ok || m.S != "a" {
+		t.Error("min str")
+	}
+	if m, ok := Max(vs, nil); !ok || m.S != "c" {
+		t.Error("max str")
+	}
+}
+
+func TestGroupedAggSumCount(t *testing.T) {
+	keys := vector.FromInt64([]int64{1, 2, 1, 2, 1})
+	vals := vector.FromInt64([]int64{10, 20, 30, 40, 50})
+	g := Group([]*vector.Vector{keys}, nil)
+	sums := GroupedAgg(AggSum, vals, nil, g)
+	if sums.Get(0).I != 90 || sums.Get(1).I != 60 {
+		t.Errorf("grouped sums: %v", sums)
+	}
+	counts := GroupedAgg(AggCount, vals, nil, g)
+	if counts.Get(0).I != 3 || counts.Get(1).I != 2 {
+		t.Errorf("grouped counts: %v", counts)
+	}
+}
+
+func TestGroupedAggWithSel(t *testing.T) {
+	keys := vector.FromInt64([]int64{9, 1, 2, 1, 9})
+	vals := vector.FromFloat64([]float64{100, 1.5, 2.5, 3.5, 100})
+	sel := vector.Sel{1, 2, 3}
+	g := Group([]*vector.Vector{keys}, sel)
+	sums := GroupedAgg(AggSum, vals, sel, g)
+	if sums.Get(0).F != 5.0 || sums.Get(1).F != 2.5 {
+		t.Errorf("grouped float sums with sel: %v", sums)
+	}
+}
+
+func TestGroupedMinMax(t *testing.T) {
+	keys := vector.FromInt64([]int64{1, 2, 1, 2})
+	vals := vector.FromInt64([]int64{5, 7, 3, 9})
+	g := Group([]*vector.Vector{keys}, nil)
+	mins := GroupedAgg(AggMin, vals, nil, g)
+	maxs := GroupedAgg(AggMax, vals, nil, g)
+	if mins.Get(0).I != 3 || mins.Get(1).I != 7 {
+		t.Errorf("grouped min: %v", mins)
+	}
+	if maxs.Get(0).I != 5 || maxs.Get(1).I != 9 {
+		t.Errorf("grouped max: %v", maxs)
+	}
+}
+
+func TestMergeKind(t *testing.T) {
+	if AggCount.MergeKind() != AggSum {
+		t.Error("count must merge by sum")
+	}
+	for _, k := range []AggKind{AggSum, AggMin, AggMax} {
+		if k.MergeKind() != k {
+			t.Errorf("%v must merge by itself", k)
+		}
+	}
+}
+
+func TestAggKindStrings(t *testing.T) {
+	want := map[AggKind]string{AggSum: "sum", AggCount: "count", AggMin: "min", AggMax: "max", AggAvg: "avg"}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("%v.String()=%q", k, k.String())
+		}
+	}
+}
+
+// Property: grouped sums add up to the global sum.
+func TestGroupedSumTotalProperty(t *testing.T) {
+	f := func(pairs []uint16) bool {
+		keys := make([]int64, len(pairs))
+		vals := make([]int64, len(pairs))
+		for i, p := range pairs {
+			keys[i] = int64(p % 7)
+			vals[i] = int64(p)
+		}
+		kv, vv := vector.FromInt64(keys), vector.FromInt64(vals)
+		g := Group([]*vector.Vector{kv}, nil)
+		sums := GroupedAgg(AggSum, vv, nil, g)
+		total := int64(0)
+		for i := 0; i < sums.Len(); i++ {
+			total += sums.Get(i).I
+		}
+		return total == Sum(vv, nil).I
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// The key incremental-processing identity: an aggregate over a full window
+// equals the compensated merge of per-basic-window partials.
+func TestPartialAggregateMergeProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(200)
+		vals := make([]int64, n)
+		for i := range vals {
+			vals[i] = rng.Int63n(1000) - 500
+		}
+		v := vector.FromInt64(vals)
+		parts := 1 + rng.Intn(8)
+		step := (n + parts - 1) / parts
+
+		var sumParts, cntParts, minParts, maxParts *vector.Vector
+		sumParts = vector.New(vector.Int64, parts)
+		cntParts = vector.New(vector.Int64, parts)
+		minParts = vector.New(vector.Int64, parts)
+		maxParts = vector.New(vector.Int64, parts)
+		for lo := 0; lo < n; lo += step {
+			hi := lo + step
+			if hi > n {
+				hi = n
+			}
+			w := v.Slice(lo, hi)
+			sumParts.AppendValue(Sum(w, nil))
+			cntParts.AppendValue(Count(w, nil))
+			if m, ok := Min(w, nil); ok {
+				minParts.AppendValue(m)
+			}
+			if m, ok := Max(w, nil); ok {
+				maxParts.AppendValue(m)
+			}
+		}
+		if Sum(sumParts, nil).I != Sum(v, nil).I {
+			t.Fatal("sum merge mismatch")
+		}
+		if Sum(cntParts, nil).I != int64(n) {
+			t.Fatal("count merge mismatch")
+		}
+		gotMin, _ := Min(minParts, nil)
+		wantMin, _ := Min(v, nil)
+		if gotMin.I != wantMin.I {
+			t.Fatal("min merge mismatch")
+		}
+		gotMax, _ := Max(maxParts, nil)
+		wantMax, _ := Max(v, nil)
+		if gotMax.I != wantMax.I {
+			t.Fatal("max merge mismatch")
+		}
+	}
+}
+
+func TestSortBasic(t *testing.T) {
+	v := vector.FromInt64([]int64{3, 1, 2})
+	s := Sort([]SortKey{{Col: v}}, nil)
+	if !selEqual(s, vector.Sel{1, 2, 0}) {
+		t.Errorf("asc sort: %v", s)
+	}
+	s = Sort([]SortKey{{Col: v, Desc: true}}, nil)
+	if !selEqual(s, vector.Sel{0, 2, 1}) {
+		t.Errorf("desc sort: %v", s)
+	}
+}
+
+func TestSortStableAndMultiKey(t *testing.T) {
+	k1 := vector.FromInt64([]int64{1, 1, 0, 0})
+	k2 := vector.FromInt64([]int64{5, 4, 5, 4})
+	s := Sort([]SortKey{{Col: k1}, {Col: k2, Desc: true}}, nil)
+	if !selEqual(s, vector.Sel{2, 3, 0, 1}) {
+		t.Errorf("multikey sort: %v", s)
+	}
+	// Stability: equal keys preserve the input order of the candidate list.
+	eq := vector.FromInt64([]int64{7, 7, 7})
+	s = Sort([]SortKey{{Col: eq}}, vector.Sel{2, 0, 1})
+	if !selEqual(s, vector.Sel{2, 0, 1}) {
+		t.Errorf("stability violated: %v", s)
+	}
+}
+
+func TestSortNoKeysPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Sort with no keys did not panic")
+		}
+	}()
+	Sort(nil, nil)
+}
+
+func TestTopN(t *testing.T) {
+	v := vector.FromInt64([]int64{5, 1, 4, 2})
+	if got := TopN([]SortKey{{Col: v}}, nil, 2); !selEqual(got, vector.Sel{1, 3}) {
+		t.Errorf("topn: %v", got)
+	}
+	if got := TopN([]SortKey{{Col: v}}, nil, 10); len(got) != 4 {
+		t.Errorf("topn over-length: %v", got)
+	}
+}

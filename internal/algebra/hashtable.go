@@ -1,0 +1,94 @@
+package algebra
+
+import (
+	"datacell/internal/vector"
+)
+
+// IntTable is an open-addressing, chain-per-bucket hash table over an
+// int64 key column — the reusable join index of the engine. Building is
+// separated from probing so the DataCell rewriter can build once per basic
+// window and probe the same table from every join-matrix cell (intermediate
+// reuse at the plan level, exactly as the paper prescribes for MonetDB's
+// join intermediates).
+type IntTable struct {
+	mask  uint64
+	heads []int32 // bucket -> first row index + 1
+	next  []int32 // row -> next row with same bucket + 1
+	keys  []int64 // row -> key (aligned with build row ids)
+	rows  []int32 // row -> original row position in the build column
+}
+
+const intHashMul = 0x9E3779B97F4A7C15
+
+func hashInt64(k int64, mask uint64) uint64 {
+	return (uint64(k) * intHashMul) >> 16 & mask
+}
+
+// BuildInt builds a table over the rows of v (restricted to sel; nil = all
+// rows). v must be an Int64 or Timestamp column.
+func BuildInt(v *vector.Vector, sel vector.Sel) *IntTable {
+	vals := v.Int64s()
+	n := len(vals)
+	if sel != nil {
+		n = len(sel)
+	}
+	size := 16
+	for size < 2*n {
+		size <<= 1
+	}
+	t := &IntTable{
+		mask:  uint64(size - 1),
+		heads: make([]int32, size),
+		next:  make([]int32, n),
+		keys:  make([]int64, n),
+		rows:  make([]int32, n),
+	}
+	// Insert in reverse so each bucket chain enumerates rows in ascending
+	// build order (prepend inverts, reverse insertion restores).
+	for i := n - 1; i >= 0; i-- {
+		var key int64
+		var row int32
+		if sel == nil {
+			key, row = vals[i], int32(i)
+		} else {
+			key, row = vals[sel[i]], sel[i]
+		}
+		t.keys[i] = key
+		t.rows[i] = row
+		h := hashInt64(key, t.mask)
+		t.next[i] = t.heads[h]
+		t.heads[h] = int32(i) + 1
+	}
+	return t
+}
+
+// Len returns the number of build rows.
+func (t *IntTable) Len() int { return len(t.keys) }
+
+// Probe joins probe rows of v (restricted to sel) against the table,
+// returning (probe row, build row) pairs ordered by probe position and,
+// within one probe row, by build position.
+func (t *IntTable) Probe(v *vector.Vector, sel vector.Sel) JoinResult {
+	vals := v.Int64s()
+	var out JoinResult
+	out.Left = vector.Sel{}
+	out.Right = vector.Sel{}
+	probeOne := func(pos int32, key int64) {
+		for e := t.heads[hashInt64(key, t.mask)]; e != 0; e = t.next[e-1] {
+			if t.keys[e-1] == key {
+				out.Left = append(out.Left, pos)
+				out.Right = append(out.Right, t.rows[e-1])
+			}
+		}
+	}
+	if sel == nil {
+		for i, k := range vals {
+			probeOne(int32(i), k)
+		}
+	} else {
+		for _, i := range sel {
+			probeOne(i, vals[i])
+		}
+	}
+	return out
+}

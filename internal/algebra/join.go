@@ -1,0 +1,76 @@
+package algebra
+
+import (
+	"datacell/internal/vector"
+)
+
+// JoinResult holds the aligned selection vectors produced by an equi-join:
+// for every output row i, Left[i] is a row position in the left input and
+// Right[i] the matching row position in the right input.
+type JoinResult struct {
+	Left  vector.Sel
+	Right vector.Sel
+}
+
+// Len returns the number of matched pairs.
+func (j JoinResult) Len() int { return len(j.Left) }
+
+// HashJoin computes the equi-join between the rows of l (restricted to
+// lsel, or all rows when nil) and the rows of r (restricted to rsel). The
+// build side is the right input; the probe scans the left input, so output
+// pairs are ordered by left row position. Keys hash by their boxed value
+// for non-numeric types and by raw payload for int64/float64.
+func HashJoin(l *vector.Vector, lsel vector.Sel, r *vector.Vector, rsel vector.Sel) JoinResult {
+	if (l.Type() == vector.Int64 || l.Type() == vector.Timestamp) &&
+		(r.Type() == vector.Int64 || r.Type() == vector.Timestamp) {
+		return hashJoinInt64(l, lsel, r, rsel)
+	}
+	return hashJoinGeneric(l, lsel, r, rsel)
+}
+
+func hashJoinInt64(l *vector.Vector, lsel vector.Sel, r *vector.Vector, rsel vector.Sel) JoinResult {
+	// Build on the right side with the open-addressing table, probe left.
+	return BuildInt(r, rsel).Probe(l, lsel)
+}
+
+func hashJoinGeneric(l *vector.Vector, lsel vector.Sel, r *vector.Vector, rsel vector.Sel) JoinResult {
+	ht := make(map[string][]int32, buildSize(r.Len(), rsel))
+	key := func(v *vector.Vector, i int32) string { return v.Get(int(i)).String() }
+	if rsel == nil {
+		for i := 0; i < r.Len(); i++ {
+			k := key(r, int32(i))
+			ht[k] = append(ht[k], int32(i))
+		}
+	} else {
+		for _, i := range rsel {
+			k := key(r, i)
+			ht[k] = append(ht[k], i)
+		}
+	}
+	var out JoinResult
+	probe := func(i int32) {
+		if matches, ok := ht[key(l, i)]; ok {
+			for _, m := range matches {
+				out.Left = append(out.Left, i)
+				out.Right = append(out.Right, m)
+			}
+		}
+	}
+	if lsel == nil {
+		for i := 0; i < l.Len(); i++ {
+			probe(int32(i))
+		}
+	} else {
+		for _, i := range lsel {
+			probe(i)
+		}
+	}
+	return out
+}
+
+func buildSize(n int, sel vector.Sel) int {
+	if sel != nil {
+		return len(sel)
+	}
+	return n
+}

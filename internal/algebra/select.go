@@ -1,0 +1,288 @@
+// Package algebra implements the bulk, column-at-a-time relational operators
+// the execution engine is built from: selection, projection (take), mapping,
+// hash join, grouping, aggregation, concatenation, sorting, distinct and
+// top-n. Every operator consumes whole columns and fully materializes its
+// output, mirroring MonetDB's operator-at-a-time processing model — the
+// property the DataCell incremental rewriter exploits to freeze and resume
+// plans at arbitrary points.
+package algebra
+
+import (
+	"datacell/internal/vector"
+)
+
+// CmpOp is a comparison operator for selections.
+type CmpOp uint8
+
+// Comparison operators.
+const (
+	Lt CmpOp = iota
+	Le
+	Gt
+	Ge
+	Eq
+	Ne
+)
+
+// String returns the SQL spelling of the operator.
+func (op CmpOp) String() string {
+	switch op {
+	case Lt:
+		return "<"
+	case Le:
+		return "<="
+	case Gt:
+		return ">"
+	case Ge:
+		return ">="
+	case Eq:
+		return "="
+	case Ne:
+		return "<>"
+	}
+	return "?"
+}
+
+// Negate returns the complement operator (e.g. Lt -> Ge).
+func (op CmpOp) Negate() CmpOp {
+	switch op {
+	case Lt:
+		return Ge
+	case Le:
+		return Gt
+	case Gt:
+		return Le
+	case Ge:
+		return Lt
+	case Eq:
+		return Ne
+	case Ne:
+		return Eq
+	}
+	return op
+}
+
+// Flip returns the operator with swapped operands (a op b == b Flip(op) a).
+func (op CmpOp) Flip() CmpOp {
+	switch op {
+	case Lt:
+		return Gt
+	case Le:
+		return Ge
+	case Gt:
+		return Lt
+	case Ge:
+		return Le
+	}
+	return op
+}
+
+// Select returns the selection vector of rows in v (restricted to cand, or
+// all rows when cand is nil) whose value compares op against c. The fast
+// paths cover the numeric types the benchmarks exercise; strings and bools
+// fall back to boxed comparison.
+func Select(v *vector.Vector, op CmpOp, c vector.Value, cand vector.Sel) vector.Sel {
+	switch v.Type() {
+	case vector.Int64, vector.Timestamp:
+		if c.Typ == vector.Float64 {
+			return selectGeneric(v, op, c, cand)
+		}
+		return selectInt64(v.Int64s(), op, c.AsInt(), cand)
+	case vector.Float64:
+		return selectFloat64(v.Float64s(), op, c.AsFloat(), cand)
+	default:
+		return selectGeneric(v, op, c, cand)
+	}
+}
+
+func selectInt64(vals []int64, op CmpOp, c int64, cand vector.Sel) vector.Sel {
+	out := make(vector.Sel, 0, guessCap(len(vals), cand))
+	if cand == nil {
+		switch op {
+		case Lt:
+			for i, x := range vals {
+				if x < c {
+					out = append(out, int32(i))
+				}
+			}
+		case Le:
+			for i, x := range vals {
+				if x <= c {
+					out = append(out, int32(i))
+				}
+			}
+		case Gt:
+			for i, x := range vals {
+				if x > c {
+					out = append(out, int32(i))
+				}
+			}
+		case Ge:
+			for i, x := range vals {
+				if x >= c {
+					out = append(out, int32(i))
+				}
+			}
+		case Eq:
+			for i, x := range vals {
+				if x == c {
+					out = append(out, int32(i))
+				}
+			}
+		case Ne:
+			for i, x := range vals {
+				if x != c {
+					out = append(out, int32(i))
+				}
+			}
+		}
+		return out
+	}
+	for _, i := range cand {
+		x := vals[i]
+		keep := false
+		switch op {
+		case Lt:
+			keep = x < c
+		case Le:
+			keep = x <= c
+		case Gt:
+			keep = x > c
+		case Ge:
+			keep = x >= c
+		case Eq:
+			keep = x == c
+		case Ne:
+			keep = x != c
+		}
+		if keep {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func selectFloat64(vals []float64, op CmpOp, c float64, cand vector.Sel) vector.Sel {
+	out := make(vector.Sel, 0, guessCap(len(vals), cand))
+	iter := func(i int32, x float64) {
+		keep := false
+		switch op {
+		case Lt:
+			keep = x < c
+		case Le:
+			keep = x <= c
+		case Gt:
+			keep = x > c
+		case Ge:
+			keep = x >= c
+		case Eq:
+			keep = x == c
+		case Ne:
+			keep = x != c
+		}
+		if keep {
+			out = append(out, i)
+		}
+	}
+	if cand == nil {
+		for i, x := range vals {
+			iter(int32(i), x)
+		}
+	} else {
+		for _, i := range cand {
+			iter(i, vals[i])
+		}
+	}
+	return out
+}
+
+func selectGeneric(v *vector.Vector, op CmpOp, c vector.Value, cand vector.Sel) vector.Sel {
+	out := make(vector.Sel, 0, guessCap(v.Len(), cand))
+	test := func(i int32) {
+		cmp := v.Get(int(i)).Compare(c)
+		keep := false
+		switch op {
+		case Lt:
+			keep = cmp < 0
+		case Le:
+			keep = cmp <= 0
+		case Gt:
+			keep = cmp > 0
+		case Ge:
+			keep = cmp >= 0
+		case Eq:
+			keep = cmp == 0
+		case Ne:
+			keep = cmp != 0
+		}
+		if keep {
+			out = append(out, i)
+		}
+	}
+	if cand == nil {
+		for i := 0; i < v.Len(); i++ {
+			test(int32(i))
+		}
+	} else {
+		for _, i := range cand {
+			test(i)
+		}
+	}
+	return out
+}
+
+// SelectRange returns rows with lo <= v < hi (closed/open bounds chosen by
+// loIncl/hiIncl), restricted to cand when non-nil.
+func SelectRange(v *vector.Vector, lo, hi vector.Value, loIncl, hiIncl bool, cand vector.Sel) vector.Sel {
+	loOp := Gt
+	if loIncl {
+		loOp = Ge
+	}
+	hiOp := Lt
+	if hiIncl {
+		hiOp = Le
+	}
+	s := Select(v, loOp, lo, cand)
+	return Select(v, hiOp, hi, s)
+}
+
+// SelectBools returns the rows of a Bool vector that are true, restricted to
+// cand when non-nil. It is how computed predicates become selections.
+func SelectBools(v *vector.Vector, cand vector.Sel) vector.Sel {
+	bs := v.Bools()
+	out := make(vector.Sel, 0, guessCap(len(bs), cand))
+	if cand == nil {
+		for i, b := range bs {
+			if b {
+				out = append(out, int32(i))
+			}
+		}
+		return out
+	}
+	for _, i := range cand {
+		if bs[i] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// SelColumns maps a selection through another selection: out[i] =
+// outer[inner[i]]. Used to compose candidate lists.
+func SelCompose(outer, inner vector.Sel) vector.Sel {
+	out := make(vector.Sel, len(inner))
+	for i, x := range inner {
+		out[i] = outer[x]
+	}
+	return out
+}
+
+func guessCap(n int, cand vector.Sel) int {
+	if cand != nil {
+		n = len(cand)
+	}
+	if n > 64 {
+		return n / 4
+	}
+	return n
+}

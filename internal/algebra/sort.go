@@ -1,0 +1,51 @@
+package algebra
+
+import (
+	"sort"
+
+	"datacell/internal/vector"
+)
+
+// SortKey describes one ORDER BY term.
+type SortKey struct {
+	Col  *vector.Vector
+	Desc bool
+}
+
+// Sort returns a selection vector that visits the rows of sel (or all rows
+// of the first key when sel is nil) in the order given by keys. The sort is
+// stable so ties preserve arrival order, matching stream semantics.
+func Sort(keys []SortKey, sel vector.Sel) vector.Sel {
+	if len(keys) == 0 {
+		panic("algebra: Sort with no keys")
+	}
+	var out vector.Sel
+	if sel == nil {
+		out = vector.SeqSel(keys[0].Col.Len())
+	} else {
+		out = append(vector.Sel(nil), sel...)
+	}
+	sort.SliceStable(out, func(a, b int) bool {
+		for _, k := range keys {
+			cmp := k.Col.Get(int(out[a])).Compare(k.Col.Get(int(out[b])))
+			if k.Desc {
+				cmp = -cmp
+			}
+			if cmp != 0 {
+				return cmp < 0
+			}
+		}
+		return false
+	})
+	return out
+}
+
+// TopN returns the first n entries of the sorted selection. It sorts fully
+// for simplicity; the result equals Sort(keys, sel)[:n].
+func TopN(keys []SortKey, sel vector.Sel, n int) vector.Sel {
+	s := Sort(keys, sel)
+	if n < len(s) {
+		s = s[:n]
+	}
+	return s
+}

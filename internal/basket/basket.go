@@ -1,0 +1,176 @@
+// Package basket implements DataCell's lightweight stream tables. A basket
+// buffers incoming stream tuples in columnar form between receptor and
+// factory: receptors append, factories lock the basket, read window views,
+// and delete expired tuples — the locking discipline of Algorithm 1/2 in
+// the paper. Each tuple carries an arrival timestamp to support time-based
+// windows.
+package basket
+
+import (
+	"fmt"
+	"sync"
+
+	"datacell/internal/catalog"
+	"datacell/internal/vector"
+)
+
+// Basket is a columnar stream buffer. All accesses must happen between
+// Lock/Unlock; the *Locked methods document that requirement in their name.
+type Basket struct {
+	mu     sync.Mutex
+	name   string
+	schema catalog.Schema
+	cols   []*vector.Vector
+	ts     []int64 // arrival timestamps (micros), parallel to cols
+	// dropped counts tuples deleted from the head since creation, so
+	// absolute positions can be maintained by callers if needed.
+	dropped int64
+	// appended counts all tuples ever appended.
+	appended int64
+}
+
+// New creates an empty basket for the given schema.
+func New(name string, schema catalog.Schema) *Basket {
+	b := &Basket{name: name, schema: schema}
+	b.cols = make([]*vector.Vector, schema.Arity())
+	for i, c := range schema.Cols {
+		b.cols[i] = vector.New(c.Type, 0)
+	}
+	return b
+}
+
+// Name returns the basket name.
+func (b *Basket) Name() string { return b.name }
+
+// Schema returns the basket schema.
+func (b *Basket) Schema() catalog.Schema { return b.schema }
+
+// Lock acquires the basket for a factory or receptor critical section.
+func (b *Basket) Lock() { b.mu.Lock() }
+
+// Unlock releases the basket.
+func (b *Basket) Unlock() { b.mu.Unlock() }
+
+// AppendRowLocked appends one tuple with the given arrival timestamp.
+// The basket must be locked.
+func (b *Basket) AppendRowLocked(vals []vector.Value, ts int64) error {
+	if len(vals) != len(b.cols) {
+		return fmt.Errorf("basket %s: tuple arity %d, want %d", b.name, len(vals), len(b.cols))
+	}
+	for i, v := range vals {
+		want := b.schema.Cols[i].Type
+		intAlias := (v.Typ == vector.Int64 && want == vector.Timestamp) ||
+			(v.Typ == vector.Timestamp && want == vector.Int64)
+		if v.Typ != want && !intAlias {
+			return fmt.Errorf("basket %s: column %s expects %s, got %s", b.name, b.schema.Cols[i].Name, want, v.Typ)
+		}
+	}
+	for i, v := range vals {
+		b.cols[i].AppendValue(v)
+	}
+	b.ts = append(b.ts, ts)
+	b.appended++
+	return nil
+}
+
+// AppendColumnsLocked appends a batch in columnar form. All columns must
+// have equal length and match the schema types. ts supplies per-tuple
+// arrival timestamps (len must match, or ts may be nil for all-zero).
+func (b *Basket) AppendColumnsLocked(cols []*vector.Vector, ts []int64) error {
+	if len(cols) != len(b.cols) {
+		return fmt.Errorf("basket %s: batch arity %d, want %d", b.name, len(cols), len(b.cols))
+	}
+	n := cols[0].Len()
+	for i, c := range cols {
+		if c.Len() != n {
+			return fmt.Errorf("basket %s: ragged batch (%d vs %d)", b.name, c.Len(), n)
+		}
+		if c.Type() != b.schema.Cols[i].Type {
+			return fmt.Errorf("basket %s: column %s expects %s, got %s",
+				b.name, b.schema.Cols[i].Name, b.schema.Cols[i].Type, c.Type())
+		}
+	}
+	if ts != nil && len(ts) != n {
+		return fmt.Errorf("basket %s: %d timestamps for %d tuples", b.name, len(ts), n)
+	}
+	for i, c := range cols {
+		b.cols[i].AppendVector(c)
+	}
+	if ts == nil {
+		ts = make([]int64, n)
+	}
+	b.ts = append(b.ts, ts...)
+	b.appended += int64(n)
+	return nil
+}
+
+// LenLocked returns the number of buffered tuples.
+func (b *Basket) LenLocked() int { return b.cols[0].Len() }
+
+// Len locks and returns the number of buffered tuples.
+func (b *Basket) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.LenLocked()
+}
+
+// Appended returns the total number of tuples ever appended.
+func (b *Basket) Appended() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.appended
+}
+
+// ViewLocked returns zero-copy column views of rows [lo, hi). The views are
+// valid only until the next DeleteHeadLocked; callers that retain data
+// across steps must Clone.
+func (b *Basket) ViewLocked(lo, hi int) []*vector.Vector {
+	out := make([]*vector.Vector, len(b.cols))
+	for i, c := range b.cols {
+		out[i] = c.Slice(lo, hi)
+	}
+	return out
+}
+
+// TimestampsLocked returns the timestamp slice for rows [lo, hi); the
+// returned slice aliases basket storage.
+func (b *Basket) TimestampsLocked(lo, hi int) []int64 { return b.ts[lo:hi] }
+
+// CountUntilLocked returns how many buffered tuples have timestamp < cut.
+// Tuples arrive in timestamp order, so this is a prefix length.
+func (b *Basket) CountUntilLocked(cut int64) int {
+	// Binary search over the (sorted) timestamp prefix.
+	lo, hi := 0, len(b.ts)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if b.ts[mid] < cut {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// DeleteHeadLocked drops the first n tuples (they expired). Any previously
+// returned views become invalid.
+func (b *Basket) DeleteHeadLocked(n int) {
+	if n <= 0 {
+		return
+	}
+	if max := b.LenLocked(); n > max {
+		n = max
+	}
+	for _, c := range b.cols {
+		c.DeleteHead(n)
+	}
+	b.ts = b.ts[:copy(b.ts, b.ts[n:])]
+	b.dropped += int64(n)
+}
+
+// Dropped returns the number of tuples expired from the head so far.
+func (b *Basket) Dropped() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.dropped
+}

@@ -1,0 +1,197 @@
+package basket
+
+import (
+	"sync"
+	"testing"
+
+	"datacell/internal/catalog"
+	"datacell/internal/vector"
+)
+
+func testSchema() catalog.Schema {
+	return catalog.NewSchema(
+		catalog.Column{Name: "a", Type: vector.Int64},
+		catalog.Column{Name: "b", Type: vector.Float64},
+	)
+}
+
+func TestAppendRowAndViews(t *testing.T) {
+	b := New("test", testSchema())
+	if b.Name() != "test" || b.Schema().Arity() != 2 {
+		t.Error("metadata")
+	}
+	b.Lock()
+	for i := 0; i < 5; i++ {
+		if err := b.AppendRowLocked([]vector.Value{
+			vector.IntValue(int64(i)), vector.FloatValue(float64(i) / 2),
+		}, int64(i*10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if b.LenLocked() != 5 {
+		t.Errorf("len: %d", b.LenLocked())
+	}
+	view := b.ViewLocked(1, 4)
+	if view[0].Len() != 3 || view[0].Get(0).I != 1 || view[1].Get(2).F != 1.5 {
+		t.Errorf("view: %v %v", view[0], view[1])
+	}
+	ts := b.TimestampsLocked(0, 5)
+	if ts[4] != 40 {
+		t.Errorf("timestamps: %v", ts)
+	}
+	b.Unlock()
+	if b.Appended() != 5 {
+		t.Error("appended counter")
+	}
+}
+
+func TestAppendRowErrors(t *testing.T) {
+	b := New("test", testSchema())
+	b.Lock()
+	defer b.Unlock()
+	if err := b.AppendRowLocked([]vector.Value{vector.IntValue(1)}, 0); err == nil {
+		t.Error("arity mismatch should fail")
+	}
+	if err := b.AppendRowLocked([]vector.Value{
+		vector.StrValue("x"), vector.FloatValue(1),
+	}, 0); err == nil {
+		t.Error("type mismatch should fail")
+	}
+	// Timestamp/Int64 aliasing is allowed.
+	tb := New("ts", catalog.NewSchema(catalog.Column{Name: "t", Type: vector.Timestamp}))
+	tb.Lock()
+	if err := tb.AppendRowLocked([]vector.Value{vector.IntValue(5)}, 0); err != nil {
+		t.Errorf("int into timestamp column should work: %v", err)
+	}
+	tb.Unlock()
+}
+
+func TestAppendColumns(t *testing.T) {
+	b := New("test", testSchema())
+	b.Lock()
+	defer b.Unlock()
+	cols := []*vector.Vector{
+		vector.FromInt64([]int64{1, 2, 3}),
+		vector.FromFloat64([]float64{0.1, 0.2, 0.3}),
+	}
+	if err := b.AppendColumnsLocked(cols, []int64{10, 20, 30}); err != nil {
+		t.Fatal(err)
+	}
+	if b.LenLocked() != 3 {
+		t.Errorf("len %d", b.LenLocked())
+	}
+	// nil timestamps default to zero.
+	if err := b.AppendColumnsLocked(cols, nil); err != nil {
+		t.Fatal(err)
+	}
+	if b.LenLocked() != 6 || b.TimestampsLocked(3, 6)[0] != 0 {
+		t.Error("nil ts append")
+	}
+}
+
+func TestAppendColumnsErrors(t *testing.T) {
+	b := New("test", testSchema())
+	b.Lock()
+	defer b.Unlock()
+	if err := b.AppendColumnsLocked([]*vector.Vector{vector.FromInt64(nil)}, nil); err == nil {
+		t.Error("arity mismatch")
+	}
+	if err := b.AppendColumnsLocked([]*vector.Vector{
+		vector.FromInt64([]int64{1}),
+		vector.FromFloat64([]float64{1, 2}),
+	}, nil); err == nil {
+		t.Error("ragged batch")
+	}
+	if err := b.AppendColumnsLocked([]*vector.Vector{
+		vector.FromFloat64([]float64{1}),
+		vector.FromFloat64([]float64{1}),
+	}, nil); err == nil {
+		t.Error("type mismatch")
+	}
+	if err := b.AppendColumnsLocked([]*vector.Vector{
+		vector.FromInt64([]int64{1}),
+		vector.FromFloat64([]float64{1}),
+	}, []int64{1, 2}); err == nil {
+		t.Error("ts length mismatch")
+	}
+}
+
+func TestDeleteHead(t *testing.T) {
+	b := New("test", testSchema())
+	b.Lock()
+	b.AppendColumnsLocked([]*vector.Vector{
+		vector.FromInt64([]int64{1, 2, 3, 4}),
+		vector.FromFloat64([]float64{1, 2, 3, 4}),
+	}, []int64{10, 20, 30, 40})
+	b.DeleteHeadLocked(2)
+	if b.LenLocked() != 2 || b.ViewLocked(0, 1)[0].Get(0).I != 3 {
+		t.Error("delete head content")
+	}
+	if b.TimestampsLocked(0, 2)[0] != 30 {
+		t.Error("delete head timestamps")
+	}
+	b.DeleteHeadLocked(0)  // no-op
+	b.DeleteHeadLocked(99) // clamps
+	if b.LenLocked() != 0 {
+		t.Error("over-delete should clamp")
+	}
+	b.Unlock()
+	if b.Dropped() != 4 {
+		t.Errorf("dropped: %d", b.Dropped())
+	}
+}
+
+func TestCountUntil(t *testing.T) {
+	b := New("test", testSchema())
+	b.Lock()
+	defer b.Unlock()
+	b.AppendColumnsLocked([]*vector.Vector{
+		vector.FromInt64([]int64{1, 2, 3, 4, 5}),
+		vector.FromFloat64([]float64{1, 2, 3, 4, 5}),
+	}, []int64{10, 20, 20, 30, 50})
+	cases := map[int64]int{5: 0, 10: 0, 11: 1, 20: 1, 21: 3, 30: 3, 31: 4, 51: 5, 100: 5}
+	for cut, want := range cases {
+		if got := b.CountUntilLocked(cut); got != want {
+			t.Errorf("CountUntil(%d) = %d, want %d", cut, got, want)
+		}
+	}
+}
+
+func TestConcurrentAppendAndDrain(t *testing.T) {
+	b := New("test", testSchema())
+	var wg sync.WaitGroup
+	const producers = 4
+	const perProducer = 500
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				b.Lock()
+				_ = b.AppendRowLocked([]vector.Value{
+					vector.IntValue(int64(i)), vector.FloatValue(1),
+				}, int64(i))
+				b.Unlock()
+			}
+		}()
+	}
+	drained := 0
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for drained < producers*perProducer {
+			b.Lock()
+			n := b.LenLocked()
+			if n > 0 {
+				b.DeleteHeadLocked(n)
+				drained += n
+			}
+			b.Unlock()
+		}
+	}()
+	wg.Wait()
+	<-done
+	if drained != producers*perProducer {
+		t.Errorf("drained %d", drained)
+	}
+}

@@ -1,0 +1,118 @@
+package bench
+
+import (
+	"fmt"
+
+	"datacell/internal/engine"
+	"datacell/internal/workload"
+)
+
+// Q1 is the paper's single-stream query (Section 4.1).
+const q1Template = `SELECT x1, sum(x2) FROM s [RANGE %d SLIDE %d] WHERE x1 > %d GROUP BY x1`
+
+// Q2 is the paper's multi-stream join query.
+const q2Template = `SELECT max(s1.x1), avg(s2.x1) FROM s1 [RANGE %d SLIDE %d], s2 [RANGE %d SLIDE %d] WHERE s1.x2 = s2.x2`
+
+const x1Domain = 1000
+
+// q1Setup builds an engine with both registrations of Q1 and returns the
+// two timers.
+func q1Setup(W, w int, sel float64) (*engine.Engine, *windowTimer, *windowTimer, error) {
+	e := engine.New()
+	if err := e.RegisterStream("s", intSchema()); err != nil {
+		return nil, nil, nil, err
+	}
+	v := workload.ThresholdForSelectivity(x1Domain, sel)
+	query := fmt.Sprintf(q1Template, W, w, v)
+	ree, err := register(e, query, engine.Reevaluation, engine.Options{})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	inc, err := register(e, query, engine.Incremental, engine.Options{})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return e, ree, inc, nil
+}
+
+// q2Setup builds an engine with both registrations of Q2.
+func q2Setup(W, w int, keyDomain int64) (*engine.Engine, *windowTimer, *windowTimer, error) {
+	e := engine.New()
+	if err := e.RegisterStream("s1", intSchema()); err != nil {
+		return nil, nil, nil, err
+	}
+	if err := e.RegisterStream("s2", intSchema()); err != nil {
+		return nil, nil, nil, err
+	}
+	query := fmt.Sprintf(q2Template, W, w, W, w)
+	_ = keyDomain
+	ree, err := register(e, query, engine.Reevaluation, engine.Options{})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	inc, err := register(e, query, engine.Incremental, engine.Options{})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return e, ree, inc, nil
+}
+
+// RunFig4a reproduces Figure 4(a): per-window response time of Q1 for
+// DataCellR vs DataCell over 20 sliding windows.
+// Paper parameters: |W| = 1.024e7, |w| = 2e4 (512 basic windows), 20%
+// selectivity.
+func RunFig4a(cfg Config) (*Table, error) {
+	W, w := cfg.sized(10_240_000, 512)
+	windows := cfg.windows(20)
+	e, ree, inc, err := q1Setup(W, w, 0.20)
+	if err != nil {
+		return nil, err
+	}
+	total := W + (windows-1)*w
+	gen := workload.NewGen(4001, x1Domain, 1000)
+	if err := feedAndPump(e, []string{"s"}, []*workload.Gen{gen}, total, w); err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Figure: "Fig 4(a)",
+		Title:  fmt.Sprintf("Q1 basic performance, |W|=%d |w|=%d sel=20%%", W, w),
+		Header: []string{"window", "DataCellR_ms", "DataCell_ms"},
+	}
+	for i := 0; i < len(inc.ResponseNS) && i < len(ree.ResponseNS); i++ {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(i + 1), ms(ree.ResponseNS[i]), ms(inc.ResponseNS[i]),
+		})
+	}
+	return t, nil
+}
+
+// RunFig4b reproduces Figure 4(b): per-window response time of the
+// two-stream join Q2. Paper parameters: |W| = 1.024e5, |w| = 1600 (64
+// basic windows per stream).
+func RunFig4b(cfg Config) (*Table, error) {
+	cfg = cfg.joinCfg()
+	W, w := cfg.sized(102_400, 64)
+	windows := cfg.windows(20)
+	keyDomain := int64(W / 10) // ~10 matches per probe: data volume dominates
+	e, ree, inc, err := q2Setup(W, w, keyDomain)
+	if err != nil {
+		return nil, err
+	}
+	total := W + (windows-1)*w
+	g1 := workload.NewGen(4002, x1Domain, keyDomain)
+	g2 := workload.NewGen(4003, x1Domain, keyDomain)
+	if err := feedAndPump(e, []string{"s1", "s2"}, []*workload.Gen{g1, g2}, total, w); err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Figure: "Fig 4(b)",
+		Title:  fmt.Sprintf("Q2 basic performance (join), |W|=%d |w|=%d", W, w),
+		Header: []string{"window", "DataCellR_ms", "DataCell_ms"},
+	}
+	for i := 0; i < len(inc.ResponseNS) && i < len(ree.ResponseNS); i++ {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(i + 1), ms(ree.ResponseNS[i]), ms(inc.ResponseNS[i]),
+		})
+	}
+	return t, nil
+}

@@ -1,0 +1,134 @@
+// Package catalog tracks the schemas of the streams (baskets) and
+// persistent tables known to an engine instance and resolves names during
+// planning.
+package catalog
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"datacell/internal/vector"
+)
+
+// SourceKind distinguishes continuous stream sources (backed by baskets)
+// from persistent tables.
+type SourceKind uint8
+
+const (
+	// Stream sources receive tuples continuously via receptors.
+	Stream SourceKind = iota
+	// Table sources hold persistent, query-able data.
+	Table
+)
+
+// String names the kind.
+func (k SourceKind) String() string {
+	if k == Stream {
+		return "STREAM"
+	}
+	return "TABLE"
+}
+
+// Column describes one attribute of a source.
+type Column struct {
+	Name string
+	Type vector.Type
+}
+
+// Schema is an ordered list of columns.
+type Schema struct {
+	Cols []Column
+}
+
+// NewSchema builds a schema from (name, type) pairs.
+func NewSchema(cols ...Column) Schema { return Schema{Cols: cols} }
+
+// ColIndex returns the position of the named column, or -1.
+func (s Schema) ColIndex(name string) int {
+	for i, c := range s.Cols {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Arity returns the number of columns.
+func (s Schema) Arity() int { return len(s.Cols) }
+
+// Source is a named stream or table with its schema.
+type Source struct {
+	Name   string
+	Kind   SourceKind
+	Schema Schema
+}
+
+// Catalog is a concurrency-safe name → source registry.
+type Catalog struct {
+	mu      sync.RWMutex
+	sources map[string]*Source
+}
+
+// New returns an empty catalog.
+func New() *Catalog {
+	return &Catalog{sources: make(map[string]*Source)}
+}
+
+// Register adds a source; registering a duplicate name is an error.
+func (c *Catalog) Register(src *Source) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.sources[src.Name]; ok {
+		return fmt.Errorf("catalog: source %q already exists", src.Name)
+	}
+	if len(src.Schema.Cols) == 0 {
+		return fmt.Errorf("catalog: source %q has no columns", src.Name)
+	}
+	seen := map[string]bool{}
+	for _, col := range src.Schema.Cols {
+		if col.Name == "" {
+			return fmt.Errorf("catalog: source %q has an unnamed column", src.Name)
+		}
+		if seen[col.Name] {
+			return fmt.Errorf("catalog: source %q declares column %q twice", src.Name, col.Name)
+		}
+		seen[col.Name] = true
+	}
+	c.sources[src.Name] = src
+	return nil
+}
+
+// Lookup resolves a source by name.
+func (c *Catalog) Lookup(name string) (*Source, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	src, ok := c.sources[name]
+	if !ok {
+		return nil, fmt.Errorf("catalog: unknown source %q", name)
+	}
+	return src, nil
+}
+
+// Drop removes a source by name.
+func (c *Catalog) Drop(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.sources[name]; !ok {
+		return fmt.Errorf("catalog: unknown source %q", name)
+	}
+	delete(c.sources, name)
+	return nil
+}
+
+// Names returns all registered source names, sorted.
+func (c *Catalog) Names() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, 0, len(c.sources))
+	for n := range c.sources {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,97 @@
+package catalog
+
+import (
+	"sync"
+	"testing"
+
+	"datacell/internal/vector"
+)
+
+func src(name string, kind SourceKind, cols ...Column) *Source {
+	return &Source{Name: name, Kind: kind, Schema: NewSchema(cols...)}
+}
+
+func TestRegisterAndLookup(t *testing.T) {
+	c := New()
+	if err := c.Register(src("s", Stream, Column{Name: "a", Type: vector.Int64})); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Lookup("s")
+	if err != nil || got.Name != "s" || got.Kind != Stream {
+		t.Errorf("lookup: %v %v", got, err)
+	}
+	if _, err := c.Lookup("nosuch"); err == nil {
+		t.Error("unknown lookup should fail")
+	}
+}
+
+func TestRegisterValidation(t *testing.T) {
+	c := New()
+	if err := c.Register(src("dup", Table, Column{Name: "a", Type: vector.Int64})); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Register(src("dup", Table, Column{Name: "a", Type: vector.Int64})); err == nil {
+		t.Error("duplicate name should fail")
+	}
+	if err := c.Register(src("empty", Table)); err == nil {
+		t.Error("empty schema should fail")
+	}
+	if err := c.Register(src("unnamed", Table, Column{Type: vector.Int64})); err == nil {
+		t.Error("unnamed column should fail")
+	}
+	if err := c.Register(src("twice", Table,
+		Column{Name: "a", Type: vector.Int64}, Column{Name: "a", Type: vector.Int64})); err == nil {
+		t.Error("duplicate column should fail")
+	}
+}
+
+func TestDropAndNames(t *testing.T) {
+	c := New()
+	c.Register(src("b", Stream, Column{Name: "x", Type: vector.Int64}))
+	c.Register(src("a", Table, Column{Name: "x", Type: vector.Int64}))
+	names := c.Names()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Errorf("names: %v", names)
+	}
+	if err := c.Drop("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Drop("a"); err == nil {
+		t.Error("double drop should fail")
+	}
+	if len(c.Names()) != 1 {
+		t.Error("drop did not remove")
+	}
+}
+
+func TestSchemaHelpers(t *testing.T) {
+	s := NewSchema(Column{Name: "a", Type: vector.Int64}, Column{Name: "b", Type: vector.Str})
+	if s.Arity() != 2 {
+		t.Error("arity")
+	}
+	if s.ColIndex("b") != 1 || s.ColIndex("nosuch") != -1 {
+		t.Error("colindex")
+	}
+	if Stream.String() != "STREAM" || Table.String() != "TABLE" {
+		t.Error("kind strings")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c := New()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			name := string(rune('a' + i))
+			_ = c.Register(src(name, Stream, Column{Name: "x", Type: vector.Int64}))
+			_, _ = c.Lookup(name)
+			_ = c.Names()
+		}(i)
+	}
+	wg.Wait()
+	if len(c.Names()) != 8 {
+		t.Errorf("names after concurrent register: %v", c.Names())
+	}
+}

@@ -1,0 +1,65 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"datacell/internal/plan"
+)
+
+// Explain renders the incremental plan's stages in execution order — the
+// analogue of EXPLAIN for rewritten continuous plans. It shows the four
+// transformations at a glance: the per-basic-window fragments (split +
+// replicate), the cell fragment (join matrix), the concat specifications
+// and the merge/compensation tail.
+func (ip *IncPlan) Explain() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "incremental plan: n=%d basic windows", ip.N)
+	if ip.Landmark {
+		sb.WriteString(" (landmark: cumulative intermediates)")
+	}
+	if ip.HasJoin {
+		fmt.Fprintf(&sb, ", join matrix over sources %d x %d", ip.CellSources[0], ip.CellSources[1])
+	}
+	if ip.DiscardInput {
+		sb.WriteString(", input discarded after processing")
+	}
+	sb.WriteByte('\n')
+
+	writeStage := func(title string, instrs []plan.Instr) {
+		if len(instrs) == 0 {
+			return
+		}
+		fmt.Fprintf(&sb, "%s:\n", title)
+		for _, in := range instrs {
+			fmt.Fprintf(&sb, "  %s\n", in.String())
+		}
+	}
+	writeStage("static (once per step)", ip.Static)
+	for s, instrs := range ip.PerBW {
+		writeStage(fmt.Sprintf("per basic window of source %d (%s)", s, ip.Prog.Sources[s].Ref), instrs)
+	}
+	writeStage("per join-matrix cell", ip.Cell)
+
+	if len(ip.Concats) > 0 {
+		sb.WriteString("merge inputs:\n")
+		for _, c := range ip.Concats {
+			from := fmt.Sprintf("slots of source %d", c.Source)
+			if c.Kind == ConcatCell {
+				from = "all matrix cells"
+			}
+			fmt.Fprintf(&sb, "  r%d := concat(r%d across %s)\n", c.Dst, c.Src, from)
+		}
+	}
+	writeStage("merge (compensation + tail)", ip.Merge)
+
+	for s, regs := range ip.SlotRegs {
+		if len(regs) > 0 {
+			fmt.Fprintf(&sb, "slots per basic window of source %d: %v\n", s, regs)
+		}
+	}
+	if len(ip.CellRegs) > 0 {
+		fmt.Fprintf(&sb, "slots per matrix cell: %v\n", ip.CellRegs)
+	}
+	return sb.String()
+}

@@ -1,0 +1,383 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"datacell/internal/exec"
+	"datacell/internal/plan"
+	"datacell/internal/vector"
+)
+
+// StepStats reports where one slide spent its time, matching the paper's
+// Fig 7 cost breakdown: MainNS is the "query processing" cost (per-basic-
+// window and per-cell fragments of the original plan), MergeNS the cost of
+// all additional merge/compensation work.
+type StepStats struct {
+	MainNS  int64
+	MergeNS int64
+	// Emitted reports whether this step produced a window result (false
+	// while the preface, i.e. the first window, is still filling).
+	Emitted bool
+	// ResultRows is the result cardinality when Emitted.
+	ResultRows int
+}
+
+// regFile stores the retained datums of one basic window (or one matrix
+// cell), indexed by slot position.
+type regFile []exec.Datum
+
+// Runtime executes an IncPlan across window slides, maintaining the
+// per-basic-window intermediate slots and the join matrix.
+type Runtime struct {
+	ip *IncPlan
+
+	slotPos []map[plan.Reg]int // per source: reg -> slot index
+	cellPos map[plan.Reg]int
+
+	slots   [][]regFile // per source: ring of per-bw files (len <= N)
+	pending [][]regFile // per source: chunk partials awaiting combination
+	cells   [][]regFile // join matrix aligned with slots of the two sources
+
+	staticEnv  []exec.Datum
+	staticOuts []plan.Reg
+	scratch    []exec.Datum
+	inputs     []exec.Input
+
+	steps int
+}
+
+// NewRuntime prepares an executor for an incremental plan.
+func NewRuntime(ip *IncPlan) *Runtime {
+	rt := &Runtime{
+		ip:      ip,
+		slots:   make([][]regFile, len(ip.Prog.Sources)),
+		pending: make([][]regFile, len(ip.Prog.Sources)),
+		slotPos: make([]map[plan.Reg]int, len(ip.Prog.Sources)),
+		cellPos: map[plan.Reg]int{},
+	}
+	for s := range ip.Prog.Sources {
+		rt.slotPos[s] = make(map[plan.Reg]int, len(ip.SlotRegs[s]))
+		for i, r := range ip.SlotRegs[s] {
+			rt.slotPos[s][r] = i
+		}
+	}
+	for i, r := range ip.CellRegs {
+		rt.cellPos[r] = i
+	}
+	for _, in := range ip.Static {
+		rt.staticOuts = append(rt.staticOuts, in.Out...)
+	}
+	rt.staticEnv = make([]exec.Datum, ip.NumRegs)
+	rt.scratch = make([]exec.Datum, ip.NumRegs)
+	return rt
+}
+
+// Steps returns the number of Step calls so far.
+func (rt *Runtime) Steps() int { return rt.steps }
+
+// windowedStream reports whether source s expects basic-window pushes.
+func (rt *Runtime) windowedStream(s int) bool {
+	spec := rt.ip.Prog.Sources[s]
+	return spec.IsStream && spec.Window != nil
+}
+
+// PushChunk processes a fraction of the next basic window of source s
+// early (the paper's "Optimized Incremental Plans"): the per-bw fragment
+// runs on the chunk now, and its partial intermediates are combined into
+// the basic window's slot when Step later completes the window.
+func (rt *Runtime) PushChunk(s int, cols []*vector.Vector, inputs []exec.Input) error {
+	if rt.ip.HasJoin {
+		return fmt.Errorf("core: chunked processing is limited to single-stream plans")
+	}
+	rt.runStatic(inputs)
+	file, err := rt.runPerBW(s, cols, inputs)
+	if err != nil {
+		return err
+	}
+	rt.pending[s] = append(rt.pending[s], file)
+	return nil
+}
+
+// Step processes one window slide. newBW[s] holds the closing chunk of the
+// new basic window for each windowed stream source (entries for tables are
+// ignored); inputs supplies full table columns for non-stream sources. The
+// returned table is nil while the first window is still filling.
+func (rt *Runtime) Step(newBW [][]*vector.Vector, inputs []exec.Input) (*exec.Table, StepStats, error) {
+	var stats StepStats
+	t0 := time.Now()
+	rt.steps++
+	rt.runStatic(inputs)
+
+	evicted := false
+	for s := range rt.ip.Prog.Sources {
+		if !rt.windowedStream(s) {
+			continue
+		}
+		file, err := rt.runPerBW(s, newBW[s], inputs)
+		if err != nil {
+			return nil, stats, err
+		}
+		if len(rt.pending[s]) > 0 {
+			chunks := append(rt.pending[s], file)
+			file = rt.combineChunks(s, chunks)
+			rt.pending[s] = nil
+		}
+		if !rt.ip.Landmark && len(rt.slots[s]) == rt.ip.N {
+			// Transition phase: expire the oldest basic window.
+			rt.slots[s] = rt.slots[s][1:]
+			evicted = true
+		}
+		rt.slots[s] = append(rt.slots[s], file)
+	}
+
+	if rt.ip.HasJoin {
+		if err := rt.updateCells(evicted, inputs); err != nil {
+			return nil, stats, err
+		}
+	}
+	stats.MainNS = time.Since(t0).Nanoseconds()
+
+	if !rt.ready() {
+		return nil, stats, nil
+	}
+
+	t1 := time.Now()
+	tbl, env, err := rt.merge(inputs)
+	if err != nil {
+		return nil, stats, err
+	}
+	if rt.ip.Landmark {
+		rt.compactLandmark(env)
+	}
+	stats.MergeNS = time.Since(t1).Nanoseconds()
+	stats.Emitted = true
+	stats.ResultRows = tbl.NumRows()
+	return tbl, stats, nil
+}
+
+func (rt *Runtime) ready() bool {
+	for s := range rt.ip.Prog.Sources {
+		if !rt.windowedStream(s) {
+			continue
+		}
+		if rt.ip.Landmark {
+			if len(rt.slots[s]) < 1 {
+				return false
+			}
+			continue
+		}
+		if len(rt.slots[s]) < rt.ip.N {
+			return false
+		}
+	}
+	return true
+}
+
+func (rt *Runtime) runStatic(inputs []exec.Input) {
+	rt.inputs = inputs
+	for _, in := range rt.ip.Static {
+		if err := exec.ExecInstr(in, rt.staticEnv, inputs); err != nil {
+			// Static instructions only fail on schema mismatches, which
+			// Compile already validated; surface loudly.
+			panic(fmt.Sprintf("core: static stage: %v", err))
+		}
+	}
+}
+
+func (rt *Runtime) copyStatic(env []exec.Datum) {
+	for _, r := range rt.staticOuts {
+		env[r] = rt.staticEnv[r]
+	}
+}
+
+// runPerBW executes source s's per-basic-window fragment over the given
+// column views and returns the slot file of retained values.
+func (rt *Runtime) runPerBW(s int, cols []*vector.Vector, inputs []exec.Input) (regFile, error) {
+	env := rt.scratch
+	rt.copyStatic(env)
+	bwInputs := make([]exec.Input, len(inputs))
+	copy(bwInputs, inputs)
+	bwInputs[s] = exec.Input{Cols: cols}
+	for _, in := range rt.ip.PerBW[s] {
+		if err := exec.ExecInstr(in, env, bwInputs); err != nil {
+			return nil, fmt.Errorf("core: per-bw stage (source %d): %w", s, err)
+		}
+	}
+	file := make(regFile, len(rt.ip.SlotRegs[s]))
+	for i, r := range rt.ip.SlotRegs[s] {
+		d := env[r]
+		if rt.ip.BindRegs[r] && d.Kind == exec.KindVec {
+			// Slot values must survive basket deletions: clone raw views.
+			d = exec.VecDatum(d.Vec.Clone())
+		}
+		file[i] = d
+	}
+	return file, nil
+}
+
+// combineChunks merges chunked per-bw partials into one slot file by
+// concatenating each retained vector (partials stay partials; the merge
+// stage re-aggregates, so concatenation is always the correct combiner).
+func (rt *Runtime) combineChunks(s int, chunks []regFile) regFile {
+	out := make(regFile, len(rt.ip.SlotRegs[s]))
+	for i := range rt.ip.SlotRegs[s] {
+		vs := make([]*vector.Vector, 0, len(chunks))
+		for _, c := range chunks {
+			if c[i].Kind != exec.KindVec {
+				panic("core: non-vector datum in chunk slot")
+			}
+			vs = append(vs, c[i].Vec)
+		}
+		out[i] = exec.VecDatum(vector.Concat(vs...))
+	}
+	return out
+}
+
+// updateCells maintains the join matrix: expire the row and column of the
+// evicted basic windows, then evaluate the cells involving the new ones.
+func (rt *Runtime) updateCells(evicted bool, inputs []exec.Input) error {
+	ls, rs := rt.ip.CellSources[0], rt.ip.CellSources[1]
+	if evicted && len(rt.cells) > 0 {
+		rt.cells = rt.cells[1:]
+		for i := range rt.cells {
+			rt.cells[i] = rt.cells[i][1:]
+		}
+	}
+	L, R := len(rt.slots[ls]), len(rt.slots[rs])
+	for len(rt.cells) < L {
+		rt.cells = append(rt.cells, nil)
+	}
+	for i := 0; i < L; i++ {
+		for len(rt.cells[i]) < R {
+			rt.cells[i] = append(rt.cells[i], nil)
+		}
+		for j := 0; j < R; j++ {
+			if rt.cells[i][j] != nil {
+				continue
+			}
+			file, err := rt.runCell(i, j, inputs)
+			if err != nil {
+				return err
+			}
+			rt.cells[i][j] = file
+		}
+	}
+	return nil
+}
+
+func (rt *Runtime) runCell(i, j int, inputs []exec.Input) (regFile, error) {
+	ls, rs := rt.ip.CellSources[0], rt.ip.CellSources[1]
+	env := rt.scratch
+	rt.copyStatic(env)
+	for pos, r := range rt.ip.SlotRegs[ls] {
+		env[r] = rt.slots[ls][i][pos]
+	}
+	for pos, r := range rt.ip.SlotRegs[rs] {
+		env[r] = rt.slots[rs][j][pos]
+	}
+	for _, in := range rt.ip.Cell {
+		if err := exec.ExecInstr(in, env, inputs); err != nil {
+			return nil, fmt.Errorf("core: cell (%d,%d): %w", i, j, err)
+		}
+	}
+	file := make(regFile, len(rt.ip.CellRegs))
+	for pos, r := range rt.ip.CellRegs {
+		file[pos] = env[r]
+	}
+	return file, nil
+}
+
+// merge materializes the concatenations, runs the merge fragment and
+// returns the window result plus the merge environment (used for landmark
+// compaction).
+func (rt *Runtime) merge(inputs []exec.Input) (*exec.Table, []exec.Datum, error) {
+	env := make([]exec.Datum, rt.ip.NumRegs)
+	rt.copyStatic(env)
+	for _, spec := range rt.ip.Concats {
+		vecs, err := rt.gather(spec)
+		if err != nil {
+			return nil, nil, err
+		}
+		env[spec.Dst] = exec.VecDatum(vector.Concat(vecs...))
+	}
+	var result *exec.Table
+	for _, in := range rt.ip.Merge {
+		if in.Op == plan.OpResult {
+			tbl, err := exec.BuildResult(in, env)
+			if err != nil {
+				return nil, nil, fmt.Errorf("core: merge result: %w", err)
+			}
+			result = tbl
+			continue
+		}
+		if err := exec.ExecInstr(in, env, inputs); err != nil {
+			return nil, nil, fmt.Errorf("core: merge stage: %w", err)
+		}
+	}
+	if result == nil {
+		return nil, nil, fmt.Errorf("core: merge produced no result")
+	}
+	return result, env, nil
+}
+
+func (rt *Runtime) gather(spec ConcatSpec) ([]*vector.Vector, error) {
+	var vecs []*vector.Vector
+	if spec.Kind == ConcatPerBW {
+		pos := rt.slotPos[spec.Source][spec.Src]
+		for _, file := range rt.slots[spec.Source] {
+			d := file[pos]
+			if d.Kind != exec.KindVec {
+				return nil, fmt.Errorf("core: slot r%d holds non-vector", spec.Src)
+			}
+			vecs = append(vecs, d.Vec)
+		}
+		return vecs, nil
+	}
+	pos := rt.cellPos[spec.Src]
+	for _, row := range rt.cells {
+		for _, cell := range row {
+			d := cell[pos]
+			if d.Kind != exec.KindVec {
+				return nil, fmt.Errorf("core: cell r%d holds non-vector", spec.Src)
+			}
+			vecs = append(vecs, d.Vec)
+		}
+	}
+	return vecs, nil
+}
+
+// compactLandmark replaces the accumulated slots with a single cumulative
+// file whose values are the merged (compensated) globals — one cumulative
+// intermediate per merge point, per the paper's landmark design.
+func (rt *Runtime) compactLandmark(env []exec.Datum) {
+	for s := range rt.ip.Prog.Sources {
+		if !rt.windowedStream(s) {
+			continue
+		}
+		file := make(regFile, len(rt.ip.SlotRegs[s]))
+		for i, r := range rt.ip.SlotRegs[s] {
+			file[i] = env[r]
+		}
+		rt.slots[s] = []regFile{file}
+	}
+}
+
+// MemorySlots reports how many basic-window slot files are currently held,
+// for observability and tests.
+func (rt *Runtime) MemorySlots() int {
+	total := 0
+	for _, s := range rt.slots {
+		total += len(s)
+	}
+	return total
+}
+
+// CellCount reports the number of live join-matrix cells.
+func (rt *Runtime) CellCount() int {
+	total := 0
+	for _, row := range rt.cells {
+		total += len(row)
+	}
+	return total
+}

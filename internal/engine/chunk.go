@@ -1,0 +1,84 @@
+package engine
+
+// ChunkController implements the self-adapting optimization of Section 3
+// ("Optimized Incremental Plans", evaluated in Fig 8): the newest basic
+// window is processed in m chunks so that only |w|/m tuples remain to be
+// processed when the last tuple arrives. Starting from m=1 the controller
+// doubles m every AdaptEvery steps while the observed response time keeps
+// improving, and resets to the best m once it degrades.
+type ChunkController struct {
+	m        int
+	adaptive bool
+	frozen   bool
+
+	// AdaptEvery is how many steps are observed per m before deciding.
+	AdaptEvery int
+	// MaxM caps the exploration.
+	MaxM int
+
+	observed  int
+	accumNS   int64
+	bestM     int
+	bestAvgNS int64
+	haveBest  bool
+	history   []AdaptPoint
+}
+
+// AdaptPoint records one adaptation decision for observability/tests.
+type AdaptPoint struct {
+	M     int
+	AvgNS int64
+}
+
+// NewChunkController builds a controller. With adaptive=false, m stays at
+// the given fixed value (minimum 1).
+func NewChunkController(fixedM int, adaptive bool) *ChunkController {
+	if fixedM < 1 {
+		fixedM = 1
+	}
+	c := &ChunkController{m: fixedM, adaptive: adaptive, AdaptEvery: 5, MaxM: 1 << 20}
+	if adaptive {
+		c.m = 1
+	}
+	return c
+}
+
+// M returns the current number of chunks per basic window.
+func (c *ChunkController) M() int { return c.m }
+
+// Frozen reports whether adaptation has settled on a final m.
+func (c *ChunkController) Frozen() bool { return c.frozen }
+
+// History returns the adaptation trace.
+func (c *ChunkController) History() []AdaptPoint { return c.history }
+
+// Observe feeds one step's response time (ns) into the controller.
+func (c *ChunkController) Observe(responseNS int64) {
+	if !c.adaptive || c.frozen {
+		return
+	}
+	c.accumNS += responseNS
+	c.observed++
+	if c.observed < c.AdaptEvery {
+		return
+	}
+	avg := c.accumNS / int64(c.observed)
+	c.history = append(c.history, AdaptPoint{M: c.m, AvgNS: avg})
+	c.observed = 0
+	c.accumNS = 0
+	if !c.haveBest || avg < c.bestAvgNS {
+		c.haveBest = true
+		c.bestAvgNS = avg
+		c.bestM = c.m
+		if c.m*2 > c.MaxM {
+			c.frozen = true
+			return
+		}
+		c.m *= 2
+		return
+	}
+	// Response time degraded: resort to the best m seen (the paper's
+	// reset step) and stop exploring.
+	c.m = c.bestM
+	c.frozen = true
+}

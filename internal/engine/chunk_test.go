@@ -1,0 +1,125 @@
+package engine
+
+import (
+	"testing"
+
+	"datacell/internal/plan"
+	"datacell/internal/sql"
+)
+
+func TestChunkControllerFixed(t *testing.T) {
+	c := NewChunkController(8, false)
+	if c.M() != 8 {
+		t.Error("fixed m")
+	}
+	for i := 0; i < 100; i++ {
+		c.Observe(100)
+	}
+	if c.M() != 8 || c.Frozen() {
+		t.Error("fixed controller must not adapt")
+	}
+	if NewChunkController(0, false).M() != 1 {
+		t.Error("m clamps to 1")
+	}
+}
+
+func TestChunkControllerAdaptsUpThenResorts(t *testing.T) {
+	c := NewChunkController(0, true)
+	if c.M() != 1 {
+		t.Error("adaptive starts at m=1")
+	}
+	// Response improves while m grows to 8, then degrades at 16.
+	cost := map[int]int64{1: 1000, 2: 600, 4: 400, 8: 300, 16: 900}
+	for !c.Frozen() {
+		m := c.M()
+		for i := 0; i < c.AdaptEvery; i++ {
+			c.Observe(cost[m])
+		}
+		if c.M() > 16 {
+			t.Fatal("explored past the degradation point")
+		}
+	}
+	if c.M() != 8 {
+		t.Errorf("controller settled on m=%d, want 8", c.M())
+	}
+	h := c.History()
+	if len(h) != 5 || h[0].M != 1 || h[4].M != 16 {
+		t.Errorf("history: %+v", h)
+	}
+	// Frozen: further observations are ignored.
+	c.Observe(1)
+	if c.M() != 8 {
+		t.Error("frozen controller changed m")
+	}
+}
+
+func TestChunkControllerMaxMCap(t *testing.T) {
+	c := NewChunkController(0, true)
+	c.MaxM = 4
+	for i := 0; !c.Frozen() && i < 100; i++ {
+		for j := 0; j < c.AdaptEvery; j++ {
+			c.Observe(int64(1000 / c.M())) // always improving
+		}
+	}
+	if !c.Frozen() || c.M() != 4 {
+		t.Errorf("cap: frozen=%v m=%d", c.Frozen(), c.M())
+	}
+}
+
+func TestResolveAutoMode(t *testing.T) {
+	mkProg := func(w *sql.WindowSpec) *plan.Program {
+		return &plan.Program{Sources: []plan.SourceSpec{{IsStream: true, Window: w}}}
+	}
+	small := mkProg(&sql.WindowSpec{Kind: sql.CountWindow, Rows: 100, SlideRows: 10})
+	if resolveAutoMode(small, 0) != Reevaluation {
+		t.Error("small window should re-evaluate")
+	}
+	big := mkProg(&sql.WindowSpec{Kind: sql.CountWindow, Rows: 1 << 20, SlideRows: 1 << 10})
+	if resolveAutoMode(big, 0) != Incremental {
+		t.Error("big window should be incremental")
+	}
+	if resolveAutoMode(small, 50) != Incremental {
+		t.Error("custom threshold should flip the decision")
+	}
+	lm := mkProg(&sql.WindowSpec{Kind: sql.LandmarkWindow, SlideRows: 10})
+	if resolveAutoMode(lm, 0) != Incremental {
+		t.Error("landmark should always be incremental")
+	}
+	tw := mkProg(&sql.WindowSpec{Kind: sql.TimeWindow, Dur: 100e9, SlideDur: 1e9})
+	if resolveAutoMode(tw, 0) != Incremental {
+		t.Error("many-slide time window should be incremental")
+	}
+	tw2 := mkProg(&sql.WindowSpec{Kind: sql.TimeWindow, Dur: 2e9, SlideDur: 1e9})
+	if resolveAutoMode(tw2, 0) != Reevaluation {
+		t.Error("few-slide time window should re-evaluate")
+	}
+}
+
+func TestAutoModeEndToEnd(t *testing.T) {
+	e := newTestEngine(t)
+	small, err := e.Register(`SELECT count(*) FROM s [RANGE 10 SLIDE 5]`, Options{Mode: Auto})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.Mode != Reevaluation {
+		t.Errorf("small auto query resolved to %v", small.Mode)
+	}
+	big, err := e.Register(`SELECT count(*) FROM s [RANGE 8192 SLIDE 1024]`, Options{Mode: Auto})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.Mode != Incremental {
+		t.Errorf("big auto query resolved to %v", big.Mode)
+	}
+	// Both still produce correct results.
+	feedRandom([]string{"s"}, 9000, 5, 99, 512)(e)
+	if _, err := e.Pump(); err != nil {
+		t.Fatal(err)
+	}
+	if small.Windows() == 0 || big.Windows() == 0 {
+		t.Errorf("auto queries produced %d / %d windows", small.Windows(), big.Windows())
+	}
+	if Auto.String() != "auto" || Mode(99).String() != "?" {
+		t.Error("mode strings")
+	}
+}

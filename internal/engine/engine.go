@@ -1,0 +1,306 @@
+// Package engine implements the DataCell architecture around the kernel:
+// receptors feed stream tuples into baskets, factories (continuous-query
+// executors) fire when their input baskets can fill the next window step,
+// and emitters deliver results — the Petri-net scheduling model of the
+// paper. Both execution modes are provided: incremental (the paper's
+// contribution, via internal/core) and full re-evaluation (the DataCellR
+// baseline).
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"datacell/internal/basket"
+	"datacell/internal/catalog"
+	"datacell/internal/exec"
+	"datacell/internal/plan"
+	"datacell/internal/vector"
+)
+
+// Mode selects how a continuous query is executed.
+type Mode uint8
+
+const (
+	// Incremental uses the plan-level incremental rewrite (DataCell).
+	Incremental Mode = iota
+	// Reevaluation recomputes the full window every slide (DataCellR).
+	Reevaluation
+	// Auto picks per query: re-evaluation for small windows (where the
+	// incremental machinery is pure overhead) and incremental processing
+	// for large ones — the hybrid the paper proposes in Section 4.2
+	// ("interchange between different paradigms depending on the
+	// environment"). The threshold is Options.AutoThreshold.
+	Auto
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case Incremental:
+		return "incremental"
+	case Reevaluation:
+		return "reevaluation"
+	case Auto:
+		return "auto"
+	}
+	return "?"
+}
+
+// Engine hosts streams, tables and continuous queries.
+type Engine struct {
+	mu      sync.Mutex
+	cat     *catalog.Catalog
+	streams map[string]*streamInfo
+	tables  map[string]*tableStore
+	queries map[string]*ContinuousQuery
+	nextID  int
+
+	// loadNS accumulates wall time spent appending stream data (the
+	// "loading" component of the paper's cost breakdown figure).
+	loadNS int64
+}
+
+type streamInfo struct {
+	schema catalog.Schema
+	// Every subscribed query owns a private basket so expiration policies
+	// never interfere across queries; the receptor fans appends out.
+	subscribers []*queryInput
+	watermark   int64
+	appended    int64
+}
+
+type tableStore struct {
+	mu     sync.Mutex
+	schema catalog.Schema
+	cols   []*vector.Vector
+}
+
+// New creates an empty engine.
+func New() *Engine {
+	return &Engine{
+		cat:     catalog.New(),
+		streams: map[string]*streamInfo{},
+		tables:  map[string]*tableStore{},
+		queries: map[string]*ContinuousQuery{},
+	}
+}
+
+// Catalog exposes the engine's catalog (read-mostly).
+func (e *Engine) Catalog() *catalog.Catalog { return e.cat }
+
+// RegisterStream declares a stream source.
+func (e *Engine) RegisterStream(name string, schema catalog.Schema) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := e.cat.Register(&catalog.Source{Name: name, Kind: catalog.Stream, Schema: schema}); err != nil {
+		return err
+	}
+	e.streams[name] = &streamInfo{schema: schema}
+	return nil
+}
+
+// RegisterTable declares a persistent table.
+func (e *Engine) RegisterTable(name string, schema catalog.Schema) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := e.cat.Register(&catalog.Source{Name: name, Kind: catalog.Table, Schema: schema}); err != nil {
+		return err
+	}
+	cols := make([]*vector.Vector, schema.Arity())
+	for i, c := range schema.Cols {
+		cols[i] = vector.New(c.Type, 0)
+	}
+	e.tables[name] = &tableStore{schema: schema, cols: cols}
+	return nil
+}
+
+// InsertTable appends rows (columnar) into a persistent table.
+func (e *Engine) InsertTable(name string, cols []*vector.Vector) error {
+	e.mu.Lock()
+	ts, ok := e.tables[name]
+	e.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("engine: unknown table %q", name)
+	}
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	if len(cols) != len(ts.cols) {
+		return fmt.Errorf("engine: table %s expects %d columns, got %d", name, len(ts.cols), len(cols))
+	}
+	for i, c := range cols {
+		if c.Type() != ts.schema.Cols[i].Type {
+			return fmt.Errorf("engine: table %s column %s expects %s", name, ts.schema.Cols[i].Name, ts.schema.Cols[i].Type)
+		}
+		ts.cols[i].AppendVector(c)
+	}
+	return nil
+}
+
+// Append delivers a batch of stream tuples (columnar form) to every query
+// subscribed to the stream; ts carries per-tuple arrival timestamps in
+// microseconds (nil means all zero — fine for count-based windows).
+// It acts as the receptor: data lands in baskets, queries fire later via
+// Pump or Run.
+func (e *Engine) Append(stream string, cols []*vector.Vector, ts []int64) error {
+	t0 := time.Now()
+	e.mu.Lock()
+	si, ok := e.streams[stream]
+	if !ok {
+		e.mu.Unlock()
+		return fmt.Errorf("engine: unknown stream %q", stream)
+	}
+	subs := append([]*queryInput(nil), si.subscribers...)
+	if len(cols) > 0 && cols[0].Len() > 0 {
+		si.appended += int64(cols[0].Len())
+		if ts != nil {
+			last := ts[len(ts)-1]
+			if last > si.watermark {
+				si.watermark = last
+			}
+		}
+	}
+	e.mu.Unlock()
+	for _, qi := range subs {
+		qi.bkt.Lock()
+		err := qi.bkt.AppendColumnsLocked(cols, ts)
+		if ts != nil && len(ts) > 0 {
+			qi.advanceWatermarkLocked(ts[len(ts)-1])
+		}
+		qi.bkt.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	e.mu.Lock()
+	e.loadNS += time.Since(t0).Nanoseconds()
+	e.mu.Unlock()
+	return nil
+}
+
+// AppendRows is a row-oriented convenience around Append.
+func (e *Engine) AppendRows(stream string, rows [][]vector.Value, ts []int64) error {
+	e.mu.Lock()
+	si, ok := e.streams[stream]
+	e.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("engine: unknown stream %q", stream)
+	}
+	cols := make([]*vector.Vector, si.schema.Arity())
+	for i, c := range si.schema.Cols {
+		cols[i] = vector.New(c.Type, len(rows))
+	}
+	for _, row := range rows {
+		if len(row) != len(cols) {
+			return fmt.Errorf("engine: row arity %d, want %d", len(row), len(cols))
+		}
+		for i, v := range row {
+			cols[i].AppendValue(v)
+		}
+	}
+	return e.Append(stream, cols, ts)
+}
+
+// SetWatermark advances a stream's event-time watermark, allowing
+// time-based windows to close without further tuples.
+func (e *Engine) SetWatermark(stream string, ts int64) error {
+	e.mu.Lock()
+	si, ok := e.streams[stream]
+	if !ok {
+		e.mu.Unlock()
+		return fmt.Errorf("engine: unknown stream %q", stream)
+	}
+	if ts > si.watermark {
+		si.watermark = ts
+	}
+	subs := append([]*queryInput(nil), si.subscribers...)
+	e.mu.Unlock()
+	for _, qi := range subs {
+		qi.bkt.Lock()
+		qi.advanceWatermarkLocked(ts)
+		qi.bkt.Unlock()
+	}
+	return nil
+}
+
+// LoadNS reports cumulative time spent in Append (receptor-side loading).
+func (e *Engine) LoadNS() int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.loadNS
+}
+
+// tableInputs builds the exec inputs for a program's table sources; stream
+// entries are placeholders replaced per step.
+func (e *Engine) tableInputs(prog *plan.Program) ([]exec.Input, error) {
+	inputs := make([]exec.Input, len(prog.Sources))
+	for i, src := range prog.Sources {
+		if src.IsStream {
+			continue
+		}
+		ts, ok := e.tables[src.Name]
+		if !ok {
+			return nil, fmt.Errorf("engine: unknown table %q", src.Name)
+		}
+		ts.mu.Lock()
+		cols := make([]*vector.Vector, len(ts.cols))
+		copy(cols, ts.cols)
+		ts.mu.Unlock()
+		inputs[i] = exec.Input{Cols: cols}
+	}
+	return inputs, nil
+}
+
+// QueryOnce runs a one-time (non-continuous) query over persistent tables.
+func (e *Engine) QueryOnce(query string) (*exec.Table, error) {
+	prog, err := plan.Compile(query, e.cat)
+	if err != nil {
+		return nil, err
+	}
+	for _, src := range prog.Sources {
+		if src.IsStream {
+			return nil, fmt.Errorf("engine: one-time queries may only read tables; register %q as a continuous query instead", src.Name)
+		}
+	}
+	inputs, err := e.tableInputs(prog)
+	if err != nil {
+		return nil, err
+	}
+	return exec.Run(prog, inputs)
+}
+
+// Pump fires every continuous query as long as it has enough buffered data
+// for another step, and returns the number of steps executed. It is the
+// synchronous form of the scheduler: deterministic, ideal for tests and
+// benchmarks.
+func (e *Engine) Pump() (int, error) {
+	e.mu.Lock()
+	qs := make([]*ContinuousQuery, 0, len(e.queries))
+	for _, q := range e.queries {
+		qs = append(qs, q)
+	}
+	e.mu.Unlock()
+	steps := 0
+	for {
+		fired := false
+		for _, q := range qs {
+			n, err := q.pump()
+			if err != nil {
+				return steps, err
+			}
+			steps += n
+			if n > 0 {
+				fired = true
+			}
+		}
+		if !fired {
+			return steps, nil
+		}
+	}
+}
+
+// Baskets returns the basket of query q for source ref (testing hook).
+func (e *Engine) basketOf(q *ContinuousQuery, srcIdx int) *basket.Basket {
+	return q.inputs[srcIdx].bkt
+}

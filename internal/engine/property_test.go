@@ -1,0 +1,135 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"datacell/internal/vector"
+)
+
+// TestIncrementalEquivalenceProperty is the repository's central
+// property-based test: for randomized window geometry, selectivity, data
+// and batch sizes, the incremental engine must produce results identical
+// to full re-evaluation, window for window. testing/quick drives the
+// parameter space.
+func TestIncrementalEquivalenceProperty(t *testing.T) {
+	type params struct {
+		NBW      uint8 // basic windows per window
+		Slide    uint8
+		Domain   uint8
+		Thresh   uint8
+		Batch    uint8
+		Seed     int64
+		UseGroup bool
+		UseJoin  bool
+	}
+	check := func(p params) bool {
+		nbw := int(p.NBW%6) + 2     // 2..7 basic windows
+		slide := int(p.Slide%9) + 2 // 2..10 tuples per slide
+		window := nbw * slide
+		domain := int64(p.Domain%15) + 1
+		thresh := int64(p.Thresh) % (domain + 1)
+		batch := int(p.Batch%17) + 1
+		total := window + slide*12
+
+		var query string
+		streams := []string{"s"}
+		switch {
+		case p.UseJoin:
+			streams = []string{"s", "s2"}
+			query = fmt.Sprintf(
+				`SELECT count(*), max(s.x1) FROM s [RANGE %d SLIDE %d], s2 [RANGE %d SLIDE %d] WHERE s.x2 = s2.x2 AND s.x1 > %d`,
+				window, slide, window, slide, thresh)
+		case p.UseGroup:
+			query = fmt.Sprintf(
+				`SELECT x1, sum(x2), count(*) FROM s [RANGE %d SLIDE %d] WHERE x1 > %d GROUP BY x1`,
+				window, slide, thresh)
+		default:
+			query = fmt.Sprintf(
+				`SELECT sum(x2), min(x1), max(x1) FROM s [RANGE %d SLIDE %d] WHERE x1 > %d`,
+				window, slide, thresh)
+		}
+
+		e := newTestEngine(t)
+		var inc, ree collector
+		if _, err := e.Register(query, Options{Mode: Incremental, OnResult: inc.add}); err != nil {
+			t.Logf("register: %v", err)
+			return false
+		}
+		if _, err := e.Register(query, Options{Mode: Reevaluation, OnResult: ree.add}); err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(p.Seed))
+		for off := 0; off < total; off += batch {
+			n := batch
+			if off+n > total {
+				n = total - off
+			}
+			for _, s := range streams {
+				x1 := make([]int64, n)
+				x2 := make([]int64, n)
+				for i := range x1 {
+					x1[i] = rng.Int63n(domain)
+					x2[i] = rng.Int63n(50)
+				}
+				if err := e.Append(s, []*vector.Vector{vector.FromInt64(x1), vector.FromInt64(x2)}, nil); err != nil {
+					return false
+				}
+			}
+			if _, err := e.Pump(); err != nil {
+				t.Logf("pump: %v", err)
+				return false
+			}
+		}
+		if len(inc.results) == 0 || len(inc.results) != len(ree.results) {
+			t.Logf("windows: %d vs %d (query %s)", len(inc.results), len(ree.results), query)
+			return false
+		}
+		for i := range inc.results {
+			if tableKey(inc.results[i].Table, false) != tableKey(ree.results[i].Table, false) {
+				t.Logf("window %d differs for %s", i+1, query)
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 40}
+	if err := quick.Check(check, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPumpPropagatesRuntimeErrors injects a failing expression (modulo by
+// zero on live data) and checks that the scheduler surfaces the error
+// instead of swallowing it.
+func TestPumpPropagatesRuntimeErrors(t *testing.T) {
+	e := newTestEngine(t)
+	if _, err := e.Register(`SELECT x1 % x2 FROM s [RANGE 2 SLIDE 2]`, Options{Mode: Incremental}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Append("s", []*vector.Vector{
+		vector.FromInt64([]int64{4, 5}),
+		vector.FromInt64([]int64{2, 0}), // x2 = 0 -> modulo by zero
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Pump(); err == nil {
+		t.Error("runtime error was swallowed")
+	}
+
+	e2 := newTestEngine(t)
+	if _, err := e2.Register(`SELECT x1 % x2 FROM s [RANGE 2 SLIDE 2]`, Options{Mode: Reevaluation}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e2.Append("s", []*vector.Vector{
+		vector.FromInt64([]int64{4, 5}),
+		vector.FromInt64([]int64{2, 0}),
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e2.Pump(); err == nil {
+		t.Error("reevaluation runtime error was swallowed")
+	}
+}

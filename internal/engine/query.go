@@ -1,0 +1,530 @@
+package engine
+
+import (
+	"fmt"
+	"time"
+
+	"datacell/internal/basket"
+	"datacell/internal/core"
+	"datacell/internal/exec"
+	"datacell/internal/plan"
+	"datacell/internal/sql"
+	"datacell/internal/vector"
+)
+
+// Result is one window result delivered by a continuous query's emitter.
+type Result struct {
+	Window int // 1-based window number
+	Table  *exec.Table
+	Stats  core.StepStats
+	// StepNS is the total wall time of the step that produced this result.
+	StepNS int64
+}
+
+// DefaultAutoThreshold is the window size (tuples) above which Auto mode
+// selects incremental processing.
+const DefaultAutoThreshold = 4096
+
+// Options configure a continuous query registration.
+type Options struct {
+	Mode Mode
+	// AutoThreshold overrides the window-size cutoff used by Mode == Auto
+	// (0 = DefaultAutoThreshold).
+	AutoThreshold int64
+	// Chunks enables the paper's "optimized incremental plans": each basic
+	// window is processed in Chunks pieces as data arrives. 0/1 disables.
+	Chunks int
+	// AdaptiveChunks turns on the self-adapting controller of Fig 8.
+	AdaptiveChunks bool
+	// OnResult is invoked synchronously for every produced window result.
+	OnResult func(*Result)
+}
+
+// ContinuousQuery is a registered standing query: the paper's factory plus
+// its baskets and emitter.
+type ContinuousQuery struct {
+	ID   string
+	SQL  string
+	Mode Mode
+
+	eng    *Engine
+	prog   *plan.Program
+	rt     *core.Runtime
+	inc    *core.IncPlan
+	inputs []*queryInput // one per program source (nil basket for tables)
+
+	onResult func(*Result)
+	chunker  *ChunkController
+
+	windows int
+	totalNS int64
+	mainNS  int64
+	mergeNS int64
+}
+
+// queryInput tracks the per-source window accounting of one query.
+type queryInput struct {
+	srcIdx int
+	stream string
+	spec   *sql.WindowSpec
+	bkt    *basket.Basket
+
+	// Time-based accounting. For count-based windows, readiness is purely
+	// a basket-length check: Reevaluation retains |W| tuples and fires once
+	// it holds >= |W|; Incremental fires every |w|.
+	boundary    int64 // exclusive upper bound of the next basic window
+	firstTS     int64 // timestamp of the first tuple ever seen
+	haveBound   bool
+	watermark   int64
+	chunkBuffer int // tuples already consumed as chunks of the current bw
+}
+
+func (qi *queryInput) advanceWatermarkLocked(ts int64) {
+	if ts > qi.watermark {
+		qi.watermark = ts
+	}
+}
+
+// Register compiles and installs a continuous query. At least one source
+// must be a windowed stream.
+func (e *Engine) Register(query string, opts Options) (*ContinuousQuery, error) {
+	prog, err := plan.Compile(query, e.cat)
+	if err != nil {
+		return nil, err
+	}
+	hasWindow := false
+	for _, src := range prog.Sources {
+		if src.IsStream {
+			if src.Window == nil {
+				return nil, fmt.Errorf("engine: continuous query needs a window clause on stream %q", src.Ref)
+			}
+			hasWindow = true
+		}
+	}
+	if !hasWindow {
+		return nil, fmt.Errorf("engine: query reads no stream; use QueryOnce")
+	}
+
+	e.mu.Lock()
+	e.nextID++
+	id := fmt.Sprintf("q%d", e.nextID)
+	e.mu.Unlock()
+
+	mode := opts.Mode
+	if mode == Auto {
+		mode = resolveAutoMode(prog, opts.AutoThreshold)
+	}
+	q := &ContinuousQuery{
+		ID: id, SQL: query, Mode: mode,
+		eng: e, prog: prog, onResult: opts.OnResult,
+	}
+	if q.onResult == nil {
+		q.onResult = func(*Result) {}
+	}
+
+	if q.Mode == Incremental {
+		landmark := false
+		n := 1
+		for _, src := range prog.Sources {
+			if src.IsStream && src.Window != nil {
+				landmark = src.Window.Kind == sql.LandmarkWindow
+				n = core.BasicWindows(src.Window)
+			}
+		}
+		inc, err := core.Rewrite(prog, n, landmark)
+		if err != nil {
+			return nil, err
+		}
+		q.inc = inc
+		q.rt = core.NewRuntime(inc)
+		if opts.Chunks > 1 || opts.AdaptiveChunks {
+			if inc.HasJoin {
+				return nil, fmt.Errorf("engine: chunked processing supports single-stream plans only")
+			}
+			q.chunker = NewChunkController(opts.Chunks, opts.AdaptiveChunks)
+		}
+	}
+
+	// Wire baskets.
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for i, src := range prog.Sources {
+		qi := &queryInput{srcIdx: i, stream: src.Name, spec: src.Window}
+		if src.IsStream {
+			si, ok := e.streams[src.Name]
+			if !ok {
+				return nil, fmt.Errorf("engine: unknown stream %q", src.Name)
+			}
+			qi.bkt = basket.New(fmt.Sprintf("%s.%s", id, src.Ref), src.Schema)
+			qi.watermark = si.watermark
+			si.subscribers = append(si.subscribers, qi)
+		}
+		q.inputs = append(q.inputs, qi)
+	}
+	e.queries[id] = q
+	return q, nil
+}
+
+// Deregister removes a continuous query and detaches its baskets.
+func (e *Engine) Deregister(q *ContinuousQuery) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	delete(e.queries, q.ID)
+	for _, qi := range q.inputs {
+		if qi.bkt == nil {
+			continue
+		}
+		si := e.streams[qi.stream]
+		for i, sub := range si.subscribers {
+			if sub == qi {
+				si.subscribers = append(si.subscribers[:i], si.subscribers[i+1:]...)
+				break
+			}
+		}
+	}
+}
+
+// Windows returns how many window results the query has emitted.
+func (q *ContinuousQuery) Windows() int { return q.windows }
+
+// CostBreakdown returns cumulative (main, merge, total) nanoseconds.
+func (q *ContinuousQuery) CostBreakdown() (mainNS, mergeNS, totalNS int64) {
+	return q.mainNS, q.mergeNS, q.totalNS
+}
+
+// Chunker exposes the adaptive chunk controller (nil when disabled).
+func (q *ContinuousQuery) Chunker() *ChunkController { return q.chunker }
+
+// pump fires the query as many times as buffered data allows and returns
+// the number of steps executed.
+func (q *ContinuousQuery) pump() (int, error) {
+	steps := 0
+	for {
+		fired, err := q.fireOnce()
+		if err != nil {
+			return steps, err
+		}
+		if !fired {
+			return steps, nil
+		}
+		steps++
+	}
+}
+
+// stepSize returns how many tuples source qi consumes per slide for
+// count-based specs.
+func stepSize(spec *sql.WindowSpec) int {
+	if spec.Kind == sql.LandmarkWindow {
+		return int(spec.SlideRows)
+	}
+	return int(spec.SlideRows)
+}
+
+// resolveAutoMode implements the paper's hybrid suggestion: below the
+// threshold the incremental bookkeeping costs more than it saves, so
+// re-evaluate; above it, process incrementally. Landmark windows always
+// favour incremental (their re-evaluation cost grows without bound).
+func resolveAutoMode(prog *plan.Program, threshold int64) Mode {
+	if threshold <= 0 {
+		threshold = DefaultAutoThreshold
+	}
+	for _, src := range prog.Sources {
+		if !src.IsStream || src.Window == nil {
+			continue
+		}
+		switch src.Window.Kind {
+		case sql.LandmarkWindow:
+			return Incremental
+		case sql.CountWindow:
+			if src.Window.Rows >= threshold {
+				return Incremental
+			}
+		case sql.TimeWindow:
+			// Without a rate estimate, prefer incremental for windows
+			// spanning many slides (>= 8 basic windows).
+			if core.BasicWindows(src.Window) >= 8 {
+				return Incremental
+			}
+		}
+	}
+	return Reevaluation
+}
+
+// fireOnce checks readiness and, if possible, executes one step.
+func (q *ContinuousQuery) fireOnce() (bool, error) {
+	switch q.Mode {
+	case Incremental:
+		return q.fireIncremental()
+	default:
+		return q.fireReevaluation()
+	}
+}
+
+// readyCount computes how many tuples each windowed source would consume
+// now; ok is false if some source lacks data.
+func (q *ContinuousQuery) consumable(qi *queryInput, need int) (int, bool) {
+	qi.bkt.Lock()
+	defer qi.bkt.Unlock()
+	if qi.spec.Kind == sql.TimeWindow || qi.spec.SlideDur > 0 {
+		// Time-based: the basic window closes when the watermark passes
+		// the boundary.
+		if !qi.haveBound {
+			if qi.bkt.LenLocked() == 0 {
+				return 0, false
+			}
+			first := qi.bkt.TimestampsLocked(0, 1)[0]
+			qi.boundary = first + qi.slideMicros()
+			qi.haveBound = true
+		}
+		if qi.watermark < qi.boundary {
+			return 0, false
+		}
+		return qi.bkt.CountUntilLocked(qi.boundary), true
+	}
+	if qi.bkt.LenLocked() < need {
+		return 0, false
+	}
+	return need, true
+}
+
+func (qi *queryInput) slideMicros() int64 {
+	if qi.spec.SlideDur > 0 {
+		return qi.spec.SlideDur.Microseconds()
+	}
+	return 0
+}
+
+func (q *ContinuousQuery) fireIncremental() (bool, error) {
+	// Chunked processing consumes fractions of the basic window early.
+	if q.chunker != nil {
+		if err := q.pumpChunks(); err != nil {
+			return false, err
+		}
+	}
+	// Determine per-source consumption.
+	counts := make([]int, len(q.inputs))
+	for _, qi := range q.inputs {
+		if qi.bkt == nil {
+			continue
+		}
+		need := stepSize(qi.spec) - qi.chunkBuffer
+		c, ok := q.consumable(qi, need)
+		if !ok {
+			return false, nil
+		}
+		counts[qi.srcIdx] = c
+	}
+
+	t0 := time.Now()
+	inputs, err := q.eng.tableInputs(q.prog)
+	if err != nil {
+		return false, err
+	}
+	newBW := make([][]*vector.Vector, len(q.inputs))
+	for _, qi := range q.inputs {
+		if qi.bkt == nil {
+			continue
+		}
+		qi.bkt.Lock()
+	}
+	for _, qi := range q.inputs {
+		if qi.bkt == nil {
+			continue
+		}
+		newBW[qi.srcIdx] = qi.bkt.ViewLocked(0, counts[qi.srcIdx])
+	}
+	tbl, stats, err := q.rt.Step(newBW, inputs)
+	if err == nil {
+		for _, qi := range q.inputs {
+			if qi.bkt == nil {
+				continue
+			}
+			// Incremental plans retain state in slots, so processed
+			// tuples can be discarded immediately ("Discarding Input").
+			if q.inc.DiscardInput {
+				qi.bkt.DeleteHeadLocked(counts[qi.srcIdx])
+			}
+			if qi.haveBound {
+				qi.boundary += qi.slideMicros()
+			}
+			qi.chunkBuffer = 0
+		}
+	}
+	for _, qi := range q.inputs {
+		if qi.bkt == nil {
+			continue
+		}
+		qi.bkt.Unlock()
+	}
+	if err != nil {
+		return false, err
+	}
+	stepNS := time.Since(t0).Nanoseconds()
+	q.account(stats, stepNS)
+	if q.chunker != nil {
+		q.chunker.Observe(stats.MainNS + stats.MergeNS)
+	}
+	if tbl != nil {
+		q.windows++
+		q.onResult(&Result{Window: q.windows, Table: tbl, Stats: stats, StepNS: stepNS})
+	}
+	return true, nil
+}
+
+// pumpChunks processes early chunks of the current basic window while
+// enough tuples are buffered but the window is not yet complete.
+func (q *ContinuousQuery) pumpChunks() error {
+	qi := q.inputs[0]
+	for _, cand := range q.inputs {
+		if cand.bkt != nil {
+			qi = cand
+			break
+		}
+	}
+	if qi.bkt == nil || qi.spec.Kind != sql.CountWindow {
+		return nil
+	}
+	w := int(qi.spec.SlideRows)
+	m := q.chunker.M()
+	if m <= 1 {
+		return nil
+	}
+	chunk := w / m
+	if chunk == 0 {
+		return nil
+	}
+	for {
+		remaining := w - qi.chunkBuffer
+		if remaining <= chunk {
+			return nil // final piece handled by Step
+		}
+		qi.bkt.Lock()
+		if qi.bkt.LenLocked() < chunk {
+			qi.bkt.Unlock()
+			return nil
+		}
+		view := qi.bkt.ViewLocked(0, chunk)
+		inputs, err := q.eng.tableInputs(q.prog)
+		if err != nil {
+			qi.bkt.Unlock()
+			return err
+		}
+		err = q.rt.PushChunk(qi.srcIdx, view, inputs)
+		if err == nil && q.inc.DiscardInput {
+			qi.bkt.DeleteHeadLocked(chunk)
+		}
+		qi.bkt.Unlock()
+		if err != nil {
+			return err
+		}
+		qi.chunkBuffer += chunk
+	}
+}
+
+// fireReevaluation re-runs the original plan over the full window every
+// slide (the DataCellR baseline): Algorithm 1 of the paper.
+func (q *ContinuousQuery) fireReevaluation() (bool, error) {
+	type viewPlan struct {
+		qi     *queryInput
+		view   int // tuples in the window view
+		expire int // tuples to delete after processing
+	}
+	var plans []viewPlan
+	emit := true
+	for _, qi := range q.inputs {
+		if qi.bkt == nil {
+			continue
+		}
+		qi.bkt.Lock()
+		switch {
+		case qi.spec.Kind == sql.CountWindow:
+			if qi.bkt.LenLocked() < int(qi.spec.Rows) {
+				qi.bkt.Unlock()
+				return false, nil
+			}
+			plans = append(plans, viewPlan{qi: qi, view: int(qi.spec.Rows), expire: int(qi.spec.SlideRows)})
+		case qi.spec.Kind == sql.LandmarkWindow && qi.spec.SlideRows > 0:
+			need := int(qi.spec.SlideRows) * (q.windows + 1)
+			if qi.bkt.LenLocked() < need {
+				qi.bkt.Unlock()
+				return false, nil
+			}
+			plans = append(plans, viewPlan{qi: qi, view: need})
+		default: // time-based sliding or landmark window
+			if !qi.haveBound {
+				if qi.bkt.LenLocked() == 0 {
+					qi.bkt.Unlock()
+					return false, nil
+				}
+				qi.firstTS = qi.bkt.TimestampsLocked(0, 1)[0]
+				qi.boundary = qi.firstTS + qi.spec.SlideDur.Microseconds()
+				qi.haveBound = true
+			}
+			if qi.watermark < qi.boundary {
+				qi.bkt.Unlock()
+				return false, nil
+			}
+			view := qi.bkt.CountUntilLocked(qi.boundary)
+			expire := 0
+			if qi.spec.Kind == sql.TimeWindow {
+				if qi.boundary-qi.firstTS < qi.spec.Dur.Microseconds() {
+					// Window not yet full: slide silently, like the
+					// incremental preface.
+					emit = false
+				} else {
+					expire = qi.bkt.CountUntilLocked(qi.boundary - qi.spec.Dur.Microseconds() + qi.spec.SlideDur.Microseconds())
+				}
+			}
+			plans = append(plans, viewPlan{qi: qi, view: view, expire: expire})
+		}
+		qi.bkt.Unlock()
+	}
+	if len(plans) == 0 {
+		return false, nil
+	}
+
+	t0 := time.Now()
+	inputs, err := q.eng.tableInputs(q.prog)
+	if err != nil {
+		return false, err
+	}
+	for _, p := range plans {
+		p.qi.bkt.Lock()
+	}
+	var tbl *exec.Table
+	if emit {
+		for _, p := range plans {
+			inputs[p.qi.srcIdx] = exec.Input{Cols: p.qi.bkt.ViewLocked(0, p.view)}
+		}
+		tbl, err = exec.Run(q.prog, inputs)
+	}
+	if err == nil {
+		for _, p := range plans {
+			p.qi.bkt.DeleteHeadLocked(p.expire)
+			if p.qi.haveBound {
+				p.qi.boundary += p.qi.spec.SlideDur.Microseconds()
+			}
+		}
+	}
+	for _, p := range plans {
+		p.qi.bkt.Unlock()
+	}
+	if err != nil {
+		return false, err
+	}
+	if !emit {
+		return true, nil
+	}
+	stepNS := time.Since(t0).Nanoseconds()
+	stats := core.StepStats{MainNS: stepNS, Emitted: true, ResultRows: tbl.NumRows()}
+	q.account(stats, stepNS)
+	q.windows++
+	q.onResult(&Result{Window: q.windows, Table: tbl, Stats: stats, StepNS: stepNS})
+	return true, nil
+}
+
+func (q *ContinuousQuery) account(stats core.StepStats, stepNS int64) {
+	q.mainNS += stats.MainNS
+	q.mergeNS += stats.MergeNS
+	q.totalNS += stepNS
+}

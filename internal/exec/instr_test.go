@@ -1,0 +1,135 @@
+package exec
+
+import (
+	"testing"
+
+	"datacell/internal/algebra"
+	"datacell/internal/plan"
+	"datacell/internal/vector"
+)
+
+// Direct instruction-level tests, including the error paths the end-to-end
+// queries never hit (register kind mismatches, malformed instructions).
+
+func regsWith(ds ...Datum) []Datum { return ds }
+
+func TestExecInstrBindErrors(t *testing.T) {
+	regs := make([]Datum, 2)
+	in := plan.Instr{Op: plan.OpBind, Source: 3, Col: 0, Out: []plan.Reg{0}}
+	if err := ExecInstr(in, regs, []Input{{}}); err == nil {
+		t.Error("out-of-range source should fail")
+	}
+	in = plan.Instr{Op: plan.OpBind, Source: 0, Col: 5, Out: []plan.Reg{0}}
+	if err := ExecInstr(in, regs, []Input{{Cols: []*vector.Vector{vector.FromInt64(nil)}}}); err == nil {
+		t.Error("out-of-range column should fail")
+	}
+}
+
+func TestExecInstrKindMismatches(t *testing.T) {
+	v := VecDatum(vector.FromInt64([]int64{1, 2}))
+	s := SelDatum(vector.Sel{0})
+	g := GroupsDatum(algebra.Group([]*vector.Vector{vector.FromInt64([]int64{1})}, nil))
+
+	cases := []plan.Instr{
+		{Op: plan.OpSelect, In: []plan.Reg{1}, Out: []plan.Reg{3}},         // sel where vec expected
+		{Op: plan.OpTake, In: []plan.Reg{1, 0}, Out: []plan.Reg{3}},        // swapped kinds
+		{Op: plan.OpTake, In: []plan.Reg{0, 0}, Out: []plan.Reg{3}},        // vec as sel
+		{Op: plan.OpHashJoin, In: []plan.Reg{0, 1}, Out: []plan.Reg{3, 4}}, // sel as right vec
+		{Op: plan.OpGroup, In: []plan.Reg{1}, Out: []plan.Reg{3}},          // sel as key
+		{Op: plan.OpRepr, In: []plan.Reg{0}, Out: []plan.Reg{3}},           // vec as groups
+		{Op: plan.OpAgg, Agg: algebra.AggSum, In: []plan.Reg{1}, Out: []plan.Reg{3}},
+		{Op: plan.OpAgg, Agg: algebra.AggSum, In: []plan.Reg{0, 0}, Out: []plan.Reg{3}}, // vec as groups
+		{Op: plan.OpConcat, In: []plan.Reg{0, 1}, Out: []plan.Reg{3}},
+		{Op: plan.OpSort, In: []plan.Reg{1}, Descs: []bool{false}, Out: []plan.Reg{3}},
+		{Op: plan.OpLimitVec, In: []plan.Reg{1}, N: 1, Out: []plan.Reg{3}},
+		{Op: plan.OpHashBuild, In: []plan.Reg{1}, Out: []plan.Reg{3}},
+		{Op: plan.OpHashProbe, In: []plan.Reg{0, 0}, Out: []plan.Reg{3, 4}}, // vec as table
+		{Op: plan.OpResult},
+		{Op: plan.OpCode(99)},
+	}
+	for i, in := range cases {
+		regs := regsWith(v, s, g, Datum{}, Datum{})
+		if err := ExecInstr(in, regs, nil); err == nil {
+			t.Errorf("case %d (%s): expected error", i, in.Op)
+		}
+	}
+}
+
+func TestExecInstrHashBuildProbe(t *testing.T) {
+	regs := make([]Datum, 5)
+	regs[0] = VecDatum(vector.FromInt64([]int64{5, 6, 5}))
+	if err := ExecInstr(plan.Instr{Op: plan.OpHashBuild, In: []plan.Reg{0}, Out: []plan.Reg{1}}, regs, nil); err != nil {
+		t.Fatal(err)
+	}
+	if regs[1].Kind != KindTable || regs[1].Table.Len() != 3 {
+		t.Fatalf("build result: %+v", regs[1])
+	}
+	regs[2] = VecDatum(vector.FromInt64([]int64{5}))
+	if err := ExecInstr(plan.Instr{Op: plan.OpHashProbe, In: []plan.Reg{2, 1}, Out: []plan.Reg{3, 4}}, regs, nil); err != nil {
+		t.Fatal(err)
+	}
+	if len(regs[3].Sel) != 2 || regs[4].Sel[0] != 0 || regs[4].Sel[1] != 2 {
+		t.Errorf("probe result: %v %v", regs[3].Sel, regs[4].Sel)
+	}
+}
+
+func TestExecInstrConcatAndLimit(t *testing.T) {
+	regs := make([]Datum, 4)
+	regs[0] = VecDatum(vector.FromInt64([]int64{1}))
+	regs[1] = VecDatum(vector.FromInt64([]int64{2, 3}))
+	if err := ExecInstr(plan.Instr{Op: plan.OpConcat, In: []plan.Reg{0, 1}, Out: []plan.Reg{2}}, regs, nil); err != nil {
+		t.Fatal(err)
+	}
+	if regs[2].Vec.Len() != 3 {
+		t.Error("concat")
+	}
+	if err := ExecInstr(plan.Instr{Op: plan.OpLimitVec, In: []plan.Reg{2}, N: 10, Out: []plan.Reg{3}}, regs, nil); err != nil {
+		t.Fatal(err)
+	}
+	if regs[3].Vec.Len() != 3 {
+		t.Error("limit beyond length should keep all rows")
+	}
+}
+
+func TestExecInstrGlobalMinMaxEmpty(t *testing.T) {
+	regs := make([]Datum, 3)
+	regs[0] = VecDatum(vector.New(vector.Int64, 0))
+	if err := ExecInstr(plan.Instr{Op: plan.OpAgg, Agg: algebra.AggMin, In: []plan.Reg{0}, Out: []plan.Reg{1}}, regs, nil); err != nil {
+		t.Fatal(err)
+	}
+	if regs[1].Vec.Len() != 0 {
+		t.Error("min of empty should be a 0-length column")
+	}
+	if err := ExecInstr(plan.Instr{Op: plan.OpAgg, Agg: algebra.AggMax, In: []plan.Reg{0}, Out: []plan.Reg{2}}, regs, nil); err != nil {
+		t.Fatal(err)
+	}
+	if regs[2].Vec.Len() != 0 {
+		t.Error("max of empty should be a 0-length column")
+	}
+}
+
+func TestExecInstrAvgReachingExecutorFails(t *testing.T) {
+	regs := make([]Datum, 2)
+	regs[0] = VecDatum(vector.FromInt64([]int64{1}))
+	err := ExecInstr(plan.Instr{Op: plan.OpAgg, Agg: algebra.AggAvg, In: []plan.Reg{0}, Out: []plan.Reg{1}}, regs, nil)
+	if err == nil {
+		t.Error("avg must never reach the executor (planner lowers it)")
+	}
+}
+
+func TestBuildResultRaggedTruncation(t *testing.T) {
+	regs := make([]Datum, 2)
+	regs[0] = VecDatum(vector.FromInt64([]int64{7})) // count-like: one row
+	regs[1] = VecDatum(vector.New(vector.Int64, 0))  // empty max
+	tbl, err := BuildResult(plan.Instr{Op: plan.OpResult, In: []plan.Reg{0, 1}, Names: []string{"c", "m"}}, regs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.NumRows() != 0 {
+		t.Errorf("ragged result should truncate to zero rows: %s", tbl)
+	}
+	regs[1] = SelDatum(nil)
+	if _, err := BuildResult(plan.Instr{Op: plan.OpResult, In: []plan.Reg{1}}, regs); err == nil {
+		t.Error("non-vector result register should fail")
+	}
+}

@@ -1,0 +1,203 @@
+package expr
+
+import (
+	"fmt"
+
+	"datacell/internal/vector"
+)
+
+// Env supplies the input columns an expression's Col nodes index into,
+// together with an optional shared selection vector: row i of the
+// evaluation reads cols[c][sel[i]] (or cols[c][i] when sel is nil).
+type Env struct {
+	Cols []*vector.Vector
+	Sel  vector.Sel
+}
+
+// Rows returns the number of rows an evaluation over env produces.
+func (env *Env) Rows() int {
+	if env.Sel != nil {
+		return len(env.Sel)
+	}
+	if len(env.Cols) == 0 {
+		return 0
+	}
+	return env.Cols[0].Len()
+}
+
+func (env *Env) value(colIdx, row int) vector.Value {
+	pos := row
+	if env.Sel != nil {
+		pos = int(env.Sel[row])
+	}
+	return env.Cols[colIdx].Get(pos)
+}
+
+// Eval materializes e over env into a fresh column of env.Rows() values.
+// Integer division by zero yields +Inf/-Inf/NaN float semantics via the
+// float path; integer Mod by zero is an error.
+func Eval(e Expr, env *Env) (*vector.Vector, error) {
+	n := env.Rows()
+	// Fast path: direct column reference with no selection indirection
+	// still copies (operators own their outputs).
+	switch t := e.(type) {
+	case *Col:
+		if t.Index >= len(env.Cols) {
+			return nil, fmt.Errorf("expr: column index %d out of range (%d inputs)", t.Index, len(env.Cols))
+		}
+		return env.Cols[t.Index].Take(env.Sel), nil
+	case *Const:
+		out := vector.New(t.Val.Typ, n)
+		for i := 0; i < n; i++ {
+			out.AppendValue(t.Val)
+		}
+		return out, nil
+	case *Bin:
+		return evalBin(t, env)
+	case *Cmp:
+		l, err := Eval(t.L, env)
+		if err != nil {
+			return nil, err
+		}
+		r, err := Eval(t.R, env)
+		if err != nil {
+			return nil, err
+		}
+		out := vector.New(vector.Bool, n)
+		for i := 0; i < n; i++ {
+			cmp := l.Get(i).Compare(r.Get(i))
+			keep := false
+			switch t.Op {
+			case 0: // Lt
+				keep = cmp < 0
+			case 1: // Le
+				keep = cmp <= 0
+			case 2: // Gt
+				keep = cmp > 0
+			case 3: // Ge
+				keep = cmp >= 0
+			case 4: // Eq
+				keep = cmp == 0
+			case 5: // Ne
+				keep = cmp != 0
+			}
+			out.AppendBool(keep)
+		}
+		return out, nil
+	case *And:
+		return evalLogical(t.L, t.R, env, true)
+	case *Or:
+		return evalLogical(t.L, t.R, env, false)
+	case *Not:
+		in, err := Eval(t.E, env)
+		if err != nil {
+			return nil, err
+		}
+		bs := in.Bools()
+		out := make([]bool, len(bs))
+		for i, b := range bs {
+			out[i] = !b
+		}
+		return vector.FromBool(out), nil
+	}
+	return nil, fmt.Errorf("expr: cannot evaluate %T", e)
+}
+
+func evalLogical(le, re Expr, env *Env, isAnd bool) (*vector.Vector, error) {
+	l, err := Eval(le, env)
+	if err != nil {
+		return nil, err
+	}
+	r, err := Eval(re, env)
+	if err != nil {
+		return nil, err
+	}
+	lb, rb := l.Bools(), r.Bools()
+	out := make([]bool, len(lb))
+	for i := range lb {
+		if isAnd {
+			out[i] = lb[i] && rb[i]
+		} else {
+			out[i] = lb[i] || rb[i]
+		}
+	}
+	return vector.FromBool(out), nil
+}
+
+func evalBin(b *Bin, env *Env) (*vector.Vector, error) {
+	l, err := Eval(b.L, env)
+	if err != nil {
+		return nil, err
+	}
+	r, err := Eval(b.R, env)
+	if err != nil {
+		return nil, err
+	}
+	n := l.Len()
+	if b.Type() == vector.Float64 {
+		out := make([]float64, n)
+		for i := 0; i < n; i++ {
+			lf, rf := l.Get(i).AsFloat(), r.Get(i).AsFloat()
+			switch b.Op {
+			case Add:
+				out[i] = lf + rf
+			case Sub:
+				out[i] = lf - rf
+			case Mul:
+				out[i] = lf * rf
+			case Div:
+				if rf == 0 {
+					out[i] = 0 // SQL NULL stand-in: empty-group average guards upstream
+				} else {
+					out[i] = lf / rf
+				}
+			case Mod:
+				return nil, fmt.Errorf("expr: %% requires integer operands")
+			}
+		}
+		return vector.FromFloat64(out), nil
+	}
+	li, ri := l.Int64s(), r.Int64s()
+	out := make([]int64, n)
+	for i := 0; i < n; i++ {
+		switch b.Op {
+		case Add:
+			out[i] = li[i] + ri[i]
+		case Sub:
+			out[i] = li[i] - ri[i]
+		case Mul:
+			out[i] = li[i] * ri[i]
+		case Mod:
+			if ri[i] == 0 {
+				return nil, fmt.Errorf("expr: modulo by zero at row %d", i)
+			}
+			out[i] = li[i] % ri[i]
+		}
+	}
+	return vector.FromInt64(out), nil
+}
+
+// EvalScalar evaluates a constant-only expression to a single value.
+func EvalScalar(e Expr) (vector.Value, error) {
+	if c, ok := e.(*Const); ok {
+		return c.Val, nil
+	}
+	env := &Env{Cols: nil, Sel: vector.Sel{}}
+	v, err := Eval(e, env)
+	if err != nil {
+		return vector.Value{}, err
+	}
+	if v.Len() > 0 {
+		return v.Get(0), nil
+	}
+	// Re-evaluate over a single synthetic row for pure-constant trees.
+	one := &Env{Sel: vector.Sel{0}, Cols: []*vector.Vector{vector.FromInt64([]int64{0})}}
+	v, err = Eval(e, one)
+	if err != nil {
+		return vector.Value{}, err
+	}
+	return v.Get(0), nil
+}
+
+// IsConst reports whether e references no columns.
+func IsConst(e Expr) bool { return len(Columns(e)) == 0 }

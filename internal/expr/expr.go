@@ -1,0 +1,203 @@
+// Package expr implements typed scalar expressions with vectorized
+// evaluation. Physical plans carry expression trees whose column references
+// are positional indexes into the instruction's input vectors; evaluating an
+// expression over n rows materializes a fresh output column, like every
+// other bulk operator.
+package expr
+
+import (
+	"fmt"
+
+	"datacell/internal/algebra"
+	"datacell/internal/vector"
+)
+
+// BinOp is an arithmetic operator.
+type BinOp uint8
+
+// Arithmetic operators.
+const (
+	Add BinOp = iota
+	Sub
+	Mul
+	Div
+	Mod
+)
+
+// String returns the operator's SQL spelling.
+func (op BinOp) String() string {
+	switch op {
+	case Add:
+		return "+"
+	case Sub:
+		return "-"
+	case Mul:
+		return "*"
+	case Div:
+		return "/"
+	case Mod:
+		return "%"
+	}
+	return "?"
+}
+
+// Expr is a typed scalar expression evaluated over aligned input columns.
+type Expr interface {
+	// Type returns the expression's result type.
+	Type() vector.Type
+	// String renders the expression for plan explain output.
+	String() string
+}
+
+// Col references input column Index of the enclosing instruction.
+type Col struct {
+	Index int
+	Typ   vector.Type
+	Name  string
+}
+
+// Type implements Expr.
+func (c *Col) Type() vector.Type { return c.Typ }
+
+// String implements Expr.
+func (c *Col) String() string {
+	if c.Name != "" {
+		return c.Name
+	}
+	return fmt.Sprintf("$%d", c.Index)
+}
+
+// Const is a literal value.
+type Const struct {
+	Val vector.Value
+}
+
+// Type implements Expr.
+func (c *Const) Type() vector.Type { return c.Val.Typ }
+
+// String implements Expr.
+func (c *Const) String() string {
+	if c.Val.Typ == vector.Str {
+		return fmt.Sprintf("%q", c.Val.S)
+	}
+	return c.Val.String()
+}
+
+// Bin is an arithmetic expression L op R. Integer operands with a Div
+// produce Float64 (SQL avg semantics); otherwise mixing int and float
+// promotes to float.
+type Bin struct {
+	Op   BinOp
+	L, R Expr
+}
+
+// Type implements Expr.
+func (b *Bin) Type() vector.Type {
+	if b.Op == Div {
+		return vector.Float64
+	}
+	if b.L.Type() == vector.Float64 || b.R.Type() == vector.Float64 {
+		return vector.Float64
+	}
+	return vector.Int64
+}
+
+// String implements Expr.
+func (b *Bin) String() string {
+	return fmt.Sprintf("(%s %s %s)", b.L.String(), b.Op, b.R.String())
+}
+
+// Cmp is a comparison producing Bool.
+type Cmp struct {
+	Op   algebra.CmpOp
+	L, R Expr
+}
+
+// Type implements Expr.
+func (c *Cmp) Type() vector.Type { return vector.Bool }
+
+// String implements Expr.
+func (c *Cmp) String() string {
+	return fmt.Sprintf("(%s %s %s)", c.L.String(), c.Op, c.R.String())
+}
+
+// And is a conjunction of boolean expressions.
+type And struct{ L, R Expr }
+
+// Type implements Expr.
+func (a *And) Type() vector.Type { return vector.Bool }
+
+// String implements Expr.
+func (a *And) String() string { return fmt.Sprintf("(%s AND %s)", a.L.String(), a.R.String()) }
+
+// Or is a disjunction of boolean expressions.
+type Or struct{ L, R Expr }
+
+// Type implements Expr.
+func (o *Or) Type() vector.Type { return vector.Bool }
+
+// String implements Expr.
+func (o *Or) String() string { return fmt.Sprintf("(%s OR %s)", o.L.String(), o.R.String()) }
+
+// Not negates a boolean expression.
+type Not struct{ E Expr }
+
+// Type implements Expr.
+func (n *Not) Type() vector.Type { return vector.Bool }
+
+// String implements Expr.
+func (n *Not) String() string { return fmt.Sprintf("(NOT %s)", n.E.String()) }
+
+// Columns returns the distinct column indexes referenced by e in
+// first-appearance order.
+func Columns(e Expr) []int {
+	var out []int
+	seen := map[int]bool{}
+	var walk func(Expr)
+	walk = func(e Expr) {
+		switch t := e.(type) {
+		case *Col:
+			if !seen[t.Index] {
+				seen[t.Index] = true
+				out = append(out, t.Index)
+			}
+		case *Bin:
+			walk(t.L)
+			walk(t.R)
+		case *Cmp:
+			walk(t.L)
+			walk(t.R)
+		case *And:
+			walk(t.L)
+			walk(t.R)
+		case *Or:
+			walk(t.L)
+			walk(t.R)
+		case *Not:
+			walk(t.E)
+		}
+	}
+	walk(e)
+	return out
+}
+
+// Rewrite returns a copy of e with every column reference transformed by f.
+func Rewrite(e Expr, f func(*Col) Expr) Expr {
+	switch t := e.(type) {
+	case *Col:
+		return f(t)
+	case *Const:
+		return t
+	case *Bin:
+		return &Bin{Op: t.Op, L: Rewrite(t.L, f), R: Rewrite(t.R, f)}
+	case *Cmp:
+		return &Cmp{Op: t.Op, L: Rewrite(t.L, f), R: Rewrite(t.R, f)}
+	case *And:
+		return &And{L: Rewrite(t.L, f), R: Rewrite(t.R, f)}
+	case *Or:
+		return &Or{L: Rewrite(t.L, f), R: Rewrite(t.R, f)}
+	case *Not:
+		return &Not{E: Rewrite(t.E, f)}
+	}
+	panic(fmt.Sprintf("expr: Rewrite of %T", e))
+}

@@ -1,0 +1,262 @@
+package expr
+
+import (
+	"testing"
+	"testing/quick"
+
+	"datacell/internal/algebra"
+	"datacell/internal/vector"
+)
+
+func intCol(i int) *Col               { return &Col{Index: i, Typ: vector.Int64} }
+func floatCol(i int) *Col             { return &Col{Index: i, Typ: vector.Float64} }
+func ic(x int64) *Const               { return &Const{Val: vector.IntValue(x)} }
+func fc(x float64) *Const             { return &Const{Val: vector.FloatValue(x)} }
+func env(cols ...*vector.Vector) *Env { return &Env{Cols: cols} }
+
+func TestBinOpStrings(t *testing.T) {
+	want := map[BinOp]string{Add: "+", Sub: "-", Mul: "*", Div: "/", Mod: "%"}
+	for op, s := range want {
+		if op.String() != s {
+			t.Errorf("%v => %q", op, op.String())
+		}
+	}
+}
+
+func TestTypeInference(t *testing.T) {
+	if (&Bin{Op: Add, L: intCol(0), R: ic(1)}).Type() != vector.Int64 {
+		t.Error("int+int should be int")
+	}
+	if (&Bin{Op: Add, L: intCol(0), R: fc(1)}).Type() != vector.Float64 {
+		t.Error("int+float should be float")
+	}
+	if (&Bin{Op: Div, L: intCol(0), R: ic(2)}).Type() != vector.Float64 {
+		t.Error("div should be float")
+	}
+	if (&Cmp{Op: algebra.Lt, L: intCol(0), R: ic(0)}).Type() != vector.Bool {
+		t.Error("cmp should be bool")
+	}
+	if (&And{L: nil, R: nil}).Type() != vector.Bool || (&Or{}).Type() != vector.Bool || (&Not{}).Type() != vector.Bool {
+		t.Error("logical types")
+	}
+}
+
+func TestEvalArithInt(t *testing.T) {
+	a := vector.FromInt64([]int64{1, 2, 3})
+	b := vector.FromInt64([]int64{10, 20, 30})
+	e := &Bin{Op: Add, L: &Bin{Op: Mul, L: intCol(0), R: ic(2)}, R: intCol(1)}
+	got, err := Eval(e, env(a, b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{12, 24, 36}
+	for i, w := range want {
+		if got.Get(i).I != w {
+			t.Errorf("row %d: %d want %d", i, got.Get(i).I, w)
+		}
+	}
+	sub, err := Eval(&Bin{Op: Sub, L: intCol(1), R: intCol(0)}, env(a, b))
+	if err != nil || sub.Get(2).I != 27 {
+		t.Errorf("sub: %v %v", sub, err)
+	}
+	mod, err := Eval(&Bin{Op: Mod, L: intCol(1), R: ic(7)}, env(a, b))
+	if err != nil || mod.Get(1).I != 6 {
+		t.Errorf("mod: %v %v", mod, err)
+	}
+}
+
+func TestEvalDivAlwaysFloat(t *testing.T) {
+	a := vector.FromInt64([]int64{7, 8})
+	got, err := Eval(&Bin{Op: Div, L: intCol(0), R: ic(2)}, env(a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Type() != vector.Float64 || got.Get(0).F != 3.5 || got.Get(1).F != 4.0 {
+		t.Errorf("div: %v", got)
+	}
+}
+
+func TestEvalDivByZeroYieldsZero(t *testing.T) {
+	a := vector.FromInt64([]int64{7})
+	got, err := Eval(&Bin{Op: Div, L: intCol(0), R: ic(0)}, env(a))
+	if err != nil || got.Get(0).F != 0 {
+		t.Errorf("div-by-zero guard: %v %v", got, err)
+	}
+}
+
+func TestEvalModByZeroErrors(t *testing.T) {
+	a := vector.FromInt64([]int64{7})
+	if _, err := Eval(&Bin{Op: Mod, L: intCol(0), R: ic(0)}, env(a)); err == nil {
+		t.Error("mod by zero should error")
+	}
+}
+
+func TestEvalFloatMod(t *testing.T) {
+	a := vector.FromFloat64([]float64{7})
+	if _, err := Eval(&Bin{Op: Mod, L: floatCol(0), R: fc(2)}, env(a)); err == nil {
+		t.Error("float mod should error")
+	}
+}
+
+func TestEvalWithSelection(t *testing.T) {
+	a := vector.FromInt64([]int64{1, 2, 3, 4})
+	e := &Bin{Op: Mul, L: intCol(0), R: ic(10)}
+	got, err := Eval(e, &Env{Cols: []*vector.Vector{a}, Sel: vector.Sel{3, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 2 || got.Get(0).I != 40 || got.Get(1).I != 20 {
+		t.Errorf("sel eval: %v", got)
+	}
+}
+
+func TestEvalCmpAndLogical(t *testing.T) {
+	a := vector.FromInt64([]int64{1, 5, 9})
+	gt := &Cmp{Op: algebra.Gt, L: intCol(0), R: ic(2)}
+	lt := &Cmp{Op: algebra.Lt, L: intCol(0), R: ic(8)}
+	and, err := Eval(&And{L: gt, R: lt}, env(a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if and.Get(0).B || !and.Get(1).B || and.Get(2).B {
+		t.Errorf("and: %v", and)
+	}
+	or, err := Eval(&Or{L: gt, R: lt}, env(a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !or.Get(0).B || !or.Get(1).B || !or.Get(2).B {
+		t.Errorf("or: %v", or)
+	}
+	not, err := Eval(&Not{E: gt}, env(a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !not.Get(0).B || not.Get(1).B {
+		t.Errorf("not: %v", not)
+	}
+}
+
+func TestEvalAllCmpOps(t *testing.T) {
+	a := vector.FromInt64([]int64{1, 2, 3})
+	cases := []struct {
+		op   algebra.CmpOp
+		want []bool
+	}{
+		{algebra.Lt, []bool{true, false, false}},
+		{algebra.Le, []bool{true, true, false}},
+		{algebra.Gt, []bool{false, false, true}},
+		{algebra.Ge, []bool{false, true, true}},
+		{algebra.Eq, []bool{false, true, false}},
+		{algebra.Ne, []bool{true, false, true}},
+	}
+	for _, c := range cases {
+		got, err := Eval(&Cmp{Op: c.op, L: intCol(0), R: ic(2)}, env(a))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, w := range c.want {
+			if got.Get(i).B != w {
+				t.Errorf("op %v row %d: %v want %v", c.op, i, got.Get(i).B, w)
+			}
+		}
+	}
+}
+
+func TestEvalColOutOfRange(t *testing.T) {
+	if _, err := Eval(intCol(3), env(vector.FromInt64([]int64{1}))); err == nil {
+		t.Error("out-of-range col should error")
+	}
+}
+
+func TestEvalConst(t *testing.T) {
+	a := vector.FromInt64([]int64{1, 2})
+	got, err := Eval(ic(7), env(a))
+	if err != nil || got.Len() != 2 || got.Get(1).I != 7 {
+		t.Errorf("const broadcast: %v %v", got, err)
+	}
+}
+
+func TestEvalScalar(t *testing.T) {
+	v, err := EvalScalar(&Bin{Op: Add, L: ic(3), R: ic(4)})
+	if err != nil || v.I != 7 {
+		t.Errorf("scalar: %v %v", v, err)
+	}
+	v, err = EvalScalar(ic(5))
+	if err != nil || v.I != 5 {
+		t.Errorf("scalar const: %v %v", v, err)
+	}
+}
+
+func TestIsConstAndColumns(t *testing.T) {
+	e := &And{
+		L: &Cmp{Op: algebra.Gt, L: intCol(2), R: ic(0)},
+		R: &Or{L: &Cmp{Op: algebra.Lt, L: intCol(0), R: intCol(2)}, R: &Not{E: &Cmp{Op: algebra.Eq, L: intCol(1), R: ic(9)}}},
+	}
+	cols := Columns(e)
+	if len(cols) != 3 || cols[0] != 2 || cols[1] != 0 || cols[2] != 1 {
+		t.Errorf("columns: %v", cols)
+	}
+	if IsConst(e) {
+		t.Error("expr with cols reported const")
+	}
+	if !IsConst(&Bin{Op: Add, L: ic(1), R: ic(2)}) {
+		t.Error("const expr not reported const")
+	}
+}
+
+func TestRewrite(t *testing.T) {
+	e := &Bin{Op: Add, L: intCol(0), R: &Bin{Op: Mul, L: intCol(1), R: ic(3)}}
+	shifted := Rewrite(e, func(c *Col) Expr {
+		return &Col{Index: c.Index + 10, Typ: c.Typ}
+	})
+	cols := Columns(shifted)
+	if len(cols) != 2 || cols[0] != 10 || cols[1] != 11 {
+		t.Errorf("rewrite cols: %v", cols)
+	}
+	// Original untouched.
+	if Columns(e)[0] != 0 {
+		t.Error("rewrite mutated original")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	e := &And{
+		L: &Cmp{Op: algebra.Gt, L: &Col{Index: 0, Name: "x1", Typ: vector.Int64}, R: ic(5)},
+		R: &Not{E: &Cmp{Op: algebra.Eq, L: intCol(1), R: &Const{Val: vector.StrValue("a")}}},
+	}
+	got := e.String()
+	want := `((x1 > 5) AND (NOT ($1 = "a")))`
+	if got != want {
+		t.Errorf("String() = %q want %q", got, want)
+	}
+}
+
+// Property: (a+b)-b == a for int64 columns.
+func TestAddSubRoundTripProperty(t *testing.T) {
+	f := func(as, bs []int32) bool {
+		n := len(as)
+		if len(bs) < n {
+			n = len(bs)
+		}
+		av := make([]int64, n)
+		bv := make([]int64, n)
+		for i := 0; i < n; i++ {
+			av[i], bv[i] = int64(as[i]), int64(bs[i])
+		}
+		e := &Bin{Op: Sub, L: &Bin{Op: Add, L: intCol(0), R: intCol(1)}, R: intCol(1)}
+		got, err := Eval(e, env(vector.FromInt64(av), vector.FromInt64(bv)))
+		if err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			if got.Get(i).I != av[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

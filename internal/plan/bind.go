@@ -1,0 +1,588 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"datacell/internal/algebra"
+	"datacell/internal/catalog"
+	"datacell/internal/expr"
+	"datacell/internal/sql"
+	"datacell/internal/vector"
+)
+
+// Bind resolves a parsed SELECT against the catalog and produces a logical
+// plan. The dialect restrictions (documented in the README) are enforced
+// here: at most two sources, equi-join required between two sources,
+// GROUP BY terms must be bare columns, and select items of an aggregate
+// query must be group keys, aggregates, or expressions over them.
+func Bind(stmt *sql.SelectStmt, cat *catalog.Catalog) (Logical, error) {
+	b := &binder{cat: cat}
+	return b.bind(stmt)
+}
+
+type binder struct {
+	cat *catalog.Catalog
+}
+
+type boundSource struct {
+	scan   *Scan
+	offset int // position of this source's first column in the combined schema
+}
+
+func (b *binder) bind(stmt *sql.SelectStmt) (Logical, error) {
+	if len(stmt.From) == 0 {
+		return nil, fmt.Errorf("plan: query has no FROM sources")
+	}
+	if len(stmt.From) > 2 {
+		return nil, fmt.Errorf("plan: at most two sources are supported, got %d", len(stmt.From))
+	}
+
+	// Resolve sources.
+	var sources []boundSource
+	offset := 0
+	seen := map[string]bool{}
+	for i, ref := range stmt.From {
+		src, err := b.cat.Lookup(ref.Name)
+		if err != nil {
+			return nil, err
+		}
+		if ref.Window != nil && src.Kind == catalog.Table {
+			return nil, fmt.Errorf("plan: window clause on table %q", ref.Name)
+		}
+		name := ref.RefName()
+		if seen[name] {
+			return nil, fmt.Errorf("plan: duplicate source reference %q", name)
+		}
+		seen[name] = true
+		scan := &Scan{Src: src, Ref: name, Window: ref.Window, SrcIdx: i}
+		sources = append(sources, boundSource{scan: scan, offset: offset})
+		offset += src.Schema.Arity()
+	}
+	if len(sources) == 2 &&
+		sources[0].scan.Src.Kind == catalog.Stream && sources[1].scan.Src.Kind == catalog.Stream {
+		w1, w2 := sources[0].scan.Window, sources[1].scan.Window
+		if (w1 == nil) != (w2 == nil) {
+			return nil, fmt.Errorf("plan: both streams of a join must be windowed")
+		}
+		if w1 != nil {
+			if w1.Kind != w2.Kind {
+				return nil, fmt.Errorf("plan: joined streams must use the same window kind")
+			}
+			if w1.Kind == sql.CountWindow && (w1.Rows != w2.Rows || w1.SlideRows != w2.SlideRows) {
+				return nil, fmt.Errorf("plan: joined streams must use identical RANGE and SLIDE (got %s vs %s)", w1, w2)
+			}
+			if w1.Kind == sql.TimeWindow && (w1.Dur != w2.Dur || w1.SlideDur != w2.SlideDur) {
+				return nil, fmt.Errorf("plan: joined streams must use identical RANGE and SLIDE (got %s vs %s)", w1, w2)
+			}
+			if w1.Kind == sql.LandmarkWindow {
+				return nil, fmt.Errorf("plan: landmark windows are supported on single-stream queries only")
+			}
+		}
+	}
+
+	// Combined input schema.
+	var schema []ColInfo
+	for _, s := range sources {
+		schema = append(schema, s.scan.Schema()...)
+	}
+	resolver := func(id *sql.Ident) (int, error) { return resolveIdent(id, sources) }
+
+	// Normalize avg(x) -> sum(x)/count(x) ("expanding replication", Fig 3c).
+	// Output names are derived from the pre-lowering expressions so that
+	// avg(x) keeps its name.
+	items := make([]sql.SelectItem, len(stmt.Items))
+	copy(items, stmt.Items)
+	for i := range items {
+		if !items[i].Star {
+			if items[i].Alias == "" {
+				items[i].Alias = itemName(items[i], i)
+			}
+			items[i].Expr = lowerAvg(items[i].Expr)
+		}
+	}
+	having := stmt.Having
+	if having != nil {
+		having = lowerAvg(having)
+	}
+
+	// Expand SELECT *.
+	var expanded []sql.SelectItem
+	for _, item := range items {
+		if !item.Star {
+			expanded = append(expanded, item)
+			continue
+		}
+		for _, s := range sources {
+			for _, c := range s.scan.Src.Schema.Cols {
+				expanded = append(expanded, sql.SelectItem{
+					Expr:  &sql.Ident{Qualifier: s.scan.Ref, Name: c.Name},
+					Alias: c.Name,
+				})
+			}
+		}
+	}
+	items = expanded
+	if len(items) == 0 {
+		return nil, fmt.Errorf("plan: empty select list")
+	}
+
+	// FROM: scans, then the join when two sources are present.
+	var root Logical
+	var whereConjuncts []expr.Expr
+	if stmt.Where != nil {
+		bound, err := bindExpr(stmt.Where, schema, resolver)
+		if err != nil {
+			return nil, err
+		}
+		if bound.Type() != vector.Bool {
+			return nil, fmt.Errorf("plan: WHERE must be boolean, got %s", bound.Type())
+		}
+		whereConjuncts = splitConjuncts(bound)
+	}
+	if len(sources) == 1 {
+		root = sources[0].scan
+	} else {
+		leftArity := sources[0].scan.Src.Schema.Arity()
+		joinIdx := -1
+		var lk, rk int
+		for i, c := range whereConjuncts {
+			cmp, ok := c.(*expr.Cmp)
+			if !ok || cmp.Op != algebra.Eq {
+				continue
+			}
+			lc, lok := cmp.L.(*expr.Col)
+			rc, rok := cmp.R.(*expr.Col)
+			if !lok || !rok {
+				continue
+			}
+			a, bb := lc.Index, rc.Index
+			if a > bb {
+				a, bb = bb, a
+			}
+			if a < leftArity && bb >= leftArity {
+				joinIdx, lk, rk = i, a, bb-leftArity
+				break
+			}
+		}
+		if joinIdx < 0 {
+			return nil, fmt.Errorf("plan: joining two streams requires an equality predicate between them")
+		}
+		whereConjuncts = append(whereConjuncts[:joinIdx], whereConjuncts[joinIdx+1:]...)
+		root = &Join{L: sources[0].scan, R: sources[1].scan, LeftKey: lk, RightKey: rk}
+	}
+	for _, c := range whereConjuncts {
+		root = &Filter{In: root, Pred: c}
+	}
+
+	// Aggregation.
+	hasAgg := len(stmt.GroupBy) > 0
+	for _, it := range items {
+		if sql.ContainsAggregate(it.Expr) {
+			hasAgg = true
+		}
+	}
+	if having != nil && !hasAgg {
+		return nil, fmt.Errorf("plan: HAVING requires aggregation")
+	}
+
+	var projExprs []expr.Expr
+	var projNames []string
+	if hasAgg {
+		agg := &Aggregate{In: root}
+		// Group keys must be bare columns.
+		for _, g := range stmt.GroupBy {
+			bound, err := bindExpr(g, schema, resolver)
+			if err != nil {
+				return nil, err
+			}
+			col, ok := bound.(*expr.Col)
+			if !ok {
+				return nil, fmt.Errorf("plan: GROUP BY terms must be columns, got %s", bound.String())
+			}
+			agg.GroupBy = append(agg.GroupBy, col.Index)
+		}
+		ab := &aggBinder{schema: schema, resolver: resolver, agg: agg}
+		for i, it := range items {
+			bound, err := ab.bindItem(it.Expr)
+			if err != nil {
+				return nil, err
+			}
+			projExprs = append(projExprs, bound)
+			projNames = append(projNames, itemName(it, i))
+		}
+		root = agg
+		if having != nil {
+			bound, err := ab.bindItem(having)
+			if err != nil {
+				return nil, fmt.Errorf("plan: in HAVING: %w", err)
+			}
+			if bound.Type() != vector.Bool {
+				return nil, fmt.Errorf("plan: HAVING must be boolean")
+			}
+			root = &Filter{In: root, Pred: bound}
+		}
+	} else {
+		for i, it := range items {
+			bound, err := bindExpr(it.Expr, schema, resolver)
+			if err != nil {
+				return nil, err
+			}
+			projExprs = append(projExprs, bound)
+			projNames = append(projNames, itemName(it, i))
+		}
+	}
+	root = &Project{In: root, Exprs: projExprs, Names: projNames}
+
+	if stmt.Distinct {
+		root = &Distinct{In: root}
+	}
+
+	// ORDER BY binds against the projection's output columns.
+	if len(stmt.OrderBy) > 0 {
+		s := &Sort{In: root}
+		outSchema := root.Schema()
+		for _, o := range stmt.OrderBy {
+			idx, err := resolveOutputCol(o.Expr, outSchema)
+			if err != nil {
+				return nil, err
+			}
+			s.Keys = append(s.Keys, SortSpec{Col: idx, Desc: o.Desc})
+		}
+		root = s
+	}
+	if stmt.Limit >= 0 {
+		root = &Limit{In: root, N: stmt.Limit}
+	}
+	return root, nil
+}
+
+// lowerAvg rewrites avg(x) into sum(x)/count(x) recursively.
+func lowerAvg(e sql.Expr) sql.Expr {
+	switch t := e.(type) {
+	case *sql.FuncCall:
+		if t.Name == "avg" && len(t.Args) == 1 {
+			arg := lowerAvg(t.Args[0])
+			return &sql.BinExpr{
+				Op: "/",
+				L:  &sql.FuncCall{Name: "sum", Args: []sql.Expr{arg}},
+				R:  &sql.FuncCall{Name: "count", Args: []sql.Expr{arg}},
+			}
+		}
+		args := make([]sql.Expr, len(t.Args))
+		for i, a := range t.Args {
+			args[i] = lowerAvg(a)
+		}
+		return &sql.FuncCall{Name: t.Name, Star: t.Star, Args: args}
+	case *sql.BinExpr:
+		return &sql.BinExpr{Op: t.Op, L: lowerAvg(t.L), R: lowerAvg(t.R)}
+	case *sql.UnaryExpr:
+		return &sql.UnaryExpr{Op: t.Op, E: lowerAvg(t.E)}
+	}
+	return e
+}
+
+func itemName(it sql.SelectItem, i int) string {
+	if it.Alias != "" {
+		return it.Alias
+	}
+	if id, ok := it.Expr.(*sql.Ident); ok {
+		return id.Name
+	}
+	if fc, ok := it.Expr.(*sql.FuncCall); ok {
+		return fc.String()
+	}
+	return fmt.Sprintf("col%d", i)
+}
+
+func resolveIdent(id *sql.Ident, sources []boundSource) (int, error) {
+	matches := 0
+	idx := -1
+	for _, s := range sources {
+		if id.Qualifier != "" && id.Qualifier != s.scan.Ref {
+			continue
+		}
+		if ci := s.scan.Src.Schema.ColIndex(id.Name); ci >= 0 {
+			matches++
+			idx = s.offset + ci
+		}
+	}
+	switch matches {
+	case 0:
+		return 0, fmt.Errorf("plan: unknown column %q", id.String())
+	case 1:
+		return idx, nil
+	default:
+		return 0, fmt.Errorf("plan: ambiguous column %q", id.String())
+	}
+}
+
+// bindExpr converts an AST expression into a typed bound expression over
+// schema. Aggregate calls are rejected (they are handled by aggBinder).
+func bindExpr(e sql.Expr, schema []ColInfo, resolve func(*sql.Ident) (int, error)) (expr.Expr, error) {
+	switch t := e.(type) {
+	case *sql.Ident:
+		idx, err := resolve(t)
+		if err != nil {
+			return nil, err
+		}
+		return &expr.Col{Index: idx, Typ: schema[idx].Type, Name: schema[idx].Name}, nil
+	case *sql.NumberLit:
+		if t.IsFloat {
+			return &expr.Const{Val: vector.FloatValue(t.Float)}, nil
+		}
+		return &expr.Const{Val: vector.IntValue(t.Int)}, nil
+	case *sql.StringLit:
+		return &expr.Const{Val: vector.StrValue(t.Val)}, nil
+	case *sql.BoolLit:
+		return &expr.Const{Val: vector.BoolValue(t.Val)}, nil
+	case *sql.UnaryExpr:
+		in, err := bindExpr(t.E, schema, resolve)
+		if err != nil {
+			return nil, err
+		}
+		if t.Op == "NOT" {
+			if in.Type() != vector.Bool {
+				return nil, fmt.Errorf("plan: NOT requires boolean operand")
+			}
+			return &expr.Not{E: in}, nil
+		}
+		if !in.Type().Numeric() {
+			return nil, fmt.Errorf("plan: unary - requires numeric operand")
+		}
+		return &expr.Bin{Op: expr.Sub, L: &expr.Const{Val: zeroOf(in.Type())}, R: in}, nil
+	case *sql.BinExpr:
+		l, err := bindExpr(t.L, schema, resolve)
+		if err != nil {
+			return nil, err
+		}
+		r, err := bindExpr(t.R, schema, resolve)
+		if err != nil {
+			return nil, err
+		}
+		return combine(t.Op, l, r)
+	case *sql.FuncCall:
+		if sql.AggFuncs[t.Name] {
+			return nil, fmt.Errorf("plan: aggregate %s() not allowed here", t.Name)
+		}
+		return nil, fmt.Errorf("plan: unknown function %q", t.Name)
+	}
+	return nil, fmt.Errorf("plan: cannot bind %T", e)
+}
+
+func zeroOf(t vector.Type) vector.Value {
+	if t == vector.Float64 {
+		return vector.FloatValue(0)
+	}
+	return vector.IntValue(0)
+}
+
+func combine(op string, l, r expr.Expr) (expr.Expr, error) {
+	switch op {
+	case "AND", "OR":
+		if l.Type() != vector.Bool || r.Type() != vector.Bool {
+			return nil, fmt.Errorf("plan: %s requires boolean operands", op)
+		}
+		if op == "AND" {
+			return &expr.And{L: l, R: r}, nil
+		}
+		return &expr.Or{L: l, R: r}, nil
+	case "<", "<=", ">", ">=", "=", "<>":
+		if err := comparable2(l, r); err != nil {
+			return nil, err
+		}
+		var cop algebra.CmpOp
+		switch op {
+		case "<":
+			cop = algebra.Lt
+		case "<=":
+			cop = algebra.Le
+		case ">":
+			cop = algebra.Gt
+		case ">=":
+			cop = algebra.Ge
+		case "=":
+			cop = algebra.Eq
+		case "<>":
+			cop = algebra.Ne
+		}
+		return &expr.Cmp{Op: cop, L: l, R: r}, nil
+	case "+", "-", "*", "/", "%":
+		if !l.Type().Numeric() || !r.Type().Numeric() {
+			return nil, fmt.Errorf("plan: arithmetic %s requires numeric operands", op)
+		}
+		var bop expr.BinOp
+		switch op {
+		case "+":
+			bop = expr.Add
+		case "-":
+			bop = expr.Sub
+		case "*":
+			bop = expr.Mul
+		case "/":
+			bop = expr.Div
+		case "%":
+			bop = expr.Mod
+		}
+		return &expr.Bin{Op: bop, L: l, R: r}, nil
+	}
+	return nil, fmt.Errorf("plan: unknown operator %q", op)
+}
+
+func comparable2(l, r expr.Expr) error {
+	lt, rt := l.Type(), r.Type()
+	if lt.Numeric() && rt.Numeric() {
+		return nil
+	}
+	if lt == rt {
+		return nil
+	}
+	return fmt.Errorf("plan: cannot compare %s with %s", lt, rt)
+}
+
+func splitConjuncts(e expr.Expr) []expr.Expr {
+	if a, ok := e.(*expr.And); ok {
+		return append(splitConjuncts(a.L), splitConjuncts(a.R)...)
+	}
+	return []expr.Expr{e}
+}
+
+// aggBinder binds select items of an aggregate query against the output of
+// an Aggregate node, collecting AggSpecs as it encounters aggregate calls.
+type aggBinder struct {
+	schema   []ColInfo
+	resolver func(*sql.Ident) (int, error)
+	agg      *Aggregate
+}
+
+// bindItem binds e so its column references target the Aggregate's output
+// schema: [group keys..., aggregates...].
+func (ab *aggBinder) bindItem(e sql.Expr) (expr.Expr, error) {
+	switch t := e.(type) {
+	case *sql.FuncCall:
+		if !sql.AggFuncs[t.Name] {
+			return nil, fmt.Errorf("plan: unknown function %q", t.Name)
+		}
+		return ab.addAgg(t)
+	case *sql.Ident:
+		idx, err := ab.resolver(t)
+		if err != nil {
+			return nil, err
+		}
+		for pos, g := range ab.agg.GroupBy {
+			if g == idx {
+				return &expr.Col{Index: pos, Typ: ab.schema[idx].Type, Name: ab.schema[idx].Name}, nil
+			}
+		}
+		return nil, fmt.Errorf("plan: column %q must appear in GROUP BY or inside an aggregate", t.String())
+	case *sql.NumberLit, *sql.StringLit, *sql.BoolLit:
+		return bindExpr(e, nil, nil)
+	case *sql.BinExpr:
+		l, err := ab.bindItem(t.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := ab.bindItem(t.R)
+		if err != nil {
+			return nil, err
+		}
+		return combine(t.Op, l, r)
+	case *sql.UnaryExpr:
+		in, err := ab.bindItem(t.E)
+		if err != nil {
+			return nil, err
+		}
+		if t.Op == "NOT" {
+			return &expr.Not{E: in}, nil
+		}
+		return &expr.Bin{Op: expr.Sub, L: &expr.Const{Val: zeroOf(in.Type())}, R: in}, nil
+	}
+	return nil, fmt.Errorf("plan: cannot bind %T in aggregate query", e)
+}
+
+func (ab *aggBinder) addAgg(fc *sql.FuncCall) (expr.Expr, error) {
+	var kind algebra.AggKind
+	switch fc.Name {
+	case "sum":
+		kind = algebra.AggSum
+	case "count":
+		kind = algebra.AggCount
+	case "min":
+		kind = algebra.AggMin
+	case "max":
+		kind = algebra.AggMax
+	default:
+		return nil, fmt.Errorf("plan: aggregate %q not supported", fc.Name)
+	}
+	spec := AggSpec{Kind: kind, Star: fc.Star}
+	if fc.Star {
+		if kind != algebra.AggCount {
+			return nil, fmt.Errorf("plan: only count(*) may use *")
+		}
+	} else {
+		if len(fc.Args) != 1 {
+			return nil, fmt.Errorf("plan: %s takes exactly one argument", fc.Name)
+		}
+		arg, err := bindExpr(fc.Args[0], ab.schema, ab.resolver)
+		if err != nil {
+			return nil, err
+		}
+		if sql.ContainsAggregate(fc.Args[0]) {
+			return nil, fmt.Errorf("plan: nested aggregates are not allowed")
+		}
+		if kind == algebra.AggSum && !arg.Type().Numeric() {
+			return nil, fmt.Errorf("plan: sum requires a numeric argument")
+		}
+		spec.Arg = arg
+	}
+	spec.Name = fc.String()
+	// Reuse an identical aggregate if already collected.
+	for i, existing := range ab.agg.Aggs {
+		if existing.Name == spec.Name && existing.Kind == spec.Kind {
+			return ab.aggCol(i), nil
+		}
+	}
+	ab.agg.Aggs = append(ab.agg.Aggs, spec)
+	return ab.aggCol(len(ab.agg.Aggs) - 1), nil
+}
+
+func (ab *aggBinder) aggCol(i int) expr.Expr {
+	outSchema := ab.agg.Schema()
+	pos := len(ab.agg.GroupBy) + i
+	return &expr.Col{Index: pos, Typ: outSchema[pos].Type, Name: outSchema[pos].Name}
+}
+
+func resolveOutputCol(e sql.Expr, out []ColInfo) (int, error) {
+	switch t := e.(type) {
+	case *sql.Ident:
+		want := t.Name
+		if t.Qualifier != "" {
+			want = t.Qualifier + "." + t.Name
+		}
+		for i, c := range out {
+			if c.Name == want || strings.TrimPrefix(c.Name, qualPrefix(c.Name)) == want || c.Name == t.Name {
+				return i, nil
+			}
+		}
+		// Unqualified suffix match (output column "s.a" matches ORDER BY a).
+		for i, c := range out {
+			if strings.HasSuffix(c.Name, "."+want) {
+				return i, nil
+			}
+		}
+		return 0, fmt.Errorf("plan: ORDER BY column %q is not in the select list", e.String())
+	case *sql.NumberLit:
+		if t.IsFloat || t.Int < 1 || t.Int > int64(len(out)) {
+			return 0, fmt.Errorf("plan: ORDER BY ordinal %s out of range", t.Text)
+		}
+		return int(t.Int - 1), nil
+	}
+	return 0, fmt.Errorf("plan: ORDER BY supports output columns or ordinals only")
+}
+
+func qualPrefix(name string) string {
+	if i := strings.IndexByte(name, '.'); i >= 0 {
+		return name[:i+1]
+	}
+	return ""
+}

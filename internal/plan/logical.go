@@ -1,0 +1,228 @@
+// Package plan implements the query planning pipeline of the reproduction:
+// binding SQL ASTs against the catalog into a logical operator tree,
+// rule-based algebraic optimization, and lowering into a linear physical
+// program of MAL-like instructions over virtual registers — the plan
+// representation the DataCell incremental rewriter (internal/core)
+// transforms, exactly as the paper rewrites MonetDB's optimized plans.
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"datacell/internal/algebra"
+	"datacell/internal/catalog"
+	"datacell/internal/expr"
+	"datacell/internal/sql"
+	"datacell/internal/vector"
+)
+
+// ColInfo describes one output column of a logical node.
+type ColInfo struct {
+	Name string
+	Type vector.Type
+}
+
+// Logical is a node of the logical operator tree. Expressions inside a node
+// reference its input's schema positionally via expr.Col.
+type Logical interface {
+	Schema() []ColInfo
+	Children() []Logical
+	name() string
+}
+
+// Scan reads a stream (basket) or table.
+type Scan struct {
+	Src    *catalog.Source
+	Ref    string // reference name (alias) used in the query
+	Window *sql.WindowSpec
+	// SrcIdx is the index of this scan in the bound query's source list.
+	SrcIdx int
+}
+
+// Schema implements Logical.
+func (s *Scan) Schema() []ColInfo {
+	out := make([]ColInfo, len(s.Src.Schema.Cols))
+	for i, c := range s.Src.Schema.Cols {
+		out[i] = ColInfo{Name: s.Ref + "." + c.Name, Type: c.Type}
+	}
+	return out
+}
+
+// Children implements Logical.
+func (s *Scan) Children() []Logical { return nil }
+
+func (s *Scan) name() string {
+	w := ""
+	if s.Window != nil {
+		w = " " + s.Window.String()
+	}
+	return fmt.Sprintf("Scan(%s%s)", s.Ref, w)
+}
+
+// Filter keeps input rows satisfying Pred (a Bool expression).
+type Filter struct {
+	In   Logical
+	Pred expr.Expr
+}
+
+// Schema implements Logical.
+func (f *Filter) Schema() []ColInfo { return f.In.Schema() }
+
+// Children implements Logical.
+func (f *Filter) Children() []Logical { return []Logical{f.In} }
+
+func (f *Filter) name() string { return "Filter(" + f.Pred.String() + ")" }
+
+// Project computes one output column per expression.
+type Project struct {
+	In    Logical
+	Exprs []expr.Expr
+	Names []string
+}
+
+// Schema implements Logical.
+func (p *Project) Schema() []ColInfo {
+	out := make([]ColInfo, len(p.Exprs))
+	for i, e := range p.Exprs {
+		out[i] = ColInfo{Name: p.Names[i], Type: e.Type()}
+	}
+	return out
+}
+
+// Children implements Logical.
+func (p *Project) Children() []Logical { return []Logical{p.In} }
+
+func (p *Project) name() string {
+	parts := make([]string, len(p.Exprs))
+	for i, e := range p.Exprs {
+		parts[i] = e.String()
+	}
+	return "Project(" + strings.Join(parts, ", ") + ")"
+}
+
+// Join is an equi-join between L and R on one key column each. Its output
+// schema is L's columns followed by R's.
+type Join struct {
+	L, R              Logical
+	LeftKey, RightKey int // column positions in L's / R's schema
+}
+
+// Schema implements Logical.
+func (j *Join) Schema() []ColInfo {
+	return append(append([]ColInfo{}, j.L.Schema()...), j.R.Schema()...)
+}
+
+// Children implements Logical.
+func (j *Join) Children() []Logical { return []Logical{j.L, j.R} }
+
+func (j *Join) name() string {
+	return fmt.Sprintf("Join(%s = %s)", j.L.Schema()[j.LeftKey].Name, j.R.Schema()[j.RightKey].Name)
+}
+
+// AggSpec is one aggregate computation over an input expression.
+type AggSpec struct {
+	Kind algebra.AggKind
+	Arg  expr.Expr // references the Aggregate input schema; nil for count(*)
+	Star bool      // count(*)
+	Name string    // output column name
+}
+
+// Aggregate groups by the listed input columns (empty = global aggregation)
+// and computes the aggregates. Output schema: group keys, then aggregates.
+type Aggregate struct {
+	In      Logical
+	GroupBy []int
+	Aggs    []AggSpec
+}
+
+// Schema implements Logical.
+func (a *Aggregate) Schema() []ColInfo {
+	in := a.In.Schema()
+	out := make([]ColInfo, 0, len(a.GroupBy)+len(a.Aggs))
+	for _, g := range a.GroupBy {
+		out = append(out, in[g])
+	}
+	for _, ag := range a.Aggs {
+		t := vector.Int64
+		if !ag.Star && ag.Kind != algebra.AggCount {
+			t = ag.Arg.Type()
+		}
+		out = append(out, ColInfo{Name: ag.Name, Type: t})
+	}
+	return out
+}
+
+// Children implements Logical.
+func (a *Aggregate) Children() []Logical { return []Logical{a.In} }
+
+func (a *Aggregate) name() string {
+	parts := make([]string, 0, len(a.Aggs))
+	for _, ag := range a.Aggs {
+		parts = append(parts, ag.Name)
+	}
+	return fmt.Sprintf("Aggregate(keys=%v, aggs=%s)", a.GroupBy, strings.Join(parts, ", "))
+}
+
+// SortSpec is one sort key over the input schema.
+type SortSpec struct {
+	Col  int
+	Desc bool
+}
+
+// Sort orders rows by the given keys.
+type Sort struct {
+	In   Logical
+	Keys []SortSpec
+}
+
+// Schema implements Logical.
+func (s *Sort) Schema() []ColInfo { return s.In.Schema() }
+
+// Children implements Logical.
+func (s *Sort) Children() []Logical { return []Logical{s.In} }
+
+func (s *Sort) name() string { return fmt.Sprintf("Sort(%v)", s.Keys) }
+
+// Limit keeps the first N rows.
+type Limit struct {
+	In Logical
+	N  int64
+}
+
+// Schema implements Logical.
+func (l *Limit) Schema() []ColInfo { return l.In.Schema() }
+
+// Children implements Logical.
+func (l *Limit) Children() []Logical { return []Logical{l.In} }
+
+func (l *Limit) name() string { return fmt.Sprintf("Limit(%d)", l.N) }
+
+// Distinct removes duplicate rows.
+type Distinct struct {
+	In Logical
+}
+
+// Schema implements Logical.
+func (d *Distinct) Schema() []ColInfo { return d.In.Schema() }
+
+// Children implements Logical.
+func (d *Distinct) Children() []Logical { return []Logical{d.In} }
+
+func (d *Distinct) name() string { return "Distinct" }
+
+// Explain renders the logical tree indented, one node per line.
+func Explain(l Logical) string {
+	var sb strings.Builder
+	var walk func(n Logical, depth int)
+	walk = func(n Logical, depth int) {
+		sb.WriteString(strings.Repeat("  ", depth))
+		sb.WriteString(n.name())
+		sb.WriteByte('\n')
+		for _, c := range n.Children() {
+			walk(c, depth+1)
+		}
+	}
+	walk(l, 0)
+	return sb.String()
+}

@@ -1,0 +1,478 @@
+package plan
+
+import (
+	"fmt"
+
+	"datacell/internal/algebra"
+	"datacell/internal/catalog"
+	"datacell/internal/expr"
+	"datacell/internal/sql"
+	"datacell/internal/vector"
+)
+
+// Lower converts an optimized logical plan into a linear physical program.
+// Column pruning happens here, column-store style: only columns a plan
+// actually touches are ever bound.
+func Lower(root Logical) (*Program, error) {
+	l := &lowerer{prog: &Program{}}
+	if err := l.collectSources(root); err != nil {
+		return nil, err
+	}
+	req := make([]bool, len(root.Schema()))
+	for i := range req {
+		req[i] = true
+	}
+	f, err := l.lower(root, req)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, len(f.cols))
+	types := make([]vector.Type, len(f.cols))
+	schema := root.Schema()
+	in := make([]Reg, len(f.cols))
+	for i, r := range f.cols {
+		if r < 0 {
+			return nil, fmt.Errorf("plan: output column %d was pruned", i)
+		}
+		in[i] = r
+		names[i] = schema[i].Name
+		types[i] = schema[i].Type
+	}
+	l.prog.Instrs = append(l.prog.Instrs, Instr{Op: OpResult, In: in, Names: names})
+	l.prog.ResultNames = names
+	l.prog.ResultTypes = types
+	if err := l.prog.Validate(); err != nil {
+		return nil, err
+	}
+	return l.prog, nil
+}
+
+// Compile runs the full pipeline on a SQL text: parse, bind, optimize,
+// lower. It is the entry point the engine and the tests use.
+func Compile(query string, cat *catalog.Catalog) (*Program, error) {
+	stmt, err := sqlParse(query)
+	if err != nil {
+		return nil, err
+	}
+	logical, err := Bind(stmt, cat)
+	if err != nil {
+		return nil, err
+	}
+	return Lower(Optimize(logical))
+}
+
+type frame struct {
+	cols  []Reg // -1 when pruned
+	types []vector.Type
+}
+
+type lowerer struct {
+	prog *Program
+}
+
+func (l *lowerer) collectSources(n Logical) error {
+	switch t := n.(type) {
+	case *Scan:
+		for len(l.prog.Sources) <= t.SrcIdx {
+			l.prog.Sources = append(l.prog.Sources, SourceSpec{})
+		}
+		l.prog.Sources[t.SrcIdx] = SourceSpec{
+			Name:     t.Src.Name,
+			Ref:      t.Ref,
+			IsStream: t.Src.Kind == catalog.Stream,
+			Window:   t.Window,
+			Schema:   t.Src.Schema,
+		}
+		return nil
+	default:
+		for _, c := range n.Children() {
+			if err := l.collectSources(c); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (l *lowerer) emit(in Instr) { l.prog.Instrs = append(l.prog.Instrs, in) }
+
+func (l *lowerer) lower(n Logical, req []bool) (frame, error) {
+	switch t := n.(type) {
+	case *Scan:
+		return l.lowerScan(t, req)
+	case *Filter:
+		return l.lowerFilter(t, req)
+	case *Join:
+		return l.lowerJoin(t, req)
+	case *Aggregate:
+		return l.lowerAggregate(t, req)
+	case *Project:
+		return l.lowerProject(t, req)
+	case *Sort:
+		return l.lowerSort(t, req)
+	case *Limit:
+		return l.lowerLimit(t, req)
+	case *Distinct:
+		return l.lowerDistinct(t, req)
+	}
+	return frame{}, fmt.Errorf("plan: cannot lower %T", n)
+}
+
+func (l *lowerer) lowerScan(s *Scan, req []bool) (frame, error) {
+	f := newFrame(s.Schema())
+	for i := range f.cols {
+		if !req[i] {
+			continue
+		}
+		out := l.prog.NewReg()
+		l.emit(Instr{Op: OpBind, Out: []Reg{out}, Source: s.SrcIdx, Col: i})
+		f.cols[i] = out
+	}
+	return f, nil
+}
+
+func (l *lowerer) lowerFilter(t *Filter, req []bool) (frame, error) {
+	inReq := append([]bool(nil), req...)
+	predCols := expr.Columns(t.Pred)
+	for _, c := range predCols {
+		inReq[c] = true
+	}
+	f, err := l.lower(t.In, inReq)
+	if err != nil {
+		return frame{}, err
+	}
+
+	// Fast path: predicate of the form col <op> const or const <op> col
+	// lowers to a native select.
+	var sel Reg
+	if cmp, colIdx, op, val, ok := constCmp(t.Pred); ok {
+		_ = cmp
+		sel = l.prog.NewReg()
+		l.emit(Instr{Op: OpSelect, In: []Reg{f.cols[colIdx]}, Out: []Reg{sel}, Cmp: op, Val: val})
+	} else {
+		boolVec, err := l.lowerExpr(t.Pred, f)
+		if err != nil {
+			return frame{}, err
+		}
+		sel = l.prog.NewReg()
+		l.emit(Instr{Op: OpSelectBools, In: []Reg{boolVec}, Out: []Reg{sel}})
+	}
+
+	out := newFrame(t.Schema())
+	for i := range out.cols {
+		if !req[i] {
+			continue
+		}
+		r := l.prog.NewReg()
+		l.emit(Instr{Op: OpTake, In: []Reg{f.cols[i], sel}, Out: []Reg{r}})
+		out.cols[i] = r
+	}
+	return out, nil
+}
+
+// constCmp matches col-op-const (or const-op-col, flipped) predicates.
+func constCmp(e expr.Expr) (expr.Expr, int, algebra.CmpOp, vector.Value, bool) {
+	cmp, ok := e.(*expr.Cmp)
+	if !ok {
+		return nil, 0, 0, vector.Value{}, false
+	}
+	if col, ok := cmp.L.(*expr.Col); ok {
+		if c, ok := cmp.R.(*expr.Const); ok {
+			return cmp, col.Index, cmp.Op, c.Val, true
+		}
+	}
+	if col, ok := cmp.R.(*expr.Col); ok {
+		if c, ok := cmp.L.(*expr.Const); ok {
+			return cmp, col.Index, cmp.Op.Flip(), c.Val, true
+		}
+	}
+	return nil, 0, 0, vector.Value{}, false
+}
+
+func (l *lowerer) lowerJoin(t *Join, req []bool) (frame, error) {
+	leftArity := len(t.L.Schema())
+	reqL := make([]bool, leftArity)
+	reqR := make([]bool, len(t.R.Schema()))
+	for i, r := range req {
+		if i < leftArity {
+			reqL[i] = r
+		} else {
+			reqR[i-leftArity] = r
+		}
+	}
+	reqL[t.LeftKey] = true
+	reqR[t.RightKey] = true
+	fL, err := l.lower(t.L, reqL)
+	if err != nil {
+		return frame{}, err
+	}
+	fR, err := l.lower(t.R, reqR)
+	if err != nil {
+		return frame{}, err
+	}
+	lsel, rsel := l.prog.NewReg(), l.prog.NewReg()
+	l.emit(Instr{Op: OpHashJoin, In: []Reg{fL.cols[t.LeftKey], fR.cols[t.RightKey]}, Out: []Reg{lsel, rsel}})
+	out := newFrame(t.Schema())
+	for i := range out.cols {
+		if !req[i] {
+			continue
+		}
+		var src, sel Reg
+		if i < leftArity {
+			src, sel = fL.cols[i], lsel
+		} else {
+			src, sel = fR.cols[i-leftArity], rsel
+		}
+		r := l.prog.NewReg()
+		l.emit(Instr{Op: OpTake, In: []Reg{src, sel}, Out: []Reg{r}})
+		out.cols[i] = r
+	}
+	return out, nil
+}
+
+func (l *lowerer) lowerAggregate(t *Aggregate, req []bool) (frame, error) {
+	inSchema := t.In.Schema()
+	inReq := make([]bool, len(inSchema))
+	for _, g := range t.GroupBy {
+		inReq[g] = true
+	}
+	for _, a := range t.Aggs {
+		if a.Arg != nil {
+			for _, c := range expr.Columns(a.Arg) {
+				inReq[c] = true
+			}
+		}
+	}
+	anchor := -1
+	for i, r := range inReq {
+		if r {
+			anchor = i
+			break
+		}
+	}
+	if anchor < 0 {
+		// count(*)-only query: bind the first input column as the anchor.
+		inReq[0] = true
+		anchor = 0
+	}
+	f, err := l.lower(t.In, inReq)
+	if err != nil {
+		return frame{}, err
+	}
+
+	out := newFrame(t.Schema())
+	grouped := len(t.GroupBy) > 0
+	var groups Reg = -1
+	if grouped {
+		keys := make([]Reg, len(t.GroupBy))
+		for i, g := range t.GroupBy {
+			keys[i] = f.cols[g]
+		}
+		groups = l.prog.NewReg()
+		l.emit(Instr{Op: OpGroup, In: keys, Out: []Reg{groups}})
+		rsel := l.prog.NewReg()
+		l.emit(Instr{Op: OpRepr, In: []Reg{groups}, Out: []Reg{rsel}})
+		for pos, g := range t.GroupBy {
+			if !req[pos] {
+				continue
+			}
+			r := l.prog.NewReg()
+			l.emit(Instr{Op: OpTake, In: []Reg{f.cols[g], rsel}, Out: []Reg{r}})
+			out.cols[pos] = r
+		}
+	}
+	for i, a := range t.Aggs {
+		pos := len(t.GroupBy) + i
+		if !req[pos] {
+			continue
+		}
+		var valReg Reg
+		if a.Arg == nil {
+			valReg = f.cols[anchor]
+		} else if col, ok := a.Arg.(*expr.Col); ok {
+			valReg = f.cols[col.Index]
+		} else {
+			var err error
+			valReg, err = l.lowerExpr(a.Arg, f)
+			if err != nil {
+				return frame{}, err
+			}
+		}
+		in := []Reg{valReg}
+		if grouped {
+			in = append(in, groups)
+		}
+		r := l.prog.NewReg()
+		l.emit(Instr{Op: OpAgg, In: in, Out: []Reg{r}, Agg: a.Kind})
+		out.cols[pos] = r
+	}
+	return out, nil
+}
+
+func (l *lowerer) lowerProject(t *Project, req []bool) (frame, error) {
+	inReq := make([]bool, len(t.In.Schema()))
+	for i, e := range t.Exprs {
+		if !req[i] {
+			continue
+		}
+		for _, c := range expr.Columns(e) {
+			inReq[c] = true
+		}
+	}
+	// Const-only projections still need an anchor for row count.
+	needAnchor := false
+	for i, e := range t.Exprs {
+		if req[i] && len(expr.Columns(e)) == 0 {
+			needAnchor = true
+		}
+	}
+	if needAnchor {
+		any := false
+		for _, r := range inReq {
+			if r {
+				any = true
+			}
+		}
+		if !any {
+			inReq[0] = true
+		}
+	}
+	f, err := l.lower(t.In, inReq)
+	if err != nil {
+		return frame{}, err
+	}
+	out := newFrame(t.Schema())
+	for i, e := range t.Exprs {
+		if !req[i] {
+			continue
+		}
+		if col, ok := e.(*expr.Col); ok {
+			out.cols[i] = f.cols[col.Index]
+			continue
+		}
+		r, err := l.lowerExpr(e, f)
+		if err != nil {
+			return frame{}, err
+		}
+		out.cols[i] = r
+	}
+	return out, nil
+}
+
+func (l *lowerer) lowerSort(t *Sort, req []bool) (frame, error) {
+	inReq := append([]bool(nil), req...)
+	for _, k := range t.Keys {
+		inReq[k.Col] = true
+	}
+	f, err := l.lower(t.In, inReq)
+	if err != nil {
+		return frame{}, err
+	}
+	keys := make([]Reg, len(t.Keys))
+	descs := make([]bool, len(t.Keys))
+	for i, k := range t.Keys {
+		keys[i] = f.cols[k.Col]
+		descs[i] = k.Desc
+	}
+	sel := l.prog.NewReg()
+	l.emit(Instr{Op: OpSort, In: keys, Out: []Reg{sel}, Descs: descs})
+	out := newFrame(t.Schema())
+	for i := range out.cols {
+		if !req[i] {
+			continue
+		}
+		r := l.prog.NewReg()
+		l.emit(Instr{Op: OpTake, In: []Reg{f.cols[i], sel}, Out: []Reg{r}})
+		out.cols[i] = r
+	}
+	return out, nil
+}
+
+func (l *lowerer) lowerLimit(t *Limit, req []bool) (frame, error) {
+	f, err := l.lower(t.In, req)
+	if err != nil {
+		return frame{}, err
+	}
+	out := newFrame(t.Schema())
+	for i := range out.cols {
+		if !req[i] {
+			continue
+		}
+		r := l.prog.NewReg()
+		l.emit(Instr{Op: OpLimitVec, In: []Reg{f.cols[i]}, Out: []Reg{r}, N: t.N})
+		out.cols[i] = r
+	}
+	return out, nil
+}
+
+func (l *lowerer) lowerDistinct(t *Distinct, req []bool) (frame, error) {
+	inReq := make([]bool, len(t.In.Schema()))
+	for i := range inReq {
+		inReq[i] = true // distinct needs every column as a key
+	}
+	f, err := l.lower(t.In, inReq)
+	if err != nil {
+		return frame{}, err
+	}
+	groups := l.prog.NewReg()
+	l.emit(Instr{Op: OpGroup, In: append([]Reg(nil), f.cols...), Out: []Reg{groups}})
+	rsel := l.prog.NewReg()
+	l.emit(Instr{Op: OpRepr, In: []Reg{groups}, Out: []Reg{rsel}})
+	out := newFrame(t.Schema())
+	for i := range out.cols {
+		if !req[i] {
+			continue
+		}
+		r := l.prog.NewReg()
+		l.emit(Instr{Op: OpTake, In: []Reg{f.cols[i], rsel}, Out: []Reg{r}})
+		out.cols[i] = r
+	}
+	return out, nil
+}
+
+// lowerExpr emits an OpMap computing e over the frame's columns and returns
+// the output register.
+func (l *lowerer) lowerExpr(e expr.Expr, f frame) (Reg, error) {
+	used := expr.Columns(e)
+	if len(used) == 0 {
+		// Anchor on the first materialized column for the row count.
+		anchor := -1
+		for i, r := range f.cols {
+			if r >= 0 {
+				anchor = i
+				break
+			}
+		}
+		if anchor < 0 {
+			return 0, fmt.Errorf("plan: constant expression with no anchor column")
+		}
+		used = []int{anchor}
+	}
+	in := make([]Reg, len(used))
+	posOf := make(map[int]int, len(used))
+	for i, c := range used {
+		if f.cols[c] < 0 {
+			return 0, fmt.Errorf("plan: expression references pruned column %d", c)
+		}
+		in[i] = f.cols[c]
+		posOf[c] = i
+	}
+	rewritten := expr.Rewrite(e, func(c *expr.Col) expr.Expr {
+		return &expr.Col{Index: posOf[c.Index], Typ: c.Typ, Name: c.Name}
+	})
+	out := l.prog.NewReg()
+	l.emit(Instr{Op: OpMap, In: in, Out: []Reg{out}, Expr: rewritten})
+	return out, nil
+}
+
+func newFrame(schema []ColInfo) frame {
+	f := frame{cols: make([]Reg, len(schema)), types: make([]vector.Type, len(schema))}
+	for i := range f.cols {
+		f.cols[i] = -1
+		f.types[i] = schema[i].Type
+	}
+	return f
+}
+
+// sqlParse indirection keeps the import local to this file.
+func sqlParse(q string) (*sql.SelectStmt, error) { return sql.Parse(q) }

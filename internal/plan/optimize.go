@@ -1,0 +1,228 @@
+package plan
+
+import (
+	"datacell/internal/expr"
+	"datacell/internal/vector"
+)
+
+// Optimize applies the rule-based rewrites to a bound logical plan:
+// constant folding, conjunct splitting, and filter pushdown through joins.
+// It mirrors (in miniature) the algebraic optimizer whose output plans
+// DataCell consumes, and runs before physical lowering.
+func Optimize(root Logical) Logical {
+	root = rewriteTree(root, foldConstantsRule)
+	root = rewriteTree(root, splitFilterRule)
+	for {
+		var changed bool
+		root, changed = pushFiltersOnce(root)
+		if !changed {
+			break
+		}
+	}
+	return root
+}
+
+// rewriteTree applies f bottom-up until it no longer changes a node.
+func rewriteTree(n Logical, f func(Logical) (Logical, bool)) Logical {
+	switch t := n.(type) {
+	case *Scan:
+	case *Filter:
+		t.In = rewriteTree(t.In, f)
+	case *Project:
+		t.In = rewriteTree(t.In, f)
+	case *Join:
+		t.L = rewriteTree(t.L, f)
+		t.R = rewriteTree(t.R, f)
+	case *Aggregate:
+		t.In = rewriteTree(t.In, f)
+	case *Sort:
+		t.In = rewriteTree(t.In, f)
+	case *Limit:
+		t.In = rewriteTree(t.In, f)
+	case *Distinct:
+		t.In = rewriteTree(t.In, f)
+	}
+	for {
+		out, changed := f(n)
+		n = out
+		if !changed {
+			return n
+		}
+	}
+}
+
+// foldConstantsRule folds constant sub-expressions inside Filters and
+// Projects.
+func foldConstantsRule(n Logical) (Logical, bool) {
+	switch t := n.(type) {
+	case *Filter:
+		folded, changed := FoldExpr(t.Pred)
+		if changed {
+			t.Pred = folded
+		}
+		// A filter that is constantly true is a no-op; drop it.
+		if c, ok := t.Pred.(*expr.Const); ok && c.Val.Typ == vector.Bool && c.Val.B {
+			return t.In, true
+		}
+		if changed {
+			return t, true
+		}
+	case *Project:
+		any := false
+		for i, e := range t.Exprs {
+			folded, changed := FoldExpr(e)
+			if changed {
+				t.Exprs[i] = folded
+				any = true
+			}
+		}
+		if any {
+			return t, true
+		}
+	}
+	return n, false
+}
+
+// FoldExpr evaluates constant sub-trees of e. It reports whether anything
+// changed.
+func FoldExpr(e expr.Expr) (expr.Expr, bool) {
+	switch t := e.(type) {
+	case *expr.Col, *expr.Const:
+		return e, false
+	case *expr.Bin:
+		l, cl := FoldExpr(t.L)
+		r, cr := FoldExpr(t.R)
+		out := &expr.Bin{Op: t.Op, L: l, R: r}
+		if expr.IsConst(out) {
+			if v, err := foldScalar(out); err == nil {
+				return &expr.Const{Val: v}, true
+			}
+		}
+		return out, cl || cr
+	case *expr.Cmp:
+		l, cl := FoldExpr(t.L)
+		r, cr := FoldExpr(t.R)
+		out := &expr.Cmp{Op: t.Op, L: l, R: r}
+		if expr.IsConst(out) {
+			if v, err := foldScalar(out); err == nil {
+				return &expr.Const{Val: v}, true
+			}
+		}
+		return out, cl || cr
+	case *expr.And:
+		l, cl := FoldExpr(t.L)
+		r, cr := FoldExpr(t.R)
+		if c, ok := l.(*expr.Const); ok {
+			if c.Val.B {
+				return r, true
+			}
+			return &expr.Const{Val: vector.BoolValue(false)}, true
+		}
+		if c, ok := r.(*expr.Const); ok {
+			if c.Val.B {
+				return l, true
+			}
+			return &expr.Const{Val: vector.BoolValue(false)}, true
+		}
+		return &expr.And{L: l, R: r}, cl || cr
+	case *expr.Or:
+		l, cl := FoldExpr(t.L)
+		r, cr := FoldExpr(t.R)
+		if c, ok := l.(*expr.Const); ok {
+			if !c.Val.B {
+				return r, true
+			}
+			return &expr.Const{Val: vector.BoolValue(true)}, true
+		}
+		if c, ok := r.(*expr.Const); ok {
+			if !c.Val.B {
+				return l, true
+			}
+			return &expr.Const{Val: vector.BoolValue(true)}, true
+		}
+		return &expr.Or{L: l, R: r}, cl || cr
+	case *expr.Not:
+		in, ci := FoldExpr(t.E)
+		if c, ok := in.(*expr.Const); ok {
+			return &expr.Const{Val: vector.BoolValue(!c.Val.B)}, true
+		}
+		return &expr.Not{E: in}, ci
+	}
+	return e, false
+}
+
+func foldScalar(e expr.Expr) (vector.Value, error) {
+	return expr.EvalScalar(e)
+}
+
+// splitFilterRule splits Filter(a AND b) into Filter(a) over Filter(b).
+func splitFilterRule(n Logical) (Logical, bool) {
+	f, ok := n.(*Filter)
+	if !ok {
+		return n, false
+	}
+	if a, isAnd := f.Pred.(*expr.And); isAnd {
+		return &Filter{In: &Filter{In: f.In, Pred: a.R}, Pred: a.L}, true
+	}
+	return n, false
+}
+
+// pushFiltersOnce pushes one applicable Filter below a Join and reports
+// whether the tree changed.
+func pushFiltersOnce(n Logical) (Logical, bool) {
+	switch t := n.(type) {
+	case *Filter:
+		if j, ok := t.In.(*Join); ok {
+			leftArity := len(j.L.Schema())
+			cols := expr.Columns(t.Pred)
+			allLeft, allRight := true, true
+			for _, c := range cols {
+				if c >= leftArity {
+					allLeft = false
+				} else {
+					allRight = false
+				}
+			}
+			if len(cols) > 0 && allLeft {
+				j.L = &Filter{In: j.L, Pred: t.Pred}
+				return j, true
+			}
+			if len(cols) > 0 && allRight {
+				shifted := expr.Rewrite(t.Pred, func(c *expr.Col) expr.Expr {
+					return &expr.Col{Index: c.Index - leftArity, Typ: c.Typ, Name: c.Name}
+				})
+				j.R = &Filter{In: j.R, Pred: shifted}
+				return j, true
+			}
+		}
+		in, changed := pushFiltersOnce(t.In)
+		t.In = in
+		return t, changed
+	case *Join:
+		l, cl := pushFiltersOnce(t.L)
+		r, cr := pushFiltersOnce(t.R)
+		t.L, t.R = l, r
+		return t, cl || cr
+	case *Project:
+		in, c := pushFiltersOnce(t.In)
+		t.In = in
+		return t, c
+	case *Aggregate:
+		in, c := pushFiltersOnce(t.In)
+		t.In = in
+		return t, c
+	case *Sort:
+		in, c := pushFiltersOnce(t.In)
+		t.In = in
+		return t, c
+	case *Limit:
+		in, c := pushFiltersOnce(t.In)
+		t.In = in
+		return t, c
+	case *Distinct:
+		in, c := pushFiltersOnce(t.In)
+		t.In = in
+		return t, c
+	}
+	return n, false
+}

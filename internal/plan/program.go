@@ -1,0 +1,226 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"datacell/internal/algebra"
+	"datacell/internal/catalog"
+	"datacell/internal/expr"
+	"datacell/internal/sql"
+	"datacell/internal/vector"
+)
+
+// Reg is a virtual register holding an operator result (vector, selection,
+// group structure, or result table) during program execution.
+type Reg int
+
+// OpCode enumerates the physical instructions. The set deliberately mirrors
+// MonetDB's MAL primitives the paper manipulates: every instruction consumes
+// registers and fully materializes its outputs, so a program can be frozen
+// after any instruction and resumed by re-loading registers — which is what
+// the incremental rewriter does.
+type OpCode uint8
+
+// Physical instruction opcodes.
+const (
+	// OpBind loads a source column of the current window view.
+	// Out[0] = vector. Aux: Source, Col.
+	OpBind OpCode = iota
+	// OpSelect filters a vector against a constant. In: vec; Out: sel.
+	// Aux: Cmp, Val.
+	OpSelect
+	// OpSelectBools turns a boolean vector into a selection. In: boolvec;
+	// Out: sel.
+	OpSelectBools
+	// OpTake materializes vec through a selection. In: vec, sel; Out: vec.
+	OpTake
+	// OpMap evaluates Expr over the input vectors (aligned). In: vecs...;
+	// Out: vec.
+	OpMap
+	// OpHashJoin equi-joins two key vectors. In: lvec, rvec; Out: lsel, rsel.
+	OpHashJoin
+	// OpHashBuild builds a reusable join hash table over an integer key
+	// vector. In: vec; Out: table. Emitted by the incremental rewriter so
+	// one basic window's build side is probed by many matrix cells.
+	OpHashBuild
+	// OpHashProbe probes a built table. In: probevec, table; Out: lsel
+	// (probe rows), rsel (build rows).
+	OpHashProbe
+	// OpGroup computes group ids over key vectors. In: keyvecs...; Out: groups.
+	OpGroup
+	// OpRepr extracts a group's representative selection. In: groups; Out: sel.
+	OpRepr
+	// OpAgg computes an aggregate. In: valvec [, groups]; Out: vec
+	// (length K for grouped, length 1 for global). Aux: Agg.
+	OpAgg
+	// OpConcat concatenates vectors. In: vecs...; Out: vec. Normal plans do
+	// not emit it; the incremental rewriter's merge stage does.
+	OpConcat
+	// OpSort orders rows. In: keyvecs...; Out: sel. Aux: Descs.
+	OpSort
+	// OpLimitVec truncates a vector. In: vec; Out: vec. Aux: N.
+	OpLimitVec
+	// OpResult assembles the final result table. In: vecs...; Aux: Names.
+	OpResult
+)
+
+// String names the opcode.
+func (op OpCode) String() string {
+	switch op {
+	case OpBind:
+		return "bind"
+	case OpSelect:
+		return "select"
+	case OpSelectBools:
+		return "selectbools"
+	case OpTake:
+		return "take"
+	case OpMap:
+		return "map"
+	case OpHashJoin:
+		return "hashjoin"
+	case OpHashBuild:
+		return "hashbuild"
+	case OpHashProbe:
+		return "hashprobe"
+	case OpGroup:
+		return "group"
+	case OpRepr:
+		return "repr"
+	case OpAgg:
+		return "agg"
+	case OpConcat:
+		return "concat"
+	case OpSort:
+		return "sort"
+	case OpLimitVec:
+		return "limit"
+	case OpResult:
+		return "result"
+	}
+	return fmt.Sprintf("op(%d)", uint8(op))
+}
+
+// Instr is one physical instruction.
+type Instr struct {
+	Op  OpCode
+	In  []Reg
+	Out []Reg
+
+	// Auxiliary operands (by opcode):
+	Source int             // OpBind: index into Program.Sources
+	Col    int             // OpBind: column index within the source schema
+	Cmp    algebra.CmpOp   // OpSelect
+	Val    vector.Value    // OpSelect
+	Expr   expr.Expr       // OpMap (cols index In)
+	Agg    algebra.AggKind // OpAgg
+	Descs  []bool          // OpSort
+	N      int64           // OpLimitVec
+	Names  []string        // OpResult
+}
+
+// String renders the instruction in MAL-ish assembly.
+func (in Instr) String() string {
+	outs := make([]string, len(in.Out))
+	for i, r := range in.Out {
+		outs[i] = fmt.Sprintf("r%d", r)
+	}
+	ins := make([]string, len(in.In))
+	for i, r := range in.In {
+		ins[i] = fmt.Sprintf("r%d", r)
+	}
+	aux := ""
+	switch in.Op {
+	case OpBind:
+		aux = fmt.Sprintf(" src=%d col=%d", in.Source, in.Col)
+	case OpSelect:
+		aux = fmt.Sprintf(" %s %s", in.Cmp, in.Val)
+	case OpMap:
+		aux = " " + in.Expr.String()
+	case OpAgg:
+		aux = " " + in.Agg.String()
+	case OpLimitVec:
+		aux = fmt.Sprintf(" n=%d", in.N)
+	case OpResult:
+		aux = fmt.Sprintf(" %v", in.Names)
+	}
+	return fmt.Sprintf("%s := %s(%s)%s", strings.Join(outs, ", "), in.Op, strings.Join(ins, ", "), aux)
+}
+
+// SourceSpec describes one input of a program.
+type SourceSpec struct {
+	Name     string // catalog name
+	Ref      string // reference name in the query
+	IsStream bool
+	Window   *sql.WindowSpec
+	Schema   catalog.Schema
+}
+
+// Program is a linear physical plan: an SSA-like sequence of instructions
+// over NumRegs virtual registers, ending in one OpResult.
+type Program struct {
+	Sources []SourceSpec
+	Instrs  []Instr
+	NumRegs int
+	// ResultNames are the output column names (copied from the OpResult).
+	ResultNames []string
+	// ResultTypes are the output column types.
+	ResultTypes []vector.Type
+}
+
+// NewReg allocates a fresh register.
+func (p *Program) NewReg() Reg {
+	r := Reg(p.NumRegs)
+	p.NumRegs++
+	return r
+}
+
+// String renders the whole program.
+func (p *Program) String() string {
+	var sb strings.Builder
+	for i, s := range p.Sources {
+		fmt.Fprintf(&sb, "# source %d: %s (%s)", i, s.Ref, s.Name)
+		if s.Window != nil {
+			sb.WriteString(" " + s.Window.String())
+		}
+		sb.WriteByte('\n')
+	}
+	for _, in := range p.Instrs {
+		sb.WriteString(in.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Validate checks SSA discipline: every register is written exactly once
+// and read only after being written, and the last instruction is OpResult.
+func (p *Program) Validate() error {
+	if len(p.Instrs) == 0 {
+		return fmt.Errorf("plan: empty program")
+	}
+	written := make([]bool, p.NumRegs)
+	for idx, in := range p.Instrs {
+		for _, r := range in.In {
+			if int(r) >= p.NumRegs {
+				return fmt.Errorf("plan: instr %d reads out-of-range r%d", idx, r)
+			}
+			if !written[r] {
+				return fmt.Errorf("plan: instr %d (%s) reads unwritten r%d", idx, in.Op, r)
+			}
+		}
+		for _, r := range in.Out {
+			if int(r) >= p.NumRegs {
+				return fmt.Errorf("plan: instr %d writes out-of-range r%d", idx, r)
+			}
+			if written[r] {
+				return fmt.Errorf("plan: instr %d (%s) rewrites r%d", idx, in.Op, r)
+			}
+			written[r] = true
+		}
+	}
+	if p.Instrs[len(p.Instrs)-1].Op != OpResult {
+		return fmt.Errorf("plan: program must end in result")
+	}
+	return nil
+}

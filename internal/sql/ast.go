@@ -1,0 +1,225 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Node is any AST node.
+type Node interface{ sqlNode() }
+
+// SelectStmt is a single-block SELECT with optional window clauses on its
+// FROM items.
+type SelectStmt struct {
+	Distinct bool
+	Items    []SelectItem
+	From     []TableRef
+	Where    Expr
+	GroupBy  []Expr
+	Having   Expr
+	OrderBy  []OrderItem
+	Limit    int64 // -1 when absent
+}
+
+func (*SelectStmt) sqlNode() {}
+
+// SelectItem is one projection: an expression with an optional alias, or
+// the star.
+type SelectItem struct {
+	Star  bool
+	Expr  Expr
+	Alias string
+}
+
+// TableRef names a stream or table in FROM, optionally windowed.
+type TableRef struct {
+	Name   string
+	Alias  string
+	Window *WindowSpec
+}
+
+// RefName returns the name this source is referenced by (alias if given).
+func (t TableRef) RefName() string {
+	if t.Alias != "" {
+		return t.Alias
+	}
+	return t.Name
+}
+
+// WindowKind distinguishes the window families of the paper.
+type WindowKind uint8
+
+const (
+	// CountWindow slides per tuple count.
+	CountWindow WindowKind = iota
+	// TimeWindow slides per wall-clock interval using tuple timestamps.
+	TimeWindow
+	// LandmarkWindow grows from a fixed start; only Slide applies.
+	LandmarkWindow
+)
+
+// String names the window kind.
+func (k WindowKind) String() string {
+	switch k {
+	case CountWindow:
+		return "COUNT"
+	case TimeWindow:
+		return "TIME"
+	case LandmarkWindow:
+		return "LANDMARK"
+	}
+	return "?"
+}
+
+// WindowSpec is the parsed [RANGE .. SLIDE ..] clause. For CountWindow,
+// Rows/SlideRows are tuple counts; for TimeWindow, Dur/SlideDur are
+// durations; for LandmarkWindow only the slide fields are meaningful.
+type WindowSpec struct {
+	Kind      WindowKind
+	Rows      int64
+	SlideRows int64
+	Dur       time.Duration
+	SlideDur  time.Duration
+}
+
+// String renders the clause.
+func (w *WindowSpec) String() string {
+	switch w.Kind {
+	case CountWindow:
+		return fmt.Sprintf("[RANGE %d SLIDE %d]", w.Rows, w.SlideRows)
+	case TimeWindow:
+		return fmt.Sprintf("[RANGE %s SLIDE %s]", w.Dur, w.SlideDur)
+	case LandmarkWindow:
+		if w.SlideDur > 0 {
+			return fmt.Sprintf("[LANDMARK SLIDE %s]", w.SlideDur)
+		}
+		return fmt.Sprintf("[LANDMARK SLIDE %d]", w.SlideRows)
+	}
+	return "[?]"
+}
+
+// OrderItem is one ORDER BY term.
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}
+
+// Expr is an AST scalar expression.
+type Expr interface {
+	Node
+	String() string
+}
+
+// Ident is a possibly qualified column reference.
+type Ident struct {
+	Qualifier string // stream/table (or alias), may be empty
+	Name      string
+}
+
+func (*Ident) sqlNode() {}
+
+func (i *Ident) String() string {
+	if i.Qualifier != "" {
+		return i.Qualifier + "." + i.Name
+	}
+	return i.Name
+}
+
+// NumberLit is an integer or float literal.
+type NumberLit struct {
+	Text    string
+	IsFloat bool
+	Int     int64
+	Float   float64
+}
+
+func (*NumberLit) sqlNode() {}
+
+func (n *NumberLit) String() string { return n.Text }
+
+// StringLit is a quoted string.
+type StringLit struct{ Val string }
+
+func (*StringLit) sqlNode() {}
+
+func (s *StringLit) String() string { return "'" + strings.ReplaceAll(s.Val, "'", "''") + "'" }
+
+// BoolLit is TRUE or FALSE.
+type BoolLit struct{ Val bool }
+
+func (*BoolLit) sqlNode() {}
+
+func (b *BoolLit) String() string {
+	if b.Val {
+		return "TRUE"
+	}
+	return "FALSE"
+}
+
+// BinExpr is a binary operation; Op is one of + - * / % < <= > >= = <> AND OR.
+type BinExpr struct {
+	Op   string
+	L, R Expr
+}
+
+func (*BinExpr) sqlNode() {}
+
+func (b *BinExpr) String() string {
+	return "(" + b.L.String() + " " + b.Op + " " + b.R.String() + ")"
+}
+
+// UnaryExpr is NOT or unary minus.
+type UnaryExpr struct {
+	Op string // "NOT" or "-"
+	E  Expr
+}
+
+func (*UnaryExpr) sqlNode() {}
+
+func (u *UnaryExpr) String() string { return "(" + u.Op + " " + u.E.String() + ")" }
+
+// FuncCall is an aggregate or scalar function call; Star marks count(*).
+type FuncCall struct {
+	Name string // lower-cased
+	Star bool
+	Args []Expr
+}
+
+func (*FuncCall) sqlNode() {}
+
+func (f *FuncCall) String() string {
+	if f.Star {
+		return f.Name + "(*)"
+	}
+	args := make([]string, len(f.Args))
+	for i, a := range f.Args {
+		args[i] = a.String()
+	}
+	return f.Name + "(" + strings.Join(args, ", ") + ")"
+}
+
+// AggFuncs lists the supported aggregate function names.
+var AggFuncs = map[string]bool{
+	"sum": true, "count": true, "avg": true, "min": true, "max": true,
+}
+
+// ContainsAggregate reports whether e contains an aggregate call.
+func ContainsAggregate(e Expr) bool {
+	switch t := e.(type) {
+	case *FuncCall:
+		if AggFuncs[t.Name] {
+			return true
+		}
+		for _, a := range t.Args {
+			if ContainsAggregate(a) {
+				return true
+			}
+		}
+	case *BinExpr:
+		return ContainsAggregate(t.L) || ContainsAggregate(t.R)
+	case *UnaryExpr:
+		return ContainsAggregate(t.E)
+	}
+	return false
+}

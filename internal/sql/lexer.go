@@ -1,0 +1,157 @@
+// Package sql implements the SQL dialect of the reproduction: standard
+// single-block SELECT queries extended with the DataCell window clause
+//
+//	FROM src [RANGE 1000 SLIDE 100]           -- count-based sliding window
+//	FROM src [RANGE 10 SECONDS SLIDE 1 SECONDS] -- time-based window
+//	FROM src [RANGE 1000]                     -- tumbling (slide = range)
+//	FROM src [LANDMARK SLIDE 100]             -- landmark window
+//
+// mirroring the continuous-query constructs the paper adds to MonetDB/SQL.
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// TokKind classifies lexer tokens.
+type TokKind uint8
+
+// Token kinds.
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokKeyword
+	TokNumber
+	TokString
+	TokSymbol // punctuation and operators
+)
+
+// Token is one lexical unit with its source position (byte offset).
+type Token struct {
+	Kind TokKind
+	Text string // keywords are upper-cased, identifiers lower-cased
+	Pos  int
+}
+
+func (t Token) String() string {
+	if t.Kind == TokEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.Text)
+}
+
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"HAVING": true, "ORDER": true, "LIMIT": true, "AS": true, "AND": true,
+	"OR": true, "NOT": true, "ASC": true, "DESC": true, "DISTINCT": true,
+	"RANGE": true, "SLIDE": true, "LANDMARK": true, "TRUE": true, "FALSE": true,
+	"SECONDS": true, "MILLISECONDS": true, "MINUTES": true, "HOURS": true,
+	"BETWEEN": true, "SECOND": true, "MILLISECOND": true, "MINUTE": true, "HOUR": true,
+}
+
+// Lex splits input into tokens. It returns an error with byte position on
+// any character it cannot tokenize.
+func Lex(input string) ([]Token, error) {
+	var toks []Token
+	i := 0
+	n := len(input)
+	for i < n {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case unicode.IsDigit(rune(c)) || (c == '.' && i+1 < n && unicode.IsDigit(rune(input[i+1]))):
+			start := i
+			seenDot := false
+			seenExp := false
+			for i < n {
+				d := input[i]
+				if unicode.IsDigit(rune(d)) {
+					i++
+					continue
+				}
+				if d == '.' && !seenDot && !seenExp {
+					seenDot = true
+					i++
+					continue
+				}
+				if (d == 'e' || d == 'E') && !seenExp && i > start {
+					seenExp = true
+					i++
+					if i < n && (input[i] == '+' || input[i] == '-') {
+						i++
+					}
+					continue
+				}
+				break
+			}
+			toks = append(toks, Token{Kind: TokNumber, Text: input[start:i], Pos: start})
+		case c == '\'':
+			start := i
+			i++
+			var sb strings.Builder
+			closed := false
+			for i < n {
+				if input[i] == '\'' {
+					if i+1 < n && input[i+1] == '\'' { // escaped quote
+						sb.WriteByte('\'')
+						i += 2
+						continue
+					}
+					closed = true
+					i++
+					break
+				}
+				sb.WriteByte(input[i])
+				i++
+			}
+			if !closed {
+				return nil, fmt.Errorf("sql: unterminated string literal at offset %d", start)
+			}
+			toks = append(toks, Token{Kind: TokString, Text: sb.String(), Pos: start})
+		case isIdentStart(c):
+			start := i
+			for i < n && isIdentPart(input[i]) {
+				i++
+			}
+			word := input[start:i]
+			upper := strings.ToUpper(word)
+			if keywords[upper] {
+				toks = append(toks, Token{Kind: TokKeyword, Text: upper, Pos: start})
+			} else {
+				toks = append(toks, Token{Kind: TokIdent, Text: strings.ToLower(word), Pos: start})
+			}
+		default:
+			start := i
+			// Two-character operators first.
+			if i+1 < n {
+				two := input[i : i+2]
+				switch two {
+				case "<=", ">=", "<>", "!=":
+					toks = append(toks, Token{Kind: TokSymbol, Text: two, Pos: start})
+					i += 2
+					continue
+				}
+			}
+			switch c {
+			case ',', '(', ')', '[', ']', '*', '+', '-', '/', '%', '<', '>', '=', '.', ';':
+				toks = append(toks, Token{Kind: TokSymbol, Text: string(c), Pos: start})
+				i++
+			default:
+				return nil, fmt.Errorf("sql: unexpected character %q at offset %d", c, i)
+			}
+		}
+	}
+	toks = append(toks, Token{Kind: TokEOF, Pos: n})
+	return toks, nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9')
+}

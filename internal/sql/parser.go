@@ -1,0 +1,544 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Parse parses a single SELECT statement (with optional trailing semicolon).
+func Parse(input string) (*SelectStmt, error) {
+	toks, err := Lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	stmt, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	p.accept(TokSymbol, ";")
+	if !p.at(TokEOF, "") {
+		return nil, p.errorf("unexpected %s after statement", p.peek())
+	}
+	return stmt, nil
+}
+
+type parser struct {
+	toks []Token
+	pos  int
+}
+
+func (p *parser) peek() Token { return p.toks[p.pos] }
+
+func (p *parser) next() Token {
+	t := p.toks[p.pos]
+	if t.Kind != TokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) at(kind TokKind, text string) bool {
+	t := p.peek()
+	return t.Kind == kind && (text == "" || t.Text == text)
+}
+
+func (p *parser) accept(kind TokKind, text string) bool {
+	if p.at(kind, text) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind TokKind, text string) (Token, error) {
+	if p.at(kind, text) {
+		return p.next(), nil
+	}
+	want := text
+	if want == "" {
+		want = fmt.Sprintf("token kind %d", kind)
+	}
+	return Token{}, p.errorf("expected %s, found %s", want, p.peek())
+}
+
+func (p *parser) errorf(format string, args ...any) error {
+	return fmt.Errorf("sql: parse error at offset %d: %s", p.peek().Pos, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) parseSelect() (*SelectStmt, error) {
+	if _, err := p.expect(TokKeyword, "SELECT"); err != nil {
+		return nil, err
+	}
+	stmt := &SelectStmt{Limit: -1}
+	stmt.Distinct = p.accept(TokKeyword, "DISTINCT")
+
+	// Projection list.
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Items = append(stmt.Items, item)
+		if !p.accept(TokSymbol, ",") {
+			break
+		}
+	}
+
+	if _, err := p.expect(TokKeyword, "FROM"); err != nil {
+		return nil, err
+	}
+	for {
+		ref, err := p.parseTableRef()
+		if err != nil {
+			return nil, err
+		}
+		stmt.From = append(stmt.From, ref)
+		if !p.accept(TokSymbol, ",") {
+			break
+		}
+	}
+
+	if p.accept(TokKeyword, "WHERE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Where = e
+	}
+	if p.accept(TokKeyword, "GROUP") {
+		if _, err := p.expect(TokKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			stmt.GroupBy = append(stmt.GroupBy, e)
+			if !p.accept(TokSymbol, ",") {
+				break
+			}
+		}
+	}
+	if p.accept(TokKeyword, "HAVING") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Having = e
+	}
+	if p.accept(TokKeyword, "ORDER") {
+		if _, err := p.expect(TokKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := OrderItem{Expr: e}
+			if p.accept(TokKeyword, "DESC") {
+				item.Desc = true
+			} else {
+				p.accept(TokKeyword, "ASC")
+			}
+			stmt.OrderBy = append(stmt.OrderBy, item)
+			if !p.accept(TokSymbol, ",") {
+				break
+			}
+		}
+	}
+	if p.accept(TokKeyword, "LIMIT") {
+		t, err := p.expect(TokNumber, "")
+		if err != nil {
+			return nil, err
+		}
+		n, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil || n < 0 {
+			return nil, p.errorf("invalid LIMIT %q", t.Text)
+		}
+		stmt.Limit = n
+	}
+	return stmt, nil
+}
+
+func (p *parser) parseSelectItem() (SelectItem, error) {
+	if p.accept(TokSymbol, "*") {
+		return SelectItem{Star: true}, nil
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	item := SelectItem{Expr: e}
+	if p.accept(TokKeyword, "AS") {
+		t, err := p.expect(TokIdent, "")
+		if err != nil {
+			return SelectItem{}, err
+		}
+		item.Alias = t.Text
+	} else if p.at(TokIdent, "") {
+		item.Alias = p.next().Text
+	}
+	return item, nil
+}
+
+func (p *parser) parseTableRef() (TableRef, error) {
+	t, err := p.expect(TokIdent, "")
+	if err != nil {
+		return TableRef{}, err
+	}
+	ref := TableRef{Name: t.Text}
+	// Optional alias before the window clause.
+	if p.at(TokIdent, "") {
+		ref.Alias = p.next().Text
+	}
+	if p.accept(TokSymbol, "[") {
+		w, err := p.parseWindowSpec()
+		if err != nil {
+			return TableRef{}, err
+		}
+		ref.Window = w
+		if _, err := p.expect(TokSymbol, "]"); err != nil {
+			return TableRef{}, err
+		}
+	}
+	// Alias may also follow the window clause.
+	if ref.Alias == "" && p.at(TokIdent, "") {
+		ref.Alias = p.next().Text
+	}
+	return ref, nil
+}
+
+func (p *parser) parseWindowSpec() (*WindowSpec, error) {
+	if p.accept(TokKeyword, "LANDMARK") {
+		w := &WindowSpec{Kind: LandmarkWindow}
+		if _, err := p.expect(TokKeyword, "SLIDE"); err != nil {
+			return nil, err
+		}
+		n, dur, isTime, err := p.parseQuantity()
+		if err != nil {
+			return nil, err
+		}
+		if isTime {
+			w.SlideDur = dur
+		} else {
+			w.SlideRows = n
+		}
+		if w.SlideRows <= 0 && w.SlideDur <= 0 {
+			return nil, p.errorf("landmark SLIDE must be positive")
+		}
+		return w, nil
+	}
+	if _, err := p.expect(TokKeyword, "RANGE"); err != nil {
+		return nil, err
+	}
+	n, dur, isTime, err := p.parseQuantity()
+	if err != nil {
+		return nil, err
+	}
+	w := &WindowSpec{}
+	if isTime {
+		w.Kind = TimeWindow
+		w.Dur = dur
+		w.SlideDur = dur // tumbling default
+	} else {
+		w.Kind = CountWindow
+		w.Rows = n
+		w.SlideRows = n // tumbling default
+	}
+	if p.accept(TokKeyword, "SLIDE") {
+		sn, sdur, sIsTime, err := p.parseQuantity()
+		if err != nil {
+			return nil, err
+		}
+		if sIsTime != isTime {
+			return nil, p.errorf("RANGE and SLIDE must both be counts or both be durations")
+		}
+		if isTime {
+			w.SlideDur = sdur
+		} else {
+			w.SlideRows = sn
+		}
+	}
+	if w.Kind == CountWindow {
+		if w.Rows <= 0 || w.SlideRows <= 0 {
+			return nil, p.errorf("window RANGE and SLIDE must be positive")
+		}
+		if w.SlideRows > w.Rows {
+			return nil, p.errorf("window SLIDE %d exceeds RANGE %d", w.SlideRows, w.Rows)
+		}
+		if w.Rows%w.SlideRows != 0 {
+			return nil, p.errorf("window RANGE %d must be a multiple of SLIDE %d", w.Rows, w.SlideRows)
+		}
+	} else {
+		if w.Dur <= 0 || w.SlideDur <= 0 {
+			return nil, p.errorf("window RANGE and SLIDE durations must be positive")
+		}
+		if w.SlideDur > w.Dur {
+			return nil, p.errorf("window SLIDE %s exceeds RANGE %s", w.SlideDur, w.Dur)
+		}
+		if w.Dur%w.SlideDur != 0 {
+			return nil, p.errorf("window RANGE %s must be a multiple of SLIDE %s", w.Dur, w.SlideDur)
+		}
+	}
+	return w, nil
+}
+
+// parseQuantity parses `123` or `123 SECONDS`-style durations.
+func (p *parser) parseQuantity() (int64, time.Duration, bool, error) {
+	t, err := p.expect(TokNumber, "")
+	if err != nil {
+		return 0, 0, false, err
+	}
+	n, err := strconv.ParseInt(t.Text, 10, 64)
+	if err != nil {
+		return 0, 0, false, p.errorf("invalid window quantity %q", t.Text)
+	}
+	unit := time.Duration(0)
+	switch {
+	case p.accept(TokKeyword, "MILLISECONDS") || p.accept(TokKeyword, "MILLISECOND"):
+		unit = time.Millisecond
+	case p.accept(TokKeyword, "SECONDS") || p.accept(TokKeyword, "SECOND"):
+		unit = time.Second
+	case p.accept(TokKeyword, "MINUTES") || p.accept(TokKeyword, "MINUTE"):
+		unit = time.Minute
+	case p.accept(TokKeyword, "HOURS") || p.accept(TokKeyword, "HOUR"):
+		unit = time.Hour
+	}
+	if unit > 0 {
+		return 0, time.Duration(n) * unit, true, nil
+	}
+	return n, 0, false, nil
+}
+
+// Expression parsing with precedence climbing:
+//
+//	OR < AND < NOT < comparison < additive < multiplicative < unary < primary
+func (p *parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(TokKeyword, "OR") {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinExpr{Op: "OR", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(TokKeyword, "AND") {
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinExpr{Op: "AND", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseNot() (Expr, error) {
+	if p.accept(TokKeyword, "NOT") {
+		e, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: "NOT", E: e}, nil
+	}
+	return p.parseComparison()
+}
+
+func (p *parser) parseComparison() (Expr, error) {
+	l, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	if p.accept(TokKeyword, "BETWEEN") {
+		lo, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokKeyword, "AND"); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		return &BinExpr{
+			Op: "AND",
+			L:  &BinExpr{Op: ">=", L: l, R: lo},
+			R:  &BinExpr{Op: "<=", L: l, R: hi},
+		}, nil
+	}
+	for _, op := range []string{"<=", ">=", "<>", "!=", "=", "<", ">"} {
+		if p.accept(TokSymbol, op) {
+			r, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			if op == "!=" {
+				op = "<>"
+			}
+			return &BinExpr{Op: op, L: l, R: r}, nil
+		}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAdditive() (Expr, error) {
+	l, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch {
+		case p.accept(TokSymbol, "+"):
+			op = "+"
+		case p.accept(TokSymbol, "-"):
+			op = "-"
+		default:
+			return l, nil
+		}
+		r, err := p.parseMultiplicative()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinExpr{Op: op, L: l, R: r}
+	}
+}
+
+func (p *parser) parseMultiplicative() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch {
+		case p.accept(TokSymbol, "*"):
+			op = "*"
+		case p.accept(TokSymbol, "/"):
+			op = "/"
+		case p.accept(TokSymbol, "%"):
+			op = "%"
+		default:
+			return l, nil
+		}
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinExpr{Op: op, L: l, R: r}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if p.accept(TokSymbol, "-") {
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		if n, ok := e.(*NumberLit); ok {
+			return &NumberLit{Text: "-" + n.Text, IsFloat: n.IsFloat, Int: -n.Int, Float: -n.Float}, nil
+		}
+		return &UnaryExpr{Op: "-", E: e}, nil
+	}
+	p.accept(TokSymbol, "+")
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.peek()
+	switch t.Kind {
+	case TokNumber:
+		p.next()
+		if strings.ContainsAny(t.Text, ".eE") {
+			f, err := strconv.ParseFloat(t.Text, 64)
+			if err != nil {
+				return nil, p.errorf("invalid number %q", t.Text)
+			}
+			return &NumberLit{Text: t.Text, IsFloat: true, Float: f}, nil
+		}
+		n, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			return nil, p.errorf("invalid number %q", t.Text)
+		}
+		return &NumberLit{Text: t.Text, Int: n}, nil
+	case TokString:
+		p.next()
+		return &StringLit{Val: t.Text}, nil
+	case TokKeyword:
+		switch t.Text {
+		case "TRUE":
+			p.next()
+			return &BoolLit{Val: true}, nil
+		case "FALSE":
+			p.next()
+			return &BoolLit{Val: false}, nil
+		}
+		return nil, p.errorf("unexpected keyword %s in expression", t)
+	case TokSymbol:
+		if t.Text == "(" {
+			p.next()
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokSymbol, ")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+		return nil, p.errorf("unexpected %s in expression", t)
+	case TokIdent:
+		p.next()
+		name := t.Text
+		// Function call?
+		if p.accept(TokSymbol, "(") {
+			fc := &FuncCall{Name: name}
+			if p.accept(TokSymbol, "*") {
+				fc.Star = true
+			} else if !p.at(TokSymbol, ")") {
+				for {
+					a, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					fc.Args = append(fc.Args, a)
+					if !p.accept(TokSymbol, ",") {
+						break
+					}
+				}
+			}
+			if _, err := p.expect(TokSymbol, ")"); err != nil {
+				return nil, err
+			}
+			return fc, nil
+		}
+		// Qualified identifier?
+		if p.accept(TokSymbol, ".") {
+			col, err := p.expect(TokIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			return &Ident{Qualifier: name, Name: col.Text}, nil
+		}
+		return &Ident{Name: name}, nil
+	}
+	return nil, p.errorf("unexpected %s", t)
+}

@@ -1,0 +1,379 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func mustParse(t *testing.T, q string) *SelectStmt {
+	t.Helper()
+	stmt, err := Parse(q)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", q, err)
+	}
+	return stmt
+}
+
+func TestLexBasics(t *testing.T) {
+	toks, err := Lex("SELECT x1, sum(x2) FROM s WHERE x1 > 10.5 AND name = 'it''s'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []TokKind
+	for _, tk := range toks {
+		kinds = append(kinds, tk.Kind)
+	}
+	if toks[0].Text != "SELECT" || toks[0].Kind != TokKeyword {
+		t.Errorf("first token: %+v", toks[0])
+	}
+	if toks[1].Text != "x1" || toks[1].Kind != TokIdent {
+		t.Errorf("ident token: %+v", toks[1])
+	}
+	last := toks[len(toks)-2]
+	if last.Kind != TokString || last.Text != "it's" {
+		t.Errorf("string literal: %+v", last)
+	}
+	if toks[len(toks)-1].Kind != TokEOF {
+		t.Error("missing EOF token")
+	}
+	_ = kinds
+}
+
+func TestLexNumbers(t *testing.T) {
+	toks, err := Lex("1 2.5 1e3 2.5E-2 .5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"1", "2.5", "1e3", "2.5E-2", ".5"}
+	for i, w := range want {
+		if toks[i].Kind != TokNumber || toks[i].Text != w {
+			t.Errorf("number %d: %+v want %q", i, toks[i], w)
+		}
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	if _, err := Lex("select '` + \"`\" + `unterminated"); err == nil {
+		t.Error("unterminated string should fail")
+	}
+	if _, err := Lex("select #"); err == nil {
+		t.Error("bad character should fail")
+	}
+}
+
+func TestLexCaseNormalization(t *testing.T) {
+	toks, err := Lex("SeLeCt Foo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Text != "SELECT" {
+		t.Errorf("keyword not upper-cased: %q", toks[0].Text)
+	}
+	if toks[1].Text != "foo" {
+		t.Errorf("ident not lower-cased: %q", toks[1].Text)
+	}
+}
+
+func TestParseQuery1(t *testing.T) {
+	// The paper's Q1.
+	stmt := mustParse(t, `SELECT x1, sum(x2) FROM stream [RANGE 1000 SLIDE 100] WHERE x1 > 5 GROUP BY x1`)
+	if len(stmt.Items) != 2 {
+		t.Fatalf("items: %d", len(stmt.Items))
+	}
+	if _, ok := stmt.Items[0].Expr.(*Ident); !ok {
+		t.Error("item 0 should be ident")
+	}
+	fc, ok := stmt.Items[1].Expr.(*FuncCall)
+	if !ok || fc.Name != "sum" || len(fc.Args) != 1 {
+		t.Errorf("item 1: %+v", stmt.Items[1].Expr)
+	}
+	if len(stmt.From) != 1 || stmt.From[0].Name != "stream" {
+		t.Errorf("from: %+v", stmt.From)
+	}
+	w := stmt.From[0].Window
+	if w == nil || w.Kind != CountWindow || w.Rows != 1000 || w.SlideRows != 100 {
+		t.Errorf("window: %+v", w)
+	}
+	if stmt.Where == nil || len(stmt.GroupBy) != 1 {
+		t.Error("where/groupby missing")
+	}
+}
+
+func TestParseQuery2MultiStream(t *testing.T) {
+	// The paper's Q2.
+	stmt := mustParse(t, `SELECT max(s1.x1), avg(s2.x1)
+		FROM stream1 s1 [RANGE 1024 SLIDE 16], stream2 s2 [RANGE 1024 SLIDE 16]
+		WHERE s1.x2 = s2.x2`)
+	if len(stmt.From) != 2 {
+		t.Fatalf("from count: %d", len(stmt.From))
+	}
+	if stmt.From[0].RefName() != "s1" || stmt.From[1].RefName() != "s2" {
+		t.Errorf("aliases: %v %v", stmt.From[0], stmt.From[1])
+	}
+	be, ok := stmt.Where.(*BinExpr)
+	if !ok || be.Op != "=" {
+		t.Fatalf("where: %+v", stmt.Where)
+	}
+	l := be.L.(*Ident)
+	if l.Qualifier != "s1" || l.Name != "x2" {
+		t.Errorf("qualified ident: %+v", l)
+	}
+}
+
+func TestParseAliasAfterWindow(t *testing.T) {
+	stmt := mustParse(t, `SELECT s.a FROM str [RANGE 10] s`)
+	if stmt.From[0].RefName() != "s" {
+		t.Errorf("alias after window: %+v", stmt.From[0])
+	}
+}
+
+func TestParseTumblingDefault(t *testing.T) {
+	stmt := mustParse(t, `SELECT a FROM s [RANGE 100]`)
+	w := stmt.From[0].Window
+	if w.SlideRows != 100 {
+		t.Errorf("tumbling slide: %+v", w)
+	}
+}
+
+func TestParseTimeWindow(t *testing.T) {
+	stmt := mustParse(t, `SELECT a FROM s [RANGE 10 SECONDS SLIDE 2 SECONDS]`)
+	w := stmt.From[0].Window
+	if w.Kind != TimeWindow || w.Dur != 10*time.Second || w.SlideDur != 2*time.Second {
+		t.Errorf("time window: %+v", w)
+	}
+	stmt = mustParse(t, `SELECT a FROM s [RANGE 1 HOUR SLIDE 10 MINUTES]`)
+	w = stmt.From[0].Window
+	if w.Dur != time.Hour || w.SlideDur != 10*time.Minute {
+		t.Errorf("hour window: %+v", w)
+	}
+}
+
+func TestParseLandmark(t *testing.T) {
+	stmt := mustParse(t, `SELECT max(x1) FROM s [LANDMARK SLIDE 500]`)
+	w := stmt.From[0].Window
+	if w.Kind != LandmarkWindow || w.SlideRows != 500 {
+		t.Errorf("landmark: %+v", w)
+	}
+	stmt = mustParse(t, `SELECT max(x1) FROM s [LANDMARK SLIDE 5 SECONDS]`)
+	if stmt.From[0].Window.SlideDur != 5*time.Second {
+		t.Errorf("landmark time: %+v", stmt.From[0].Window)
+	}
+}
+
+func TestParseWindowValidation(t *testing.T) {
+	bad := []string{
+		`SELECT a FROM s [RANGE 0 SLIDE 1]`,
+		`SELECT a FROM s [RANGE 10 SLIDE 20]`,
+		`SELECT a FROM s [RANGE 10 SLIDE 3]`, // not a divisor
+		`SELECT a FROM s [RANGE 10 SLIDE 2 SECONDS]`,
+		`SELECT a FROM s [RANGE 10 SECONDS SLIDE 3 SECONDS]`,
+		`SELECT a FROM s [LANDMARK SLIDE 0]`,
+	}
+	for _, q := range bad {
+		if _, err := Parse(q); err == nil {
+			t.Errorf("expected error for %q", q)
+		}
+	}
+}
+
+func TestParseExpressionPrecedence(t *testing.T) {
+	stmt := mustParse(t, `SELECT a FROM s WHERE a + 2 * 3 > 7 AND b < 1 OR c = 2`)
+	// ((a + (2*3)) > 7 AND b<1) OR c=2
+	or, ok := stmt.Where.(*BinExpr)
+	if !ok || or.Op != "OR" {
+		t.Fatalf("top is %v", stmt.Where)
+	}
+	and := or.L.(*BinExpr)
+	if and.Op != "AND" {
+		t.Fatalf("left of OR should be AND: %v", and)
+	}
+	gt := and.L.(*BinExpr)
+	if gt.Op != ">" {
+		t.Fatalf("expected >: %v", gt)
+	}
+	add := gt.L.(*BinExpr)
+	if add.Op != "+" {
+		t.Fatalf("expected +: %v", add)
+	}
+	mul := add.R.(*BinExpr)
+	if mul.Op != "*" {
+		t.Fatalf("expected * under +: %v", mul)
+	}
+}
+
+func TestParseBetween(t *testing.T) {
+	stmt := mustParse(t, `SELECT a FROM s WHERE a BETWEEN 1 AND 5`)
+	and := stmt.Where.(*BinExpr)
+	if and.Op != "AND" {
+		t.Fatalf("between should desugar to AND: %v", and)
+	}
+	if and.L.(*BinExpr).Op != ">=" || and.R.(*BinExpr).Op != "<=" {
+		t.Errorf("between bounds: %v", and)
+	}
+}
+
+func TestParseNotAndNegation(t *testing.T) {
+	stmt := mustParse(t, `SELECT a FROM s WHERE NOT a > 5`)
+	u, ok := stmt.Where.(*UnaryExpr)
+	if !ok || u.Op != "NOT" {
+		t.Fatalf("not: %v", stmt.Where)
+	}
+	stmt = mustParse(t, `SELECT -a FROM s WHERE a <> -5`)
+	if _, ok := stmt.Items[0].Expr.(*UnaryExpr); !ok {
+		t.Errorf("unary minus on column: %v", stmt.Items[0].Expr)
+	}
+	ne := stmt.Where.(*BinExpr)
+	num := ne.R.(*NumberLit)
+	if num.Int != -5 {
+		t.Errorf("negative literal folded: %+v", num)
+	}
+}
+
+func TestParseNotEqualVariants(t *testing.T) {
+	for _, q := range []string{`SELECT a FROM s WHERE a <> 1`, `SELECT a FROM s WHERE a != 1`} {
+		stmt := mustParse(t, q)
+		if stmt.Where.(*BinExpr).Op != "<>" {
+			t.Errorf("%q: op %v", q, stmt.Where.(*BinExpr).Op)
+		}
+	}
+}
+
+func TestParseCountStarAndDistinct(t *testing.T) {
+	stmt := mustParse(t, `SELECT DISTINCT count(*) c FROM s`)
+	if !stmt.Distinct {
+		t.Error("distinct flag")
+	}
+	fc := stmt.Items[0].Expr.(*FuncCall)
+	if !fc.Star || fc.Name != "count" {
+		t.Errorf("count(*): %+v", fc)
+	}
+	if stmt.Items[0].Alias != "c" {
+		t.Errorf("implicit alias: %q", stmt.Items[0].Alias)
+	}
+}
+
+func TestParseOrderLimit(t *testing.T) {
+	stmt := mustParse(t, `SELECT a, b FROM s ORDER BY a DESC, b LIMIT 10`)
+	if len(stmt.OrderBy) != 2 || !stmt.OrderBy[0].Desc || stmt.OrderBy[1].Desc {
+		t.Errorf("orderby: %+v", stmt.OrderBy)
+	}
+	if stmt.Limit != 10 {
+		t.Errorf("limit: %d", stmt.Limit)
+	}
+	stmt = mustParse(t, `SELECT a FROM s`)
+	if stmt.Limit != -1 {
+		t.Error("absent limit should be -1")
+	}
+}
+
+func TestParseHaving(t *testing.T) {
+	stmt := mustParse(t, `SELECT a, sum(b) FROM s GROUP BY a HAVING sum(b) > 10`)
+	if stmt.Having == nil || !ContainsAggregate(stmt.Having) {
+		t.Errorf("having: %v", stmt.Having)
+	}
+}
+
+func TestParseStar(t *testing.T) {
+	stmt := mustParse(t, `SELECT * FROM s [RANGE 5]`)
+	if !stmt.Items[0].Star {
+		t.Error("star item")
+	}
+}
+
+func TestParseSemicolonAndTrailingGarbage(t *testing.T) {
+	mustParse(t, `SELECT a FROM s;`)
+	if _, err := Parse(`SELECT a FROM s extra garbage`); err == nil {
+		t.Error("trailing garbage should error")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		``,
+		`SELECT`,
+		`SELECT FROM s`,
+		`SELECT a`,
+		`SELECT a FROM`,
+		`SELECT a FROM s WHERE`,
+		`SELECT a FROM s GROUP a`,
+		`SELECT a FROM s [RANGE]`,
+		`SELECT a FROM s [RANGE 10 SLIDE 5`,
+		`SELECT sum( FROM s`,
+		`SELECT a FROM s LIMIT -3`,
+		`SELECT a FROM s ORDER a`,
+		`SELECT (a FROM s`,
+		`SELECT a. FROM s`,
+	}
+	for _, q := range bad {
+		if _, err := Parse(q); err == nil {
+			t.Errorf("expected parse error for %q", q)
+		} else if !strings.Contains(err.Error(), "sql:") {
+			t.Errorf("error for %q should be tagged: %v", q, err)
+		}
+	}
+}
+
+func TestContainsAggregate(t *testing.T) {
+	stmt := mustParse(t, `SELECT sum(a) + 1, a * 2, min(b + c) FROM s`)
+	if !ContainsAggregate(stmt.Items[0].Expr) {
+		t.Error("sum(a)+1 should contain aggregate")
+	}
+	if ContainsAggregate(stmt.Items[1].Expr) {
+		t.Error("a*2 should not contain aggregate")
+	}
+	if !ContainsAggregate(stmt.Items[2].Expr) {
+		t.Error("min(b+c) should contain aggregate")
+	}
+	if ContainsAggregate(&UnaryExpr{Op: "-", E: &Ident{Name: "x"}}) {
+		t.Error("unary non-agg")
+	}
+	if !ContainsAggregate(&UnaryExpr{Op: "-", E: &FuncCall{Name: "sum", Args: []Expr{&Ident{Name: "x"}}}}) {
+		t.Error("unary agg")
+	}
+}
+
+func TestASTStringRoundTrips(t *testing.T) {
+	cases := []struct{ in, out string }{
+		{`SELECT a FROM s WHERE a > 5 AND b < 3`, `((a > 5) AND (b < 3))`},
+		{`SELECT a FROM s WHERE s.a = 'x''y'`, `(s.a = 'x''y')`},
+		{`SELECT a FROM s WHERE NOT TRUE`, `(NOT TRUE)`},
+		{`SELECT a FROM s WHERE FALSE OR a=1`, `(FALSE OR (a = 1))`},
+	}
+	for _, c := range cases {
+		stmt := mustParse(t, c.in)
+		if got := stmt.Where.String(); got != c.out {
+			t.Errorf("%q => %q want %q", c.in, got, c.out)
+		}
+	}
+	fc := &FuncCall{Name: "sum", Args: []Expr{&Ident{Name: "x"}}}
+	if fc.String() != "sum(x)" {
+		t.Errorf("funcall string: %q", fc.String())
+	}
+	star := &FuncCall{Name: "count", Star: true}
+	if star.String() != "count(*)" {
+		t.Errorf("count(*) string: %q", star.String())
+	}
+}
+
+func TestWindowSpecString(t *testing.T) {
+	w := &WindowSpec{Kind: CountWindow, Rows: 10, SlideRows: 2}
+	if w.String() != "[RANGE 10 SLIDE 2]" {
+		t.Errorf("count window string: %q", w.String())
+	}
+	w = &WindowSpec{Kind: TimeWindow, Dur: time.Second, SlideDur: time.Second}
+	if !strings.Contains(w.String(), "RANGE") {
+		t.Errorf("time window string: %q", w.String())
+	}
+	w = &WindowSpec{Kind: LandmarkWindow, SlideRows: 7}
+	if w.String() != "[LANDMARK SLIDE 7]" {
+		t.Errorf("landmark string: %q", w.String())
+	}
+	w = &WindowSpec{Kind: LandmarkWindow, SlideDur: time.Second}
+	if w.String() != "[LANDMARK SLIDE 1s]" {
+		t.Errorf("landmark dur string: %q", w.String())
+	}
+	if CountWindow.String() != "COUNT" || TimeWindow.String() != "TIME" || LandmarkWindow.String() != "LANDMARK" {
+		t.Error("window kind names")
+	}
+}

@@ -1,0 +1,91 @@
+package sql
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestParserNeverPanics feeds the parser mutated fragments of valid
+// queries and arbitrary token soup; it must always return (result, error),
+// never panic.
+func TestParserNeverPanics(t *testing.T) {
+	seeds := []string{
+		`SELECT x1, sum(x2) FROM s [RANGE 1000 SLIDE 100] WHERE x1 > 5 GROUP BY x1`,
+		`SELECT max(a.x), avg(b.y) FROM a [RANGE 10 SECONDS SLIDE 2 SECONDS], b [RANGE 10 SECONDS SLIDE 2 SECONDS] WHERE a.k = b.k`,
+		`SELECT DISTINCT x FROM s [LANDMARK SLIDE 5] HAVING count(*) > 1 ORDER BY x DESC LIMIT 3;`,
+		`SELECT a + b * -c / 2 % 3 FROM s WHERE a BETWEEN 1 AND 9 AND NOT b = 'it''s'`,
+	}
+	tokens := []string{
+		"SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER", "LIMIT",
+		"[", "]", "(", ")", ",", ";", "+", "-", "*", "/", "%", "<", "<=", ">",
+		">=", "=", "<>", "RANGE", "SLIDE", "LANDMARK", "SECONDS", "AND", "OR",
+		"NOT", "BETWEEN", "sum", "x1", "s", "1", "2.5", "'str'", "*", ".",
+	}
+	rng := rand.New(rand.NewSource(2013))
+
+	tryParse := func(q string) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("parser panicked on %q: %v", q, r)
+			}
+		}()
+		_, _ = Parse(q)
+	}
+
+	for _, s := range seeds {
+		tryParse(s)
+		// Truncations at every byte offset.
+		for i := 0; i <= len(s); i += 3 {
+			tryParse(s[:i])
+		}
+		// Random single-token deletions and swaps.
+		words := strings.Fields(s)
+		for trial := 0; trial < 50; trial++ {
+			w := append([]string(nil), words...)
+			switch rng.Intn(3) {
+			case 0:
+				if len(w) > 1 {
+					i := rng.Intn(len(w))
+					w = append(w[:i], w[i+1:]...)
+				}
+			case 1:
+				i, j := rng.Intn(len(w)), rng.Intn(len(w))
+				w[i], w[j] = w[j], w[i]
+			case 2:
+				i := rng.Intn(len(w))
+				w[i] = tokens[rng.Intn(len(tokens))]
+			}
+			tryParse(strings.Join(w, " "))
+		}
+	}
+	// Pure token soup.
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(20)
+		parts := make([]string, n)
+		for i := range parts {
+			parts[i] = tokens[rng.Intn(len(tokens))]
+		}
+		tryParse(strings.Join(parts, " "))
+	}
+}
+
+// TestLexNeverPanics exercises the lexer with arbitrary byte strings.
+func TestLexNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 500; trial++ {
+		n := rng.Intn(60)
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = byte(rng.Intn(128))
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("lexer panicked on %q: %v", b, r)
+				}
+			}()
+			_, _ = Lex(string(b))
+		}()
+	}
+}

@@ -1,0 +1,229 @@
+package streamx
+
+// FilterGroupSumQuery is streamx's specialized operator pipeline for the
+// paper's Q1 shape:
+//
+//	SELECT key, sum(val) FROM s WHERE key > v GROUP BY key
+//	          over a count window [RANGE w SLIDE s]
+//
+// Each arriving tuple passes the filter and updates the grouped aggregate
+// state; each expiring tuple reverses its contribution — operator-level
+// incremental processing, one tuple at a time.
+type FilterGroupSumQuery struct {
+	keyCol, valCol int
+	threshold      int64
+	window, slide  int
+
+	ring    []Tuple
+	pending int
+	agg     *groupAgg
+	windows int
+	emit    Emit
+}
+
+// NewFilterGroupSumQuery registers the query on stream s.
+func (e *Engine) NewFilterGroupSumQuery(s *Stream, keyCol, valCol int, threshold int64, window, slide int, emit Emit) *FilterGroupSumQuery {
+	q := &FilterGroupSumQuery{
+		keyCol: keyCol, valCol: valCol, threshold: threshold,
+		window: window, slide: slide, agg: newGroupAgg(), emit: emit,
+	}
+	s.subs = append(s.subs, q)
+	e.queries = append(e.queries, q)
+	return q
+}
+
+// Windows reports how many results have been emitted.
+func (q *FilterGroupSumQuery) Windows() int { return q.windows }
+
+func (q *FilterGroupSumQuery) push(t Tuple) {
+	// Insert path: filter, then update the grouped aggregate.
+	q.ring = append(q.ring, t)
+	if t.Vals[q.keyCol] > q.threshold {
+		q.agg.add(t.Vals[q.keyCol], t.Vals[q.valCol])
+	}
+	if q.windows == 0 {
+		if len(q.ring) < q.window {
+			return
+		}
+	} else {
+		q.pending++
+		if q.pending < q.slide {
+			return
+		}
+		// Expire path: the oldest slide's tuples leave one by one.
+		for i := 0; i < q.slide; i++ {
+			old := q.ring[i]
+			if old.Vals[q.keyCol] > q.threshold {
+				q.agg.remove(old.Vals[q.keyCol], old.Vals[q.valCol])
+			}
+		}
+		q.ring = append(q.ring[:0], q.ring[q.slide:]...)
+		q.pending = 0
+	}
+	q.windows++
+	if q.emit != nil {
+		q.emit(q.windows, q.agg.emit())
+	}
+}
+
+// JoinAggQuery is streamx's specialized pipeline for the paper's Q2 shape:
+//
+//	SELECT max(s1.a), avg(s2.a) FROM s1, s2 WHERE s1.k = s2.k
+//	          over equal count windows [RANGE w SLIDE s] on both streams
+//
+// It is a symmetric hash join: each side keeps a hash table on its join
+// key; every inserted tuple probes the opposite table and feeds matched
+// pairs into the incremental aggregates (max of the left value column,
+// avg of the right value column); every expiring tuple reverses its live
+// pairs. Window boundaries are synchronized across the two streams, as in
+// the paper's equal-spec assumption.
+type JoinAggQuery struct {
+	leftKey, leftVal   int
+	rightKey, rightVal int
+	window, slide      int
+
+	bufL, bufR []Tuple // arrived but not yet admitted to the window
+	left       *joinSide
+	right      *joinSide
+
+	maxLeft  *extreme
+	avgRight *sumCount
+
+	windows int
+	emit    Emit
+}
+
+type joinSide struct {
+	ring []Tuple
+	ht   map[int64][]Tuple
+}
+
+func newJoinSide() *joinSide {
+	return &joinSide{ht: map[int64][]Tuple{}}
+}
+
+func (js *joinSide) insert(key int64, t Tuple) {
+	js.ring = append(js.ring, t)
+	js.ht[key] = append(js.ht[key], t)
+}
+
+func (js *joinSide) removeFromHT(key int64, seq int64) {
+	bucket := js.ht[key]
+	for i, bt := range bucket {
+		if bt.Seq == seq {
+			bucket = append(bucket[:i], bucket[i+1:]...)
+			break
+		}
+	}
+	if len(bucket) == 0 {
+		delete(js.ht, key)
+	} else {
+		js.ht[key] = bucket
+	}
+}
+
+// NewJoinAggQuery registers the two-stream join query.
+func (e *Engine) NewJoinAggQuery(s1, s2 *Stream, leftKey, leftVal, rightKey, rightVal int, window, slide int, emit Emit) *JoinAggQuery {
+	q := &JoinAggQuery{
+		leftKey: leftKey, leftVal: leftVal, rightKey: rightKey, rightVal: rightVal,
+		window: window, slide: slide,
+		left: newJoinSide(), right: newJoinSide(),
+		maxLeft: newExtreme(false), avgRight: &sumCount{}, emit: emit,
+	}
+	s1.subs = append(s1.subs, leftAdapter{q})
+	s2.subs = append(s2.subs, rightAdapter{q})
+	e.queries = append(e.queries, q)
+	return q
+}
+
+type leftAdapter struct{ q *JoinAggQuery }
+
+func (a leftAdapter) push(t Tuple) {
+	a.q.bufL = append(a.q.bufL, t)
+	a.q.trySlide()
+}
+
+type rightAdapter struct{ q *JoinAggQuery }
+
+func (a rightAdapter) push(t Tuple) {
+	a.q.bufR = append(a.q.bufR, t)
+	a.q.trySlide()
+}
+
+// Windows reports how many results have been emitted.
+func (q *JoinAggQuery) Windows() int { return q.windows }
+
+func (q *JoinAggQuery) trySlide() {
+	for {
+		need := q.slide
+		if q.windows == 0 {
+			need = q.window
+		}
+		if len(q.bufL) < need || len(q.bufR) < need {
+			return
+		}
+		if q.windows > 0 {
+			// Expire the oldest slide on both sides. Each pair is removed
+			// exactly once: expiry removes the tuple from its own table
+			// first, so a pair of two expiring tuples is only reversed by
+			// whichever side processes first.
+			for i := 0; i < q.slide; i++ {
+				old := q.left.ring[i]
+				key := old.Vals[q.leftKey]
+				q.left.removeFromHT(key, old.Seq)
+				for _, rt := range q.right.ht[key] {
+					q.removePair(old, rt)
+				}
+			}
+			for i := 0; i < q.slide; i++ {
+				old := q.right.ring[i]
+				key := old.Vals[q.rightKey]
+				q.right.removeFromHT(key, old.Seq)
+				for _, lt := range q.left.ht[key] {
+					q.removePair(lt, old)
+				}
+			}
+			q.left.ring = append(q.left.ring[:0], q.left.ring[q.slide:]...)
+			q.right.ring = append(q.right.ring[:0], q.right.ring[q.slide:]...)
+		}
+		// Insert the new tuples one at a time, probing the opposite side.
+		for i := 0; i < need; i++ {
+			t := q.bufL[i]
+			key := t.Vals[q.leftKey]
+			for _, rt := range q.right.ht[key] {
+				q.addPair(t, rt)
+			}
+			q.left.insert(key, t)
+		}
+		for i := 0; i < need; i++ {
+			t := q.bufR[i]
+			key := t.Vals[q.rightKey]
+			for _, lt := range q.left.ht[key] {
+				q.addPair(lt, t)
+			}
+			q.right.insert(key, t)
+		}
+		q.bufL = append(q.bufL[:0], q.bufL[need:]...)
+		q.bufR = append(q.bufR[:0], q.bufR[need:]...)
+
+		q.windows++
+		if q.emit != nil {
+			var rows [][]int64
+			if best, ok := q.maxLeft.value(); ok {
+				// avg is reported scaled by 1e6 to stay integral.
+				rows = append(rows, []int64{best, int64(q.avgRight.avg() * 1e6)})
+			}
+			q.emit(q.windows, rows)
+		}
+	}
+}
+
+func (q *JoinAggQuery) addPair(lt, rt Tuple) {
+	q.maxLeft.add(lt.Vals[q.leftVal])
+	q.avgRight.add(rt.Vals[q.rightVal])
+}
+
+func (q *JoinAggQuery) removePair(lt, rt Tuple) {
+	q.maxLeft.remove(lt.Vals[q.leftVal])
+	q.avgRight.remove(rt.Vals[q.rightVal])
+}

@@ -1,0 +1,278 @@
+package streamx
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestFilterGroupSumBasic(t *testing.T) {
+	e := New()
+	s := e.Stream("s", 2)
+	var got [][][]int64
+	e.NewFilterGroupSumQuery(s, 0, 1, 2, 4, 2, func(w int, rows [][]int64) {
+		got = append(got, rows)
+	})
+	// keys: 3,1,5,3 -> window 1 over all four: key3: 10+40=50, key5: 30 (key1 filtered)
+	data := [][2]int64{{3, 10}, {1, 20}, {5, 30}, {3, 40}, {5, 50}, {9, 60}}
+	for _, d := range data {
+		if err := e.Push(s, d[0], d[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(got) != 2 {
+		t.Fatalf("windows: %d", len(got))
+	}
+	w1 := got[0]
+	if len(w1) != 2 || w1[0][0] != 3 || w1[0][1] != 50 || w1[1][0] != 5 || w1[1][1] != 30 {
+		t.Errorf("window 1: %v", w1)
+	}
+	// Window 2 over tuples 2..5: keys 5(30),3(40),5(50),9(60) => 5:80, 3:40, 9:60.
+	w2 := got[1]
+	if len(w2) != 3 {
+		t.Fatalf("window 2: %v", w2)
+	}
+	sums := map[int64]int64{}
+	for _, r := range w2 {
+		sums[r[0]] = r[1]
+	}
+	if sums[5] != 80 || sums[3] != 40 || sums[9] != 60 {
+		t.Errorf("window 2 sums: %v", sums)
+	}
+}
+
+func TestFilterGroupSumGroupDisappears(t *testing.T) {
+	e := New()
+	s := e.Stream("s", 2)
+	var last [][]int64
+	e.NewFilterGroupSumQuery(s, 0, 1, 0, 2, 2, func(w int, rows [][]int64) { last = rows })
+	e.Push(s, 7, 1)
+	e.Push(s, 7, 2)
+	if len(last) != 1 || last[0][1] != 3 {
+		t.Fatalf("w1: %v", last)
+	}
+	e.Push(s, 8, 5)
+	e.Push(s, 9, 6)
+	if len(last) != 2 {
+		t.Fatalf("w2 should have two groups: %v", last)
+	}
+	for _, r := range last {
+		if r[0] == 7 {
+			t.Error("expired group 7 still emitted")
+		}
+	}
+}
+
+func TestPushArityError(t *testing.T) {
+	e := New()
+	s := e.Stream("s", 2)
+	if err := e.Push(s, 1); err == nil {
+		t.Error("arity error not reported")
+	}
+}
+
+func TestExtremeState(t *testing.T) {
+	x := newExtreme(false)
+	if _, ok := x.value(); ok {
+		t.Error("empty extreme should be !ok")
+	}
+	x.add(5)
+	x.add(9)
+	x.add(9)
+	if v, _ := x.value(); v != 9 {
+		t.Error("max wrong")
+	}
+	x.remove(9)
+	if v, _ := x.value(); v != 9 {
+		t.Error("max after one removal of duplicate")
+	}
+	x.remove(9)
+	if v, _ := x.value(); v != 5 {
+		t.Error("max after expiring the maximum")
+	}
+	mn := newExtreme(true)
+	mn.add(5)
+	mn.add(2)
+	mn.add(8)
+	if v, _ := mn.value(); v != 2 {
+		t.Error("min wrong")
+	}
+	mn.remove(2)
+	if v, _ := mn.value(); v != 5 {
+		t.Error("min after expiry")
+	}
+}
+
+func TestJoinAggBasic(t *testing.T) {
+	e := New()
+	s1 := e.Stream("s1", 2) // (val, key)
+	s2 := e.Stream("s2", 2)
+	var maxes, avgs []int64
+	e.NewJoinAggQuery(s1, s2, 1, 0, 1, 0, 2, 1, func(w int, rows [][]int64) {
+		if len(rows) == 1 {
+			maxes = append(maxes, rows[0][0])
+			avgs = append(avgs, rows[0][1])
+		} else {
+			maxes = append(maxes, -1)
+			avgs = append(avgs, -1)
+		}
+	})
+	// Window 1: s1 = {(10,k1),(20,k2)}, s2 = {(100,k1),(200,k3)}.
+	// Pairs: (10,100). max=10, avg=100.
+	e.Push(s1, 10, 1)
+	e.Push(s1, 20, 2)
+	e.Push(s2, 100, 1)
+	e.Push(s2, 200, 3)
+	if len(maxes) != 1 || maxes[0] != 10 || avgs[0] != 100_000_000 {
+		t.Fatalf("w1: max=%v avg=%v", maxes, avgs)
+	}
+	// Slide by 1: s1 = {(20,k2),(30,k3)}, s2 = {(200,k3),(300,k2)}.
+	// Pairs: (20,300),(30,200). max=30, avg=250.
+	e.Push(s1, 30, 3)
+	e.Push(s2, 300, 2)
+	if len(maxes) != 2 || maxes[1] != 30 || avgs[1] != 250_000_000 {
+		t.Fatalf("w2: max=%v avg=%v", maxes, avgs)
+	}
+}
+
+func TestJoinAggEmptyWindowResult(t *testing.T) {
+	e := New()
+	s1 := e.Stream("s1", 2)
+	s2 := e.Stream("s2", 2)
+	empty := 0
+	e.NewJoinAggQuery(s1, s2, 1, 0, 1, 0, 1, 1, func(w int, rows [][]int64) {
+		if len(rows) == 0 {
+			empty++
+		}
+	})
+	e.Push(s1, 1, 100)
+	e.Push(s2, 2, 200) // keys differ: no pairs
+	if empty != 1 {
+		t.Errorf("expected one empty result, got %d", empty)
+	}
+}
+
+// Reference implementation: recompute the join aggregates from scratch for
+// every window and compare against the incremental streamx pipeline.
+func TestJoinAggMatchesReferenceRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 20; trial++ {
+		window := 4 + rng.Intn(12)
+		slide := 1 + rng.Intn(window)
+		total := window + slide*(3+rng.Intn(10))
+		keyDomain := int64(1 + rng.Intn(8))
+
+		l := make([][2]int64, total) // (val, key)
+		r := make([][2]int64, total)
+		for i := 0; i < total; i++ {
+			l[i] = [2]int64{rng.Int63n(100), rng.Int63n(keyDomain)}
+			r[i] = [2]int64{rng.Int63n(100), rng.Int63n(keyDomain)}
+		}
+
+		e := New()
+		s1 := e.Stream("s1", 2)
+		s2 := e.Stream("s2", 2)
+		type res struct {
+			max, avg int64
+			empty    bool
+		}
+		var got []res
+		e.NewJoinAggQuery(s1, s2, 1, 0, 1, 0, window, slide, func(w int, rows [][]int64) {
+			if len(rows) == 0 {
+				got = append(got, res{empty: true})
+				return
+			}
+			got = append(got, res{max: rows[0][0], avg: rows[0][1]})
+		})
+		for i := 0; i < total; i++ {
+			e.Push(s1, l[i][0], l[i][1])
+			e.Push(s2, r[i][0], r[i][1])
+		}
+
+		// Reference: full recomputation per window.
+		var want []res
+		for end := window; end <= total; end += slide {
+			start := end - window
+			var maxV int64 = math.MinInt64
+			var sum, cnt int64
+			for i := start; i < end; i++ {
+				for j := start; j < end; j++ {
+					if l[i][1] == r[j][1] {
+						if l[i][0] > maxV {
+							maxV = l[i][0]
+						}
+						sum += r[j][0]
+						cnt++
+					}
+				}
+			}
+			if cnt == 0 {
+				want = append(want, res{empty: true})
+			} else {
+				want = append(want, res{max: maxV, avg: int64(float64(sum) / float64(cnt) * 1e6)})
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d windows, want %d", trial, len(got), len(want))
+		}
+		for i := range got {
+			if got[i].empty != want[i].empty || got[i].max != want[i].max {
+				t.Fatalf("trial %d window %d: got %+v want %+v", trial, i+1, got[i], want[i])
+			}
+			if d := got[i].avg - want[i].avg; d < -1 || d > 1 { // fp rounding tolerance
+				t.Fatalf("trial %d window %d avg: got %d want %d", trial, i+1, got[i].avg, want[i].avg)
+			}
+		}
+	}
+}
+
+// Reference check for the single-stream pipeline.
+func TestFilterGroupSumMatchesReferenceRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		window := 5 + rng.Intn(20)
+		slide := 1 + rng.Intn(window)
+		total := window + slide*(2+rng.Intn(8))
+		threshold := rng.Int63n(10)
+
+		data := make([][2]int64, total)
+		for i := range data {
+			data[i] = [2]int64{rng.Int63n(12), rng.Int63n(50)}
+		}
+		e := New()
+		s := e.Stream("s", 2)
+		var got [][]map[int64]int64
+		e.NewFilterGroupSumQuery(s, 0, 1, threshold, window, slide, func(w int, rows [][]int64) {
+			m := map[int64]int64{}
+			for _, r := range rows {
+				m[r[0]] = r[1]
+			}
+			got = append(got, []map[int64]int64{m})
+		})
+		for _, d := range data {
+			e.Push(s, d[0], d[1])
+		}
+		wi := 0
+		for end := window; end <= total; end += slide {
+			want := map[int64]int64{}
+			for i := end - window; i < end; i++ {
+				if data[i][0] > threshold {
+					want[data[i][0]] += data[i][1]
+				}
+			}
+			gotM := got[wi][0]
+			if len(gotM) != len(want) {
+				t.Fatalf("trial %d window %d: groups %v want %v", trial, wi+1, gotM, want)
+			}
+			for k, v := range want {
+				if gotM[k] != v {
+					t.Fatalf("trial %d window %d key %d: %d want %d", trial, wi+1, k, gotM[k], v)
+				}
+			}
+			wi++
+		}
+		if wi != len(got) {
+			t.Fatalf("trial %d: emitted %d windows, want %d", trial, len(got), wi)
+		}
+	}
+}

@@ -1,0 +1,123 @@
+package vector
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Value is a boxed scalar. Typ selects the live field; Int64 and Timestamp
+// both use I.
+type Value struct {
+	Typ Type
+	I   int64
+	F   float64
+	S   string
+	B   bool
+}
+
+// IntValue boxes an int64.
+func IntValue(x int64) Value { return Value{Typ: Int64, I: x} }
+
+// FloatValue boxes a float64.
+func FloatValue(x float64) Value { return Value{Typ: Float64, F: x} }
+
+// StrValue boxes a string.
+func StrValue(x string) Value { return Value{Typ: Str, S: x} }
+
+// BoolValue boxes a bool.
+func BoolValue(x bool) Value { return Value{Typ: Bool, B: x} }
+
+// TimestampValue boxes a microsecond timestamp.
+func TimestampValue(micros int64) Value { return Value{Typ: Timestamp, I: micros} }
+
+// AsFloat converts any numeric value to float64.
+func (v Value) AsFloat() float64 {
+	switch v.Typ {
+	case Int64, Timestamp:
+		return float64(v.I)
+	case Float64:
+		return v.F
+	}
+	panic("vector: AsFloat on " + v.Typ.String())
+}
+
+// AsInt converts any numeric value to int64 (floats truncate).
+func (v Value) AsInt() int64 {
+	switch v.Typ {
+	case Int64, Timestamp:
+		return v.I
+	case Float64:
+		return int64(v.F)
+	}
+	panic("vector: AsInt on " + v.Typ.String())
+}
+
+// Compare returns -1, 0 or 1 ordering v against o. Numeric values compare
+// across Int64/Float64/Timestamp; other type mixes panic.
+func (v Value) Compare(o Value) int {
+	if v.Typ.Numeric() && o.Typ.Numeric() {
+		if v.Typ == Float64 || o.Typ == Float64 {
+			a, b := v.AsFloat(), o.AsFloat()
+			switch {
+			case a < b:
+				return -1
+			case a > b:
+				return 1
+			}
+			return 0
+		}
+		switch {
+		case v.I < o.I:
+			return -1
+		case v.I > o.I:
+			return 1
+		}
+		return 0
+	}
+	if v.Typ != o.Typ {
+		panic(fmt.Sprintf("vector: compare %s with %s", v.Typ, o.Typ))
+	}
+	switch v.Typ {
+	case Str:
+		switch {
+		case v.S < o.S:
+			return -1
+		case v.S > o.S:
+			return 1
+		}
+		return 0
+	case Bool:
+		switch {
+		case !v.B && o.B:
+			return -1
+		case v.B && !o.B:
+			return 1
+		}
+		return 0
+	}
+	panic("vector: compare on invalid type")
+}
+
+// Equal reports v == o under Compare semantics.
+func (v Value) Equal(o Value) bool { return v.Compare(o) == 0 }
+
+// Less reports v < o under Compare semantics.
+func (v Value) Less(o Value) bool { return v.Compare(o) < 0 }
+
+// String renders the value as SQL-ish text.
+func (v Value) String() string {
+	switch v.Typ {
+	case Int64, Timestamp:
+		return strconv.FormatInt(v.I, 10)
+	case Float64:
+		return strconv.FormatFloat(v.F, 'g', -1, 64)
+	case Str:
+		return v.S
+	case Bool:
+		if v.B {
+			return "true"
+		}
+		return "false"
+	}
+	return "?"
+}

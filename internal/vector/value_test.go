@@ -1,0 +1,121 @@
+package vector
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestValueConstructors(t *testing.T) {
+	if v := IntValue(5); v.Typ != Int64 || v.I != 5 {
+		t.Error("IntValue wrong")
+	}
+	if v := FloatValue(2.5); v.Typ != Float64 || v.F != 2.5 {
+		t.Error("FloatValue wrong")
+	}
+	if v := StrValue("x"); v.Typ != Str || v.S != "x" {
+		t.Error("StrValue wrong")
+	}
+	if v := BoolValue(true); v.Typ != Bool || !v.B {
+		t.Error("BoolValue wrong")
+	}
+	if v := TimestampValue(9); v.Typ != Timestamp || v.I != 9 {
+		t.Error("TimestampValue wrong")
+	}
+}
+
+func TestValueConversions(t *testing.T) {
+	if IntValue(3).AsFloat() != 3.0 {
+		t.Error("int AsFloat")
+	}
+	if FloatValue(3.7).AsInt() != 3 {
+		t.Error("float AsInt should truncate")
+	}
+	if FloatValue(2.5).AsFloat() != 2.5 {
+		t.Error("float AsFloat")
+	}
+	if TimestampValue(8).AsInt() != 8 {
+		t.Error("ts AsInt")
+	}
+}
+
+func TestValueCompareNumeric(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{IntValue(1), IntValue(2), -1},
+		{IntValue(2), IntValue(2), 0},
+		{IntValue(3), IntValue(2), 1},
+		{FloatValue(1.5), IntValue(2), -1},
+		{IntValue(2), FloatValue(1.5), 1},
+		{FloatValue(2), FloatValue(2), 0},
+		{TimestampValue(1), TimestampValue(5), -1},
+		{IntValue(5), TimestampValue(5), 0},
+	}
+	for i, c := range cases {
+		if got := c.a.Compare(c.b); got != c.want {
+			t.Errorf("case %d: Compare(%v,%v)=%d want %d", i, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestValueCompareStrBool(t *testing.T) {
+	if StrValue("a").Compare(StrValue("b")) != -1 ||
+		StrValue("b").Compare(StrValue("a")) != 1 ||
+		StrValue("a").Compare(StrValue("a")) != 0 {
+		t.Error("string compare wrong")
+	}
+	if BoolValue(false).Compare(BoolValue(true)) != -1 ||
+		BoolValue(true).Compare(BoolValue(false)) != 1 ||
+		BoolValue(true).Compare(BoolValue(true)) != 0 {
+		t.Error("bool compare wrong")
+	}
+}
+
+func TestValueEqualLess(t *testing.T) {
+	if !IntValue(1).Less(IntValue(2)) || IntValue(2).Less(IntValue(1)) {
+		t.Error("Less wrong")
+	}
+	if !IntValue(4).Equal(FloatValue(4)) {
+		t.Error("cross-type numeric Equal wrong")
+	}
+}
+
+func TestValueCompareMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("comparing str with bool did not panic")
+		}
+	}()
+	StrValue("a").Compare(BoolValue(true))
+}
+
+func TestValueString(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{IntValue(-4), "-4"},
+		{FloatValue(1.5), "1.5"},
+		{StrValue("hey"), "hey"},
+		{BoolValue(true), "true"},
+		{BoolValue(false), "false"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("String(%v) = %q want %q", c.v, got, c.want)
+		}
+	}
+}
+
+// Property: Compare is antisymmetric and consistent with Equal for int64s.
+func TestCompareAntisymmetryProperty(t *testing.T) {
+	f := func(a, b int64) bool {
+		va, vb := IntValue(a), IntValue(b)
+		return va.Compare(vb) == -vb.Compare(va) &&
+			(va.Compare(vb) == 0) == va.Equal(vb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

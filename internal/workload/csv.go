@@ -1,0 +1,114 @@
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+
+	"datacell/internal/vector"
+)
+
+// WriteCSV renders integer columns as comma-separated rows, the row-
+// oriented input format of the paper's full-stack experiment (Fig 9):
+// "The input file is organized in rows, i.e., a typical csv file."
+func WriteCSV(w io.Writer, cols []*vector.Vector) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	n := 0
+	if len(cols) > 0 {
+		n = cols[0].Len()
+	}
+	for i := 0; i < n; i++ {
+		for c, col := range cols {
+			if c > 0 {
+				if err := bw.WriteByte(','); err != nil {
+					return err
+				}
+			}
+			if _, err := bw.WriteString(strconv.FormatInt(col.Int64s()[i], 10)); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// CSVReader incrementally parses integer csv rows into columnar batches —
+// the "parse the file and load the proper columns/baskets" step whose cost
+// the Fig 9 inset breaks out.
+type CSVReader struct {
+	r     *bufio.Reader
+	arity int
+	rows  int64
+}
+
+// NewCSVReader wraps r; arity is the expected column count per row.
+func NewCSVReader(r io.Reader, arity int) *CSVReader {
+	return &CSVReader{r: bufio.NewReaderSize(r, 1<<16), arity: arity}
+}
+
+// Rows reports how many rows have been parsed so far.
+func (cr *CSVReader) Rows() int64 { return cr.rows }
+
+// ReadBatch parses up to maxRows rows into columns. It returns io.EOF
+// (with any partial batch) when the input is exhausted.
+func (cr *CSVReader) ReadBatch(maxRows int) ([]*vector.Vector, error) {
+	cols := make([][]int64, cr.arity)
+	for i := range cols {
+		cols[i] = make([]int64, 0, maxRows)
+	}
+	read := 0
+	for read < maxRows {
+		line, err := cr.r.ReadString('\n')
+		if len(line) > 0 {
+			if line[len(line)-1] == '\n' {
+				line = line[:len(line)-1]
+			}
+			if len(line) > 0 {
+				if perr := parseRow(line, cols); perr != nil {
+					return nil, fmt.Errorf("workload: row %d: %w", cr.rows+1, perr)
+				}
+				cr.rows++
+				read++
+			}
+		}
+		if err != nil {
+			return wrap(cols), err
+		}
+	}
+	return wrap(cols), nil
+}
+
+func parseRow(line string, cols [][]int64) error {
+	field := 0
+	start := 0
+	for i := 0; i <= len(line); i++ {
+		if i == len(line) || line[i] == ',' {
+			if field >= len(cols) {
+				return fmt.Errorf("too many fields")
+			}
+			v, err := strconv.ParseInt(line[start:i], 10, 64)
+			if err != nil {
+				return fmt.Errorf("bad integer %q", line[start:i])
+			}
+			cols[field] = append(cols[field], v)
+			field++
+			start = i + 1
+		}
+	}
+	if field != len(cols) {
+		return fmt.Errorf("row has %d fields, want %d", field, len(cols))
+	}
+	return nil
+}
+
+func wrap(cols [][]int64) []*vector.Vector {
+	out := make([]*vector.Vector, len(cols))
+	for i, c := range cols {
+		out[i] = vector.FromInt64(c)
+	}
+	return out
+}

@@ -1,0 +1,84 @@
+// Package workload provides the deterministic synthetic stream generators
+// and the csv input path used by the experiment harness. Generators are
+// seeded, so every figure is reproducible; selectivity knobs mirror the
+// paper's experiments (predicate selectivity via the value domain of x1,
+// join selectivity via the key domain of x2).
+package workload
+
+import (
+	"math/rand"
+
+	"datacell/internal/vector"
+)
+
+// Gen produces batches of two-column integer stream data (x1, x2), the
+// tuple shape of the paper's Q1/Q2/Q3 workloads.
+type Gen struct {
+	rng      *rand.Rand
+	x1Domain int64
+	x2Domain int64
+	produced int64
+}
+
+// NewGen creates a seeded generator. x1 is uniform over [0, x1Domain), x2
+// uniform over [0, x2Domain).
+func NewGen(seed, x1Domain, x2Domain int64) *Gen {
+	if x1Domain < 1 {
+		x1Domain = 1
+	}
+	if x2Domain < 1 {
+		x2Domain = 1
+	}
+	return &Gen{rng: rand.New(rand.NewSource(seed)), x1Domain: x1Domain, x2Domain: x2Domain}
+}
+
+// Next produces the next n tuples as columns.
+func (g *Gen) Next(n int) []*vector.Vector {
+	x1 := make([]int64, n)
+	x2 := make([]int64, n)
+	for i := 0; i < n; i++ {
+		x1[i] = g.rng.Int63n(g.x1Domain)
+		x2[i] = g.rng.Int63n(g.x2Domain)
+	}
+	g.produced += int64(n)
+	return []*vector.Vector{vector.FromInt64(x1), vector.FromInt64(x2)}
+}
+
+// NextRows produces the next n tuples as int64 rows (for tuple-at-a-time
+// consumers like streamx).
+func (g *Gen) NextRows(n int) [][2]int64 {
+	out := make([][2]int64, n)
+	for i := 0; i < n; i++ {
+		out[i] = [2]int64{g.rng.Int63n(g.x1Domain), g.rng.Int63n(g.x2Domain)}
+	}
+	g.produced += int64(n)
+	return out
+}
+
+// Produced reports the number of tuples generated so far.
+func (g *Gen) Produced() int64 { return g.produced }
+
+// ThresholdForSelectivity returns the constant v such that the predicate
+// x1 > v selects approximately sel of a uniform [0, domain) column.
+func ThresholdForSelectivity(domain int64, sel float64) int64 {
+	if sel <= 0 {
+		return domain
+	}
+	if sel >= 1 {
+		return -1
+	}
+	return int64(float64(domain)*(1-sel)) - 1
+}
+
+// KeyDomainForJoinSelectivity returns the key domain size K such that two
+// uniform [0, K) columns match with per-pair probability sel (= 1/K).
+func KeyDomainForJoinSelectivity(sel float64) int64 {
+	if sel <= 0 {
+		return 1 << 40
+	}
+	k := int64(1 / sel)
+	if k < 1 {
+		k = 1
+	}
+	return k
+}

@@ -1,0 +1,167 @@
+package workload
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"testing"
+
+	"datacell/internal/vector"
+)
+
+func TestGenDeterminism(t *testing.T) {
+	a := NewGen(42, 100, 1000).Next(50)
+	b := NewGen(42, 100, 1000).Next(50)
+	for i := 0; i < 50; i++ {
+		if a[0].Get(i).I != b[0].Get(i).I || a[1].Get(i).I != b[1].Get(i).I {
+			t.Fatal("same seed must give same data")
+		}
+	}
+	c := NewGen(43, 100, 1000).Next(50)
+	same := true
+	for i := 0; i < 50; i++ {
+		if a[0].Get(i).I != c[0].Get(i).I {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds gave identical data")
+	}
+}
+
+func TestGenDomains(t *testing.T) {
+	g := NewGen(1, 10, 5)
+	cols := g.Next(1000)
+	for i := 0; i < 1000; i++ {
+		if v := cols[0].Get(i).I; v < 0 || v >= 10 {
+			t.Fatalf("x1 out of domain: %d", v)
+		}
+		if v := cols[1].Get(i).I; v < 0 || v >= 5 {
+			t.Fatalf("x2 out of domain: %d", v)
+		}
+	}
+	if g.Produced() != 1000 {
+		t.Error("produced counter")
+	}
+	rows := g.NextRows(10)
+	if len(rows) != 10 || g.Produced() != 1010 {
+		t.Error("NextRows")
+	}
+	// Degenerate domains clamp to 1.
+	d := NewGen(1, 0, -5).Next(3)
+	if d[0].Get(0).I != 0 || d[1].Get(0).I != 0 {
+		t.Error("degenerate domains should produce zeros")
+	}
+}
+
+func TestThresholdForSelectivity(t *testing.T) {
+	const domain = 1000
+	for _, sel := range []float64{0.1, 0.2, 0.5, 0.9} {
+		v := ThresholdForSelectivity(domain, sel)
+		g := NewGen(7, domain, 10)
+		cols := g.Next(200000)
+		hits := 0
+		for i := 0; i < cols[0].Len(); i++ {
+			if cols[0].Get(i).I > v {
+				hits++
+			}
+		}
+		got := float64(hits) / float64(cols[0].Len())
+		if math.Abs(got-sel) > 0.02 {
+			t.Errorf("sel %.2f: measured %.3f", sel, got)
+		}
+	}
+	if ThresholdForSelectivity(100, 0) != 100 {
+		t.Error("sel 0 should select nothing")
+	}
+	if ThresholdForSelectivity(100, 1) != -1 {
+		t.Error("sel 1 should select everything")
+	}
+}
+
+func TestKeyDomainForJoinSelectivity(t *testing.T) {
+	if KeyDomainForJoinSelectivity(0.01) != 100 {
+		t.Error("1% join selectivity should give domain 100")
+	}
+	if KeyDomainForJoinSelectivity(1) != 1 {
+		t.Error("full selectivity should give domain 1")
+	}
+	if KeyDomainForJoinSelectivity(0) < 1<<39 {
+		t.Error("zero selectivity should give a huge domain")
+	}
+	if KeyDomainForJoinSelectivity(2) != 1 {
+		t.Error("clamping")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	cols := []*vector.Vector{
+		vector.FromInt64([]int64{1, -2, 3}),
+		vector.FromInt64([]int64{40, 50, -60}),
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, cols); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != "1,40\n-2,50\n3,-60\n" {
+		t.Errorf("csv text: %q", buf.String())
+	}
+	r := NewCSVReader(&buf, 2)
+	got, err := r.ReadBatch(10)
+	if err != io.EOF {
+		t.Fatalf("expected EOF, got %v", err)
+	}
+	if got[0].Len() != 3 || got[0].Get(1).I != -2 || got[1].Get(2).I != -60 {
+		t.Errorf("parsed: %v %v", got[0], got[1])
+	}
+	if r.Rows() != 3 {
+		t.Errorf("rows: %d", r.Rows())
+	}
+}
+
+func TestCSVBatching(t *testing.T) {
+	var buf bytes.Buffer
+	g := NewGen(5, 100, 100)
+	if err := WriteCSV(&buf, g.Next(25)); err != nil {
+		t.Fatal(err)
+	}
+	r := NewCSVReader(&buf, 2)
+	total := 0
+	for {
+		batch, err := r.ReadBatch(10)
+		total += batch[0].Len()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if batch[0].Len() != 10 {
+			t.Errorf("full batch expected, got %d", batch[0].Len())
+		}
+	}
+	if total != 25 {
+		t.Errorf("total parsed: %d", total)
+	}
+}
+
+func TestCSVErrors(t *testing.T) {
+	r := NewCSVReader(bytes.NewBufferString("1,2\n3\n"), 2)
+	if _, err := r.ReadBatch(10); err == nil || err == io.EOF {
+		t.Errorf("short row should error, got %v", err)
+	}
+	r = NewCSVReader(bytes.NewBufferString("1,x\n"), 2)
+	if _, err := r.ReadBatch(10); err == nil || err == io.EOF {
+		t.Errorf("bad integer should error, got %v", err)
+	}
+	r = NewCSVReader(bytes.NewBufferString("1,2,3\n"), 2)
+	if _, err := r.ReadBatch(10); err == nil || err == io.EOF {
+		t.Errorf("long row should error, got %v", err)
+	}
+	// Empty lines are skipped.
+	r = NewCSVReader(bytes.NewBufferString("1,2\n\n3,4\n"), 2)
+	got, err := r.ReadBatch(10)
+	if err != io.EOF || got[0].Len() != 2 {
+		t.Errorf("empty line handling: %v %v", got[0], err)
+	}
+}
