@@ -87,6 +87,29 @@ func BenchmarkFig9InsetLoadingBreakdown(b *testing.B) {
 	benchFigure(b, bench.RunFig9Inset, bench.Config{Scale: 2048, Windows: 10})
 }
 
+// BenchmarkMultiQueryScaling regenerates the scheduler scaling table:
+// N independent queries drained by the serial Pump vs the concurrent
+// PumpParallel (see also cmd/dcbench -fig scaling).
+func BenchmarkMultiQueryScaling(b *testing.B) {
+	benchFigure(b, bench.RunScaling, bench.Config{Scale: 1024, Windows: 3})
+}
+
+// BenchmarkMultiQuerySerial and BenchmarkMultiQueryParallel time one drain
+// of 4 independent Q1-shaped queries under each scheduler form; compare
+// the two ns/op to see the concurrency win directly (setup is included in
+// both identically).
+func BenchmarkMultiQuerySerial(b *testing.B)   { benchMultiQuery(b, false) }
+func BenchmarkMultiQueryParallel(b *testing.B) { benchMultiQuery(b, true) }
+
+func benchMultiQuery(b *testing.B, parallel bool) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.MeasureDrain(4, 1<<14, 1<<11, 4, parallel); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // --- Micro-benchmarks of the public API -----------------------------------
 
 // BenchmarkIncrementalStepQ1 measures one steady-state incremental slide

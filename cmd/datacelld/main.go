@@ -10,8 +10,14 @@
 //	SELECT ... ;                           -- one-time query over tables
 //	FEED <stream> <file.csv> [batch]       -- append csv rows to a stream
 //	LOAD <table> <file.csv>                -- insert csv rows into a table
+//	RUN                                    -- start the concurrent scheduler
+//	STOP                                   -- halt it (reports worker errors)
 //	QUERIES                                -- list registered queries
 //	HELP | QUIT
+//
+// While the scheduler is running (RUN), each registered query is pumped by
+// its own worker goroutine as data arrives, so FEED only appends; without
+// it, FEED pumps synchronously after every batch.
 //
 // Types: BIGINT, DOUBLE, VARCHAR, BOOLEAN, TIMESTAMP.
 //
@@ -74,12 +80,31 @@ func main() {
 
 		switch {
 		case upper == "QUIT" || upper == "EXIT":
+			db.Stop()
 			return
 		case upper == "HELP":
-			fmt.Println("CREATE STREAM/TABLE name (col TYPE, ...) | REGISTER [REEVAL] SELECT ...; | SELECT ...; | FEED stream file [batch] | LOAD table file | QUERIES | QUIT")
+			fmt.Println("CREATE STREAM/TABLE name (col TYPE, ...) | REGISTER [REEVAL] SELECT ...; | SELECT ...; | FEED stream file [batch] | LOAD table file | RUN | STOP | QUERIES | QUIT")
+		case upper == "RUN":
+			db.Run()
+			fmt.Println("scheduler running (one worker per query)")
+		case upper == "STOP":
+			db.Stop()
+			// Stop abandons the drain after at most one step per query;
+			// finish any ready windows synchronously so STOP is deterministic.
+			if _, err := db.Pump(); err != nil {
+				fmt.Println("scheduler stopped with error:", err)
+			} else if err := db.Err(); err != nil {
+				fmt.Println("scheduler stopped with error:", err)
+			} else {
+				fmt.Println("scheduler stopped")
+			}
 		case upper == "QUERIES":
 			for id, q := range queries {
-				fmt.Printf("%s [%s, %d windows]: %s\n", id, q.Mode(), q.Windows(), q.SQL())
+				status := ""
+				if err := q.Err(); err != nil {
+					status = fmt.Sprintf(", FAILED: %v", err)
+				}
+				fmt.Printf("%s [%s, %d windows%s]: %s\n", id, q.Mode(), q.Windows(), status, q.SQL())
 			}
 		case strings.HasPrefix(upper, "CREATE STREAM "), strings.HasPrefix(upper, "CREATE TABLE "):
 			if err := runCreate(db, line); err != nil {
@@ -204,8 +229,10 @@ func runFeed(db *datacell.DB, line string) error {
 	return nil
 }
 
-// feedCSV streams integer csv rows into a stream in batches, pumping after
-// each batch so results interleave with loading.
+// feedCSV streams integer csv rows into a stream in batches. With the
+// concurrent scheduler running, appending is enough — each query's worker
+// fires as its baskets fill; otherwise it pumps synchronously after each
+// batch so results interleave with loading.
 func feedCSV(db *datacell.DB, stream, path string, batch int) (int64, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -230,8 +257,10 @@ func feedCSV(db *datacell.DB, stream, path string, batch int) (int64, error) {
 			if err := db.Append(stream, rows...); err != nil {
 				return r.Rows(), err
 			}
-			if _, err := db.Pump(); err != nil {
-				return r.Rows(), err
+			if !db.Running() {
+				if _, err := db.Pump(); err != nil {
+					return r.Rows(), err
+				}
 			}
 		}
 		if rerr == io.EOF {

@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	dcbench [-fig 4a|4b|5a|5b|6a|6b|7a|7b|8|9|9inset|all] [-scale N] [-windows N]
+//	dcbench [-fig 4a|4b|5a|5b|6a|6b|7a|7b|8|9|9inset|scaling|all] [-scale N] [-windows N]
 //
 // -scale divides the paper's window sizes (default 64; -scale 1 runs the
 // exact paper parameters — expect long runtimes and several GB of RAM for
@@ -34,10 +34,11 @@ var figures = []struct {
 	{"8", bench.RunFig8},
 	{"9", bench.RunFig9},
 	{"9inset", bench.RunFig9Inset},
+	{"scaling", bench.RunScaling},
 }
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate (4a..9inset, or 'all')")
+	fig := flag.String("fig", "all", "figure to regenerate (4a..9inset, 'scaling', or 'all')")
 	scale := flag.Int("scale", 64, "divide the paper's window sizes by this factor")
 	windows := flag.Int("windows", 0, "override the number of measured windows (0 = paper default)")
 	flag.Parse()

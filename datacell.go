@@ -126,16 +126,11 @@ type Table = exec.Table
 // DB is a DataCell instance: catalog, baskets, factories and scheduler.
 type DB struct {
 	eng *engine.Engine
-
-	mu      sync.Mutex
-	wake    chan struct{}
-	done    chan struct{}
-	running bool
 }
 
 // New creates an empty instance.
 func New() *DB {
-	return &DB{eng: engine.New(), wake: make(chan struct{}, 1)}
+	return &DB{eng: engine.New()}
 }
 
 func toSchema(cols []ColumnDef) (catalog.Schema, error) {
@@ -204,32 +199,20 @@ func (db *DB) Append(stream string, rows ...[]Value) error {
 	for i := range ts {
 		ts[i] = now
 	}
-	if err := db.eng.AppendRows(stream, rows, ts); err != nil {
-		return err
-	}
-	db.notify()
-	return nil
+	return db.eng.AppendRows(stream, rows, ts)
 }
 
 // AppendAt delivers stream tuples with explicit event timestamps
 // (microseconds), required for time-based windows with event-time
 // semantics.
 func (db *DB) AppendAt(stream string, ts []int64, rows ...[]Value) error {
-	if err := db.eng.AppendRows(stream, rows, ts); err != nil {
-		return err
-	}
-	db.notify()
-	return nil
+	return db.eng.AppendRows(stream, rows, ts)
 }
 
 // SetWatermark advances a stream's event-time watermark so time windows
 // can close without further tuples.
 func (db *DB) SetWatermark(stream string, tsMicros int64) error {
-	if err := db.eng.SetWatermark(stream, tsMicros); err != nil {
-		return err
-	}
-	db.notify()
-	return nil
+	return db.eng.SetWatermark(stream, tsMicros)
 }
 
 func rowsToCols(rows [][]Value) ([]*vector.Vector, error) {
@@ -329,65 +312,57 @@ func (q *Query) SQL() string { return q.cq.SQL }
 // Mode returns the execution mode.
 func (q *Query) Mode() Mode { return q.cq.Mode }
 
-// Close deregisters the query.
+// Err returns the terminal error of this query's worker goroutine, or nil
+// while the query is healthy. A failed query stops producing results until
+// the scheduler is restarted (Stop then Run), which retries it.
+func (q *Query) Err() error { return q.cq.Err() }
+
+// Close deregisters the query. If the scheduler is running, the query's
+// worker is stopped first (blocking until any in-flight step finishes).
+// Close may be called from inside the query's own OnResult callback —
+// e.g. to stop after the first result — in which case the in-flight step
+// finishes just after Close returns.
 func (q *Query) Close() { q.db.eng.Deregister(q.cq) }
 
 // QueryOnce runs a one-time query over persistent tables.
 func (db *DB) QueryOnce(query string) (*Table, error) { return db.eng.QueryOnce(query) }
 
 // Pump synchronously fires every query that has enough buffered data and
-// returns the number of steps executed. Use it for deterministic
-// processing (tests, benchmarks, batch drivers).
+// returns the number of steps executed, in registration order on the
+// calling goroutine. Use it for deterministic processing (tests,
+// benchmarks, batch drivers).
 func (db *DB) Pump() (int, error) { return db.eng.Pump() }
 
-// Run starts the background scheduler: a goroutine that pumps whenever new
-// data arrives. Stop with Stop.
-func (db *DB) Run() {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if db.running {
-		return
-	}
-	db.running = true
-	db.done = make(chan struct{})
-	go func(done chan struct{}) {
-		for {
-			select {
-			case <-done:
-				return
-			case <-db.wake:
-				// Drain everything that became ready.
-				if _, err := db.eng.Pump(); err != nil {
-					// Scheduler errors are terminal for the loop; queries
-					// keep their last state and Pump reports the error to
-					// synchronous callers.
-					return
-				}
-			}
-		}
-	}(db.done)
-}
+// PumpParallel is the concurrent form of Pump: queries fire in parallel
+// over a bounded pool of at most workers goroutines (workers <= 0 means
+// GOMAXPROCS). Each query's steps stay ordered; cross-query interleaving
+// does not. It returns once no query can fire anymore.
+func (db *DB) PumpParallel(workers int) (int, error) { return db.eng.PumpParallel(workers) }
 
-// Stop halts the background scheduler (no-op when not running).
-func (db *DB) Stop() {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if !db.running {
-		return
-	}
-	db.running = false
-	close(db.done)
-}
+// Run starts the concurrent factory scheduler: every registered query gets
+// its own worker goroutine, woken by the receptor side only when one of
+// its input streams receives data, so independent queries process in
+// parallel. Queries registered while running get workers immediately.
+//
+// Run is idempotent and restartable: after Stop, calling Run again clears
+// any stored error (see Err) and resumes all queries from their buffered
+// state. A query whose step fails stops producing (its error is reported
+// by Err and Query.Err) without affecting other queries.
+func (db *DB) Run() { db.eng.Start() }
 
-func (db *DB) notify() {
-	db.mu.Lock()
-	running := db.running
-	db.mu.Unlock()
-	if !running {
-		return
-	}
-	select {
-	case db.wake <- struct{}{}:
-	default:
-	}
-}
+// Stop halts the scheduler, blocking until in-flight window steps finish
+// (no-op when not running). Buffered data stays in the baskets: a later
+// Run or Pump resumes exactly where the workers left off. Per-query
+// worker errors survive Stop and stay available via Err until the next
+// Run. Stop may be called from inside an OnResult callback; the calling
+// query's in-flight step then finishes just after Stop returns.
+func (db *DB) Stop() { db.eng.Stop() }
+
+// Running reports whether the background scheduler is active.
+func (db *DB) Running() bool { return db.eng.Running() }
+
+// Err returns the first error any query worker has hit since the last Run
+// (nil while all factories are healthy). Errors survive Stop — and Close
+// of the failed query — and are cleared by the next Run, which retries
+// the failed queries.
+func (db *DB) Err() error { return db.eng.Err() }

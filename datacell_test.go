@@ -204,6 +204,147 @@ func TestBackgroundScheduler(t *testing.T) {
 	db.Stop() // idempotent
 }
 
+// TestRunErrorAndRestart poisons a query (integer MOD by zero fails at
+// execution time), checks the error surfaces via Err/Query.Err without
+// killing healthy queries, and verifies Stop+Run revives the scheduler.
+func TestRunErrorAndRestart(t *testing.T) {
+	db := newDB(t)
+	bad, err := db.Register(`SELECT sum(x2 % x1) FROM s [RANGE 2 SLIDE 2]`, Options{Mode: Reevaluation})
+	if err != nil {
+		t.Fatal(err)
+	}
+	good, err := db.Register(`SELECT count(*) FROM s [RANGE 2 SLIDE 2]`, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.Run()
+	if !db.Running() {
+		t.Fatal("Running should report true")
+	}
+	if err := db.Append("s", []Value{Int(0), Int(7)}, []Value{Int(0), Int(7)}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for bad.Err() == nil {
+		if time.Now().After(deadline) {
+			t.Fatal("poisoned query never reported an error")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if db.Err() == nil {
+		t.Error("DB.Err should surface the worker error")
+	}
+	// Healthy query keeps producing despite its neighbour's death.
+	for good.Windows() < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("healthy query starved")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	db.Stop()
+	if db.Running() {
+		t.Error("Running should report false after Stop")
+	}
+	if db.Err() == nil {
+		t.Error("error must survive Stop")
+	}
+
+	// Restart: the error clears and the healthy query resumes.
+	db.Run()
+	if err := db.Append("s", []Value{Int(1), Int(1)}, []Value{Int(1), Int(1)}); err != nil {
+		t.Fatal(err)
+	}
+	deadline = time.Now().Add(5 * time.Second)
+	for good.Windows() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("scheduler did not revive: %d windows", good.Windows())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	db.Stop()
+}
+
+// TestConcurrentAppendAndRead exercises the public API under -race:
+// multiple appender goroutines while the scheduler runs, with readers
+// polling Windows, CostBreakdown (via the engine), Results and Err.
+func TestConcurrentAppendAndRead(t *testing.T) {
+	db := newDB(t)
+	q, err := db.Register(`SELECT x1, sum(x2) FROM s [RANGE 20 SLIDE 10] GROUP BY x1`, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.Run()
+	const writers = 4
+	const perWriter = 250
+	var wg sync.WaitGroup
+	stopRead := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(k int64) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				if err := db.Append("s", []Value{Int(k), Int(1)}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(int64(w))
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stopRead:
+				return
+			default:
+			}
+			_ = q.Windows()
+			_ = q.Results()
+			_ = q.Err()
+			_ = db.Err()
+		}
+	}()
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	time.Sleep(50 * time.Millisecond)
+	close(stopRead)
+	<-done
+	db.Stop()
+	if _, err := db.Pump(); err != nil {
+		t.Fatal(err)
+	}
+	total := writers * perWriter
+	want := (total-20)/10 + 1
+	if got := q.Windows(); got != want {
+		t.Errorf("windows: %d, want %d", got, want)
+	}
+}
+
+// TestRegisterWhileRunning verifies a query registered after Run gets a
+// worker immediately.
+func TestRegisterWhileRunning(t *testing.T) {
+	db := newDB(t)
+	db.Run()
+	defer db.Stop()
+	q, err := db.Register(`SELECT count(*) FROM s [RANGE 5 SLIDE 5]`, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := db.Append("s", []Value{Int(1), Int(1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for q.Windows() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("late-registered query produced %d windows", q.Windows())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
 func TestAppendErrors(t *testing.T) {
 	db := newDB(t)
 	if err := db.Append("nosuch", []Value{Int(1)}); err == nil {

@@ -1,0 +1,3 @@
+module datacell
+
+go 1.24

@@ -80,6 +80,9 @@ func (b *Basket) AppendColumnsLocked(cols []*vector.Vector, ts []int64) error {
 	if len(cols) != len(b.cols) {
 		return fmt.Errorf("basket %s: batch arity %d, want %d", b.name, len(cols), len(b.cols))
 	}
+	if len(cols) == 0 {
+		return nil
+	}
 	n := cols[0].Len()
 	for i, c := range cols {
 		if c.Len() != n {
@@ -105,7 +108,12 @@ func (b *Basket) AppendColumnsLocked(cols []*vector.Vector, ts []int64) error {
 }
 
 // LenLocked returns the number of buffered tuples.
-func (b *Basket) LenLocked() int { return b.cols[0].Len() }
+func (b *Basket) LenLocked() int {
+	if len(b.cols) == 0 {
+		return 0
+	}
+	return b.cols[0].Len()
+}
 
 // Len locks and returns the number of buffered tuples.
 func (b *Basket) Len() int {

@@ -1,0 +1,88 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"datacell/internal/engine"
+	"datacell/internal/workload"
+)
+
+// This file measures the concurrent factory scheduler (not a paper
+// figure): the paper's Petri-net model gives every factory an independent
+// executor, so N independent continuous queries should drain in roughly
+// the wall-clock time of one. MeasureScaling compares the serial
+// single-goroutine Pump against PumpParallel on identical engines.
+
+// MeasureDrain builds an engine hosting nQueries identical but independent
+// re-evaluation queries over one stream, preloads W + (windows-1)*w tuples
+// into every query's basket, and returns the wall-clock time to drain all
+// queries — serially (Engine.Pump) or concurrently (Engine.PumpParallel
+// with a GOMAXPROCS-bounded pool).
+func MeasureDrain(nQueries, W, w, windows int, parallel bool) (int64, error) {
+	e := engine.New()
+	if err := e.RegisterStream("s", intSchema()); err != nil {
+		return 0, err
+	}
+	query := fmt.Sprintf(q1Template, W, w, 0)
+	for i := 0; i < nQueries; i++ {
+		if _, err := register(e, query, engine.Reevaluation, engine.Options{}); err != nil {
+			return 0, err
+		}
+	}
+	total := W + (windows-1)*w
+	gen := workload.NewGen(4010, x1Domain, 1000)
+	if err := e.Append("s", gen.Next(total), nil); err != nil {
+		return 0, err
+	}
+	t0 := time.Now()
+	var err error
+	if parallel {
+		_, err = e.PumpParallel(0)
+	} else {
+		_, err = e.Pump()
+	}
+	if err != nil {
+		return 0, err
+	}
+	return time.Since(t0).Nanoseconds(), nil
+}
+
+// MeasureScaling runs MeasureDrain twice on identical setups and returns
+// the serial vs parallel drain times.
+func MeasureScaling(nQueries, W, w, windows int) (serialNS, parallelNS int64, err error) {
+	if serialNS, err = MeasureDrain(nQueries, W, w, windows, false); err != nil {
+		return 0, 0, err
+	}
+	if parallelNS, err = MeasureDrain(nQueries, W, w, windows, true); err != nil {
+		return 0, 0, err
+	}
+	return serialNS, parallelNS, nil
+}
+
+// RunScaling regenerates the multi-query scaling table: drain time of
+// N independent Q1-shaped queries under the serial scheduler vs the
+// concurrent one, N = 1..16.
+func RunScaling(cfg Config) (*Table, error) {
+	W, w := cfg.sized(1<<20, 8)
+	windows := cfg.windows(8)
+	t := &Table{
+		Figure: "Scaling",
+		Title:  fmt.Sprintf("multi-query scheduler, |W|=%d |w|=%d, %d windows/query", W, w, windows),
+		Header: []string{"queries", "serial_ms", "parallel_ms", "speedup"},
+		Notes:  fmt.Sprintf("(PumpParallel pool bounded by GOMAXPROCS=%d)", runtime.GOMAXPROCS(0)),
+	}
+	for _, n := range []int{1, 2, 4, 8, 16} {
+		serial, parallel, err := MeasureScaling(n, W, w, windows)
+		if err != nil {
+			return nil, err
+		}
+		speedup := "-"
+		if parallel > 0 {
+			speedup = fmt.Sprintf("%.2fx", float64(serial)/float64(parallel))
+		}
+		t.Rows = append(t.Rows, []string{fmt.Sprint(n), ms(serial), ms(parallel), speedup})
+	}
+	return t, nil
+}

@@ -1,0 +1,47 @@
+package bench
+
+import (
+	"runtime"
+	"testing"
+)
+
+func TestRunScalingProducesRows(t *testing.T) {
+	tbl, err := RunScaling(Config{Scale: 1024, Windows: 3, Quiet: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 5 {
+		t.Fatalf("rows: %d", len(tbl.Rows))
+	}
+}
+
+// TestParallelSchedulerBeatsSerial is the acceptance check for the
+// concurrent scheduler: with >= 4 independent queries and >= 4 cores, the
+// parallel drain must beat the serial one on wall-clock. The workload is
+// sized so each query does several milliseconds of work, dwarfing
+// goroutine overhead; best-of-3 damps scheduler noise.
+func TestParallelSchedulerBeatsSerial(t *testing.T) {
+	if runtime.GOMAXPROCS(0) < 4 || runtime.NumCPU() < 4 {
+		t.Skipf("needs >= 4 cores (GOMAXPROCS=%d, NumCPU=%d)", runtime.GOMAXPROCS(0), runtime.NumCPU())
+	}
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	best := 0.0
+	var lastSerial, lastParallel int64
+	for attempt := 0; attempt < 3; attempt++ {
+		serial, parallel, err := MeasureScaling(4, 1<<15, 1<<12, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lastSerial, lastParallel = serial, parallel
+		if s := float64(serial) / float64(parallel); s > best {
+			best = s
+		}
+		if best > 1.2 {
+			return
+		}
+	}
+	t.Errorf("parallel scheduler not faster: best speedup %.2fx (last serial %dns, parallel %dns)",
+		best, lastSerial, lastParallel)
+}

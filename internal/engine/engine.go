@@ -9,6 +9,7 @@ package engine
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -60,6 +61,16 @@ type Engine struct {
 	// loadNS accumulates wall time spent appending stream data (the
 	// "loading" component of the paper's cost breakdown figure).
 	loadNS int64
+
+	// Concurrent scheduler state (see scheduler.go). schedMu is always
+	// acquired before mu when both are needed.
+	schedMu sync.Mutex
+	running bool
+	workers map[string]*workerHandle
+	// deregErr preserves the first worker error of a query that was
+	// deregistered while failed, so Err() keeps reporting it until the
+	// next Start.
+	deregErr error
 }
 
 type streamInfo struct {
@@ -84,6 +95,7 @@ func New() *Engine {
 		streams: map[string]*streamInfo{},
 		tables:  map[string]*tableStore{},
 		queries: map[string]*ContinuousQuery{},
+		workers: map[string]*workerHandle{},
 	}
 }
 
@@ -154,7 +166,7 @@ func (e *Engine) Append(stream string, cols []*vector.Vector, ts []int64) error 
 	subs := append([]*queryInput(nil), si.subscribers...)
 	if len(cols) > 0 && cols[0].Len() > 0 {
 		si.appended += int64(cols[0].Len())
-		if ts != nil {
+		if len(ts) > 0 {
 			last := ts[len(ts)-1]
 			if last > si.watermark {
 				si.watermark = last
@@ -165,13 +177,16 @@ func (e *Engine) Append(stream string, cols []*vector.Vector, ts []int64) error 
 	for _, qi := range subs {
 		qi.bkt.Lock()
 		err := qi.bkt.AppendColumnsLocked(cols, ts)
-		if ts != nil && len(ts) > 0 {
+		if len(ts) > 0 {
 			qi.advanceWatermarkLocked(ts[len(ts)-1])
 		}
 		qi.bkt.Unlock()
 		if err != nil {
 			return err
 		}
+		// Wake only the factories subscribed to this stream; independent
+		// queries never share a wake-up (the Petri-net edge of the paper).
+		qi.q.notifyData()
 	}
 	e.mu.Lock()
 	e.loadNS += time.Since(t0).Nanoseconds()
@@ -220,6 +235,7 @@ func (e *Engine) SetWatermark(stream string, ts int64) error {
 		qi.bkt.Lock()
 		qi.advanceWatermarkLocked(ts)
 		qi.bkt.Unlock()
+		qi.q.notifyData()
 	}
 	return nil
 }
@@ -239,7 +255,9 @@ func (e *Engine) tableInputs(prog *plan.Program) ([]exec.Input, error) {
 		if src.IsStream {
 			continue
 		}
+		e.mu.Lock()
 		ts, ok := e.tables[src.Name]
+		e.mu.Unlock()
 		if !ok {
 			return nil, fmt.Errorf("engine: unknown table %q", src.Name)
 		}
@@ -270,16 +288,25 @@ func (e *Engine) QueryOnce(query string) (*exec.Table, error) {
 	return exec.Run(prog, inputs)
 }
 
-// Pump fires every continuous query as long as it has enough buffered data
-// for another step, and returns the number of steps executed. It is the
-// synchronous form of the scheduler: deterministic, ideal for tests and
-// benchmarks.
-func (e *Engine) Pump() (int, error) {
-	e.mu.Lock()
+// sortedQueriesLocked snapshots the registered queries in registration
+// order. Caller must hold e.mu.
+func (e *Engine) sortedQueriesLocked() []*ContinuousQuery {
 	qs := make([]*ContinuousQuery, 0, len(e.queries))
 	for _, q := range e.queries {
 		qs = append(qs, q)
 	}
+	sort.Slice(qs, func(i, j int) bool { return qs[i].seq < qs[j].seq })
+	return qs
+}
+
+// Pump fires every continuous query as long as it has enough buffered data
+// for another step, and returns the number of steps executed. It is the
+// synchronous form of the scheduler: deterministic (queries fire in
+// registration order on the calling goroutine), ideal for tests and
+// benchmarks. See Start/PumpParallel for the concurrent forms.
+func (e *Engine) Pump() (int, error) {
+	e.mu.Lock()
+	qs := e.sortedQueriesLocked()
 	e.mu.Unlock()
 	steps := 0
 	for {

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"datacell/internal/basket"
@@ -52,18 +53,97 @@ type ContinuousQuery struct {
 	rt     *core.Runtime
 	inc    *core.IncPlan
 	inputs []*queryInput // one per program source (nil basket for tables)
+	seq    int           // registration order, for deterministic Pump
 
 	onResult func(*Result)
 	chunker  *ChunkController
 
+	// stepMu serializes step execution: whether a step is fired by the
+	// query's own worker goroutine, by a synchronous Engine.Pump, or by
+	// Engine.PumpParallel, the query's steps stay totally ordered. The
+	// emitter callback runs under stepMu, so results are ordered too.
+	stepMu sync.Mutex
+
+	// wake is the per-query wake channel. Receptors (Engine.Append,
+	// Engine.SetWatermark) post to it after delivering data to one of the
+	// query's baskets; the worker goroutine drains it. Capacity 1: a
+	// pending wake-up already covers any number of appends. Each worker
+	// generation gets a fresh channel (resetWake) so an exiting worker can
+	// never consume its successor's wake-ups; guarded by statsMu.
+	wake chan struct{}
+
+	// statsMu guards the cumulative counters below and the worker's
+	// terminal error. Step execution is already serialized by stepMu;
+	// statsMu exists so readers (Windows, CostBreakdown, Err) are
+	// race-free against a running worker.
+	statsMu sync.Mutex
 	windows int
 	totalNS int64
 	mainNS  int64
 	mergeNS int64
+	err     error
+	// emitting is true while the query's OnResult callback is running.
+	// Deregister/Stop consult it to avoid self-deadlock when the callback
+	// itself tears the scheduler down (see stopWorker).
+	emitting bool
+}
+
+// emit invokes the result callback with the emitting flag set.
+func (q *ContinuousQuery) emit(r *Result) {
+	q.statsMu.Lock()
+	q.emitting = true
+	q.statsMu.Unlock()
+	q.onResult(r)
+	q.statsMu.Lock()
+	q.emitting = false
+	q.statsMu.Unlock()
+}
+
+func (q *ContinuousQuery) isEmitting() bool {
+	q.statsMu.Lock()
+	defer q.statsMu.Unlock()
+	return q.emitting
+}
+
+// notifyData posts a non-blocking wake-up for the query's worker.
+func (q *ContinuousQuery) notifyData() {
+	q.statsMu.Lock()
+	ch := q.wake
+	q.statsMu.Unlock()
+	select {
+	case ch <- struct{}{}:
+	default:
+	}
+}
+
+// resetWake installs and returns a fresh wake channel for a new worker
+// generation. The worker's initial drain covers anything appended before
+// the swap, so wake-ups posted to the previous channel are never lost.
+func (q *ContinuousQuery) resetWake() chan struct{} {
+	ch := make(chan struct{}, 1)
+	q.statsMu.Lock()
+	q.wake = ch
+	q.statsMu.Unlock()
+	return ch
+}
+
+// Err returns the terminal error of the query's worker goroutine, or nil
+// while the query is healthy. It is reset when the scheduler restarts.
+func (q *ContinuousQuery) Err() error {
+	q.statsMu.Lock()
+	defer q.statsMu.Unlock()
+	return q.err
+}
+
+func (q *ContinuousQuery) setErr(err error) {
+	q.statsMu.Lock()
+	q.err = err
+	q.statsMu.Unlock()
 }
 
 // queryInput tracks the per-source window accounting of one query.
 type queryInput struct {
+	q      *ContinuousQuery // owning factory, notified on new data
 	srcIdx int
 	stream string
 	spec   *sql.WindowSpec
@@ -108,6 +188,7 @@ func (e *Engine) Register(query string, opts Options) (*ContinuousQuery, error) 
 	e.mu.Lock()
 	e.nextID++
 	id := fmt.Sprintf("q%d", e.nextID)
+	seq := e.nextID
 	e.mu.Unlock()
 
 	mode := opts.Mode
@@ -115,8 +196,9 @@ func (e *Engine) Register(query string, opts Options) (*ContinuousQuery, error) 
 		mode = resolveAutoMode(prog, opts.AutoThreshold)
 	}
 	q := &ContinuousQuery{
-		ID: id, SQL: query, Mode: mode,
+		ID: id, SQL: query, Mode: mode, seq: seq,
 		eng: e, prog: prog, onResult: opts.OnResult,
+		wake: make(chan struct{}, 1),
 	}
 	if q.onResult == nil {
 		q.onResult = func(*Result) {}
@@ -147,12 +229,17 @@ func (e *Engine) Register(query string, opts Options) (*ContinuousQuery, error) 
 
 	// Wire baskets.
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	for i, src := range prog.Sources {
-		qi := &queryInput{srcIdx: i, stream: src.Name, spec: src.Window}
+		qi := &queryInput{q: q, srcIdx: i, stream: src.Name, spec: src.Window}
 		if src.IsStream {
 			si, ok := e.streams[src.Name]
 			if !ok {
+				// Unwind subscriptions wired so far: a half-registered
+				// query must not keep receiving (and buffering) appends.
+				for _, prev := range q.inputs {
+					e.detachLocked(prev)
+				}
+				e.mu.Unlock()
 				return nil, fmt.Errorf("engine: unknown stream %q", src.Name)
 			}
 			qi.bkt = basket.New(fmt.Sprintf("%s.%s", id, src.Ref), src.Schema)
@@ -162,33 +249,59 @@ func (e *Engine) Register(query string, opts Options) (*ContinuousQuery, error) 
 		q.inputs = append(q.inputs, qi)
 	}
 	e.queries[id] = q
+	e.mu.Unlock()
+	// If the scheduler is live, give the new factory its worker right away.
+	e.maybeStartWorker(q)
 	return q, nil
 }
 
-// Deregister removes a continuous query and detaches its baskets.
+// Deregister removes a continuous query, detaches its baskets and, if the
+// scheduler is running, stops the query's worker goroutine (blocking until
+// any in-flight step finishes).
 func (e *Engine) Deregister(q *ContinuousQuery) {
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	delete(e.queries, q.ID)
 	for _, qi := range q.inputs {
-		if qi.bkt == nil {
-			continue
-		}
-		si := e.streams[qi.stream]
-		for i, sub := range si.subscribers {
-			if sub == qi {
-				si.subscribers = append(si.subscribers[:i], si.subscribers[i+1:]...)
-				break
-			}
+		e.detachLocked(qi)
+	}
+	e.mu.Unlock()
+	e.stopWorker(q)
+}
+
+// detachLocked removes one query input from its stream's subscriber list.
+// Caller holds e.mu. No-op for table inputs.
+func (e *Engine) detachLocked(qi *queryInput) {
+	if qi.bkt == nil {
+		return
+	}
+	si := e.streams[qi.stream]
+	for i, sub := range si.subscribers {
+		if sub == qi {
+			si.subscribers = append(si.subscribers[:i], si.subscribers[i+1:]...)
+			break
 		}
 	}
 }
 
 // Windows returns how many window results the query has emitted.
-func (q *ContinuousQuery) Windows() int { return q.windows }
+func (q *ContinuousQuery) Windows() int {
+	q.statsMu.Lock()
+	defer q.statsMu.Unlock()
+	return q.windows
+}
+
+// bumpWindows increments the emitted-window count and returns it.
+func (q *ContinuousQuery) bumpWindows() int {
+	q.statsMu.Lock()
+	defer q.statsMu.Unlock()
+	q.windows++
+	return q.windows
+}
 
 // CostBreakdown returns cumulative (main, merge, total) nanoseconds.
 func (q *ContinuousQuery) CostBreakdown() (mainNS, mergeNS, totalNS int64) {
+	q.statsMu.Lock()
+	defer q.statsMu.Unlock()
 	return q.mainNS, q.mergeNS, q.totalNS
 }
 
@@ -196,10 +309,25 @@ func (q *ContinuousQuery) CostBreakdown() (mainNS, mergeNS, totalNS int64) {
 func (q *ContinuousQuery) Chunker() *ChunkController { return q.chunker }
 
 // pump fires the query as many times as buffered data allows and returns
-// the number of steps executed.
-func (q *ContinuousQuery) pump() (int, error) {
+// the number of steps executed. Safe to call from any goroutine: stepMu
+// keeps the query's steps totally ordered.
+func (q *ContinuousQuery) pump() (int, error) { return q.pumpUntil(nil) }
+
+// pumpUntil is pump with an optional cancellation channel, checked between
+// steps so a worker being stopped abandons its drain after at most one
+// more window step (remaining data stays buffered for the next scheduler).
+func (q *ContinuousQuery) pumpUntil(stop <-chan struct{}) (int, error) {
+	q.stepMu.Lock()
+	defer q.stepMu.Unlock()
 	steps := 0
 	for {
+		if stop != nil {
+			select {
+			case <-stop:
+				return steps, nil
+			default:
+			}
+		}
 		fired, err := q.fireOnce()
 		if err != nil {
 			return steps, err
@@ -365,8 +493,7 @@ func (q *ContinuousQuery) fireIncremental() (bool, error) {
 		q.chunker.Observe(stats.MainNS + stats.MergeNS)
 	}
 	if tbl != nil {
-		q.windows++
-		q.onResult(&Result{Window: q.windows, Table: tbl, Stats: stats, StepNS: stepNS})
+		q.emit(&Result{Window: q.bumpWindows(), Table: tbl, Stats: stats, StepNS: stepNS})
 	}
 	return true, nil
 }
@@ -444,7 +571,7 @@ func (q *ContinuousQuery) fireReevaluation() (bool, error) {
 			}
 			plans = append(plans, viewPlan{qi: qi, view: int(qi.spec.Rows), expire: int(qi.spec.SlideRows)})
 		case qi.spec.Kind == sql.LandmarkWindow && qi.spec.SlideRows > 0:
-			need := int(qi.spec.SlideRows) * (q.windows + 1)
+			need := int(qi.spec.SlideRows) * (q.Windows() + 1)
 			if qi.bkt.LenLocked() < need {
 				qi.bkt.Unlock()
 				return false, nil
@@ -518,13 +645,14 @@ func (q *ContinuousQuery) fireReevaluation() (bool, error) {
 	stepNS := time.Since(t0).Nanoseconds()
 	stats := core.StepStats{MainNS: stepNS, Emitted: true, ResultRows: tbl.NumRows()}
 	q.account(stats, stepNS)
-	q.windows++
-	q.onResult(&Result{Window: q.windows, Table: tbl, Stats: stats, StepNS: stepNS})
+	q.emit(&Result{Window: q.bumpWindows(), Table: tbl, Stats: stats, StepNS: stepNS})
 	return true, nil
 }
 
 func (q *ContinuousQuery) account(stats core.StepStats, stepNS int64) {
+	q.statsMu.Lock()
 	q.mainNS += stats.MainNS
 	q.mergeNS += stats.MergeNS
 	q.totalNS += stepNS
+	q.statsMu.Unlock()
 }

@@ -1,0 +1,228 @@
+package engine
+
+import (
+	"runtime"
+	"sync"
+)
+
+// This file implements the concurrent factory scheduler: the paper's
+// Petri-net model where every factory (continuous query) is an independent
+// executor. Each registered query gets its own worker goroutine with a
+// per-query wake channel; receptors (Engine.Append, Engine.SetWatermark)
+// notify only the factories subscribed to the stream they fed, so
+// independent queries pump in parallel while each query's steps stay
+// totally ordered (ContinuousQuery.stepMu).
+//
+// Two scheduling forms coexist:
+//
+//   - Start/Stop: the long-running form. One worker per query, event
+//     driven, used by datacell.DB.Run.
+//   - PumpParallel: the batch form. One bounded fan-out over the
+//     registered queries, used by benchmarks and batch drivers that want
+//     parallelism with a synchronous completion point.
+//
+// The deterministic synchronous Pump (engine.go) is unchanged and remains
+// the tool of choice for tests.
+
+// workerHandle tracks one live factory worker.
+type workerHandle struct {
+	q    *ContinuousQuery
+	stop chan struct{} // closed to ask the worker to exit
+	done chan struct{} // closed by the worker on exit
+}
+
+// wait blocks until the worker exits — unless its query is currently
+// inside its OnResult callback, in which case the caller may BE that
+// worker (a callback calling Close or Stop) and waiting would
+// self-deadlock. The stop channel is already closed, so the worker exits
+// right after the in-flight step either way. The cost of not being able
+// to tell the two apart: an external Stop/Close that races a result
+// callback returns while that final callback finishes; the exiting
+// worker processes no further data and (workers own per-generation wake
+// channels) cannot swallow a successor's wake-ups.
+func (h *workerHandle) wait() {
+	if h.q.isEmitting() {
+		return
+	}
+	<-h.done
+}
+
+// Start launches one worker goroutine per registered continuous query and
+// marks the scheduler running; queries registered later get workers on
+// registration. Start is idempotent and restartable after Stop: terminal
+// per-query errors from the previous run are cleared so factories retry.
+func (e *Engine) Start() {
+	e.schedMu.Lock()
+	defer e.schedMu.Unlock()
+	if e.running {
+		return
+	}
+	e.running = true
+	e.deregErr = nil
+	e.mu.Lock()
+	qs := e.sortedQueriesLocked()
+	e.mu.Unlock()
+	for _, q := range qs {
+		q.setErr(nil)
+		e.startWorkerLocked(q)
+	}
+}
+
+// Stop halts all factory workers and blocks until in-flight steps finish.
+// Buffered data stays in the baskets; a later Start (or a synchronous
+// Pump) picks up exactly where the workers left off. Stop may be called
+// from inside an OnResult callback: the calling query's own in-flight
+// step then finishes (and its worker exits) just after Stop returns.
+func (e *Engine) Stop() {
+	e.schedMu.Lock()
+	if !e.running {
+		e.schedMu.Unlock()
+		return
+	}
+	e.running = false
+	hs := e.workers
+	e.workers = map[string]*workerHandle{}
+	e.schedMu.Unlock()
+	for _, h := range hs {
+		close(h.stop)
+	}
+	for _, h := range hs {
+		h.wait()
+	}
+}
+
+// Running reports whether the concurrent scheduler is active.
+func (e *Engine) Running() bool {
+	e.schedMu.Lock()
+	defer e.schedMu.Unlock()
+	return e.running
+}
+
+// Err returns the first terminal worker error across queries (registration
+// order), or nil if every factory is healthy. Errors of queries that were
+// deregistered while failed are retained until the next Start.
+func (e *Engine) Err() error {
+	e.mu.Lock()
+	qs := e.sortedQueriesLocked()
+	e.mu.Unlock()
+	for _, q := range qs {
+		if err := q.Err(); err != nil {
+			return err
+		}
+	}
+	e.schedMu.Lock()
+	defer e.schedMu.Unlock()
+	return e.deregErr
+}
+
+// startWorkerLocked spawns the worker for q. Caller holds schedMu and has
+// checked e.running. No-op if the query already has a live worker (Start
+// racing a concurrent Register can otherwise reach here twice).
+func (e *Engine) startWorkerLocked(q *ContinuousQuery) {
+	if _, live := e.workers[q.ID]; live {
+		return
+	}
+	h := &workerHandle{q: q, stop: make(chan struct{}), done: make(chan struct{})}
+	e.workers[q.ID] = h
+	go q.work(h.stop, h.done, q.resetWake())
+}
+
+// maybeStartWorker gives a freshly registered query its worker if the
+// scheduler is live.
+func (e *Engine) maybeStartWorker(q *ContinuousQuery) {
+	e.schedMu.Lock()
+	defer e.schedMu.Unlock()
+	if !e.running {
+		return
+	}
+	e.startWorkerLocked(q)
+}
+
+// stopWorker halts the worker of a single query (Deregister) and waits for
+// it to exit, preserving the query's terminal error (if any) for Err().
+// No-op when the query has no live worker.
+func (e *Engine) stopWorker(q *ContinuousQuery) {
+	e.schedMu.Lock()
+	h := e.workers[q.ID]
+	delete(e.workers, q.ID)
+	e.schedMu.Unlock()
+	if h != nil {
+		close(h.stop)
+		h.wait()
+	}
+	if err := q.Err(); err != nil {
+		e.schedMu.Lock()
+		if e.deregErr == nil {
+			e.deregErr = err
+		}
+		e.schedMu.Unlock()
+	}
+}
+
+// work is the factory worker loop: drain everything fireable, then sleep
+// until a receptor posts to the wake channel. The stop channel is checked
+// between steps (not just between drains), so Stop latency stays bounded
+// by one window step even when appenders outpace processing. A step error
+// is terminal for this factory until the scheduler restarts — the error is
+// stored for Err() and the worker parks so other queries keep running.
+func (q *ContinuousQuery) work(stop, done chan struct{}, wake <-chan struct{}) {
+	defer close(done)
+	for {
+		if _, err := q.pumpUntil(stop); err != nil {
+			q.setErr(err)
+			<-stop
+			return
+		}
+		select {
+		case <-stop:
+			return
+		case <-wake:
+		}
+	}
+}
+
+// PumpParallel is the concurrent form of Pump: it fans the registered
+// queries out over a pool of at most workers goroutines (workers <= 0
+// means GOMAXPROCS) and returns the total number of steps executed once
+// no query can fire anymore. Per-query step order is preserved; cross-query
+// result interleaving is not deterministic. The first step error aborts
+// the pass after the current round and is returned.
+func (e *Engine) PumpParallel(workers int) (int, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	e.mu.Lock()
+	qs := e.sortedQueriesLocked()
+	e.mu.Unlock()
+	total := 0
+	for {
+		sem := make(chan struct{}, workers)
+		var wg sync.WaitGroup
+		var resMu sync.Mutex
+		roundSteps := 0
+		var firstErr error
+		for _, q := range qs {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(q *ContinuousQuery) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				n, err := q.pump()
+				resMu.Lock()
+				roundSteps += n
+				if err != nil && firstErr == nil {
+					firstErr = err
+				}
+				resMu.Unlock()
+			}(q)
+		}
+		wg.Wait()
+		total += roundSteps
+		if firstErr != nil {
+			return total, firstErr
+		}
+		if roundSteps == 0 {
+			return total, nil
+		}
+	}
+}
