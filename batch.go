@@ -1,0 +1,250 @@
+package datacell
+
+import (
+	"fmt"
+
+	"datacell/internal/vector"
+)
+
+// Batch is a reusable columnar staging buffer for stream ingest: the
+// public surface of the kernel's native format. Values are appended
+// through typed, allocation-free column appenders (or the boxed AppendRow
+// fallback) and handed to the engine in one call via DB.AppendBatch, which
+// copies them into the subscriber baskets as typed bulk appends — no
+// per-value boxing anywhere on the path. After AppendBatch the batch can
+// be Reset and refilled, reusing its column storage.
+//
+//	b, _ := db.NewBatch("sensors")
+//	room, temp := b.Int64Col("room"), b.Float64Col("temp")
+//	for _, r := range readings {
+//		room.Append(r.Room)
+//		temp.Append(r.Celsius)
+//	}
+//	db.AppendBatch("sensors", b)
+//	b.Reset()
+type Batch struct {
+	defs []ColumnDef
+	cols []*vector.Vector
+}
+
+// NewBatch creates a batch with the given columns. The column set must
+// match the schema of the stream it is appended to; DB.NewBatch derives it
+// from a registered stream directly.
+func NewBatch(cols ...ColumnDef) *Batch {
+	b := &Batch{defs: append([]ColumnDef(nil), cols...)}
+	b.cols = make([]*vector.Vector, len(cols))
+	for i, c := range cols {
+		b.cols[i] = vector.New(c.Type, 0)
+	}
+	return b
+}
+
+// NewBatch creates a batch shaped like the registered stream's schema.
+func (db *DB) NewBatch(stream string) (*Batch, error) {
+	schema, ok := db.eng.StreamSchema(stream)
+	if !ok {
+		return nil, fmt.Errorf("datacell: unknown stream %q", stream)
+	}
+	defs := make([]ColumnDef, len(schema.Cols))
+	for i, c := range schema.Cols {
+		defs[i] = ColumnDef{Name: c.Name, Type: c.Type}
+	}
+	return NewBatch(defs...), nil
+}
+
+// Columns returns the batch's column definitions (shared slice; read-only).
+func (b *Batch) Columns() []ColumnDef { return b.defs }
+
+// Len returns the number of complete rows in the batch: the length of the
+// shortest column. Columns left behind by partial appender use surface as
+// an error at AppendBatch time, not here.
+func (b *Batch) Len() int {
+	if len(b.cols) == 0 {
+		return 0
+	}
+	n := b.cols[0].Len()
+	for _, c := range b.cols[1:] {
+		if l := c.Len(); l < n {
+			n = l
+		}
+	}
+	return n
+}
+
+// Reset drops all rows, keeping the column storage for reuse.
+func (b *Batch) Reset() {
+	for _, c := range b.cols {
+		c.Truncate(0)
+	}
+}
+
+// AppendRow appends one boxed row — the compatibility fallback for callers
+// that cannot use the typed appenders. Values must match the column types
+// (Int64 and Timestamp are interchangeable).
+func (b *Batch) AppendRow(vals ...Value) error {
+	if len(vals) != len(b.cols) {
+		return fmt.Errorf("datacell: batch row arity %d, want %d", len(vals), len(b.cols))
+	}
+	for i, v := range vals {
+		want := b.defs[i].Type
+		if v.Typ != want && !(vector.IntKind(v.Typ) && vector.IntKind(want)) {
+			return fmt.Errorf("datacell: batch column %s expects %s, got %s", b.defs[i].Name, want, v.Typ)
+		}
+	}
+	for i, v := range vals {
+		b.cols[i].AppendValue(v)
+	}
+	return nil
+}
+
+func (b *Batch) col(name string, want ...Type) *vector.Vector {
+	for i, d := range b.defs {
+		if d.Name != name {
+			continue
+		}
+		for _, t := range want {
+			if d.Type == t {
+				return b.cols[i]
+			}
+		}
+		panic(fmt.Sprintf("datacell: batch column %s is %s, not %s", name, d.Type, want[0]))
+	}
+	panic(fmt.Sprintf("datacell: batch has no column %q", name))
+}
+
+// Int64Appender appends int64 values to one Int64 (or Timestamp) column
+// without boxing. The zero value is invalid; obtain appenders from
+// Batch.Int64Col or Batch.TimestampCol.
+type Int64Appender struct{ v *vector.Vector }
+
+// Append appends one value.
+func (a Int64Appender) Append(x int64) { a.v.AppendInt64(x) }
+
+// AppendSlice bulk-appends xs.
+func (a Int64Appender) AppendSlice(xs []int64) { a.v.AppendInt64s(xs) }
+
+// Float64Appender appends float64 values to one Float64 column.
+type Float64Appender struct{ v *vector.Vector }
+
+// Append appends one value.
+func (a Float64Appender) Append(x float64) { a.v.AppendFloat64(x) }
+
+// AppendSlice bulk-appends xs.
+func (a Float64Appender) AppendSlice(xs []float64) { a.v.AppendFloat64s(xs) }
+
+// StringAppender appends string values to one String column.
+type StringAppender struct{ v *vector.Vector }
+
+// Append appends one value.
+func (a StringAppender) Append(x string) { a.v.AppendStr(x) }
+
+// AppendSlice bulk-appends xs.
+func (a StringAppender) AppendSlice(xs []string) { a.v.AppendStrs(xs) }
+
+// BoolAppender appends bool values to one Bool column.
+type BoolAppender struct{ v *vector.Vector }
+
+// Append appends one value.
+func (a BoolAppender) Append(x bool) { a.v.AppendBool(x) }
+
+// AppendSlice bulk-appends xs.
+func (a BoolAppender) AppendSlice(xs []bool) { a.v.AppendBools(xs) }
+
+// Int64Col returns the typed appender for an Int64 (or Timestamp) column.
+// It panics on an unknown name or mismatched type — appender lookup is a
+// programming error, caught once at wiring time, so the per-value Append
+// path stays check-free. Fetch appenders once and reuse them.
+func (b *Batch) Int64Col(name string) Int64Appender {
+	return Int64Appender{v: b.col(name, Int64, Timestamp)}
+}
+
+// TimestampCol returns the typed appender for a Timestamp column
+// (microsecond int64 values); the same panic rules as Int64Col apply.
+func (b *Batch) TimestampCol(name string) Int64Appender {
+	return Int64Appender{v: b.col(name, Timestamp, Int64)}
+}
+
+// Float64Col returns the typed appender for a Float64 column; the same
+// panic rules as Int64Col apply.
+func (b *Batch) Float64Col(name string) Float64Appender {
+	return Float64Appender{v: b.col(name, Float64)}
+}
+
+// StringCol returns the typed appender for a String column; the same panic
+// rules as Int64Col apply.
+func (b *Batch) StringCol(name string) StringAppender {
+	return StringAppender{v: b.col(name, String)}
+}
+
+// BoolCol returns the typed appender for a Bool column; the same panic
+// rules as Int64Col apply.
+func (b *Batch) BoolCol(name string) BoolAppender {
+	return BoolAppender{v: b.col(name, Bool)}
+}
+
+// checkRect verifies every column holds exactly n rows.
+func (b *Batch) checkRect() (int, error) {
+	if len(b.cols) == 0 {
+		return 0, fmt.Errorf("datacell: batch has no columns")
+	}
+	n := b.cols[0].Len()
+	for i, c := range b.cols[1:] {
+		if c.Len() != n {
+			return 0, fmt.Errorf("datacell: ragged batch: column %s has %d rows, column %s has %d",
+				b.defs[i+1].Name, c.Len(), b.defs[0].Name, n)
+		}
+	}
+	return n, nil
+}
+
+// AppendBatch delivers the batch to a stream (the columnar receptor fast
+// path). All rows share one strictly-increasing wall-clock arrival
+// timestamp, exactly like Append. The batch's values are copied into the
+// subscriber baskets, so the caller may Reset and refill it immediately.
+func (db *DB) AppendBatch(stream string, b *Batch) error {
+	n, err := b.checkRect()
+	if err != nil {
+		return err
+	}
+	c, err := db.clock(stream)
+	if err != nil {
+		return err
+	}
+	if n == 0 {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ts := make([]int64, n)
+	now := c.stampLocked()
+	for i := range ts {
+		ts[i] = now
+	}
+	return db.eng.AppendColumns(stream, b.cols, ts)
+}
+
+// AppendBatchAt is AppendBatch with explicit event timestamps, one per row
+// in non-decreasing order — the columnar form of AppendAt.
+func (db *DB) AppendBatchAt(stream string, ts []int64, b *Batch) error {
+	n, err := b.checkRect()
+	if err != nil {
+		return err
+	}
+	if err := validateEventTimes("AppendBatchAt", ts, n); err != nil {
+		return err
+	}
+	c, err := db.clock(stream)
+	if err != nil {
+		return err
+	}
+	if n == 0 {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := db.eng.AppendColumns(stream, b.cols, ts); err != nil {
+		return err
+	}
+	c.noteLocked(ts[n-1])
+	return nil
+}

@@ -1,0 +1,232 @@
+package datacell
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBatchTypedAppenders(t *testing.T) {
+	db := New()
+	db.MustRegisterStream("m",
+		Col("k", Int64), Col("v", Float64), Col("tag", String), Col("ok", Bool))
+	q, err := db.Register(`SELECT k, count(*) FROM m [RANGE 4 SLIDE 4] GROUP BY k ORDER BY k`, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := db.NewBatch("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, v := b.Int64Col("k"), b.Float64Col("v")
+	tag, ok := b.StringCol("tag"), b.BoolCol("ok")
+	for i := 0; i < 4; i++ {
+		k.Append(int64(i % 2))
+		v.Append(float64(i) / 2)
+		tag.Append("t")
+		ok.Append(i%2 == 0)
+	}
+	if b.Len() != 4 {
+		t.Fatalf("batch len %d", b.Len())
+	}
+	if err := db.AppendBatch("m", b); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Pump(); err != nil {
+		t.Fatal(err)
+	}
+	rs := q.Results()
+	if len(rs) != 1 || rs[0].Table.NumRows() != 2 || rs[0].Table.Cols[1].Get(0).I != 2 {
+		t.Fatalf("results: %v", rs)
+	}
+}
+
+func TestBatchResetAndReuse(t *testing.T) {
+	db := New()
+	db.MustRegisterStream("s", Col("x1", Int64), Col("x2", Int64))
+	q, err := db.Register(`SELECT sum(x2) FROM s [RANGE 3 SLIDE 3]`, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := db.NewBatch("s")
+	x1, x2 := b.Int64Col("x1"), b.Int64Col("x2")
+	for round := 1; round <= 2; round++ {
+		for i := 0; i < 3; i++ {
+			x1.Append(int64(i))
+			x2.Append(int64(round))
+		}
+		if err := db.AppendBatch("s", b); err != nil {
+			t.Fatal(err)
+		}
+		b.Reset()
+		if b.Len() != 0 {
+			t.Fatal("Reset should empty the batch")
+		}
+	}
+	db.Pump()
+	rs := q.Results()
+	if len(rs) != 2 {
+		t.Fatalf("windows: %d", len(rs))
+	}
+	if rs[0].Table.Cols[0].Get(0).I != 3 || rs[1].Table.Cols[0].Get(0).I != 6 {
+		t.Fatalf("sums: %s %s", rs[0].Table, rs[1].Table)
+	}
+}
+
+func TestBatchAppendRowFallback(t *testing.T) {
+	db := New()
+	db.MustRegisterStream("s", Col("x1", Int64), Col("x2", Int64))
+	b, _ := db.NewBatch("s")
+	if err := b.AppendRow(Int(1), Int(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AppendRow(Int(1)); err == nil {
+		t.Error("arity mismatch should fail")
+	}
+	if err := b.AppendRow(Int(1), Str("no")); err == nil {
+		t.Error("type mismatch should fail")
+	}
+	if b.Len() != 1 {
+		t.Fatalf("failed rows must not partially append: len %d", b.Len())
+	}
+}
+
+func TestBatchAppenderPanics(t *testing.T) {
+	b := NewBatch(Col("a", Int64))
+	for name, f := range map[string]func(){
+		"unknown column": func() { b.Int64Col("nope") },
+		"wrong type":     func() { b.Float64Col("a") },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s should panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestAppendBatchValidation(t *testing.T) {
+	db := New()
+	db.MustRegisterStream("s", Col("x1", Int64), Col("x2", Int64))
+	if _, err := db.NewBatch("nosuch"); err == nil {
+		t.Error("NewBatch on unknown stream should fail")
+	}
+	b, _ := db.NewBatch("s")
+	if err := db.AppendBatch("nosuch", b); err == nil {
+		t.Error("append to unknown stream should fail")
+	}
+	if err := db.AppendBatch("s", b); err != nil {
+		t.Errorf("empty batch should be a no-op: %v", err)
+	}
+	// Ragged batch: one column ahead of the other.
+	b.Int64Col("x1").Append(1)
+	if err := db.AppendBatch("s", b); err == nil || !strings.Contains(err.Error(), "ragged") {
+		t.Errorf("ragged batch error: %v", err)
+	}
+	// Wrong shape for the stream.
+	wrong := NewBatch(Col("x1", Int64))
+	wrong.Int64Col("x1").Append(1)
+	if err := db.AppendBatch("s", wrong); err == nil {
+		t.Error("arity mismatch vs stream should fail")
+	}
+	shape := NewBatch(Col("x1", Int64), Col("x2", Float64))
+	shape.Int64Col("x1").Append(1)
+	shape.Float64Col("x2").Append(1)
+	if err := db.AppendBatch("s", shape); err == nil {
+		t.Error("column type mismatch vs stream should fail")
+	}
+}
+
+func TestAppendAtValidation(t *testing.T) {
+	db := New()
+	db.MustRegisterStream("s", Col("x1", Int64), Col("x2", Int64))
+	row := []Value{Int(1), Int(1)}
+	if err := db.AppendAt("s", []int64{1, 2}, row); err == nil ||
+		!strings.Contains(err.Error(), "timestamps for") {
+		t.Errorf("ts/row count mismatch: %v", err)
+	}
+	if err := db.AppendAt("s", []int64{5, 4}, row, row); err == nil ||
+		!strings.Contains(err.Error(), "non-monotonic") {
+		t.Errorf("non-monotonic: %v", err)
+	}
+	if err := db.AppendAt("s", nil); err != nil {
+		t.Errorf("empty AppendAt should be a no-op: %v", err)
+	}
+	if err := db.AppendAt("s", []int64{1, 1, 2}, row, row, row); err != nil {
+		t.Errorf("equal timestamps are fine: %v", err)
+	}
+}
+
+func TestAppendBatchAtValidation(t *testing.T) {
+	db := New()
+	db.MustRegisterStream("s", Col("x1", Int64), Col("x2", Int64))
+	b, _ := db.NewBatch("s")
+	b.Int64Col("x1").AppendSlice([]int64{1, 2})
+	b.Int64Col("x2").AppendSlice([]int64{1, 2})
+	if err := db.AppendBatchAt("s", []int64{1}, b); err == nil {
+		t.Error("ts count mismatch should fail")
+	}
+	if err := db.AppendBatchAt("s", []int64{9, 3}, b); err == nil {
+		t.Error("non-monotonic ts should fail")
+	}
+	if err := db.AppendBatchAt("s", []int64{3, 9}, b); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAppendMonotonicStamps pins the receptor clock guard: stamps handed
+// to consecutive Append calls on one stream are strictly increasing even
+// when the wall clock has not moved a microsecond, and explicit event
+// times push the guard forward.
+func TestAppendMonotonicStamps(t *testing.T) {
+	db := New()
+	db.MustRegisterStream("s", Col("x", Int64))
+	if _, err := db.clock("nosuch"); err == nil {
+		t.Error("clock for an unknown stream should fail (and not grow the registry)")
+	}
+	c, err := db.clock("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.mu.Lock()
+	prev := c.stampLocked()
+	for i := 0; i < 10_000; i++ {
+		now := c.stampLocked()
+		if now <= prev {
+			t.Fatalf("stamp went backwards: %d after %d", now, prev)
+		}
+		prev = now
+	}
+	c.mu.Unlock()
+	// An explicit event time in the future drags the guard past it.
+	future := prev + 60_000_000
+	if err := db.AppendAt("s", []int64{future}, []Value{Int(1)}); err != nil {
+		t.Fatal(err)
+	}
+	c.mu.Lock()
+	got := c.stampLocked()
+	c.mu.Unlock()
+	if got <= future {
+		t.Fatalf("stamp %d did not advance past event time %d", got, future)
+	}
+}
+
+// TestBatchZeroBoxing pins the allocation contract of the typed appender
+// path: refilling a warmed-up batch must not allocate at all.
+func TestBatchZeroBoxing(t *testing.T) {
+	b := NewBatch(Col("a", Int64), Col("b", Float64))
+	ca, cb := b.Int64Col("a"), b.Float64Col("b")
+	fill := func() {
+		b.Reset()
+		for i := 0; i < 256; i++ {
+			ca.Append(int64(i))
+			cb.Append(float64(i))
+		}
+	}
+	fill() // warm up capacity
+	if allocs := testing.AllocsPerRun(100, fill); allocs != 0 {
+		t.Errorf("refilling a warm batch allocated %v times per run", allocs)
+	}
+}

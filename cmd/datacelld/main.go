@@ -30,6 +30,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -229,10 +230,12 @@ func runFeed(db *datacell.DB, line string) error {
 	return nil
 }
 
-// feedCSV streams integer csv rows into a stream in batches. With the
-// concurrent scheduler running, appending is enough — each query's worker
-// fires as its baskets fill; otherwise it pumps synchronously after each
-// batch so results interleave with loading.
+// feedCSV streams integer csv rows into a stream through the columnar
+// Source/Batch ingest path, honoring the user's per-append batch size
+// (each AppendBatch shares one arrival timestamp). With the concurrent
+// scheduler running, appending is enough — each query's worker fires as
+// its baskets fill; otherwise it pumps synchronously after each batch so
+// results interleave with loading.
 func feedCSV(db *datacell.DB, stream, path string, batch int) (int64, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -249,27 +252,17 @@ func feedCSV(db *datacell.DB, stream, path string, batch int) (int64, error) {
 	if _, err := f.Seek(0, io.SeekStart); err != nil {
 		return 0, err
 	}
-	r := workload.NewCSVReader(f, arity)
-	for {
-		cols, rerr := r.ReadBatch(batch)
-		if cols[0].Len() > 0 {
-			rows := colsToRows(cols)
-			if err := db.Append(stream, rows...); err != nil {
-				return r.Rows(), err
-			}
-			if !db.Running() {
-				if _, err := db.Pump(); err != nil {
-					return r.Rows(), err
+	return db.Attach(context.Background(), stream, workload.NewCSVSource(f, arity),
+		datacell.AttachOptions{
+			BatchRows: batch,
+			AfterBatch: func() error {
+				if db.Running() {
+					return nil // workers fire as baskets fill
 				}
-			}
-		}
-		if rerr == io.EOF {
-			return r.Rows(), nil
-		}
-		if rerr != nil {
-			return r.Rows(), rerr
-		}
-	}
+				_, err := db.Pump()
+				return err
+			},
+		})
 }
 
 func runLoad(db *datacell.DB, line string) error {

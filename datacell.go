@@ -19,12 +19,25 @@
 //	q, _ := dc.Register(
 //		`SELECT room, avg(temp) FROM sensors [RANGE 1000 SLIDE 100] GROUP BY room`,
 //		datacell.Options{})
-//	q.OnResult(func(r *datacell.Result) {
-//		fmt.Println(r.Table)
-//	})
+//	results, _ := q.Subscribe(ctx, datacell.SubOptions{Buffer: 16})
+//	go func() {
+//		for r := range results {
+//			fmt.Println(r.Table)
+//		}
+//	}()
 //
-//	dc.Append("sensors", rows...)   // receptor side
-//	dc.Pump()                       // or dc.Run() for a background scheduler
+//	// Receptor side: columnar batches, no per-value boxing.
+//	b, _ := dc.NewBatch("sensors")
+//	room, temp := b.Int64Col("room"), b.Float64Col("temp")
+//	for _, s := range samples {
+//		room.Append(s.Room)
+//		temp.Append(s.Temp)
+//	}
+//	dc.AppendBatch("sensors", b)
+//	dc.Pump() // or dc.Run() for a background scheduler
+//
+// The row-oriented Append and callback-style OnResult remain as
+// compatibility wrappers over the same core.
 //
 // Queries run in one of two modes: Incremental (the paper's contribution,
 // default) or Reevaluation (the DataCellR baseline that recomputes every
@@ -126,11 +139,62 @@ type Table = exec.Table
 // DB is a DataCell instance: catalog, baskets, factories and scheduler.
 type DB struct {
 	eng *engine.Engine
+
+	// clockMu guards clocks, the per-stream arrival-clock registry (see
+	// streamClock).
+	clockMu sync.Mutex
+	clocks  map[string]*streamClock
+}
+
+// streamClock issues one stream's arrival timestamps. Its mutex is held
+// across both stamping and the engine hand-off, so concurrent producers
+// cannot land in the baskets out of timestamp order, and wall-clock stamps
+// are strictly increasing per stream even when consecutive calls fall in
+// the same microsecond — two batches can never interleave ambiguously
+// inside a time window.
+type streamClock struct {
+	mu   sync.Mutex
+	last int64
+}
+
+// stampLocked returns the next arrival stamp; c.mu must be held.
+func (c *streamClock) stampLocked() int64 {
+	now := time.Now().UnixMicro()
+	if now <= c.last {
+		now = c.last + 1
+	}
+	c.last = now
+	return now
+}
+
+// noteLocked records an explicit event timestamp so a later wall-clock
+// stamp cannot fall below it; c.mu must be held.
+func (c *streamClock) noteLocked(ts int64) {
+	if ts > c.last {
+		c.last = ts
+	}
+}
+
+// clock returns (creating on first use) the arrival clock of a stream.
+// The stream's existence is checked only on a registry miss, so unknown
+// names never grow the map and the steady-state path costs one mutex.
+func (db *DB) clock(stream string) (*streamClock, error) {
+	db.clockMu.Lock()
+	defer db.clockMu.Unlock()
+	c, ok := db.clocks[stream]
+	if !ok {
+		if _, exists := db.eng.StreamSchema(stream); !exists {
+			return nil, fmt.Errorf("datacell: unknown stream %q", stream)
+		}
+		c = &streamClock{}
+		db.clocks[stream] = c
+	}
+	return c, nil
 }
 
 // New creates an empty instance.
 func New() *DB {
-	return &DB{eng: engine.New()}
+	return &DB{eng: engine.New(), clocks: map[string]*streamClock{}}
 }
 
 func toSchema(cols []ColumnDef) (catalog.Schema, error) {
@@ -188,14 +252,42 @@ func (db *DB) InsertRows(table string, rows ...[]Value) error {
 	return db.eng.InsertTable(table, cols)
 }
 
-// Append delivers stream tuples (the receptor side). Timestamps default to
-// the arrival wall clock in microseconds.
+// validateEventTimes rejects the malformed explicit-timestamp batches that
+// would otherwise corrupt basket ordering deep inside the engine: a
+// timestamp count that does not match the row count, and timestamps that
+// go backwards within the batch.
+func validateEventTimes(api string, ts []int64, rows int) error {
+	if len(ts) != rows {
+		return fmt.Errorf("datacell: %s: %d timestamps for %d rows", api, len(ts), rows)
+	}
+	for i := 1; i < len(ts); i++ {
+		if ts[i] < ts[i-1] {
+			return fmt.Errorf("datacell: %s: non-monotonic timestamps (ts[%d]=%d < ts[%d]=%d)",
+				api, i, ts[i], i-1, ts[i-1])
+		}
+	}
+	return nil
+}
+
+// Append delivers stream tuples (the receptor side). All rows of one call
+// share a single arrival timestamp — the wall clock in microseconds,
+// bumped when needed so consecutive calls get strictly increasing stamps.
+//
+// Append is the row-oriented compatibility path: each field is boxed as a
+// Value and transposed to columns before reaching the kernel. Hot ingest
+// paths should build a Batch and use AppendBatch instead.
 func (db *DB) Append(stream string, rows ...[]Value) error {
 	if len(rows) == 0 {
 		return nil
 	}
+	c, err := db.clock(stream)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	ts := make([]int64, len(rows))
-	now := time.Now().UnixMicro()
+	now := c.stampLocked()
 	for i := range ts {
 		ts[i] = now
 	}
@@ -204,9 +296,26 @@ func (db *DB) Append(stream string, rows ...[]Value) error {
 
 // AppendAt delivers stream tuples with explicit event timestamps
 // (microseconds), required for time-based windows with event-time
-// semantics.
+// semantics. It requires exactly one timestamp per row, in non-decreasing
+// order.
 func (db *DB) AppendAt(stream string, ts []int64, rows ...[]Value) error {
-	return db.eng.AppendRows(stream, rows, ts)
+	if err := validateEventTimes("AppendAt", ts, len(rows)); err != nil {
+		return err
+	}
+	if len(rows) == 0 {
+		return nil
+	}
+	c, err := db.clock(stream)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := db.eng.AppendRows(stream, rows, ts); err != nil {
+		return err
+	}
+	c.noteLocked(ts[len(ts)-1])
+	return nil
 }
 
 // SetWatermark advances a stream's event-time watermark so time windows
@@ -233,12 +342,18 @@ func rowsToCols(rows [][]Value) ([]*vector.Vector, error) {
 }
 
 // Query is a registered continuous query.
+//
+// Results leave a query through exactly one delivery mechanism at a time:
+// an OnResult callback, a Subscribe channel, a Results2 iterator, or — when
+// none is installed — an internal buffer drained by Results or replayed by
+// the next sink.
 type Query struct {
 	db *DB
 	cq *engine.ContinuousQuery
 
 	mu       sync.Mutex
 	handler  func(*Result)
+	sub      *subscription
 	buffered []*Result
 }
 
@@ -268,28 +383,81 @@ func (db *DB) Register(query string, opts Options) (*Query, error) {
 	return q, nil
 }
 
+// deliver routes one result to the active sink — handler, subscription, or
+// the internal buffer. It runs on the goroutine executing the query step
+// (a scheduler worker or the Pump caller), so a Block-policy subscription
+// applies backpressure to the query itself.
 func (q *Query) deliver(r *Result) {
-	q.mu.Lock()
-	h := q.handler
-	if h == nil {
-		q.buffered = append(q.buffered, r)
-	}
-	q.mu.Unlock()
-	if h != nil {
-		h(r)
+	for {
+		q.mu.Lock()
+		h, s := q.handler, q.sub
+		if h == nil && s == nil {
+			q.buffered = append(q.buffered, r)
+			q.mu.Unlock()
+			return
+		}
+		q.mu.Unlock()
+		if h != nil {
+			h(r)
+			return
+		}
+		if s.deliver(r) {
+			return
+		}
+		// The subscription shut down mid-delivery (ctx cancelled / query
+		// closed). If it is still the installed sink, keep the result so
+		// the next sink replays it in order; if a new sink already took
+		// over, loop and deliver to that one instead (its backlog replay
+		// gate keeps r behind any older buffered results).
+		q.mu.Lock()
+		if q.handler == nil && (q.sub == nil || q.sub == s) {
+			q.buffered = append(q.buffered, r)
+			q.mu.Unlock()
+			return
+		}
+		q.mu.Unlock()
 	}
 }
 
 // OnResult installs the result handler; any results buffered before the
-// handler was installed are replayed first (in order).
+// handler was installed are replayed first (in order). OnResult panics if
+// the query has an active Subscribe channel — a query has one delivery
+// mechanism at a time.
 func (q *Query) OnResult(h func(*Result)) {
 	q.mu.Lock()
-	backlog := q.buffered
-	q.buffered = nil
-	q.handler = h
-	q.mu.Unlock()
-	for _, r := range backlog {
-		h(r)
+	for {
+		if old := q.sub; old != nil {
+			if !old.isClosed() {
+				q.mu.Unlock()
+				panic("datacell: OnResult on a query with an active subscription")
+			}
+			q.mu.Unlock()
+			// A cancelled predecessor may still be restoring its unsent
+			// backlog tail into q.buffered; wait so the replay below
+			// includes it (same discipline as Subscribe).
+			<-old.ready
+			q.mu.Lock()
+			if q.sub == old {
+				q.sub = nil
+			}
+			continue
+		}
+		backlog := q.buffered
+		q.buffered = nil
+		if len(backlog) == 0 {
+			// Only install the handler once the buffer is drained — a
+			// result produced mid-replay buffers and is replayed on the
+			// next pass, so h never runs concurrently with the replay and
+			// results keep their order.
+			q.handler = h
+			q.mu.Unlock()
+			return
+		}
+		q.mu.Unlock()
+		for _, r := range backlog {
+			h(r)
+		}
+		q.mu.Lock()
 	}
 }
 
@@ -321,8 +489,17 @@ func (q *Query) Err() error { return q.cq.Err() }
 // worker is stopped first (blocking until any in-flight step finishes).
 // Close may be called from inside the query's own OnResult callback —
 // e.g. to stop after the first result — in which case the in-flight step
-// finishes just after Close returns.
-func (q *Query) Close() { q.db.eng.Deregister(q.cq) }
+// finishes just after Close returns. An active Subscribe channel is closed
+// (which also ends a ranging Results2 iterator).
+func (q *Query) Close() {
+	q.mu.Lock()
+	s := q.sub
+	q.mu.Unlock()
+	if s != nil {
+		s.close()
+	}
+	q.db.eng.Deregister(q.cq)
+}
 
 // QueryOnce runs a one-time query over persistent tables.
 func (db *DB) QueryOnce(query string) (*Table, error) { return db.eng.QueryOnce(query) }

@@ -1,5 +1,5 @@
-// Sensors: time-based sliding windows with event-time semantics and the
-// background scheduler.
+// Sensors: time-based sliding windows with event-time semantics, columnar
+// batch ingest, and a cancellable result subscription.
 //
 // A fleet of temperature sensors reports readings with event timestamps;
 // a continuous query maintains the per-room average over the last 10
@@ -7,10 +7,16 @@
 // quiet) are handled as empty basic windows, exactly as in the paper's
 // time-based window design.
 //
+// Readings are staged in a reused datacell.Batch through typed column
+// appenders (no per-value boxing) and delivered 50 at a time with
+// AppendBatchAt; results arrive on a Query.Subscribe channel that closes
+// when the context is cancelled.
+//
 // Run with: go run ./examples/sensors
 package main
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -32,31 +38,69 @@ func main() {
 	if err != nil {
 		panic(err)
 	}
-	q.OnResult(func(r *datacell.Result) {
-		fmt.Printf("-- 10s window #%d --\n%s", r.Window, r.Table)
-	})
+
+	// Subscribe with a small buffer and Block backpressure: if this
+	// consumer falls behind, the query slows down instead of dropping
+	// windows. Cancelling the context closes the channel.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	results, err := q.Subscribe(ctx, datacell.SubOptions{Buffer: 16})
+	if err != nil {
+		panic(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for r := range results {
+			fmt.Printf("-- 10s window #%d --\n%s", r.Window, r.Table)
+		}
+	}()
 
 	db.Run()
-	defer db.Stop()
 
-	// Simulate 60 seconds of sensor traffic (event time, replayed fast).
+	// Simulate 60 seconds of sensor traffic (event time, replayed fast),
+	// staged through one reused columnar batch.
+	batch, err := db.NewBatch("temps")
+	if err != nil {
+		panic(err)
+	}
+	room := batch.Int64Col("room")
+	celsius := batch.Float64Col("celsius")
+	ts := make([]int64, 0, 50)
+
+	flush := func() {
+		if batch.Len() == 0 {
+			return
+		}
+		if err := db.AppendBatchAt("temps", ts, batch); err != nil {
+			panic(err)
+		}
+		batch.Reset()
+		ts = ts[:0]
+	}
+
 	rng := rand.New(rand.NewSource(7))
 	base := time.Date(2013, 3, 18, 9, 0, 0, 0, time.UTC).UnixMicro()
 	eventTime := base
 	for i := 0; i < 600; i++ {
 		eventTime += rng.Int63n(200_000) // up to 0.2s between readings
-		room := rng.Int63n(3)
-		temp := 18 + 4*rng.Float64() + float64(room)
-		if err := db.AppendAt("temps", []int64{eventTime},
-			[]datacell.Value{datacell.Int(room), datacell.Float(temp)}); err != nil {
-			panic(err)
+		r := rng.Int63n(3)
+		room.Append(r)
+		celsius.Append(18 + 4*rng.Float64() + float64(r))
+		ts = append(ts, eventTime)
+		if batch.Len() == 50 {
+			flush()
 		}
 	}
+	flush()
 	// Close the final windows.
 	if err := db.SetWatermark("temps", eventTime+30_000_000); err != nil {
 		panic(err)
 	}
 	// Give the background scheduler a moment to drain, then stop.
 	time.Sleep(100 * time.Millisecond)
+	db.Stop()
+	cancel()
+	<-done
 	fmt.Printf("emitted %d windows over 60s of sensor data\n", q.Windows())
 }

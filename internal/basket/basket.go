@@ -74,8 +74,9 @@ func (b *Basket) AppendRowLocked(vals []vector.Value, ts int64) error {
 }
 
 // AppendColumnsLocked appends a batch in columnar form. All columns must
-// have equal length and match the schema types. ts supplies per-tuple
-// arrival timestamps (len must match, or ts may be nil for all-zero).
+// have equal length and match the schema types (Int64 and Timestamp are
+// interchangeable, as in the row path). ts supplies per-tuple arrival
+// timestamps (len must match, or ts may be nil for all-zero).
 func (b *Basket) AppendColumnsLocked(cols []*vector.Vector, ts []int64) error {
 	if len(cols) != len(b.cols) {
 		return fmt.Errorf("basket %s: batch arity %d, want %d", b.name, len(cols), len(b.cols))
@@ -88,9 +89,10 @@ func (b *Basket) AppendColumnsLocked(cols []*vector.Vector, ts []int64) error {
 		if c.Len() != n {
 			return fmt.Errorf("basket %s: ragged batch (%d vs %d)", b.name, c.Len(), n)
 		}
-		if c.Type() != b.schema.Cols[i].Type {
+		want := b.schema.Cols[i].Type
+		if got := c.Type(); got != want && !(vector.IntKind(got) && vector.IntKind(want)) {
 			return fmt.Errorf("basket %s: column %s expects %s, got %s",
-				b.name, b.schema.Cols[i].Name, b.schema.Cols[i].Type, c.Type())
+				b.name, b.schema.Cols[i].Name, want, got)
 		}
 	}
 	if ts != nil && len(ts) != n {

@@ -178,7 +178,7 @@ func feedAndPump(e *engine.Engine, streams []string, gens []*workload.Gen, total
 			n = total - off
 		}
 		for i, s := range streams {
-			if err := e.Append(s, gens[i].Next(n), nil); err != nil {
+			if err := e.AppendColumns(s, gens[i].Next(n), nil); err != nil {
 				return err
 			}
 		}

@@ -143,12 +143,12 @@ func runFig9DataCell(csv1, csv2 []byte, W, w, windows int, mode engine.Mode) (fi
 		b2, err2 := r2.ReadBatch(w)
 		parseNS += time.Since(tp).Nanoseconds()
 		if b1[0].Len() > 0 {
-			if err := e.Append("s1", b1, nil); err != nil {
+			if err := e.AppendColumns("s1", b1, nil); err != nil {
 				return fig9Result{}, err
 			}
 		}
 		if b2[0].Len() > 0 {
-			if err := e.Append("s2", b2, nil); err != nil {
+			if err := e.AppendColumns("s2", b2, nil); err != nil {
 				return fig9Result{}, err
 			}
 		}

@@ -33,7 +33,7 @@ func MeasureDrain(nQueries, W, w, windows int, parallel bool) (int64, error) {
 	}
 	total := W + (windows-1)*w
 	gen := workload.NewGen(4010, x1Domain, 1000)
-	if err := e.Append("s", gen.Next(total), nil); err != nil {
+	if err := e.AppendColumns("s", gen.Next(total), nil); err != nil {
 		return 0, err
 	}
 	t0 := time.Now()

@@ -150,12 +150,15 @@ func (e *Engine) InsertTable(name string, cols []*vector.Vector) error {
 	return nil
 }
 
-// Append delivers a batch of stream tuples (columnar form) to every query
-// subscribed to the stream; ts carries per-tuple arrival timestamps in
-// microseconds (nil means all zero — fine for count-based windows).
+// AppendColumns delivers a batch of stream tuples (columnar form) to every
+// query subscribed to the stream; ts carries per-tuple arrival timestamps
+// in microseconds (nil means all zero — fine for count-based windows).
 // It acts as the receptor: data lands in baskets, queries fire later via
-// Pump or Run.
-func (e *Engine) Append(stream string, cols []*vector.Vector, ts []int64) error {
+// Pump or Run. This is the engine's ingest fast path: the batch is
+// validated once against the stream schema up front (so a bad batch can
+// never land in some subscriber baskets but not others) and then handed to
+// each basket as typed bulk column appends with no per-value boxing.
+func (e *Engine) AppendColumns(stream string, cols []*vector.Vector, ts []int64) error {
 	t0 := time.Now()
 	e.mu.Lock()
 	si, ok := e.streams[stream]
@@ -163,14 +166,42 @@ func (e *Engine) Append(stream string, cols []*vector.Vector, ts []int64) error 
 		e.mu.Unlock()
 		return fmt.Errorf("engine: unknown stream %q", stream)
 	}
+	schema := si.schema
+	e.mu.Unlock()
+
+	// Validate the whole batch before touching any basket.
+	if len(cols) != schema.Arity() {
+		return fmt.Errorf("engine: stream %s expects %d columns, got %d", stream, schema.Arity(), len(cols))
+	}
+	n := 0
+	if len(cols) > 0 {
+		n = cols[0].Len()
+	}
+	for i, c := range cols {
+		if c.Len() != n {
+			return fmt.Errorf("engine: stream %s: ragged batch (column %s has %d values, want %d)",
+				stream, schema.Cols[i].Name, c.Len(), n)
+		}
+		want := schema.Cols[i].Type
+		if got := c.Type(); got != want && !(vector.IntKind(got) && vector.IntKind(want)) {
+			return fmt.Errorf("engine: stream %s: column %s expects %s, got %s",
+				stream, schema.Cols[i].Name, want, got)
+		}
+	}
+	if ts != nil && len(ts) != n {
+		return fmt.Errorf("engine: stream %s: %d timestamps for %d tuples", stream, len(ts), n)
+	}
+	if n == 0 {
+		return nil
+	}
+
+	e.mu.Lock()
 	subs := append([]*queryInput(nil), si.subscribers...)
-	if len(cols) > 0 && cols[0].Len() > 0 {
-		si.appended += int64(cols[0].Len())
-		if len(ts) > 0 {
-			last := ts[len(ts)-1]
-			if last > si.watermark {
-				si.watermark = last
-			}
+	si.appended += int64(n)
+	if len(ts) > 0 {
+		last := ts[len(ts)-1]
+		if last > si.watermark {
+			si.watermark = last
 		}
 	}
 	e.mu.Unlock()
@@ -194,6 +225,22 @@ func (e *Engine) Append(stream string, cols []*vector.Vector, ts []int64) error 
 	return nil
 }
 
+// Append is a compatibility alias for AppendColumns.
+func (e *Engine) Append(stream string, cols []*vector.Vector, ts []int64) error {
+	return e.AppendColumns(stream, cols, ts)
+}
+
+// StreamSchema returns the schema of a registered stream.
+func (e *Engine) StreamSchema(name string) (catalog.Schema, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	si, ok := e.streams[name]
+	if !ok {
+		return catalog.Schema{}, false
+	}
+	return si.schema, true
+}
+
 // AppendRows is a row-oriented convenience around Append.
 func (e *Engine) AppendRows(stream string, rows [][]vector.Value, ts []int64) error {
 	e.mu.Lock()
@@ -211,10 +258,15 @@ func (e *Engine) AppendRows(stream string, rows [][]vector.Value, ts []int64) er
 			return fmt.Errorf("engine: row arity %d, want %d", len(row), len(cols))
 		}
 		for i, v := range row {
+			want := si.schema.Cols[i].Type
+			if v.Typ != want && !(vector.IntKind(v.Typ) && vector.IntKind(want)) {
+				return fmt.Errorf("engine: stream %s: column %s expects %s, got %s",
+					stream, si.schema.Cols[i].Name, want, v.Typ)
+			}
 			cols[i].AppendValue(v)
 		}
 	}
-	return e.Append(stream, cols, ts)
+	return e.AppendColumns(stream, cols, ts)
 }
 
 // SetWatermark advances a stream's event-time watermark, allowing

@@ -164,6 +164,18 @@ func (v *Vector) AppendStr(x string) { v.str = append(v.str, x) }
 // AppendBool appends x; the vector must be Bool.
 func (v *Vector) AppendBool(x bool) { v.bs = append(v.bs, x) }
 
+// AppendInt64s bulk-appends xs; the vector must be Int64 or Timestamp.
+func (v *Vector) AppendInt64s(xs []int64) { v.i64 = append(v.i64, xs...) }
+
+// AppendFloat64s bulk-appends xs; the vector must be Float64.
+func (v *Vector) AppendFloat64s(xs []float64) { v.f64 = append(v.f64, xs...) }
+
+// AppendStrs bulk-appends xs; the vector must be Str.
+func (v *Vector) AppendStrs(xs []string) { v.str = append(v.str, xs...) }
+
+// AppendBools bulk-appends xs; the vector must be Bool.
+func (v *Vector) AppendBools(xs []bool) { v.bs = append(v.bs, xs...) }
+
 // AppendValue appends a boxed value, which must match the vector type
 // (Int64 values are accepted by Timestamp vectors and vice versa).
 func (v *Vector) AppendValue(val Value) {
@@ -179,9 +191,15 @@ func (v *Vector) AppendValue(val Value) {
 	}
 }
 
-// AppendVector appends all values of o, which must have the same type.
+// IntKind reports whether t shares the int64 payload (Int64 or Timestamp);
+// the two are interchangeable everywhere values flow, mirroring the boxed
+// Value rules.
+func IntKind(t Type) bool { return t == Int64 || t == Timestamp }
+
+// AppendVector appends all values of o, which must have the same type
+// (Int64 and Timestamp are interchangeable).
 func (v *Vector) AppendVector(o *Vector) {
-	if o.typ != v.typ {
+	if o.typ != v.typ && !(IntKind(o.typ) && IntKind(v.typ)) {
 		panic(fmt.Sprintf("vector: append %s to %s", o.typ, v.typ))
 	}
 	switch v.typ {
@@ -293,7 +311,9 @@ func Concat(vs ...*Vector) *Vector {
 	return out
 }
 
-// Truncate drops all but the first n values in place.
+// Truncate drops all but the first n values in place. Dropped string
+// headers are zeroed so a truncated-and-reused vector (Batch.Reset) does
+// not pin the previous fill's strings.
 func (v *Vector) Truncate(n int) {
 	switch v.typ {
 	case Int64, Timestamp:
@@ -301,6 +321,10 @@ func (v *Vector) Truncate(n int) {
 	case Float64:
 		v.f64 = v.f64[:n]
 	case Str:
+		tail := v.str[n:]
+		for i := range tail {
+			tail[i] = ""
+		}
 		v.str = v.str[:n]
 	case Bool:
 		v.bs = v.bs[:n]

@@ -43,11 +43,12 @@ type CSVReader struct {
 	r     *bufio.Reader
 	arity int
 	rows  int64
+	vals  []int64 // reusable staging row
 }
 
 // NewCSVReader wraps r; arity is the expected column count per row.
 func NewCSVReader(r io.Reader, arity int) *CSVReader {
-	return &CSVReader{r: bufio.NewReaderSize(r, 1<<16), arity: arity}
+	return &CSVReader{r: bufio.NewReaderSize(r, 1<<16), arity: arity, vals: make([]int64, arity)}
 }
 
 // Rows reports how many rows have been parsed so far.
@@ -68,8 +69,11 @@ func (cr *CSVReader) ReadBatch(maxRows int) ([]*vector.Vector, error) {
 				line = line[:len(line)-1]
 			}
 			if len(line) > 0 {
-				if perr := parseRow(line, cols); perr != nil {
+				if perr := parseIntRow(line, cr.vals); perr != nil {
 					return nil, fmt.Errorf("workload: row %d: %w", cr.rows+1, perr)
+				}
+				for i, v := range cr.vals {
+					cols[i] = append(cols[i], v)
 				}
 				cr.rows++
 				read++
@@ -82,25 +86,28 @@ func (cr *CSVReader) ReadBatch(maxRows int) ([]*vector.Vector, error) {
 	return wrap(cols), nil
 }
 
-func parseRow(line string, cols [][]int64) error {
+// parseIntRow parses one comma-separated integer row into dst, whose
+// length is the expected arity. It is the single csv row parser shared by
+// CSVReader (column batches) and CSVSource (datacell.Batch ingest).
+func parseIntRow(line string, dst []int64) error {
 	field := 0
 	start := 0
 	for i := 0; i <= len(line); i++ {
 		if i == len(line) || line[i] == ',' {
-			if field >= len(cols) {
+			if field >= len(dst) {
 				return fmt.Errorf("too many fields")
 			}
 			v, err := strconv.ParseInt(line[start:i], 10, 64)
 			if err != nil {
 				return fmt.Errorf("bad integer %q", line[start:i])
 			}
-			cols[field] = append(cols[field], v)
+			dst[field] = v
 			field++
 			start = i + 1
 		}
 	}
-	if field != len(cols) {
-		return fmt.Errorf("row has %d fields, want %d", field, len(cols))
+	if field != len(dst) {
+		return fmt.Errorf("row has %d fields, want %d", field, len(dst))
 	}
 	return nil
 }

@@ -1,0 +1,126 @@
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"datacell"
+)
+
+// CSVSource parses integer csv rows (BIGINT or TIMESTAMP columns, the row
+// format of the paper's full-stack experiment) straight into the batch's
+// typed appenders — implementing datacell.Source with no intermediate
+// column materialization, so file feeds pay exactly one copy on their way
+// into the baskets.
+type CSVSource struct {
+	br    *bufio.Reader
+	arity int
+	rows  int64
+	vals  []int64 // reusable staging row: a row lands here, then appends whole
+
+	// appender cache, refreshed when ReadBatch sees a different batch.
+	cached *datacell.Batch
+	apps   []datacell.Int64Appender
+}
+
+// NewCSVSource parses integer csv rows from r; arity is the expected
+// column count per row.
+func NewCSVSource(r io.Reader, arity int) *CSVSource {
+	return &CSVSource{br: bufio.NewReaderSize(r, 1<<16), arity: arity, vals: make([]int64, arity)}
+}
+
+// Rows reports how many rows have been parsed so far.
+func (s *CSVSource) Rows() int64 { return s.rows }
+
+// ReadBatch implements datacell.Source: it parses up to max rows into b.
+// Rows parse into a staging buffer first and append whole, so a parse
+// error never leaves ragged columns behind; rows already appended in the
+// failing call stay in the batch (the caller discards it on error).
+func (s *CSVSource) ReadBatch(b *datacell.Batch, max int) (int, error) {
+	if s.cached != b {
+		apps, err := intAppenders(b, s.arity)
+		if err != nil {
+			return 0, err
+		}
+		s.apps, s.cached = apps, b
+	}
+	read := 0
+	for read < max {
+		line, rerr := s.br.ReadString('\n')
+		if len(line) > 0 {
+			if line[len(line)-1] == '\n' {
+				line = line[:len(line)-1]
+			}
+			if len(line) > 0 {
+				if perr := parseIntRow(line, s.vals); perr != nil {
+					return read, fmt.Errorf("workload: row %d: %w", s.rows+1, perr)
+				}
+				for i, a := range s.apps {
+					a.Append(s.vals[i])
+				}
+				s.rows++
+				read++
+			}
+		}
+		if rerr != nil {
+			return read, rerr
+		}
+	}
+	return read, nil
+}
+
+// GenSource adapts the seeded two-column generator to datacell.Source,
+// producing a bounded number of tuples — the deterministic test and
+// benchmark feed.
+type GenSource struct {
+	g         *Gen
+	remaining int64
+}
+
+// NewGenSource produces total tuples from g.
+func NewGenSource(g *Gen, total int64) *GenSource {
+	return &GenSource{g: g, remaining: total}
+}
+
+// ReadBatch implements datacell.Source.
+func (s *GenSource) ReadBatch(b *datacell.Batch, max int) (int, error) {
+	if s.remaining <= 0 {
+		return 0, io.EOF
+	}
+	n := int64(max)
+	if n > s.remaining {
+		n = s.remaining
+	}
+	cols := s.g.Next(int(n))
+	apps, err := intAppenders(b, len(cols))
+	if err != nil {
+		return 0, err
+	}
+	for i, a := range apps {
+		a.AppendSlice(cols[i].Int64s())
+	}
+	s.remaining -= n
+	if s.remaining == 0 {
+		return int(n), io.EOF
+	}
+	return int(n), nil
+}
+
+// intAppenders resolves one Int64 appender per batch column, validating
+// that the batch has exactly arity integer-typed (BIGINT or TIMESTAMP)
+// columns.
+func intAppenders(b *datacell.Batch, arity int) ([]datacell.Int64Appender, error) {
+	defs := b.Columns()
+	if len(defs) != arity {
+		return nil, fmt.Errorf("workload: source produces %d columns, batch wants %d", arity, len(defs))
+	}
+	apps := make([]datacell.Int64Appender, len(defs))
+	for i, def := range defs {
+		if def.Type != datacell.Int64 && def.Type != datacell.Timestamp {
+			return nil, fmt.Errorf("workload: integer source cannot fill %s column %s", def.Type, def.Name)
+		}
+		apps[i] = b.Int64Col(def.Name)
+	}
+	return apps, nil
+}

@@ -1,0 +1,152 @@
+package workload
+
+import (
+	"io"
+	"strings"
+	"testing"
+
+	"datacell"
+)
+
+func intBatch(t *testing.T, arity int) *datacell.Batch {
+	t.Helper()
+	defs := make([]datacell.ColumnDef, arity)
+	names := []string{"x1", "x2", "x3"}
+	for i := range defs {
+		defs[i] = datacell.Col(names[i], datacell.Int64)
+	}
+	return datacell.NewBatch(defs...)
+}
+
+func TestCSVSourceRoundtrip(t *testing.T) {
+	src := NewCSVSource(strings.NewReader("1,10\n2,20\n3,30\n"), 2)
+	b := intBatch(t, 2)
+	n, err := src.ReadBatch(b, 2)
+	if err != nil || n != 2 {
+		t.Fatalf("first batch: n=%d err=%v", n, err)
+	}
+	n, err = src.ReadBatch(b, 10)
+	if err != io.EOF || n != 1 {
+		t.Fatalf("final batch: n=%d err=%v", n, err)
+	}
+	if b.Len() != 3 || src.Rows() != 3 {
+		t.Fatalf("len=%d rows=%d", b.Len(), src.Rows())
+	}
+}
+
+func TestCSVSourceRaggedRow(t *testing.T) {
+	src := NewCSVSource(strings.NewReader("1,10\n2\n3,30\n"), 2)
+	b := intBatch(t, 2)
+	n, err := src.ReadBatch(b, 10)
+	if err == nil || !strings.Contains(err.Error(), "fields") {
+		t.Fatalf("ragged row: n=%d err=%v", n, err)
+	}
+	// The valid prefix parsed whole rows, so the batch is never ragged;
+	// the caller discards it on error.
+	if n != 1 || b.Len() != 1 {
+		t.Errorf("valid prefix: n=%d len=%d", n, b.Len())
+	}
+	// Too many fields is also ragged.
+	src = NewCSVSource(strings.NewReader("1,10,100\n"), 2)
+	if _, err := src.ReadBatch(intBatch(t, 2), 10); err == nil ||
+		!strings.Contains(err.Error(), "too many fields") {
+		t.Errorf("wide row: %v", err)
+	}
+}
+
+func TestCSVSourceBadInteger(t *testing.T) {
+	src := NewCSVSource(strings.NewReader("1,10\n2,twenty\n"), 2)
+	b := intBatch(t, 2)
+	n, err := src.ReadBatch(b, 10)
+	if err == nil || !strings.Contains(err.Error(), "bad integer") {
+		t.Fatalf("bad int: err=%v", err)
+	}
+	if !strings.Contains(err.Error(), "row 2") {
+		t.Errorf("error should name the row: %v", err)
+	}
+	if n != 1 || b.Len() != 1 {
+		t.Errorf("valid prefix, no ragged columns: n=%d len=%d", n, b.Len())
+	}
+}
+
+func TestCSVSourceEmptyInput(t *testing.T) {
+	src := NewCSVSource(strings.NewReader(""), 2)
+	b := intBatch(t, 2)
+	n, err := src.ReadBatch(b, 10)
+	if err != io.EOF || n != 0 || b.Len() != 0 {
+		t.Fatalf("empty input: n=%d len=%d err=%v", n, b.Len(), err)
+	}
+	// Blank lines are skipped, not parsed as rows.
+	src = NewCSVSource(strings.NewReader("\n\n1,10\n\n"), 2)
+	n, err = src.ReadBatch(b, 10)
+	if err != io.EOF || n != 1 {
+		t.Fatalf("blank lines: n=%d err=%v", n, err)
+	}
+}
+
+func TestCSVSourceShapeMismatch(t *testing.T) {
+	// Parser arity differs from the batch shape.
+	src := NewCSVSource(strings.NewReader("1,2,3\n"), 3)
+	if _, err := src.ReadBatch(intBatch(t, 2), 10); err == nil ||
+		!strings.Contains(err.Error(), "columns") {
+		t.Errorf("arity mismatch: %v", err)
+	}
+	// Non-integer batch column.
+	fb := datacell.NewBatch(datacell.Col("x1", datacell.Int64), datacell.Col("f", datacell.Float64))
+	src = NewCSVSource(strings.NewReader("1,2\n"), 2)
+	if _, err := src.ReadBatch(fb, 10); err == nil ||
+		!strings.Contains(err.Error(), "cannot fill") {
+		t.Errorf("type mismatch: %v", err)
+	}
+}
+
+func TestGenSourceBounded(t *testing.T) {
+	src := NewGenSource(NewGen(1, 100, 100), 5)
+	b := intBatch(t, 2)
+	n, err := src.ReadBatch(b, 3)
+	if err != nil || n != 3 {
+		t.Fatalf("first: n=%d err=%v", n, err)
+	}
+	n, err = src.ReadBatch(b, 3)
+	if err != io.EOF || n != 2 {
+		t.Fatalf("final: n=%d err=%v", n, err)
+	}
+	n, err = src.ReadBatch(b, 3)
+	if err != io.EOF || n != 0 {
+		t.Fatalf("after EOF: n=%d err=%v", n, err)
+	}
+	if b.Len() != 5 {
+		t.Fatalf("len=%d", b.Len())
+	}
+}
+
+// TestAttachEndToEnd drives a csv feed through DB.Attach into a windowed
+// query — the unified ingest path of cmd/datacelld's FEED.
+func TestAttachEndToEnd(t *testing.T) {
+	db := datacell.New()
+	if err := db.RegisterStream("s", datacell.Col("x1", datacell.Int64), datacell.Col("x2", datacell.Int64)); err != nil {
+		t.Fatal(err)
+	}
+	q, err := db.Register(`SELECT sum(x2) FROM s [RANGE 4 SLIDE 4]`, datacell.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := db.Attach(t.Context(), "s", NewCSVSource(strings.NewReader("1,1\n2,2\n3,3\n4,4\n"), 2))
+	if err != nil || rows != 4 {
+		t.Fatalf("attach: rows=%d err=%v", rows, err)
+	}
+	if _, err := db.Pump(); err != nil {
+		t.Fatal(err)
+	}
+	rs := q.Results()
+	if len(rs) != 1 || rs[0].Table.Cols[0].Get(0).I != 10 {
+		t.Fatalf("results: %v", rs)
+	}
+	// A failing source surfaces its error through Attach.
+	if _, err := db.Attach(t.Context(), "s", NewCSVSource(strings.NewReader("bad\n"), 2)); err == nil {
+		t.Error("attach should surface parse errors")
+	}
+	if _, err := db.Attach(t.Context(), "nosuch", NewGenSource(NewGen(1, 1, 1), 1)); err == nil {
+		t.Error("attach to unknown stream should fail")
+	}
+}

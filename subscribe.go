@@ -1,0 +1,309 @@
+package datacell
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"iter"
+	"sync"
+	"sync/atomic"
+)
+
+// Delivery errors returned by Subscribe.
+var (
+	// ErrSubscribed is returned by Subscribe when the query already has an
+	// active subscription.
+	ErrSubscribed = errors.New("datacell: query already has an active subscription")
+	// ErrHasHandler is returned by Subscribe when the query already has an
+	// OnResult handler installed.
+	ErrHasHandler = errors.New("datacell: query already has an OnResult handler")
+)
+
+// OverflowPolicy says what a subscription does when its channel buffer is
+// full and the producer has another result.
+type OverflowPolicy uint8
+
+const (
+	// Block applies backpressure: the query's step blocks until the
+	// consumer reads or the subscription's context is cancelled. This is
+	// the default.
+	Block OverflowPolicy = iota
+	// DropOldest discards the oldest undelivered result to make room for
+	// the newest — bounded staleness instead of backpressure. With an
+	// unbuffered channel (Buffer 0) a result is dropped whenever no
+	// receiver is ready.
+	DropOldest
+)
+
+// SubOptions configure a subscription.
+type SubOptions struct {
+	// Buffer is the result channel capacity (0 = unbuffered).
+	Buffer int
+	// OnOverflow selects the full-buffer behavior (default Block).
+	OnOverflow OverflowPolicy
+}
+
+// subscription is the channel-delivery sink behind Subscribe, Results2 and
+// Drain. Senders serialize on sendMu, which close also takes before
+// closing the channel — so a close can never race a send — while the
+// closed flag is a separate atomic so isClosed never blocks behind a
+// backpressured send. A blocking send selects on ctx.Done and stop, so
+// both cancellation and Query.Close unblock it (and release sendMu)
+// promptly.
+type subscription struct {
+	ch     chan *Result
+	policy OverflowPolicy
+	ctx    context.Context
+	stop   chan struct{} // closed by close()
+	ready  chan struct{} // closed once the pre-subscribe backlog replayed
+	once   sync.Once
+	closed atomic.Bool
+	sendMu sync.Mutex
+}
+
+// close shuts the subscription down (idempotent) and closes the result
+// channel. Any in-flight blocking send observes stop and gives up first,
+// releasing sendMu so the channel close cannot race it.
+func (s *subscription) close() {
+	s.once.Do(func() {
+		s.closed.Store(true)
+		close(s.stop)
+		s.sendMu.Lock()
+		close(s.ch)
+		s.sendMu.Unlock()
+	})
+}
+
+func (s *subscription) isClosed() bool { return s.closed.Load() }
+
+// deliver hands a live result to the consumer, after the backlog replay
+// has finished (so pre-subscribe results keep their order). It reports
+// whether the result was accepted by the subscription; false means the
+// caller should keep it for the next sink.
+func (s *subscription) deliver(r *Result) bool {
+	select {
+	case <-s.ready:
+	case <-s.stop:
+		return false
+	}
+	return s.send(r)
+}
+
+// send pushes r into the channel under the subscription's policy.
+func (s *subscription) send(r *Result) bool {
+	s.sendMu.Lock()
+	defer s.sendMu.Unlock()
+	if s.closed.Load() {
+		return false
+	}
+	select {
+	case <-s.ctx.Done():
+		// Already cancelled but not yet torn down: refuse the result so the
+		// caller re-buffers it instead of racing the channel close.
+		return false
+	case <-s.stop:
+		return false
+	default:
+	}
+	if s.policy == DropOldest {
+		for {
+			select {
+			case s.ch <- r:
+				return true
+			default:
+			}
+			select {
+			case <-s.ch: // drop the oldest queued result, retry the send
+			default:
+				if cap(s.ch) == 0 {
+					// Unbuffered and no receiver ready: the policy drops r
+					// itself — consumed per the policy, not lost by error.
+					return true
+				}
+				// Buffered channel momentarily drained by the consumer
+				// between the two selects: the retried send will succeed.
+			}
+			if s.closed.Load() {
+				return false
+			}
+		}
+	}
+	select {
+	case s.ch <- r:
+		return true
+	case <-s.ctx.Done():
+		return false
+	case <-s.stop:
+		return false
+	}
+}
+
+// Subscribe returns a channel of window results with explicit cancellation
+// and backpressure — the channel-native alternative to OnResult. Results
+// buffered before the call (including anything a cancelled predecessor
+// left undelivered) are replayed first, in order. The channel is closed
+// when ctx is cancelled or the query is Closed; results the consumer never
+// read are discarded on cancellation, while results produced after the
+// cancellation buffer again for the next sink.
+//
+// A query has one delivery mechanism at a time: Subscribe fails with
+// ErrHasHandler if OnResult was installed and ErrSubscribed if another
+// subscription is still active.
+func (q *Query) Subscribe(ctx context.Context, opts SubOptions) (<-chan *Result, error) {
+	if opts.Buffer < 0 {
+		return nil, fmt.Errorf("datacell: Subscribe: negative buffer %d", opts.Buffer)
+	}
+	if opts.OnOverflow > DropOldest {
+		return nil, fmt.Errorf("datacell: Subscribe: unknown overflow policy %d", opts.OnOverflow)
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	for {
+		q.mu.Lock()
+		if q.handler != nil {
+			q.mu.Unlock()
+			return nil, ErrHasHandler
+		}
+		old := q.sub
+		if old == nil {
+			break // q.mu stays held
+		}
+		if !old.isClosed() {
+			q.mu.Unlock()
+			return nil, ErrSubscribed
+		}
+		q.mu.Unlock()
+		// Wait for the dead subscription's replay goroutine to finish —
+		// it may still be restoring an unsent backlog tail into
+		// q.buffered, which must be part of the snapshot below, ahead of
+		// anything newer. Only detach it afterwards, so a concurrent
+		// Subscribe cannot find q.sub == nil and skip this wait.
+		<-old.ready
+		q.mu.Lock()
+		if q.sub == old {
+			q.sub = nil
+		}
+		q.mu.Unlock()
+	}
+	s := &subscription{
+		ch:     make(chan *Result, opts.Buffer),
+		policy: opts.OnOverflow,
+		ctx:    ctx,
+		stop:   make(chan struct{}),
+		ready:  make(chan struct{}),
+	}
+	backlog := q.buffered
+	q.buffered = nil
+	q.sub = s
+	q.mu.Unlock()
+
+	// Replay the backlog off the caller's goroutine (a Block-policy replay
+	// longer than the buffer must wait for the consumer, and the consumer
+	// only exists once Subscribe returned the channel). Live deliveries
+	// gate on ready, so order is preserved.
+	go func() {
+		for i, r := range backlog {
+			if !s.send(r) {
+				// The subscription died mid-replay: keep the unsent tail
+				// (ahead of anything re-buffered since) for the next sink.
+				q.mu.Lock()
+				q.buffered = append(append([]*Result(nil), backlog[i:]...), q.buffered...)
+				q.mu.Unlock()
+				break
+			}
+		}
+		close(s.ready)
+	}()
+	// Watch for cancellation; detach the subscription once it is dead so
+	// later results buffer again and a new Subscribe is allowed. Detach
+	// only after the replay goroutine finished (closing stop aborts any
+	// blocked send, so ready closes promptly): detaching earlier would let
+	// a concurrent Subscribe find q.sub == nil and snapshot q.buffered
+	// before the unsent backlog tail is restored.
+	go func() {
+		select {
+		case <-ctx.Done():
+		case <-s.stop:
+		}
+		s.close()
+		<-s.ready
+		q.mu.Lock()
+		if q.sub == s {
+			q.sub = nil
+		}
+		q.mu.Unlock()
+	}()
+	return s.ch, nil
+}
+
+// Results2 returns a Go 1.23 range-over-func iterator over the query's
+// results: for r, err := range q.Results2() { ... }. It subscribes
+// internally with Block backpressure, so ranging slowly slows the query
+// rather than dropping results. The iteration ends when the consumer
+// breaks, when the query is Closed, or — after yielding (nil, err) — when
+// subscribing fails or the query's worker has died (Query.Err).
+func (q *Query) Results2() iter.Seq2[*Result, error] {
+	return func(yield func(*Result, error) bool) {
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		ch, err := q.Subscribe(ctx, SubOptions{Buffer: 64})
+		if err != nil {
+			yield(nil, err)
+			return
+		}
+		for r := range ch {
+			if !yield(r, nil) {
+				return
+			}
+		}
+		if err := q.Err(); err != nil {
+			yield(nil, err)
+		}
+	}
+}
+
+// Sink consumes window results — the emitter-side half of the unified
+// Source/Sink I/O surface. Write is called once per result, in order; a
+// blocking Write must honor ctx so Drain can be cancelled mid-write.
+type Sink interface {
+	Write(ctx context.Context, r *Result) error
+}
+
+// SinkFunc adapts a function to the Sink interface.
+type SinkFunc func(context.Context, *Result) error
+
+// Write implements Sink.
+func (f SinkFunc) Write(ctx context.Context, r *Result) error { return f(ctx, r) }
+
+// ChanSink returns a Sink that forwards every result to ch, blocking until
+// the send succeeds or ctx is cancelled.
+func ChanSink(ch chan<- *Result) Sink {
+	return SinkFunc(func(ctx context.Context, r *Result) error {
+		select {
+		case ch <- r:
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	})
+}
+
+// Drain subscribes to the query and writes every result to sink until ctx
+// is cancelled, the query is Closed, or sink returns an error (which Drain
+// returns). It returns ctx.Err() on cancellation and nil when the query
+// was closed.
+func (q *Query) Drain(ctx context.Context, sink Sink) error {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	ch, err := q.Subscribe(ctx, SubOptions{Buffer: 64})
+	if err != nil {
+		return err
+	}
+	for r := range ch {
+		if err := sink.Write(ctx, r); err != nil {
+			return err
+		}
+	}
+	return ctx.Err()
+}
