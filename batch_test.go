@@ -230,3 +230,57 @@ func TestBatchZeroBoxing(t *testing.T) {
 		t.Errorf("refilling a warm batch allocated %v times per run", allocs)
 	}
 }
+
+// TestBatchReuseCannotCorruptSegments pins the one-copy ingest contract
+// end to end: AppendBatch copies the batch columns into the stream's
+// shared segment log, so Reset-ing and refilling the same batch (which
+// truncates the batch's own vectors and zeroes their dropped string
+// headers) must never disturb data already buffered for a standing query
+// — whether it landed in a sealed segment or the mutable tail.
+func TestBatchReuseCannotCorruptSegments(t *testing.T) {
+	db := New()
+	db.MustRegisterStream("ev", Col("tag", String), Col("n", Int64))
+	q, err := db.Register(`SELECT tag, sum(n) FROM ev [RANGE 6 SLIDE 6] GROUP BY tag ORDER BY tag`, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := db.NewBatch("ev")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tag, n := b.StringCol("tag"), b.Int64Col("n")
+	fill := func(prefix string) {
+		b.Reset()
+		for i := 0; i < 3; i++ {
+			tag.Append(prefix)
+			n.Append(1)
+		}
+	}
+	fill("alpha")
+	if err := db.AppendBatch("ev", b); err != nil {
+		t.Fatal(err)
+	}
+	// Reuse the batch before the window closes: the engine must hold its
+	// own copy of the "alpha" strings.
+	fill("beta")
+	if err := db.AppendBatch("ev", b); err != nil {
+		t.Fatal(err)
+	}
+	fill("zzz-scratch") // clobber the batch once more, never appended
+	if _, err := db.Pump(); err != nil {
+		t.Fatal(err)
+	}
+	rs := q.Results()
+	if len(rs) != 1 {
+		t.Fatalf("want 1 window, got %d", len(rs))
+	}
+	got := rs[0].Table.String()
+	for _, want := range []string{"alpha", "beta"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("window lost %q after batch reuse:\n%s", want, got)
+		}
+	}
+	if strings.Contains(got, "zzz-scratch") {
+		t.Fatalf("window observed unappended batch contents:\n%s", got)
+	}
+}

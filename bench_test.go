@@ -264,6 +264,51 @@ func BenchmarkIngest(b *testing.B) {
 	})
 }
 
+// BenchmarkFanout measures per-tuple ingest cost as the number of standing
+// queries subscribed to one stream grows (1, 4, 16, 64). The shared
+// segment store appends each batch exactly once regardless of the
+// subscriber count, so ns/op and allocs/op must stay ~flat in the query
+// count — the old one-private-basket-per-query delivery grew linearly.
+// See also cmd/dcbench -fig fanout (and its BENCH_fanout.json).
+func BenchmarkFanout(b *testing.B) {
+	const rows = 1000
+	x1 := make([]int64, rows)
+	x2 := make([]int64, rows)
+	for i := range x1 {
+		x1[i] = int64(i % 1000)
+		x2[i] = int64(i)
+	}
+	for _, nq := range []int{1, 4, 16, 64} {
+		b.Run(fmt.Sprintf("queries=%d", nq), func(b *testing.B) {
+			db := datacell.New()
+			db.MustRegisterStream("s", datacell.Col("x1", datacell.Int64), datacell.Col("x2", datacell.Int64))
+			for i := 0; i < nq; i++ {
+				// Huge windows: every append does real receptor work but
+				// windows never fire, isolating ingest from processing.
+				if _, err := db.Register(`SELECT count(*) FROM s [RANGE 1000000000 SLIDE 1000000000]`, datacell.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			batch, err := db.NewBatch("s")
+			if err != nil {
+				b.Fatal(err)
+			}
+			c1, c2 := batch.Int64Col("x1"), batch.Int64Col("x2")
+			b.ReportAllocs()
+			b.SetBytes(rows * 16)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				batch.Reset()
+				c1.AppendSlice(x1)
+				c2.AppendSlice(x2)
+				if err := db.AppendBatch("s", batch); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 func ExampleDB() {
 	db := datacell.New()
 	db.MustRegisterStream("s", datacell.Col("k", datacell.Int64), datacell.Col("v", datacell.Int64))

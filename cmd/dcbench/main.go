@@ -1,12 +1,19 @@
-// Command dcbench regenerates the paper's evaluation figures (Figs 4-9).
+// Command dcbench regenerates the paper's evaluation figures (Figs 4-9)
+// plus the engine's own scaling tables.
 //
 // Usage:
 //
-//	dcbench [-fig 4a|4b|5a|5b|6a|6b|7a|7b|8|9|9inset|scaling|all] [-scale N] [-windows N]
+//	dcbench [-fig 4a|4b|5a|5b|6a|6b|7a|7b|8|9|9inset|scaling|fanout|all]
+//	        [-scale N] [-windows N] [-json DIR]
 //
 // -scale divides the paper's window sizes (default 64; -scale 1 runs the
 // exact paper parameters — expect long runtimes and several GB of RAM for
 // the 100M-tuple point of Fig 6a).
+//
+// -json DIR additionally writes machine-readable results for the figures
+// that support it (currently fanout → DIR/BENCH_fanout.json with
+// ns/op and allocs/op per query count), so CI can track the perf
+// trajectory across commits.
 package main
 
 import (
@@ -35,12 +42,14 @@ var figures = []struct {
 	{"9", bench.RunFig9},
 	{"9inset", bench.RunFig9Inset},
 	{"scaling", bench.RunScaling},
+	{"fanout", nil}, // special-cased: one sweep feeds both table and JSON
 }
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate (4a..9inset, 'scaling', or 'all')")
+	fig := flag.String("fig", "all", "figure to regenerate (4a..9inset, 'scaling', 'fanout', or 'all')")
 	scale := flag.Int("scale", 64, "divide the paper's window sizes by this factor")
 	windows := flag.Int("windows", 0, "override the number of measured windows (0 = paper default)")
+	jsonDir := flag.String("json", "", "directory to write machine-readable BENCH_*.json results into (empty = off)")
 	flag.Parse()
 
 	cfg := bench.Config{Scale: *scale, Windows: *windows}
@@ -50,7 +59,13 @@ func main() {
 			continue
 		}
 		t0 := time.Now()
-		tbl, err := f.run(cfg)
+		var tbl *bench.Table
+		var err error
+		if f.name == "fanout" {
+			tbl, err = runFanout(cfg, *jsonDir)
+		} else {
+			tbl, err = f.run(cfg)
+		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "dcbench: fig %s: %v\n", f.name, err)
 			os.Exit(1)
@@ -63,4 +78,23 @@ func main() {
 		fmt.Fprintf(os.Stderr, "dcbench: unknown figure %q\n", *fig)
 		os.Exit(1)
 	}
+}
+
+// runFanout measures the ingest-fanout sweep once and feeds the single
+// measurement to both the printed table and (when -json is set) the
+// machine-readable BENCH_fanout.json.
+func runFanout(cfg bench.Config, jsonDir string) (*bench.Table, error) {
+	rows, batches := bench.FanoutParams(cfg)
+	points, err := bench.MeasureFanoutSweep(rows, batches)
+	if err != nil {
+		return nil, err
+	}
+	if jsonDir != "" {
+		path, err := bench.WriteFanoutJSON(points, jsonDir)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+	return bench.FanoutTable(points, rows*batches), nil
 }

@@ -7,15 +7,35 @@
 // incremental plan replicates the join across basic-window pairs and only
 // evaluates the new row/column of the matrix per slide (Fig 3e).
 //
+// Both streams are fed through reused columnar Batch builders (typed
+// appenders, no per-value boxing) and both queries deliver their results
+// over Subscribe channels. The two streams share nothing; each query
+// reads its stream's shared segment log through its own cursor.
+//
 // Run with: go run ./examples/finance
 package main
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
 	"datacell"
 )
+
+// collect drains a subscription into a slice, signalling completion on the
+// returned channel once the subscription closes.
+func collect(results <-chan *datacell.Result) (*[]*datacell.Result, chan struct{}) {
+	out := &[]*datacell.Result{}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for r := range results {
+			*out = append(*out, r)
+		}
+	}()
+	return out, done
+}
 
 func main() {
 	db := datacell.New()
@@ -49,30 +69,56 @@ func main() {
 		panic(err)
 	}
 
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	joinCh, err := joined.Subscribe(ctx, datacell.SubOptions{Buffer: 64})
+	if err != nil {
+		panic(err)
+	}
+	landCh, err := landmark.Subscribe(ctx, datacell.SubOptions{Buffer: 64})
+	if err != nil {
+		panic(err)
+	}
+	joinResults, joinDone := collect(joinCh)
+	landResults, landDone := collect(landCh)
+
+	// Receptor side: one reused batch per stream, typed column appenders.
+	orderBatch, err := db.NewBatch("orders")
+	if err != nil {
+		panic(err)
+	}
+	qty, oInstr := orderBatch.Int64Col("qty"), orderBatch.Int64Col("instr")
+	tradeBatch, err := db.NewBatch("trades")
+	if err != nil {
+		panic(err)
+	}
+	price, tInstr := tradeBatch.Int64Col("price"), tradeBatch.Int64Col("instr")
+
 	rng := rand.New(rand.NewSource(42))
 	for batch := 0; batch < 40; batch++ {
-		var orders, trades [][]datacell.Value
+		orderBatch.Reset()
+		tradeBatch.Reset()
 		for i := 0; i < 128; i++ {
-			instr := rng.Int63n(50)
-			orders = append(orders, []datacell.Value{
-				datacell.Int(1 + rng.Int63n(1000)), datacell.Int(instr),
-			})
-			trades = append(trades, []datacell.Value{
-				datacell.Int(100 + rng.Int63n(900)), datacell.Int(rng.Int63n(50)),
-			})
+			qty.Append(1 + rng.Int63n(1000))
+			oInstr.Append(rng.Int63n(50))
+			price.Append(100 + rng.Int63n(900))
+			tInstr.Append(rng.Int63n(50))
 		}
-		if err := db.Append("orders", orders...); err != nil {
+		if err := db.AppendBatch("orders", orderBatch); err != nil {
 			panic(err)
 		}
-		if err := db.Append("trades", trades...); err != nil {
+		if err := db.AppendBatch("trades", tradeBatch); err != nil {
 			panic(err)
 		}
 		if _, err := db.Pump(); err != nil {
 			panic(err)
 		}
 	}
+	cancel()
+	<-joinDone
+	<-landDone
 
-	for _, r := range joined.Results() {
+	for _, r := range *joinResults {
 		if r.Window%8 == 1 {
 			fmt.Printf("join window %2d: max(qty)=%s avg(price)=%s (step %v, merge %v)\n",
 				r.Window,
@@ -80,7 +126,7 @@ func main() {
 				r.Latency.Round(0), r.MergeLatency.Round(0))
 		}
 	}
-	for _, r := range landmark.Results() {
+	for _, r := range *landResults {
 		if r.Window%5 == 0 {
 			fmt.Printf("landmark after %5s trades: max(price)=%s\n",
 				r.Table.Cols[1].Get(0), r.Table.Cols[0].Get(0))

@@ -6,10 +6,14 @@
 //	SELECT x1, sum(x2) FROM readings [RANGE 100 SLIDE 20]
 //	WHERE x1 > 2 GROUP BY x1
 //
+// Ingest uses the columnar Batch builder (typed appenders, no per-value
+// boxing) and results arrive on a cancellable Subscribe channel.
+//
 // Run with: go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -30,28 +34,47 @@ func main() {
 	if err != nil {
 		panic(err)
 	}
-	q.OnResult(func(r *datacell.Result) {
-		fmt.Printf("window %d (%d groups, processed in %v):\n%s\n",
-			r.Window, r.Table.NumRows(), r.Latency.Round(0), r.Table)
-	})
 
-	// Feed 200 random tuples in small batches; windows fire as soon as the
-	// stream has advanced one slide.
-	rng := rand.New(rand.NewSource(1))
-	for batch := 0; batch < 20; batch++ {
-		rows := make([][]datacell.Value, 10)
-		for i := range rows {
-			rows[i] = []datacell.Value{
-				datacell.Int(rng.Int63n(6)),
-				datacell.Int(rng.Int63n(100)),
-			}
+	// Results leave the query through a channel; cancelling the context
+	// closes it.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	results, err := q.Subscribe(ctx, datacell.SubOptions{Buffer: 16})
+	if err != nil {
+		panic(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for r := range results {
+			fmt.Printf("window %d (%d groups, processed in %v):\n%s\n",
+				r.Window, r.Table.NumRows(), r.Latency.Round(0), r.Table)
 		}
-		if err := db.Append("readings", rows...); err != nil {
+	}()
+
+	// Feed 200 random tuples in small batches through one reused columnar
+	// batch; windows fire as soon as the stream has advanced one slide.
+	batch, err := db.NewBatch("readings")
+	if err != nil {
+		panic(err)
+	}
+	x1 := batch.Int64Col("x1")
+	x2 := batch.Int64Col("x2")
+	rng := rand.New(rand.NewSource(1))
+	for b := 0; b < 20; b++ {
+		batch.Reset()
+		for i := 0; i < 10; i++ {
+			x1.Append(rng.Int63n(6))
+			x2.Append(rng.Int63n(100))
+		}
+		if err := db.AppendBatch("readings", batch); err != nil {
 			panic(err)
 		}
 		if _, err := db.Pump(); err != nil {
 			panic(err)
 		}
 	}
+	cancel()
+	<-done
 	fmt.Printf("produced %d windows over 200 tuples\n", q.Windows())
 }

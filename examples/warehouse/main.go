@@ -5,10 +5,14 @@
 // the continuous one ("combine continuous querying ... with traditional
 // querying", Section 1).
 //
+// Sales are ingested through a reused columnar Batch (typed appenders)
+// and window results arrive on a Subscribe channel.
+//
 // Run with: go run ./examples/warehouse
 package main
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -53,25 +57,42 @@ func main() {
 	if err != nil {
 		panic(err)
 	}
-	q.OnResult(func(r *datacell.Result) {
-		fmt.Printf("revenue per category, window %d:\n%s\n", r.Window, r.Table)
-	})
-
-	rng := rand.New(rand.NewSource(3))
-	for batch := 0; batch < 10; batch++ {
-		var sales [][]datacell.Value
-		for i := 0; i < 100; i++ {
-			sales = append(sales, []datacell.Value{
-				datacell.Int(rng.Int63n(40)), datacell.Int(5 + rng.Int63n(95)),
-			})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	results, err := q.Subscribe(ctx, datacell.SubOptions{Buffer: 16})
+	if err != nil {
+		panic(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for r := range results {
+			fmt.Printf("revenue per category, window %d:\n%s\n", r.Window, r.Table)
 		}
-		if err := db.Append("sales", sales...); err != nil {
+	}()
+
+	// Receptor side: one reused columnar batch, no per-value boxing.
+	batch, err := db.NewBatch("sales")
+	if err != nil {
+		panic(err)
+	}
+	pid, amount := batch.Int64Col("pid"), batch.Int64Col("amount")
+	rng := rand.New(rand.NewSource(3))
+	for b := 0; b < 10; b++ {
+		batch.Reset()
+		for i := 0; i < 100; i++ {
+			pid.Append(rng.Int63n(40))
+			amount.Append(5 + rng.Int63n(95))
+		}
+		if err := db.AppendBatch("sales", batch); err != nil {
 			panic(err)
 		}
 		if _, err := db.Pump(); err != nil {
 			panic(err)
 		}
 	}
+	cancel()
+	<-done
 
 	// A one-time query over the stored dimension data, served by the same
 	// kernel.

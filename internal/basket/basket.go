@@ -1,9 +1,18 @@
-// Package basket implements DataCell's lightweight stream tables. A basket
-// buffers incoming stream tuples in columnar form between receptor and
-// factory: receptors append, factories lock the basket, read window views,
-// and delete expired tuples — the locking discipline of Algorithm 1/2 in
-// the paper. Each tuple carries an arrival timestamp to support time-based
-// windows.
+// Package basket implements DataCell's lightweight stream tables as a
+// shared, per-stream segment log. A receptor appends each tuple exactly
+// once into the mutable tail segment; when the tail reaches the seal
+// threshold it becomes an immutable sealed segment and a fresh tail opens.
+// Every subscribed query reads the log through a Cursor — a read offset
+// over the segment chain — so N standing queries share one copy of the
+// data, expiration is a cursor advance (no per-query deletes), and whole
+// segments are physically reclaimed once the minimum cursor horizon across
+// all subscribers has passed them.
+//
+// The locking discipline of Algorithm 1/2 in the paper is kept per log:
+// receptors and factories serialize on the log mutex, but because sealed
+// segments are immutable and the tail is append-only, factories take
+// window views under the lock and execute on them after releasing it —
+// ingest is never blocked by query processing.
 package basket
 
 import (
@@ -14,72 +23,173 @@ import (
 	"datacell/internal/vector"
 )
 
-// Basket is a columnar stream buffer. All accesses must happen between
-// Lock/Unlock; the *Locked methods document that requirement in their name.
-type Basket struct {
-	mu     sync.Mutex
-	name   string
-	schema catalog.Schema
+// DefaultSealRows is the tail-segment size at which the log seals: large
+// enough that typical basic windows fall inside one segment (window views
+// stay zero-copy), small enough that reclamation frees memory promptly.
+const DefaultSealRows = 8192
+
+// segment is one contiguous run of the log. base is the absolute position
+// of its first tuple; a sealed segment is immutable and safe to read
+// without the log lock.
+type segment struct {
 	cols   []*vector.Vector
-	ts     []int64 // arrival timestamps (micros), parallel to cols
-	// dropped counts tuples deleted from the head since creation, so
-	// absolute positions can be maintained by callers if needed.
-	dropped int64
-	// appended counts all tuples ever appended.
-	appended int64
+	ts     []int64
+	base   int64
+	sealed bool
 }
 
-// New creates an empty basket for the given schema.
-func New(name string, schema catalog.Schema) *Basket {
-	b := &Basket{name: name, schema: schema}
-	b.cols = make([]*vector.Vector, schema.Arity())
-	for i, c := range schema.Cols {
-		b.cols[i] = vector.New(c.Type, 0)
+func (s *segment) len() int {
+	if len(s.cols) == 0 {
+		return len(s.ts)
 	}
+	return s.cols[0].Len()
+}
+
+// Basket is a per-stream shared segment log. All mutating and
+// position-dependent accesses happen between Lock/Unlock; the *Locked
+// methods document that requirement in their name.
+type Basket struct {
+	mu       sync.Mutex
+	name     string
+	schema   catalog.Schema
+	sealRows int
+
+	// segs is the live chain, oldest first; the last entry is the mutable
+	// tail (never sealed). Invariant: len(segs) >= 1.
+	segs []*segment
+	// head is the absolute position of the first retained tuple
+	// (== segs[0].base); appended counts all tuples ever appended, so the
+	// retained range is [head, appended).
+	head     int64
+	appended int64
+
+	cursors []*Cursor
+}
+
+// New creates an empty segment log with the default seal threshold.
+func New(name string, schema catalog.Schema) *Basket {
+	return NewWithSeal(name, schema, DefaultSealRows)
+}
+
+// NewWithSeal creates an empty segment log sealing segments at sealRows
+// tuples (values < 1 fall back to DefaultSealRows).
+func NewWithSeal(name string, schema catalog.Schema, sealRows int) *Basket {
+	if sealRows < 1 {
+		sealRows = DefaultSealRows
+	}
+	b := &Basket{name: name, schema: schema, sealRows: sealRows}
+	b.segs = []*segment{b.newSegment(0)}
 	return b
 }
 
-// Name returns the basket name.
+func (b *Basket) newSegment(base int64) *segment {
+	s := &segment{base: base, cols: make([]*vector.Vector, b.schema.Arity())}
+	for i, c := range b.schema.Cols {
+		s.cols[i] = vector.New(c.Type, 0)
+	}
+	return s
+}
+
+// SetSealRows retunes the seal threshold for segments sealed from now on
+// (values < 1 fall back to DefaultSealRows). Useful to trade reclamation
+// granularity against view contiguity per stream.
+func (b *Basket) SetSealRows(n int) {
+	if n < 1 {
+		n = DefaultSealRows
+	}
+	b.mu.Lock()
+	b.sealRows = n
+	b.mu.Unlock()
+}
+
+// Name returns the log name.
 func (b *Basket) Name() string { return b.name }
 
-// Schema returns the basket schema.
+// Schema returns the log schema.
 func (b *Basket) Schema() catalog.Schema { return b.schema }
 
-// Lock acquires the basket for a factory or receptor critical section.
+// Lock acquires the log for a receptor or factory critical section.
 func (b *Basket) Lock() { b.mu.Lock() }
 
-// Unlock releases the basket.
+// Unlock releases the log.
 func (b *Basket) Unlock() { b.mu.Unlock() }
 
+func (b *Basket) tail() *segment { return b.segs[len(b.segs)-1] }
+
+// maybeSealLocked seals the tail once it reaches the threshold, opens a
+// fresh tail, and gives reclamation a chance to drop dead head segments.
+func (b *Basket) maybeSealLocked() {
+	if t := b.tail(); t.len() >= b.sealRows {
+		t.sealed = true
+		b.segs = append(b.segs, b.newSegment(b.appended))
+		b.reclaimLocked()
+	}
+}
+
+// minHorizonLocked returns the smallest cursor position — the oldest tuple
+// any subscriber may still read. With no cursors everything already
+// appended is reclaimable.
+func (b *Basket) minHorizonLocked() int64 {
+	min := b.appended
+	for _, c := range b.cursors {
+		if c.pos < min {
+			min = c.pos
+		}
+	}
+	return min
+}
+
+// reclaimLocked drops whole sealed segments entirely below the minimum
+// cursor horizon. The tail is never dropped, and views cut earlier stay
+// valid — they alias the segment payloads, which outlive the chain entry.
+func (b *Basket) reclaimLocked() {
+	min := b.minHorizonLocked()
+	drop := 0
+	for drop < len(b.segs)-1 {
+		s := b.segs[drop]
+		if !s.sealed || s.base+int64(s.len()) > min {
+			break
+		}
+		drop++
+	}
+	if drop > 0 {
+		// Re-slice via copy so the dropped segment pointers are released
+		// to the GC instead of lingering in the backing array.
+		b.segs = append([]*segment(nil), b.segs[drop:]...)
+		b.head = b.segs[0].base
+	}
+}
+
 // AppendRowLocked appends one tuple with the given arrival timestamp.
-// The basket must be locked.
 func (b *Basket) AppendRowLocked(vals []vector.Value, ts int64) error {
-	if len(vals) != len(b.cols) {
-		return fmt.Errorf("basket %s: tuple arity %d, want %d", b.name, len(vals), len(b.cols))
+	if len(vals) != b.schema.Arity() {
+		return fmt.Errorf("basket %s: tuple arity %d, want %d", b.name, len(vals), b.schema.Arity())
 	}
 	for i, v := range vals {
 		want := b.schema.Cols[i].Type
-		intAlias := (v.Typ == vector.Int64 && want == vector.Timestamp) ||
-			(v.Typ == vector.Timestamp && want == vector.Int64)
-		if v.Typ != want && !intAlias {
+		if v.Typ != want && !(vector.IntKind(v.Typ) && vector.IntKind(want)) {
 			return fmt.Errorf("basket %s: column %s expects %s, got %s", b.name, b.schema.Cols[i].Name, want, v.Typ)
 		}
 	}
+	t := b.tail()
 	for i, v := range vals {
-		b.cols[i].AppendValue(v)
+		t.cols[i].AppendValue(v)
 	}
-	b.ts = append(b.ts, ts)
+	t.ts = append(t.ts, ts)
 	b.appended++
+	b.maybeSealLocked()
 	return nil
 }
 
-// AppendColumnsLocked appends a batch in columnar form. All columns must
-// have equal length and match the schema types (Int64 and Timestamp are
-// interchangeable, as in the row path). ts supplies per-tuple arrival
-// timestamps (len must match, or ts may be nil for all-zero).
+// AppendColumnsLocked appends a batch in columnar form — the receptor's
+// one-copy ingest path: the batch lands in the shared tail once, no matter
+// how many cursors read the log. All columns must have equal length and
+// match the schema types (Int64 and Timestamp are interchangeable). ts
+// supplies per-tuple arrival timestamps (len must match, or nil for
+// all-zero).
 func (b *Basket) AppendColumnsLocked(cols []*vector.Vector, ts []int64) error {
-	if len(cols) != len(b.cols) {
-		return fmt.Errorf("basket %s: batch arity %d, want %d", b.name, len(cols), len(b.cols))
+	if len(cols) != b.schema.Arity() {
+		return fmt.Errorf("basket %s: batch arity %d, want %d", b.name, len(cols), b.schema.Arity())
 	}
 	if len(cols) == 0 {
 		return nil
@@ -98,30 +208,37 @@ func (b *Basket) AppendColumnsLocked(cols []*vector.Vector, ts []int64) error {
 	if ts != nil && len(ts) != n {
 		return fmt.Errorf("basket %s: %d timestamps for %d tuples", b.name, len(ts), n)
 	}
-	for i, c := range cols {
-		b.cols[i].AppendVector(c)
+	if n == 0 {
+		return nil
 	}
-	if ts == nil {
-		ts = make([]int64, n)
+	// Split the batch at seal boundaries so segments stay near sealRows
+	// even when one batch is much larger than the threshold.
+	off := 0
+	for off < n {
+		// SetSealRows may have shrunk the threshold below the current
+		// tail occupancy; seal first so room below is always positive.
+		b.maybeSealLocked()
+		t := b.tail()
+		room := b.sealRows - t.len()
+		take := n - off
+		if take > room {
+			take = room
+		}
+		for i, c := range cols {
+			t.cols[i].AppendVector(c.Slice(off, off+take))
+		}
+		if ts == nil {
+			for k := 0; k < take; k++ {
+				t.ts = append(t.ts, 0)
+			}
+		} else {
+			t.ts = append(t.ts, ts[off:off+take]...)
+		}
+		b.appended += int64(take)
+		off += take
+		b.maybeSealLocked()
 	}
-	b.ts = append(b.ts, ts...)
-	b.appended += int64(n)
 	return nil
-}
-
-// LenLocked returns the number of buffered tuples.
-func (b *Basket) LenLocked() int {
-	if len(b.cols) == 0 {
-		return 0
-	}
-	return b.cols[0].Len()
-}
-
-// Len locks and returns the number of buffered tuples.
-func (b *Basket) Len() int {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return b.LenLocked()
 }
 
 // Appended returns the total number of tuples ever appended.
@@ -131,56 +248,263 @@ func (b *Basket) Appended() int64 {
 	return b.appended
 }
 
-// ViewLocked returns zero-copy column views of rows [lo, hi). The views are
-// valid only until the next DeleteHeadLocked; callers that retain data
-// across steps must Clone.
-func (b *Basket) ViewLocked(lo, hi int) []*vector.Vector {
-	out := make([]*vector.Vector, len(b.cols))
-	for i, c := range b.cols {
-		out[i] = c.Slice(lo, hi)
+// Dropped returns the number of tuples physically reclaimed so far.
+func (b *Basket) Dropped() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.head
+}
+
+// RetainedLocked returns the number of tuples currently held by the log.
+func (b *Basket) RetainedLocked() int { return int(b.appended - b.head) }
+
+// Retained locks and returns the number of tuples currently held.
+func (b *Basket) Retained() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.RetainedLocked()
+}
+
+// SegmentsLocked returns the number of live segments (including the tail).
+func (b *Basket) SegmentsLocked() int { return len(b.segs) }
+
+// Segments locks and returns the number of live segments.
+func (b *Basket) Segments() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.segs)
+}
+
+// Cursors returns the number of registered cursors.
+func (b *Basket) Cursors() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.cursors)
+}
+
+// NewCursorLocked registers a new reader positioned at the current end of
+// the log: a freshly subscribed query sees only tuples appended from now
+// on, exactly like a freshly created private basket did.
+func (b *Basket) NewCursorLocked() *Cursor {
+	c := &Cursor{log: b, pos: b.appended, start: b.appended}
+	b.cursors = append(b.cursors, c)
+	return c
+}
+
+// NewCursor locks and registers a new reader at the end of the log.
+func (b *Basket) NewCursor() *Cursor {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.NewCursorLocked()
+}
+
+// locate returns the index of the segment containing absolute position
+// pos. pos must lie in [head, appended]; the append position maps to the
+// tail.
+func (b *Basket) locate(pos int64) int {
+	// Linear from the back: cursors cluster near the tail and chains are
+	// short (reclamation trims the head).
+	for i := len(b.segs) - 1; i > 0; i-- {
+		if pos >= b.segs[i].base {
+			return i
+		}
+	}
+	return 0
+}
+
+// Cursor is one query's read handle over a shared segment log: pos is the
+// absolute position of the first tuple the query has not yet expired (its
+// retain horizon). Everything in [pos, appended) is visible. Cursor
+// methods with the *Locked suffix require the log lock (Cursor.Lock).
+type Cursor struct {
+	log   *Basket
+	pos   int64
+	start int64 // registration offset, for Expired accounting
+	// closed marks a deregistered cursor; its horizon no longer pins
+	// segments.
+	closed bool
+}
+
+// Lock acquires the underlying log.
+func (c *Cursor) Lock() { c.log.mu.Lock() }
+
+// Unlock releases the underlying log.
+func (c *Cursor) Unlock() { c.log.mu.Unlock() }
+
+// Log returns the shared segment log this cursor reads.
+func (c *Cursor) Log() *Basket { return c.log }
+
+// LenLocked returns the number of tuples visible to this cursor. A closed
+// cursor sees nothing: its horizon no longer pins segments, so reads
+// through it could otherwise hit reclaimed ranges.
+func (c *Cursor) LenLocked() int {
+	if c.closed {
+		return 0
+	}
+	return int(c.log.appended - c.pos)
+}
+
+// Len locks and returns the number of visible tuples.
+func (c *Cursor) Len() int {
+	c.Lock()
+	defer c.Unlock()
+	return c.LenLocked()
+}
+
+// PosLocked returns the cursor's absolute retain horizon.
+func (c *Cursor) PosLocked() int64 { return c.pos }
+
+// ViewLocked returns a View of the cursor-relative row range [lo, hi).
+// The view aliases segment storage and remains valid after the lock is
+// released, after further appends, and after segment reclamation — sealed
+// segments are immutable and the tail is append-only.
+func (c *Cursor) ViewLocked(lo, hi int) View {
+	if lo < 0 || hi < lo || hi > c.LenLocked() {
+		panic(fmt.Sprintf("basket %s: view [%d,%d) of %d", c.log.name, lo, hi, c.LenLocked()))
+	}
+	v := View{n: hi - lo, cols: make([]vector.View, c.log.schema.Arity())}
+	for i, col := range c.log.schema.Cols {
+		v.cols[i] = vector.NewView(col.Type)
+	}
+	if hi == lo {
+		return v
+	}
+	absLo, absHi := c.pos+int64(lo), c.pos+int64(hi)
+	for si := c.log.locate(absLo); si < len(c.log.segs); si++ {
+		s := c.log.segs[si]
+		if s.base >= absHi {
+			break
+		}
+		slo, shi := int64(0), int64(s.len())
+		if absLo > s.base {
+			slo = absLo - s.base
+		}
+		if absHi < s.base+int64(s.len()) {
+			shi = absHi - s.base
+		}
+		for i := range v.cols {
+			v.cols[i] = v.cols[i].Append(s.cols[i].Slice(int(slo), int(shi)))
+		}
+		v.ts = append(v.ts, s.ts[slo:shi])
+	}
+	return v
+}
+
+// TimestampsLocked returns the arrival timestamps of cursor-relative rows
+// [lo, hi): zero-copy when the range lies in one segment, a materialized
+// copy when it spans a boundary.
+func (c *Cursor) TimestampsLocked(lo, hi int) []int64 {
+	v := c.ViewLocked(lo, hi)
+	if len(v.ts) == 1 {
+		return v.ts[0]
+	}
+	out := make([]int64, 0, hi-lo)
+	for _, part := range v.ts {
+		out = append(out, part...)
 	}
 	return out
 }
 
-// TimestampsLocked returns the timestamp slice for rows [lo, hi); the
-// returned slice aliases basket storage.
-func (b *Basket) TimestampsLocked(lo, hi int) []int64 { return b.ts[lo:hi] }
-
-// CountUntilLocked returns how many buffered tuples have timestamp < cut.
+// CountUntilLocked returns how many visible tuples have timestamp < cut.
 // Tuples arrive in timestamp order, so this is a prefix length.
-func (b *Basket) CountUntilLocked(cut int64) int {
-	// Binary search over the (sorted) timestamp prefix.
-	lo, hi := 0, len(b.ts)
-	for lo < hi {
-		mid := (lo + hi) / 2
-		if b.ts[mid] < cut {
-			lo = mid + 1
-		} else {
-			hi = mid
-		}
+func (c *Cursor) CountUntilLocked(cut int64) int {
+	if c.closed {
+		return 0
 	}
-	return lo
+	total := 0
+	start := c.log.locate(c.pos)
+	for si := start; si < len(c.log.segs); si++ {
+		s := c.log.segs[si]
+		off := 0
+		if si == start && c.pos > s.base {
+			off = int(c.pos - s.base)
+		}
+		ts := s.ts[off:]
+		if len(ts) == 0 {
+			continue
+		}
+		if ts[len(ts)-1] < cut {
+			// Whole (rest of the) segment is below the cut.
+			total += len(ts)
+			continue
+		}
+		// Binary search within this segment and stop.
+		lo, hi := 0, len(ts)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if ts[mid] < cut {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return total + lo
+	}
+	return total
 }
 
-// DeleteHeadLocked drops the first n tuples (they expired). Any previously
-// returned views become invalid.
-func (b *Basket) DeleteHeadLocked(n int) {
-	if n <= 0 {
+// AdvanceLocked expires the first n visible tuples by moving the cursor's
+// horizon forward, then reclaims any segments no cursor can still reach.
+// There is no per-query data deletion: expiration is O(1) bookkeeping plus
+// occasional whole-segment drops.
+func (c *Cursor) AdvanceLocked(n int) {
+	if n <= 0 || c.closed {
 		return
 	}
-	if max := b.LenLocked(); n > max {
+	if max := c.LenLocked(); n > max {
 		n = max
 	}
-	for _, c := range b.cols {
-		c.DeleteHead(n)
-	}
-	b.ts = b.ts[:copy(b.ts, b.ts[n:])]
-	b.dropped += int64(n)
+	c.pos += int64(n)
+	c.log.reclaimLocked()
 }
 
-// Dropped returns the number of tuples expired from the head so far.
-func (b *Basket) Dropped() int64 {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return b.dropped
+// Expired returns how many tuples this cursor has expired so far.
+func (c *Cursor) Expired() int64 {
+	c.Lock()
+	defer c.Unlock()
+	return c.pos - c.start
 }
+
+// CloseLocked deregisters the cursor so its horizon no longer pins
+// segments, and reclaims immediately.
+func (c *Cursor) CloseLocked() {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	for i, cc := range c.log.cursors {
+		if cc == c {
+			c.log.cursors = append(c.log.cursors[:i:i], c.log.cursors[i+1:]...)
+			break
+		}
+	}
+	c.log.reclaimLocked()
+}
+
+// Close locks and deregisters the cursor.
+func (c *Cursor) Close() {
+	c.Lock()
+	defer c.Unlock()
+	c.CloseLocked()
+}
+
+// View is a consistent snapshot of one cursor's row range across the
+// segment chain: per-column multi-part vector views plus the parallel
+// arrival-timestamp runs. Views stay valid after the log lock is released
+// (see Cursor.ViewLocked).
+type View struct {
+	cols []vector.View
+	ts   [][]int64
+	n    int
+}
+
+// Len returns the number of rows in the view.
+func (v View) Len() int { return v.n }
+
+// ColViews returns the per-column multi-part views (one per schema
+// column), suitable for core.Runtime window plumbing.
+func (v View) ColViews() []vector.View { return v.cols }
+
+// Cols flattens the view into per-column vectors: zero-copy when the range
+// lies inside a single segment, materialized when it spans boundaries.
+func (v View) Cols() []*vector.Vector { return vector.Cols(v.cols) }

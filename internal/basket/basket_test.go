@@ -21,6 +21,7 @@ func TestAppendRowAndViews(t *testing.T) {
 		t.Error("metadata")
 	}
 	b.Lock()
+	cur := b.NewCursorLocked()
 	for i := 0; i < 5; i++ {
 		if err := b.AppendRowLocked([]vector.Value{
 			vector.IntValue(int64(i)), vector.FloatValue(float64(i) / 2),
@@ -28,14 +29,14 @@ func TestAppendRowAndViews(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if b.LenLocked() != 5 {
-		t.Errorf("len: %d", b.LenLocked())
+	if cur.LenLocked() != 5 {
+		t.Errorf("len: %d", cur.LenLocked())
 	}
-	view := b.ViewLocked(1, 4)
+	view := cur.ViewLocked(1, 4).Cols()
 	if view[0].Len() != 3 || view[0].Get(0).I != 1 || view[1].Get(2).F != 1.5 {
 		t.Errorf("view: %v %v", view[0], view[1])
 	}
-	ts := b.TimestampsLocked(0, 5)
+	ts := cur.TimestampsLocked(0, 5)
 	if ts[4] != 40 {
 		t.Errorf("timestamps: %v", ts)
 	}
@@ -70,6 +71,7 @@ func TestAppendColumns(t *testing.T) {
 	b := New("test", testSchema())
 	b.Lock()
 	defer b.Unlock()
+	cur := b.NewCursorLocked()
 	cols := []*vector.Vector{
 		vector.FromInt64([]int64{1, 2, 3}),
 		vector.FromFloat64([]float64{0.1, 0.2, 0.3}),
@@ -77,14 +79,14 @@ func TestAppendColumns(t *testing.T) {
 	if err := b.AppendColumnsLocked(cols, []int64{10, 20, 30}); err != nil {
 		t.Fatal(err)
 	}
-	if b.LenLocked() != 3 {
-		t.Errorf("len %d", b.LenLocked())
+	if cur.LenLocked() != 3 {
+		t.Errorf("len %d", cur.LenLocked())
 	}
 	// nil timestamps default to zero.
 	if err := b.AppendColumnsLocked(cols, nil); err != nil {
 		t.Fatal(err)
 	}
-	if b.LenLocked() != 6 || b.TimestampsLocked(3, 6)[0] != 0 {
+	if cur.LenLocked() != 6 || cur.TimestampsLocked(3, 6)[0] != 0 {
 		t.Error("nil ts append")
 	}
 }
@@ -116,49 +118,178 @@ func TestAppendColumnsErrors(t *testing.T) {
 	}
 }
 
-func TestDeleteHead(t *testing.T) {
+func TestCursorAdvance(t *testing.T) {
 	b := New("test", testSchema())
 	b.Lock()
+	cur := b.NewCursorLocked()
 	b.AppendColumnsLocked([]*vector.Vector{
 		vector.FromInt64([]int64{1, 2, 3, 4}),
 		vector.FromFloat64([]float64{1, 2, 3, 4}),
 	}, []int64{10, 20, 30, 40})
-	b.DeleteHeadLocked(2)
-	if b.LenLocked() != 2 || b.ViewLocked(0, 1)[0].Get(0).I != 3 {
-		t.Error("delete head content")
+	cur.AdvanceLocked(2)
+	if cur.LenLocked() != 2 || cur.ViewLocked(0, 1).Cols()[0].Get(0).I != 3 {
+		t.Error("advance content")
 	}
-	if b.TimestampsLocked(0, 2)[0] != 30 {
-		t.Error("delete head timestamps")
+	if cur.TimestampsLocked(0, 2)[0] != 30 {
+		t.Error("advance timestamps")
 	}
-	b.DeleteHeadLocked(0)  // no-op
-	b.DeleteHeadLocked(99) // clamps
-	if b.LenLocked() != 0 {
-		t.Error("over-delete should clamp")
+	cur.AdvanceLocked(0)  // no-op
+	cur.AdvanceLocked(99) // clamps
+	if cur.LenLocked() != 0 {
+		t.Error("over-advance should clamp")
 	}
 	b.Unlock()
-	if b.Dropped() != 4 {
-		t.Errorf("dropped: %d", b.Dropped())
+	if cur.Expired() != 4 {
+		t.Errorf("expired: %d", cur.Expired())
 	}
 }
 
 func TestCountUntil(t *testing.T) {
-	b := New("test", testSchema())
+	b := NewWithSeal("test", testSchema(), 2) // force segment boundaries
 	b.Lock()
 	defer b.Unlock()
+	cur := b.NewCursorLocked()
 	b.AppendColumnsLocked([]*vector.Vector{
 		vector.FromInt64([]int64{1, 2, 3, 4, 5}),
 		vector.FromFloat64([]float64{1, 2, 3, 4, 5}),
 	}, []int64{10, 20, 20, 30, 50})
 	cases := map[int64]int{5: 0, 10: 0, 11: 1, 20: 1, 21: 3, 30: 3, 31: 4, 51: 5, 100: 5}
 	for cut, want := range cases {
-		if got := b.CountUntilLocked(cut); got != want {
+		if got := cur.CountUntilLocked(cut); got != want {
 			t.Errorf("CountUntil(%d) = %d, want %d", cut, got, want)
 		}
+	}
+	// After advancing past the first segment the counts are relative to
+	// the cursor horizon.
+	cur.AdvanceLocked(3)
+	if got := cur.CountUntilLocked(51); got != 2 {
+		t.Errorf("CountUntil after advance = %d, want 2", got)
+	}
+}
+
+// TestSegmentBoundaryViews pins the multi-segment read path: with a tiny
+// seal threshold every window view spans several sealed segments plus the
+// tail, and both the flattened columns and the timestamp runs must stitch
+// back in order.
+func TestSegmentBoundaryViews(t *testing.T) {
+	b := NewWithSeal("test", testSchema(), 3)
+	b.Lock()
+	defer b.Unlock()
+	cur := b.NewCursorLocked()
+	for i := 0; i < 10; i++ {
+		if err := b.AppendRowLocked([]vector.Value{
+			vector.IntValue(int64(i)), vector.FloatValue(float64(i)),
+		}, int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if b.SegmentsLocked() < 3 {
+		t.Fatalf("expected multiple segments, got %d", b.SegmentsLocked())
+	}
+	view := cur.ViewLocked(1, 9)
+	if view.Len() != 8 {
+		t.Fatalf("view len %d", view.Len())
+	}
+	if cv := view.ColViews(); cv[0].Contiguous() {
+		t.Error("cross-boundary view should have multiple parts")
+	}
+	cols := view.Cols()
+	for i := 0; i < 8; i++ {
+		if cols[0].Get(i).I != int64(i+1) {
+			t.Fatalf("col0[%d] = %v", i, cols[0].Get(i))
+		}
+	}
+	ts := cur.TimestampsLocked(1, 9)
+	for i, x := range ts {
+		if x != int64(i+1) {
+			t.Fatalf("ts[%d] = %d", i, x)
+		}
+	}
+	// A view fully inside one segment stays zero-copy.
+	if v := cur.ViewLocked(3, 5); !v.ColViews()[0].Contiguous() {
+		t.Error("within-segment view should be contiguous")
+	}
+}
+
+// TestMinHorizonReclamation proves sealed segments are physically dropped
+// exactly when the slowest cursor passes them — and not before.
+func TestMinHorizonReclamation(t *testing.T) {
+	b := NewWithSeal("test", testSchema(), 4)
+	b.Lock()
+	defer b.Unlock()
+	fast := b.NewCursorLocked()
+	slow := b.NewCursorLocked()
+	for i := 0; i < 16; i++ {
+		b.AppendRowLocked([]vector.Value{
+			vector.IntValue(int64(i)), vector.FloatValue(0),
+		}, int64(i))
+	}
+	segs := b.SegmentsLocked()
+	if segs < 4 {
+		t.Fatalf("want >= 4 segments, got %d", segs)
+	}
+	// The fast cursor expiring everything must not reclaim anything while
+	// the slow cursor still needs the head.
+	fast.AdvanceLocked(16)
+	if b.SegmentsLocked() != segs || b.RetainedLocked() != 16 {
+		t.Fatalf("reclaimed under slow cursor: %d segs, %d retained", b.SegmentsLocked(), b.RetainedLocked())
+	}
+	// Advance the slow cursor past the first two segments (8 tuples).
+	slow.AdvanceLocked(8)
+	if b.RetainedLocked() != 8 {
+		t.Errorf("retained %d, want 8", b.RetainedLocked())
+	}
+	if b.SegmentsLocked() != segs-2 {
+		t.Errorf("segments %d, want %d", b.SegmentsLocked(), segs-2)
+	}
+	// Old views must survive reclamation.
+	view := slow.ViewLocked(0, 4).Cols()
+	if view[0].Get(0).I != 8 {
+		t.Errorf("post-reclaim view: %v", view[0])
+	}
+	// Closing the slow cursor releases the rest up to the fast horizon.
+	slow.CloseLocked()
+	if b.RetainedLocked() != 0 {
+		t.Errorf("retained %d after close, want 0", b.RetainedLocked())
+	}
+}
+
+// TestViewsSurviveAppends verifies the unlocked-execution contract: a view
+// taken under the lock stays readable while a receptor keeps appending to
+// the tail (and forces seals) after the lock is released.
+func TestViewsSurviveAppends(t *testing.T) {
+	b := NewWithSeal("test", testSchema(), 4)
+	b.Lock()
+	cur := b.NewCursorLocked()
+	b.AppendColumnsLocked([]*vector.Vector{
+		vector.FromInt64([]int64{1, 2, 3}),
+		vector.FromFloat64([]float64{1, 2, 3}),
+	}, nil)
+	view := cur.ViewLocked(0, 3)
+	b.Unlock()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 100; i++ {
+			b.Lock()
+			b.AppendRowLocked([]vector.Value{
+				vector.IntValue(int64(100 + i)), vector.FloatValue(0),
+			}, int64(i))
+			b.Unlock()
+		}
+	}()
+	wg.Wait()
+	cols := view.Cols()
+	if cols[0].Len() != 3 || cols[0].Get(0).I != 1 || cols[0].Get(2).I != 3 {
+		t.Errorf("view mutated by concurrent appends: %v", cols[0])
 	}
 }
 
 func TestConcurrentAppendAndDrain(t *testing.T) {
-	b := New("test", testSchema())
+	b := NewWithSeal("test", testSchema(), 64)
+	cur := b.NewCursor()
 	var wg sync.WaitGroup
 	const producers = 4
 	const perProducer = 500
@@ -180,13 +311,13 @@ func TestConcurrentAppendAndDrain(t *testing.T) {
 	go func() {
 		defer close(done)
 		for drained < producers*perProducer {
-			b.Lock()
-			n := b.LenLocked()
+			cur.Lock()
+			n := cur.LenLocked()
 			if n > 0 {
-				b.DeleteHeadLocked(n)
+				cur.AdvanceLocked(n)
 				drained += n
 			}
-			b.Unlock()
+			cur.Unlock()
 		}
 	}()
 	wg.Wait()
@@ -194,4 +325,96 @@ func TestConcurrentAppendAndDrain(t *testing.T) {
 	if drained != producers*perProducer {
 		t.Errorf("drained %d", drained)
 	}
+	// Everything consumed: the log must have reclaimed all sealed
+	// segments (only the unsealed tail remnant may remain).
+	if b.Segments() > 1 || b.Retained() >= 64 {
+		t.Errorf("log not reclaimed: %d segments, %d retained", b.Segments(), b.Retained())
+	}
+}
+
+// TestLargeBatchSplitsSegments checks that one batch far larger than the
+// seal threshold is split across segments near the threshold.
+func TestLargeBatchSplitsSegments(t *testing.T) {
+	b := NewWithSeal("test", testSchema(), 8)
+	xs := make([]int64, 50)
+	fs := make([]float64, 50)
+	ts := make([]int64, 50)
+	for i := range xs {
+		xs[i], fs[i], ts[i] = int64(i), float64(i), int64(i)
+	}
+	b.Lock()
+	cur := b.NewCursorLocked()
+	if err := b.AppendColumnsLocked([]*vector.Vector{
+		vector.FromInt64(xs), vector.FromFloat64(fs),
+	}, ts); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.SegmentsLocked(); got != 7 { // 6 sealed x 8 + tail of 2
+		t.Errorf("segments %d, want 7", got)
+	}
+	cols := cur.ViewLocked(0, 50).Cols()
+	for i := 0; i < 50; i++ {
+		if cols[0].Get(i).I != int64(i) {
+			t.Fatalf("split batch order broken at %d", i)
+		}
+	}
+	b.Unlock()
+}
+
+// TestSetSealRowsShrinkBelowTail pins the re-tuning edge: shrinking the
+// threshold below the current tail occupancy must seal on the next append
+// instead of computing a negative split.
+func TestSetSealRowsShrinkBelowTail(t *testing.T) {
+	b := NewWithSeal("test", testSchema(), 100)
+	b.Lock()
+	cur := b.NewCursorLocked()
+	for i := 0; i < 10; i++ {
+		b.AppendRowLocked([]vector.Value{vector.IntValue(int64(i)), vector.FloatValue(0)}, int64(i))
+	}
+	b.Unlock()
+	b.SetSealRows(4) // below the 10 rows already in the tail
+	b.Lock()
+	if err := b.AppendColumnsLocked([]*vector.Vector{
+		vector.FromInt64([]int64{10, 11, 12, 13, 14, 15}),
+		vector.FromFloat64([]float64{0, 0, 0, 0, 0, 0}),
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := cur.LenLocked(); got != 16 {
+		t.Fatalf("len %d", got)
+	}
+	cols := cur.ViewLocked(0, 16).Cols()
+	for i := 0; i < 16; i++ {
+		if cols[0].Get(i).I != int64(i) {
+			t.Fatalf("order broken at %d: %v", i, cols[0].Get(i))
+		}
+	}
+	b.Unlock()
+}
+
+// TestClosedCursorReadsEmpty: a closed cursor no longer pins segments, so
+// every read through it must degrade to "no data" rather than touching
+// possibly-reclaimed ranges.
+func TestClosedCursorReadsEmpty(t *testing.T) {
+	b := NewWithSeal("test", testSchema(), 2)
+	b.Lock()
+	defer b.Unlock()
+	stale := b.NewCursorLocked()
+	live := b.NewCursorLocked()
+	for i := 0; i < 8; i++ {
+		b.AppendRowLocked([]vector.Value{vector.IntValue(int64(i)), vector.FloatValue(0)}, int64(i))
+	}
+	stale.CloseLocked()
+	live.AdvanceLocked(8) // reclaims everything the stale cursor pointed at
+	if b.RetainedLocked() != 0 {
+		t.Fatalf("retained %d", b.RetainedLocked())
+	}
+	if stale.LenLocked() != 0 || stale.CountUntilLocked(100) != 0 {
+		t.Error("closed cursor must read as empty")
+	}
+	stale.AdvanceLocked(5) // must be a no-op, not a horizon walk
+	if stale.ViewLocked(0, 0).Len() != 0 {
+		t.Error("closed cursor empty view")
+	}
+	stale.CloseLocked() // double close is a no-op
 }

@@ -1,0 +1,145 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"datacell/internal/engine"
+	"datacell/internal/workload"
+)
+
+// This file measures ingest fanout (not a paper figure): with the shared
+// per-stream segment store, a receptor appends each tuple exactly once no
+// matter how many standing queries subscribe, so per-tuple ingest cost
+// must stay ~flat as the query count grows — where the old
+// private-basket-per-query design grew linearly in Q. cmd/dcbench renders
+// the table (-fig fanout) and can emit the machine-readable
+// BENCH_fanout.json consumed by CI to track the perf trajectory.
+
+// fanoutQuery parks a huge count window on the stream so appends do real
+// receptor work (cursor bookkeeping, wake-ups) but windows never fire —
+// the measurement isolates ingest cost from query processing.
+const fanoutQuery = `SELECT count(*) FROM s [RANGE 1000000000 SLIDE 1000000000]`
+
+// FanoutPoint is one measured query count.
+type FanoutPoint struct {
+	Queries        int     `json:"queries"`
+	NsPerTuple     float64 `json:"ns_per_tuple"`
+	AllocsPerTuple float64 `json:"allocs_per_tuple"`
+	MBPerSec       float64 `json:"mb_per_sec"`
+	Tuples         int     `json:"tuples"`
+}
+
+// MeasureFanout appends batches rows-per-batch columnar batches into one
+// stream with nQueries subscribed standing queries and returns the
+// per-tuple ingest cost.
+func MeasureFanout(nQueries, rowsPerBatch, batches int) (FanoutPoint, error) {
+	p := FanoutPoint{Queries: nQueries}
+	e := engine.New()
+	if err := e.RegisterStream("s", intSchema()); err != nil {
+		return p, err
+	}
+	for i := 0; i < nQueries; i++ {
+		if _, err := register(e, fanoutQuery, engine.Reevaluation, engine.Options{}); err != nil {
+			return p, err
+		}
+	}
+	gen := workload.NewGen(77, x1Domain, 1000)
+	cols := gen.Next(rowsPerBatch)
+	// Warm up (first segment allocation, wake channels).
+	if err := e.AppendColumns("s", cols, nil); err != nil {
+		return p, err
+	}
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	t0 := time.Now()
+	for i := 0; i < batches; i++ {
+		if err := e.AppendColumns("s", cols, nil); err != nil {
+			return p, err
+		}
+	}
+	elapsed := time.Since(t0)
+	runtime.ReadMemStats(&m1)
+	tuples := batches * rowsPerBatch
+	p.Tuples = tuples
+	p.NsPerTuple = float64(elapsed.Nanoseconds()) / float64(tuples)
+	p.AllocsPerTuple = float64(m1.Mallocs-m0.Mallocs) / float64(tuples)
+	bytes := float64(tuples) * 16 // two int64 columns
+	p.MBPerSec = bytes / 1e6 / elapsed.Seconds()
+	return p, nil
+}
+
+// FanoutQueryCounts is the standard sweep: ingest cost at 1, 4, 16 and 64
+// subscribed queries on one stream.
+var FanoutQueryCounts = []int{1, 4, 16, 64}
+
+// MeasureFanoutSweep measures every query count in FanoutQueryCounts.
+func MeasureFanoutSweep(rowsPerBatch, batches int) ([]FanoutPoint, error) {
+	points := make([]FanoutPoint, 0, len(FanoutQueryCounts))
+	for _, nq := range FanoutQueryCounts {
+		pt, err := MeasureFanout(nq, rowsPerBatch, batches)
+		if err != nil {
+			return nil, err
+		}
+		points = append(points, pt)
+	}
+	return points, nil
+}
+
+// FanoutParams derives the sweep size from the config: Scale divides the
+// default 2048 batches of 1024 tuples (Scale 1 = the full 2M-tuple run),
+// following the same "-scale divides the paper sizes" convention as the
+// figure benchmarks.
+func FanoutParams(cfg Config) (rowsPerBatch, batches int) {
+	return 1024, cfg.scale(2048)
+}
+
+// RunFanout regenerates the ingest-fanout table.
+func RunFanout(cfg Config) (*Table, error) {
+	rows, batches := FanoutParams(cfg)
+	points, err := MeasureFanoutSweep(rows, batches)
+	if err != nil {
+		return nil, err
+	}
+	return FanoutTable(points, rows*batches), nil
+}
+
+// FanoutTable renders measured fanout points as a dcbench table.
+func FanoutTable(points []FanoutPoint, tuplesPerPoint int) *Table {
+	t := &Table{
+		Figure: "Fanout",
+		Title:  fmt.Sprintf("per-tuple ingest cost vs subscribed queries (%d tuples/point, shared segment store)", tuplesPerPoint),
+		Header: []string{"queries", "ns_per_tuple", "allocs_per_tuple", "mb_per_s"},
+		Notes:  "(one-copy ingest: cost must stay ~flat as queries grow)",
+	}
+	for _, p := range points {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(p.Queries),
+			fmt.Sprintf("%.1f", p.NsPerTuple),
+			fmt.Sprintf("%.3f", p.AllocsPerTuple),
+			fmt.Sprintf("%.1f", p.MBPerSec),
+		})
+	}
+	return t
+}
+
+// WriteFanoutJSON writes measured fanout points as BENCH_fanout.json into
+// dir — the machine-readable form CI archives to track the perf
+// trajectory across commits.
+func WriteFanoutJSON(points []FanoutPoint, dir string) (string, error) {
+	blob, err := json.MarshalIndent(struct {
+		Bench  string        `json:"bench"`
+		Points []FanoutPoint `json:"points"`
+	}{Bench: "fanout", Points: points}, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	path := dir + string(os.PathSeparator) + "BENCH_fanout.json"
+	if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}

@@ -1,0 +1,81 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunFanoutProducesRows(t *testing.T) {
+	tbl, err := RunFanout(Config{Scale: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != len(FanoutQueryCounts) {
+		t.Fatalf("rows: %d", len(tbl.Rows))
+	}
+}
+
+func TestWriteFanoutJSON(t *testing.T) {
+	points, err := MeasureFanoutSweep(256, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path, err := WriteFanoutJSON(points, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path) != "BENCH_fanout.json" {
+		t.Fatalf("path: %s", path)
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		Bench  string        `json:"bench"`
+		Points []FanoutPoint `json:"points"`
+	}
+	if err := json.Unmarshal(blob, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Bench != "fanout" || len(got.Points) != len(FanoutQueryCounts) {
+		t.Fatalf("parsed: %+v", got)
+	}
+	for _, p := range got.Points {
+		if p.NsPerTuple <= 0 || p.Tuples != 256*4 {
+			t.Errorf("point %+v", p)
+		}
+	}
+}
+
+// TestFanoutIngestFlat is the acceptance check for the shared segment
+// store: per-tuple ingest cost at 64 subscribed queries must stay within a
+// small constant factor of the 1-query cost (the old per-query-basket
+// path scaled ~linearly, i.e. ~64x here). Generous 4x bound + best-of-3
+// to damp CI noise.
+func TestFanoutIngestFlat(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	best := 1e18
+	for attempt := 0; attempt < 3; attempt++ {
+		p1, err := MeasureFanout(1, 1024, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p64, err := MeasureFanout(64, 1024, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ratio := p64.NsPerTuple / p1.NsPerTuple; ratio < best {
+			best = ratio
+		}
+		if best < 4 {
+			return
+		}
+	}
+	t.Errorf("ingest cost not flat in query count: 64-query/1-query ns ratio %.2fx", best)
+}

@@ -86,12 +86,12 @@ func (rt *Runtime) windowedStream(s int) bool {
 // early (the paper's "Optimized Incremental Plans"): the per-bw fragment
 // runs on the chunk now, and its partial intermediates are combined into
 // the basic window's slot when Step later completes the window.
-func (rt *Runtime) PushChunk(s int, cols []*vector.Vector, inputs []exec.Input) error {
+func (rt *Runtime) PushChunk(s int, view []vector.View, inputs []exec.Input) error {
 	if rt.ip.HasJoin {
 		return fmt.Errorf("core: chunked processing is limited to single-stream plans")
 	}
 	rt.runStatic(inputs)
-	file, err := rt.runPerBW(s, cols, inputs)
+	file, err := rt.runPerBW(s, view, inputs)
 	if err != nil {
 		return err
 	}
@@ -101,9 +101,11 @@ func (rt *Runtime) PushChunk(s int, cols []*vector.Vector, inputs []exec.Input) 
 
 // Step processes one window slide. newBW[s] holds the closing chunk of the
 // new basic window for each windowed stream source (entries for tables are
-// ignored); inputs supplies full table columns for non-stream sources. The
-// returned table is nil while the first window is still filling.
-func (rt *Runtime) Step(newBW [][]*vector.Vector, inputs []exec.Input) (*exec.Table, StepStats, error) {
+// ignored) as per-column views — possibly multi-part when the basic window
+// spans basket segment boundaries; inputs supplies full table columns for
+// non-stream sources. The returned table is nil while the first window is
+// still filling.
+func (rt *Runtime) Step(newBW [][]vector.View, inputs []exec.Input) (*exec.Table, StepStats, error) {
 	var stats StepStats
 	t0 := time.Now()
 	rt.steps++
@@ -192,8 +194,12 @@ func (rt *Runtime) copyStatic(env []exec.Datum) {
 }
 
 // runPerBW executes source s's per-basic-window fragment over the given
-// column views and returns the slot file of retained values.
-func (rt *Runtime) runPerBW(s int, cols []*vector.Vector, inputs []exec.Input) (regFile, error) {
+// column views and returns the slot file of retained values. Views that
+// lie inside one basket segment are consumed zero-copy; views spanning a
+// segment boundary are flattened into contiguous scratch columns first
+// (the bulk operators need dense payloads).
+func (rt *Runtime) runPerBW(s int, view []vector.View, inputs []exec.Input) (regFile, error) {
+	cols := vector.Cols(view)
 	env := rt.scratch
 	rt.copyStatic(env)
 	bwInputs := make([]exec.Input, len(inputs))

@@ -8,16 +8,26 @@ import (
 	"datacell/internal/vector"
 )
 
+// splitView builds a deliberately discontiguous two-part view over xs so
+// every runtime test also exercises the cross-segment read path.
+func splitView(xs []int64) vector.View {
+	if len(xs) < 2 {
+		return vector.ViewOf(vector.FromInt64(xs))
+	}
+	k := len(xs) / 2
+	return vector.NewView(vector.Int64, vector.FromInt64(xs[:k]), vector.FromInt64(xs[k:]))
+}
+
 // stepWith drives a runtime directly with generated basic windows.
 func stepWith(t *testing.T, rt *Runtime, nSources int, cols ...[]int64) (*exec.Table, StepStats) {
 	t.Helper()
-	newBW := make([][]*vector.Vector, nSources)
+	newBW := make([][]vector.View, nSources)
 	inputs := make([]exec.Input, nSources)
 	for s := 0; s < nSources; s++ {
 		// Interleave: even positions x1, odd positions x2 per source.
 		x1 := cols[2*s]
 		x2 := cols[2*s+1]
-		newBW[s] = []*vector.Vector{vector.FromInt64(x1), vector.FromInt64(x2)}
+		newBW[s] = []vector.View{splitView(x1), splitView(x2)}
 	}
 	tbl, stats, err := rt.Step(newBW, inputs)
 	if err != nil {
@@ -157,7 +167,7 @@ func TestRuntimeChunkedEquivalence(t *testing.T) {
 	inputs := []exec.Input{{}}
 
 	feedWhole := func(rt *Runtime, x1, x2 []int64) *exec.Table {
-		tbl, _, err := rt.Step([][]*vector.Vector{{vector.FromInt64(x1), vector.FromInt64(x2)}}, inputs)
+		tbl, _, err := rt.Step([][]vector.View{vector.Views([]*vector.Vector{vector.FromInt64(x1), vector.FromInt64(x2)})}, inputs)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -166,13 +176,13 @@ func TestRuntimeChunkedEquivalence(t *testing.T) {
 	feedChunks := func(rt *Runtime, x1, x2 []int64) *exec.Table {
 		// Push all but the last two tuples as two chunks, then Step.
 		k := len(x1) / 3
-		if err := rt.PushChunk(0, []*vector.Vector{vector.FromInt64(x1[:k]), vector.FromInt64(x2[:k])}, inputs); err != nil {
+		if err := rt.PushChunk(0, vector.Views([]*vector.Vector{vector.FromInt64(x1[:k]), vector.FromInt64(x2[:k])}), inputs); err != nil {
 			t.Fatal(err)
 		}
-		if err := rt.PushChunk(0, []*vector.Vector{vector.FromInt64(x1[k : 2*k]), vector.FromInt64(x2[k : 2*k])}, inputs); err != nil {
+		if err := rt.PushChunk(0, vector.Views([]*vector.Vector{vector.FromInt64(x1[k : 2*k]), vector.FromInt64(x2[k : 2*k])}), inputs); err != nil {
 			t.Fatal(err)
 		}
-		tbl, _, err := rt.Step([][]*vector.Vector{{vector.FromInt64(x1[2*k:]), vector.FromInt64(x2[2*k:])}}, inputs)
+		tbl, _, err := rt.Step([][]vector.View{vector.Views([]*vector.Vector{vector.FromInt64(x1[2*k:]), vector.FromInt64(x2[2*k:])})}, inputs)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -207,7 +217,7 @@ func TestRuntimeChunkRejectedForJoins(t *testing.T) {
 		t.Fatal(err)
 	}
 	rt := NewRuntime(ip)
-	err = rt.PushChunk(0, []*vector.Vector{vector.FromInt64(nil), vector.FromInt64(nil)}, []exec.Input{{}, {}})
+	err = rt.PushChunk(0, vector.Views([]*vector.Vector{vector.FromInt64(nil), vector.FromInt64(nil)}), []exec.Input{{}, {}})
 	if err == nil {
 		t.Error("chunking a join plan should fail")
 	}

@@ -75,12 +75,24 @@ type Engine struct {
 
 type streamInfo struct {
 	schema catalog.Schema
-	// Every subscribed query owns a private basket so expiration policies
-	// never interfere across queries; the receptor fans appends out.
+	// log is the stream's shared segment store: receptors append each
+	// tuple exactly once; every subscribed query reads it through its own
+	// basket.Cursor, so expiration policies never interfere across
+	// queries and ingest cost is independent of the subscriber count.
+	log *basket.Basket
+	// subscribers is an immutable copy-on-write snapshot: (un)register
+	// replaces the whole slice under e.mu, so receptors may fan wake-ups
+	// out over it without cloning per append.
 	subscribers []*queryInput
 	watermark   int64
 	appended    int64
 }
+
+// Lock-ordering note: e.mu (engine metadata) may be held while acquiring a
+// stream log's lock (Register/Deregister wire cursors under both), but
+// never the reverse — receptor and factory paths always release e.mu
+// before touching a log, and never call back into the engine while holding
+// one.
 
 type tableStore struct {
 	mu     sync.Mutex
@@ -109,7 +121,7 @@ func (e *Engine) RegisterStream(name string, schema catalog.Schema) error {
 	if err := e.cat.Register(&catalog.Source{Name: name, Kind: catalog.Stream, Schema: schema}); err != nil {
 		return err
 	}
-	e.streams[name] = &streamInfo{schema: schema}
+	e.streams[name] = &streamInfo{schema: schema, log: basket.New(name, schema)}
 	return nil
 }
 
@@ -150,14 +162,16 @@ func (e *Engine) InsertTable(name string, cols []*vector.Vector) error {
 	return nil
 }
 
-// AppendColumns delivers a batch of stream tuples (columnar form) to every
-// query subscribed to the stream; ts carries per-tuple arrival timestamps
-// in microseconds (nil means all zero — fine for count-based windows).
-// It acts as the receptor: data lands in baskets, queries fire later via
-// Pump or Run. This is the engine's ingest fast path: the batch is
-// validated once against the stream schema up front (so a bad batch can
-// never land in some subscriber baskets but not others) and then handed to
-// each basket as typed bulk column appends with no per-value boxing.
+// AppendColumns delivers a batch of stream tuples (columnar form) to the
+// stream's shared segment log; ts carries per-tuple arrival timestamps in
+// microseconds (nil means all zero — fine for count-based windows). It
+// acts as the receptor: data lands once in the log, queries read it
+// through their cursors and fire later via Pump or Run. This is the
+// engine's ingest fast path: the batch is validated once against the
+// stream schema up front, appended once as typed bulk column appends with
+// no per-value boxing, and the per-subscriber work is a watermark bump
+// plus a non-blocking wake-up — per-tuple ingest cost is independent of
+// how many queries subscribe.
 func (e *Engine) AppendColumns(stream string, cols []*vector.Vector, ts []int64) error {
 	t0 := time.Now()
 	e.mu.Lock()
@@ -196,7 +210,7 @@ func (e *Engine) AppendColumns(stream string, cols []*vector.Vector, ts []int64)
 	}
 
 	e.mu.Lock()
-	subs := append([]*queryInput(nil), si.subscribers...)
+	subs := si.subscribers // immutable snapshot, no clone
 	si.appended += int64(n)
 	if len(ts) > 0 {
 		last := ts[len(ts)-1]
@@ -204,19 +218,27 @@ func (e *Engine) AppendColumns(stream string, cols []*vector.Vector, ts []int64)
 			si.watermark = last
 		}
 	}
+	log := si.log
 	e.mu.Unlock()
+
+	// One copy into the shared segment log, no matter how many queries
+	// subscribe; the per-tuple watermarks of all cursors advance under the
+	// same (single) lock acquisition.
+	log.Lock()
+	err := log.AppendColumnsLocked(cols, ts)
+	if err == nil && len(ts) > 0 {
+		last := ts[len(ts)-1]
+		for _, qi := range subs {
+			qi.advanceWatermarkLocked(last)
+		}
+	}
+	log.Unlock()
+	if err != nil {
+		return err
+	}
+	// Wake only the factories subscribed to this stream; independent
+	// queries never share a wake-up (the Petri-net edge of the paper).
 	for _, qi := range subs {
-		qi.bkt.Lock()
-		err := qi.bkt.AppendColumnsLocked(cols, ts)
-		if len(ts) > 0 {
-			qi.advanceWatermarkLocked(ts[len(ts)-1])
-		}
-		qi.bkt.Unlock()
-		if err != nil {
-			return err
-		}
-		// Wake only the factories subscribed to this stream; independent
-		// queries never share a wake-up (the Petri-net edge of the paper).
 		qi.q.notifyData()
 	}
 	e.mu.Lock()
@@ -281,12 +303,15 @@ func (e *Engine) SetWatermark(stream string, ts int64) error {
 	if ts > si.watermark {
 		si.watermark = ts
 	}
-	subs := append([]*queryInput(nil), si.subscribers...)
+	subs := si.subscribers // immutable snapshot, no clone
+	log := si.log
 	e.mu.Unlock()
+	log.Lock()
 	for _, qi := range subs {
-		qi.bkt.Lock()
 		qi.advanceWatermarkLocked(ts)
-		qi.bkt.Unlock()
+	}
+	log.Unlock()
+	for _, qi := range subs {
 		qi.q.notifyData()
 	}
 	return nil
@@ -379,7 +404,18 @@ func (e *Engine) Pump() (int, error) {
 	}
 }
 
-// Baskets returns the basket of query q for source ref (testing hook).
-func (e *Engine) basketOf(q *ContinuousQuery, srcIdx int) *basket.Basket {
-	return q.inputs[srcIdx].bkt
+// cursorOf returns the segment-log cursor of query q for source srcIdx
+// (testing hook).
+func (e *Engine) cursorOf(q *ContinuousQuery, srcIdx int) *basket.Cursor {
+	return q.inputs[srcIdx].cur
+}
+
+// streamLog returns the shared segment log of a stream (testing hook).
+func (e *Engine) streamLog(name string) *basket.Basket {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if si, ok := e.streams[name]; ok {
+		return si.log
+	}
+	return nil
 }

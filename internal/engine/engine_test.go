@@ -356,13 +356,20 @@ func TestDiscardInputShrinksBasket(t *testing.T) {
 	if _, err := e.Pump(); err != nil {
 		t.Fatal(err)
 	}
-	// Incremental with discard keeps an empty basket; re-evaluation must
-	// retain a full window (minus the expired slide).
-	if n := e.basketOf(qInc, 0).Len(); n != 0 {
-		t.Errorf("incremental basket holds %d tuples; discard failed", n)
+	// Incremental with discard leaves its cursor fully advanced (nothing
+	// visible); re-evaluation must retain a full window (minus the expired
+	// slide) behind its cursor.
+	if n := e.cursorOf(qInc, 0).Len(); n != 0 {
+		t.Errorf("incremental cursor sees %d tuples; discard failed", n)
 	}
-	if n := e.basketOf(qRee, 0).Len(); n != 30 {
-		t.Errorf("reevaluation basket holds %d tuples, want 30", n)
+	if n := e.cursorOf(qRee, 0).Len(); n != 30 {
+		t.Errorf("reevaluation cursor sees %d tuples, want 30", n)
+	}
+	// The shared log retains exactly the union of what subscribers still
+	// need: the re-evaluation query's 30 tuples pin the newest segments,
+	// everything below the minimum horizon is reclaimable.
+	if r := e.streamLog("s").Retained(); r < 30 || r > 200 {
+		t.Errorf("shared log retains %d tuples", r)
 	}
 }
 

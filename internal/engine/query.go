@@ -141,17 +141,21 @@ func (q *ContinuousQuery) setErr(err error) {
 	q.statsMu.Unlock()
 }
 
-// queryInput tracks the per-source window accounting of one query.
+// queryInput tracks the per-source window accounting of one query: a
+// cursor over the stream's shared segment log (read offset + retain
+// horizon) plus the time-window bookkeeping. The query owns no stream
+// data — expiring tuples advances the cursor, and the log reclaims whole
+// segments once every subscriber's horizon has passed them.
 type queryInput struct {
 	q      *ContinuousQuery // owning factory, notified on new data
 	srcIdx int
 	stream string
 	spec   *sql.WindowSpec
-	bkt    *basket.Basket
+	cur    *basket.Cursor // nil for table sources
 
 	// Time-based accounting. For count-based windows, readiness is purely
-	// a basket-length check: Reevaluation retains |W| tuples and fires once
-	// it holds >= |W|; Incremental fires every |w|.
+	// a cursor-length check: Reevaluation retains |W| tuples and fires once
+	// it sees >= |W|; Incremental fires every |w|.
 	boundary    int64 // exclusive upper bound of the next basic window
 	firstTS     int64 // timestamp of the first tuple ever seen
 	haveBound   bool
@@ -227,7 +231,7 @@ func (e *Engine) Register(query string, opts Options) (*ContinuousQuery, error) 
 		}
 	}
 
-	// Wire baskets.
+	// Wire cursors onto the shared stream logs.
 	e.mu.Lock()
 	for i, src := range prog.Sources {
 		qi := &queryInput{q: q, srcIdx: i, stream: src.Name, spec: src.Window}
@@ -235,16 +239,23 @@ func (e *Engine) Register(query string, opts Options) (*ContinuousQuery, error) 
 			si, ok := e.streams[src.Name]
 			if !ok {
 				// Unwind subscriptions wired so far: a half-registered
-				// query must not keep receiving (and buffering) appends.
+				// query must not keep pinning log segments.
 				for _, prev := range q.inputs {
 					e.detachLocked(prev)
 				}
 				e.mu.Unlock()
 				return nil, fmt.Errorf("engine: unknown stream %q", src.Name)
 			}
-			qi.bkt = basket.New(fmt.Sprintf("%s.%s", id, src.Ref), src.Schema)
+			// The cursor starts at the current end of the log: a fresh
+			// subscriber sees only tuples appended from now on.
+			qi.cur = si.log.NewCursor()
 			qi.watermark = si.watermark
-			si.subscribers = append(si.subscribers, qi)
+			// Publish a fresh subscriber snapshot (copy-on-write) so
+			// receptors can iterate the slice without cloning per append.
+			subs := make([]*queryInput, len(si.subscribers)+1)
+			copy(subs, si.subscribers)
+			subs[len(subs)-1] = qi
+			si.subscribers = subs
 		}
 		q.inputs = append(q.inputs, qi)
 	}
@@ -255,32 +266,50 @@ func (e *Engine) Register(query string, opts Options) (*ContinuousQuery, error) 
 	return q, nil
 }
 
-// Deregister removes a continuous query, detaches its baskets and, if the
-// scheduler is running, stops the query's worker goroutine (blocking until
-// any in-flight step finishes).
+// Deregister removes a continuous query: it stops the query's worker (if
+// the scheduler is running), waits for any in-flight step to finish, and
+// only then closes the query's cursors. The order matters — closing a
+// cursor drops its reclamation pin, so a step still reading through it
+// could otherwise observe segments reclaimed underneath the view.
 func (e *Engine) Deregister(q *ContinuousQuery) {
 	e.mu.Lock()
-	delete(e.queries, q.ID)
+	delete(e.queries, q.ID) // no new Pump/Start picks the query up
+	e.mu.Unlock()
+	e.stopWorker(q)
+	if !q.isEmitting() {
+		// Barrier against a concurrent synchronous Pump mid-step (a worker
+		// is already joined by stopWorker). Skipped when the call comes
+		// from inside the query's own OnResult callback — that step holds
+		// stepMu and waiting would self-deadlock; closed cursors read as
+		// empty, so the remainder of that step stays safe.
+		q.stepMu.Lock()
+		//lint:ignore SA2001 empty critical section is the join barrier
+		q.stepMu.Unlock()
+	}
+	e.mu.Lock()
 	for _, qi := range q.inputs {
 		e.detachLocked(qi)
 	}
 	e.mu.Unlock()
-	e.stopWorker(q)
 }
 
-// detachLocked removes one query input from its stream's subscriber list.
-// Caller holds e.mu. No-op for table inputs.
+// detachLocked removes one query input from its stream's subscriber
+// snapshot (publishing a fresh copy) and closes its cursor so the log can
+// reclaim the segments it was pinning. Caller holds e.mu. No-op for table
+// inputs.
 func (e *Engine) detachLocked(qi *queryInput) {
-	if qi.bkt == nil {
+	if qi.cur == nil {
 		return
 	}
 	si := e.streams[qi.stream]
-	for i, sub := range si.subscribers {
-		if sub == qi {
-			si.subscribers = append(si.subscribers[:i], si.subscribers[i+1:]...)
-			break
+	subs := make([]*queryInput, 0, len(si.subscribers))
+	for _, sub := range si.subscribers {
+		if sub != qi {
+			subs = append(subs, sub)
 		}
 	}
+	si.subscribers = subs
+	qi.cur.Close()
 }
 
 // Windows returns how many window results the query has emitted.
@@ -391,25 +420,25 @@ func (q *ContinuousQuery) fireOnce() (bool, error) {
 // readyCount computes how many tuples each windowed source would consume
 // now; ok is false if some source lacks data.
 func (q *ContinuousQuery) consumable(qi *queryInput, need int) (int, bool) {
-	qi.bkt.Lock()
-	defer qi.bkt.Unlock()
+	qi.cur.Lock()
+	defer qi.cur.Unlock()
 	if qi.spec.Kind == sql.TimeWindow || qi.spec.SlideDur > 0 {
 		// Time-based: the basic window closes when the watermark passes
 		// the boundary.
 		if !qi.haveBound {
-			if qi.bkt.LenLocked() == 0 {
+			if qi.cur.LenLocked() == 0 {
 				return 0, false
 			}
-			first := qi.bkt.TimestampsLocked(0, 1)[0]
+			first := qi.cur.TimestampsLocked(0, 1)[0]
 			qi.boundary = first + qi.slideMicros()
 			qi.haveBound = true
 		}
 		if qi.watermark < qi.boundary {
 			return 0, false
 		}
-		return qi.bkt.CountUntilLocked(qi.boundary), true
+		return qi.cur.CountUntilLocked(qi.boundary), true
 	}
-	if qi.bkt.LenLocked() < need {
+	if qi.cur.LenLocked() < need {
 		return 0, false
 	}
 	return need, true
@@ -432,7 +461,7 @@ func (q *ContinuousQuery) fireIncremental() (bool, error) {
 	// Determine per-source consumption.
 	counts := make([]int, len(q.inputs))
 	for _, qi := range q.inputs {
-		if qi.bkt == nil {
+		if qi.cur == nil {
 			continue
 		}
 		need := stepSize(qi.spec) - qi.chunkBuffer
@@ -448,44 +477,41 @@ func (q *ContinuousQuery) fireIncremental() (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	newBW := make([][]*vector.Vector, len(q.inputs))
+	// Take the basic-window views under each log's lock, then execute
+	// unlocked: sealed segments are immutable and the tail is append-only,
+	// so the views stay consistent while receptors keep appending — query
+	// processing never blocks ingest. The positional prefix [0, count) is
+	// stable too: only this query's own step (serialized by stepMu) moves
+	// its cursors.
+	newBW := make([][]vector.View, len(q.inputs))
 	for _, qi := range q.inputs {
-		if qi.bkt == nil {
+		if qi.cur == nil {
 			continue
 		}
-		qi.bkt.Lock()
-	}
-	for _, qi := range q.inputs {
-		if qi.bkt == nil {
-			continue
-		}
-		newBW[qi.srcIdx] = qi.bkt.ViewLocked(0, counts[qi.srcIdx])
+		qi.cur.Lock()
+		newBW[qi.srcIdx] = qi.cur.ViewLocked(0, counts[qi.srcIdx]).ColViews()
+		qi.cur.Unlock()
 	}
 	tbl, stats, err := q.rt.Step(newBW, inputs)
-	if err == nil {
-		for _, qi := range q.inputs {
-			if qi.bkt == nil {
-				continue
-			}
-			// Incremental plans retain state in slots, so processed
-			// tuples can be discarded immediately ("Discarding Input").
-			if q.inc.DiscardInput {
-				qi.bkt.DeleteHeadLocked(counts[qi.srcIdx])
-			}
-			if qi.haveBound {
-				qi.boundary += qi.slideMicros()
-			}
-			qi.chunkBuffer = 0
-		}
-	}
-	for _, qi := range q.inputs {
-		if qi.bkt == nil {
-			continue
-		}
-		qi.bkt.Unlock()
-	}
 	if err != nil {
 		return false, err
+	}
+	for _, qi := range q.inputs {
+		if qi.cur == nil {
+			continue
+		}
+		qi.cur.Lock()
+		// Incremental plans retain state in slots, so processed tuples
+		// expire immediately ("Discarding Input"): a cursor advance —
+		// whole segments are reclaimed once every subscriber passed them.
+		if q.inc.DiscardInput {
+			qi.cur.AdvanceLocked(counts[qi.srcIdx])
+		}
+		if qi.haveBound {
+			qi.boundary += qi.slideMicros()
+		}
+		qi.chunkBuffer = 0
+		qi.cur.Unlock()
 	}
 	stepNS := time.Since(t0).Nanoseconds()
 	q.account(stats, stepNS)
@@ -503,12 +529,12 @@ func (q *ContinuousQuery) fireIncremental() (bool, error) {
 func (q *ContinuousQuery) pumpChunks() error {
 	qi := q.inputs[0]
 	for _, cand := range q.inputs {
-		if cand.bkt != nil {
+		if cand.cur != nil {
 			qi = cand
 			break
 		}
 	}
-	if qi.bkt == nil || qi.spec.Kind != sql.CountWindow {
+	if qi.cur == nil || qi.spec.Kind != sql.CountWindow {
 		return nil
 	}
 	w := int(qi.spec.SlideRows)
@@ -525,24 +551,24 @@ func (q *ContinuousQuery) pumpChunks() error {
 		if remaining <= chunk {
 			return nil // final piece handled by Step
 		}
-		qi.bkt.Lock()
-		if qi.bkt.LenLocked() < chunk {
-			qi.bkt.Unlock()
+		qi.cur.Lock()
+		if qi.cur.LenLocked() < chunk {
+			qi.cur.Unlock()
 			return nil
 		}
-		view := qi.bkt.ViewLocked(0, chunk)
+		view := qi.cur.ViewLocked(0, chunk).ColViews()
+		qi.cur.Unlock()
 		inputs, err := q.eng.tableInputs(q.prog)
 		if err != nil {
-			qi.bkt.Unlock()
 			return err
 		}
-		err = q.rt.PushChunk(qi.srcIdx, view, inputs)
-		if err == nil && q.inc.DiscardInput {
-			qi.bkt.DeleteHeadLocked(chunk)
-		}
-		qi.bkt.Unlock()
-		if err != nil {
+		if err := q.rt.PushChunk(qi.srcIdx, view, inputs); err != nil {
 			return err
+		}
+		if q.inc.DiscardInput {
+			qi.cur.Lock()
+			qi.cur.AdvanceLocked(chunk)
+			qi.cur.Unlock()
 		}
 		qi.chunkBuffer += chunk
 	}
@@ -559,39 +585,39 @@ func (q *ContinuousQuery) fireReevaluation() (bool, error) {
 	var plans []viewPlan
 	emit := true
 	for _, qi := range q.inputs {
-		if qi.bkt == nil {
+		if qi.cur == nil {
 			continue
 		}
-		qi.bkt.Lock()
+		qi.cur.Lock()
 		switch {
 		case qi.spec.Kind == sql.CountWindow:
-			if qi.bkt.LenLocked() < int(qi.spec.Rows) {
-				qi.bkt.Unlock()
+			if qi.cur.LenLocked() < int(qi.spec.Rows) {
+				qi.cur.Unlock()
 				return false, nil
 			}
 			plans = append(plans, viewPlan{qi: qi, view: int(qi.spec.Rows), expire: int(qi.spec.SlideRows)})
 		case qi.spec.Kind == sql.LandmarkWindow && qi.spec.SlideRows > 0:
 			need := int(qi.spec.SlideRows) * (q.Windows() + 1)
-			if qi.bkt.LenLocked() < need {
-				qi.bkt.Unlock()
+			if qi.cur.LenLocked() < need {
+				qi.cur.Unlock()
 				return false, nil
 			}
 			plans = append(plans, viewPlan{qi: qi, view: need})
 		default: // time-based sliding or landmark window
 			if !qi.haveBound {
-				if qi.bkt.LenLocked() == 0 {
-					qi.bkt.Unlock()
+				if qi.cur.LenLocked() == 0 {
+					qi.cur.Unlock()
 					return false, nil
 				}
-				qi.firstTS = qi.bkt.TimestampsLocked(0, 1)[0]
+				qi.firstTS = qi.cur.TimestampsLocked(0, 1)[0]
 				qi.boundary = qi.firstTS + qi.spec.SlideDur.Microseconds()
 				qi.haveBound = true
 			}
 			if qi.watermark < qi.boundary {
-				qi.bkt.Unlock()
+				qi.cur.Unlock()
 				return false, nil
 			}
-			view := qi.bkt.CountUntilLocked(qi.boundary)
+			view := qi.cur.CountUntilLocked(qi.boundary)
 			expire := 0
 			if qi.spec.Kind == sql.TimeWindow {
 				if qi.boundary-qi.firstTS < qi.spec.Dur.Microseconds() {
@@ -599,12 +625,12 @@ func (q *ContinuousQuery) fireReevaluation() (bool, error) {
 					// incremental preface.
 					emit = false
 				} else {
-					expire = qi.bkt.CountUntilLocked(qi.boundary - qi.spec.Dur.Microseconds() + qi.spec.SlideDur.Microseconds())
+					expire = qi.cur.CountUntilLocked(qi.boundary - qi.spec.Dur.Microseconds() + qi.spec.SlideDur.Microseconds())
 				}
 			}
 			plans = append(plans, viewPlan{qi: qi, view: view, expire: expire})
 		}
-		qi.bkt.Unlock()
+		qi.cur.Unlock()
 	}
 	if len(plans) == 0 {
 		return false, nil
@@ -615,26 +641,29 @@ func (q *ContinuousQuery) fireReevaluation() (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	for _, p := range plans {
-		p.qi.bkt.Lock()
-	}
 	var tbl *exec.Table
 	if emit {
+		// Window views are taken under each log's lock but evaluated
+		// unlocked (immutable segments, append-only tail): re-running the
+		// full window never blocks receptors.
 		for _, p := range plans {
-			inputs[p.qi.srcIdx] = exec.Input{Cols: p.qi.bkt.ViewLocked(0, p.view)}
+			p.qi.cur.Lock()
+			inputs[p.qi.srcIdx] = exec.Input{Cols: p.qi.cur.ViewLocked(0, p.view).Cols()}
+			p.qi.cur.Unlock()
 		}
 		tbl, err = exec.Run(q.prog, inputs)
 	}
 	if err == nil {
 		for _, p := range plans {
-			p.qi.bkt.DeleteHeadLocked(p.expire)
+			p.qi.cur.Lock()
+			// Expiration is a cursor advance; the log reclaims whole
+			// segments once the minimum horizon passes them.
+			p.qi.cur.AdvanceLocked(p.expire)
 			if p.qi.haveBound {
 				p.qi.boundary += p.qi.spec.SlideDur.Microseconds()
 			}
+			p.qi.cur.Unlock()
 		}
-	}
-	for _, p := range plans {
-		p.qi.bkt.Unlock()
 	}
 	if err != nil {
 		return false, err

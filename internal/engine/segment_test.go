@@ -1,0 +1,376 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"datacell/internal/vector"
+)
+
+// Tests for the shared segment store: one-copy ingest for N queries,
+// cursor-based expiration, and min-horizon segment reclamation.
+
+func appendInts(t *testing.T, e *Engine, stream string, ts []int64, n int, next func(i int) (int64, int64)) {
+	t.Helper()
+	x1 := make([]int64, n)
+	x2 := make([]int64, n)
+	for i := 0; i < n; i++ {
+		x1[i], x2[i] = next(i)
+	}
+	if err := e.AppendColumns(stream, []*vector.Vector{vector.FromInt64(x1), vector.FromInt64(x2)}, ts); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSharedLogOneCopy proves the tentpole invariant: no matter how many
+// queries subscribe to a stream, the data is stored once — every
+// subscriber reads the same shared segment log through its own cursor, and
+// all see identical results.
+func TestSharedLogOneCopy(t *testing.T) {
+	e := newTestEngine(t)
+	const nQueries = 8
+	var cols [nQueries]collector
+	for i := 0; i < nQueries; i++ {
+		if _, err := e.Register(`SELECT sum(x2) FROM s [RANGE 20 SLIDE 10]`,
+			Options{Mode: Incremental, OnResult: cols[i].add}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	log := e.streamLog("s")
+	appendInts(t, e, "s", nil, 100, func(i int) (int64, int64) { return int64(i % 5), int64(i) })
+	if _, err := e.Pump(); err != nil {
+		t.Fatal(err)
+	}
+	// One copy: the log holds each tuple once, not once per query.
+	if got := log.Appended(); got != 100 {
+		t.Fatalf("log appended %d tuples, want 100 (one copy)", got)
+	}
+	if got := log.Cursors(); got != nQueries {
+		t.Fatalf("log has %d cursors, want %d", got, nQueries)
+	}
+	want := len(cols[0].results)
+	if want == 0 {
+		t.Fatal("no windows produced")
+	}
+	for i := 1; i < nQueries; i++ {
+		if len(cols[i].results) != want {
+			t.Fatalf("query %d produced %d windows, query 0 produced %d", i, len(cols[i].results), want)
+		}
+		for w := range cols[i].results {
+			if tableKey(cols[i].results[w].Table, false) != tableKey(cols[0].results[w].Table, false) {
+				t.Fatalf("query %d window %d differs", i, w+1)
+			}
+		}
+	}
+}
+
+// TestSegmentReclamationBoundsMemory is the memory-bound proof: with all
+// subscribers consuming (incremental mode discards input by advancing
+// cursors), sealed segments are physically reclaimed and the live chain
+// stays O(1) segments deep no matter how much data flows through.
+func TestSegmentReclamationBoundsMemory(t *testing.T) {
+	e := newTestEngine(t)
+	log := e.streamLog("s")
+	log.SetSealRows(16)
+	var c1, c2 collector
+	if _, err := e.Register(`SELECT sum(x2) FROM s [RANGE 32 SLIDE 16]`,
+		Options{Mode: Incremental, OnResult: c1.add}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Register(`SELECT count(*) FROM s [RANGE 16 SLIDE 16]`,
+		Options{Mode: Incremental, OnResult: c2.add}); err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 200; round++ {
+		appendInts(t, e, "s", nil, 8, func(i int) (int64, int64) { return int64(i), int64(round) })
+		if _, err := e.Pump(); err != nil {
+			t.Fatal(err)
+		}
+		if segs := log.Segments(); segs > 4 {
+			t.Fatalf("round %d: %d live segments — reclamation is not keeping up", round, segs)
+		}
+	}
+	if log.Appended() != 1600 {
+		t.Fatalf("appended %d", log.Appended())
+	}
+	// Nearly everything must have been physically dropped.
+	if d := log.Dropped(); d < 1500 {
+		t.Fatalf("only %d/1600 tuples reclaimed", d)
+	}
+	if len(c1.results) == 0 || len(c2.results) == 0 {
+		t.Fatal("queries produced no results")
+	}
+}
+
+// TestSlowestCursorPinsSegments: reclamation follows min(horizon), so a
+// query that retains its window (re-evaluation) pins exactly the segments
+// its window needs while faster consumers run ahead; closing it releases
+// them.
+func TestSlowestCursorPinsSegments(t *testing.T) {
+	e := newTestEngine(t)
+	log := e.streamLog("s")
+	log.SetSealRows(8)
+	fast, err := e.Register(`SELECT count(*) FROM s [RANGE 8 SLIDE 8]`, Options{Mode: Incremental})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := e.Register(`SELECT sum(x2) FROM s [RANGE 64 SLIDE 8]`, Options{Mode: Reevaluation})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendInts(t, e, "s", nil, 256, func(i int) (int64, int64) { return int64(i), 1 })
+	if _, err := e.Pump(); err != nil {
+		t.Fatal(err)
+	}
+	// The re-evaluation query must still see its retained window…
+	if n := e.cursorOf(slow, 0).Len(); n != 56 {
+		t.Fatalf("slow cursor sees %d tuples, want 56", n)
+	}
+	// …while the log retains only what the slowest horizon pins (plus the
+	// unsealed tail), far less than the 256 appended.
+	if r := log.Retained(); r < 56 || r > 80 {
+		t.Fatalf("log retains %d tuples, want ~[56,80]", r)
+	}
+	// Closing the slow query releases its pin; the fast query has consumed
+	// everything, so the log drains to (at most) the open tail.
+	e.Deregister(slow)
+	if r := log.Retained(); r > 8 {
+		t.Fatalf("log retains %d tuples after slow query closed", r)
+	}
+	e.Deregister(fast)
+}
+
+// TestTimeWindowExpiryAcrossSegments drives a time-based sliding window
+// whose basic windows repeatedly straddle sealed-segment boundaries, and
+// cross-validates incremental against re-evaluation results. Expiration
+// (cursor advance past boundary-spanning prefixes) and window views
+// (multi-part reads) both cross segments; a trailing watermark closes the
+// final windows.
+func TestTimeWindowExpiryAcrossSegments(t *testing.T) {
+	for _, sealRows := range []int{3, 7, 16} {
+		t.Run(fmt.Sprintf("seal=%d", sealRows), func(t *testing.T) {
+			e := newTestEngine(t)
+			e.streamLog("s").SetSealRows(sealRows)
+			var inc, ree collector
+			const q = `SELECT x1, sum(x2) FROM s [RANGE 4 SECONDS SLIDE 1 SECONDS] GROUP BY x1 ORDER BY x1`
+			if _, err := e.Register(q, Options{Mode: Incremental, OnResult: inc.add}); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := e.Register(q, Options{Mode: Reevaluation, OnResult: ree.add}); err != nil {
+				t.Fatal(err)
+			}
+			// 10 tuples/second for 20 seconds, delivered in ragged batches.
+			const us = int64(1_000_000)
+			tick := us / 10
+			now := int64(0)
+			total := 0
+			for total < 200 {
+				n := 1 + (total*7)%13
+				if total+n > 200 {
+					n = 200 - total
+				}
+				ts := make([]int64, n)
+				for i := range ts {
+					now += tick
+					ts[i] = now
+				}
+				base := total
+				appendInts(t, e, "s", ts, n, func(i int) (int64, int64) {
+					return int64((base + i) % 3), int64(base + i)
+				})
+				total += n
+				if _, err := e.Pump(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := e.SetWatermark("s", now+5*us); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := e.Pump(); err != nil {
+				t.Fatal(err)
+			}
+			if len(inc.results) == 0 {
+				t.Fatal("no windows")
+			}
+			if len(inc.results) != len(ree.results) {
+				t.Fatalf("incremental %d windows, reevaluation %d", len(inc.results), len(ree.results))
+			}
+			for i := range inc.results {
+				gi := tableKey(inc.results[i].Table, false)
+				gr := tableKey(ree.results[i].Table, false)
+				if gi != gr {
+					t.Fatalf("window %d differs:\nincremental:  %s\nreevaluation: %s", i+1, gi, gr)
+				}
+			}
+		})
+	}
+}
+
+// TestFanoutConcurrentIngest runs the fanout shape under the concurrent
+// scheduler with racing producers: one stream, many standing queries, the
+// shared log as the only copy. Checked under -race in CI.
+func TestFanoutConcurrentIngest(t *testing.T) {
+	e := newTestEngine(t)
+	e.streamLog("s").SetSealRows(64)
+	const nQueries = 6
+	queries := make([]*ContinuousQuery, nQueries)
+	for i := range queries {
+		q, err := e.Register(`SELECT sum(x2) FROM s [RANGE 64 SLIDE 32]`, Options{Mode: Incremental})
+		if err != nil {
+			t.Fatal(err)
+		}
+		queries[i] = q
+	}
+	e.Start()
+	var wg sync.WaitGroup
+	const producers = 3
+	const perProducer = 40
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for b := 0; b < perProducer; b++ {
+				x := make([]int64, 16)
+				for i := range x {
+					x[i] = int64(p*1000 + b)
+				}
+				if err := e.AppendColumns("s", []*vector.Vector{vector.FromInt64(x), vector.FromInt64(x)}, nil); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	// Wait for every worker to drain the backlog.
+	deadline := time.Now().Add(5 * time.Second)
+	wantWindows := (producers*perProducer*16 - 64) / 32 // appended minus first window, per slide
+	for {
+		done := true
+		for _, q := range queries {
+			if q.Windows() < wantWindows+1 {
+				done = false
+			}
+		}
+		if done || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	e.Stop()
+	if err := e.Err(); err != nil {
+		t.Fatal(err)
+	}
+	log := e.streamLog("s")
+	if got := log.Appended(); got != producers*perProducer*16 {
+		t.Fatalf("log appended %d", got)
+	}
+	for i, q := range queries {
+		if q.Windows() != wantWindows+1 {
+			t.Errorf("query %d produced %d windows, want %d", i, q.Windows(), wantWindows+1)
+		}
+	}
+	// All cursors consumed everything: the log must have reclaimed down to
+	// at most the open tail.
+	if r := log.Retained(); r >= 64 {
+		t.Errorf("log retains %d tuples after full drain", r)
+	}
+}
+
+// TestDeregisterDuringPumpCallback deregisters a query from inside its own
+// OnResult callback while a synchronous Pump drain is mid-flight: the
+// step's cursors close underneath it, which must degrade to "no more
+// data" — never to reads of reclaimed segments.
+func TestDeregisterDuringPumpCallback(t *testing.T) {
+	e := newTestEngine(t)
+	e.streamLog("s").SetSealRows(4)
+	var q *ContinuousQuery
+	var err error
+	q, err = e.Register(`SELECT count(*) FROM s [RANGE 8 SLIDE 8]`, Options{
+		Mode: Reevaluation,
+		OnResult: func(r *Result) {
+			if r.Window == 1 {
+				e.Deregister(q)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A second query keeps consuming, so reclamation advances as soon as
+	// the first query's pin disappears.
+	other, err := e.Register(`SELECT count(*) FROM s [RANGE 4 SLIDE 4]`, Options{Mode: Incremental})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendInts(t, e, "s", nil, 64, func(i int) (int64, int64) { return int64(i), int64(i) })
+	if _, err := e.Pump(); err != nil {
+		t.Fatal(err)
+	}
+	if q.Windows() != 1 {
+		t.Errorf("deregistered query fired %d windows, want 1", q.Windows())
+	}
+	if other.Windows() != 16 {
+		t.Errorf("surviving query fired %d windows, want 16", other.Windows())
+	}
+	// The dead query's pin is gone: the log drains to the open tail.
+	if r := e.streamLog("s").Retained(); r > 4 {
+		t.Errorf("log retains %d tuples after deregister", r)
+	}
+	e.Deregister(q) // double deregister is a no-op
+}
+
+// TestDeregisterRacesConcurrentIngest hammers Deregister against live
+// workers and receptors: queries leave while data flows and the survivors
+// keep the log bounded. Run under -race in CI.
+func TestDeregisterRacesConcurrentIngest(t *testing.T) {
+	e := newTestEngine(t)
+	e.streamLog("s").SetSealRows(32)
+	keeper, err := e.Register(`SELECT count(*) FROM s [RANGE 32 SLIDE 32]`, Options{Mode: Incremental})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var victims []*ContinuousQuery
+	for i := 0; i < 4; i++ {
+		q, err := e.Register(`SELECT sum(x2) FROM s [RANGE 256 SLIDE 64]`, Options{Mode: Reevaluation})
+		if err != nil {
+			t.Fatal(err)
+		}
+		victims = append(victims, q)
+	}
+	e.Start()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			appendInts(t, e, "s", nil, 16, func(j int) (int64, int64) { return int64(j), int64(i) })
+		}
+	}()
+	for _, q := range victims {
+		time.Sleep(2 * time.Millisecond)
+		e.Deregister(q)
+	}
+	close(stop)
+	wg.Wait()
+	e.Stop()
+	if err := e.Err(); err != nil {
+		t.Fatal(err)
+	}
+	log := e.streamLog("s")
+	if log.Cursors() != 1 {
+		t.Errorf("%d cursors left, want 1 (keeper)", log.Cursors())
+	}
+	e.Deregister(keeper)
+	if log.Cursors() != 0 {
+		t.Errorf("%d cursors after final deregister", log.Cursors())
+	}
+}

@@ -1,0 +1,124 @@
+package vector
+
+import "testing"
+
+func TestViewBasics(t *testing.T) {
+	a := FromInt64([]int64{1, 2, 3})
+	b := FromInt64([]int64{4, 5})
+	v := NewView(Int64, a, b)
+	if v.Len() != 5 || v.Type() != Int64 {
+		t.Fatalf("len=%d type=%s", v.Len(), v.Type())
+	}
+	if v.Contiguous() {
+		t.Error("two-part view reported contiguous")
+	}
+	for i := 0; i < 5; i++ {
+		if got := v.Get(i).I; got != int64(i+1) {
+			t.Errorf("Get(%d) = %d", i, got)
+		}
+	}
+	flat := v.Vector()
+	if flat.Len() != 5 || flat.Int64s()[4] != 5 {
+		t.Errorf("flatten: %v", flat)
+	}
+}
+
+func TestViewSinglePartZeroCopy(t *testing.T) {
+	a := FromInt64([]int64{7, 8, 9})
+	v := ViewOf(a)
+	if !v.Contiguous() {
+		t.Error("one-part view not contiguous")
+	}
+	if v.Vector() != a {
+		t.Error("one-part Vector() should return the part itself (zero copy)")
+	}
+	if NewView(Int64).Vector().Len() != 0 {
+		t.Error("empty view should flatten to an empty vector")
+	}
+}
+
+func TestViewAppendDropsEmpties(t *testing.T) {
+	v := NewView(Str, FromStr(nil), FromStr([]string{"x"}), FromStr([]string{}))
+	if len(v.Parts()) != 1 || v.Len() != 1 {
+		t.Errorf("parts=%d len=%d", len(v.Parts()), v.Len())
+	}
+}
+
+func TestViewSlice(t *testing.T) {
+	v := NewView(Int64,
+		FromInt64([]int64{0, 1, 2}),
+		FromInt64([]int64{3, 4}),
+		FromInt64([]int64{5, 6, 7}),
+	)
+	cases := []struct{ lo, hi int }{{0, 8}, {0, 3}, {2, 5}, {3, 3}, {4, 8}, {1, 7}}
+	for _, c := range cases {
+		s := v.Slice(c.lo, c.hi)
+		if s.Len() != c.hi-c.lo {
+			t.Fatalf("slice(%d,%d) len %d", c.lo, c.hi, s.Len())
+		}
+		for i := 0; i < s.Len(); i++ {
+			if got := s.Get(i).I; got != int64(c.lo+i) {
+				t.Errorf("slice(%d,%d).Get(%d) = %d", c.lo, c.hi, i, got)
+			}
+		}
+	}
+	// Slicing inside one part stays zero-copy.
+	if s := v.Slice(3, 5); !s.Contiguous() {
+		t.Error("within-part slice should be contiguous")
+	}
+	// Crossing a boundary yields multiple parts but correct flattening.
+	if s := v.Slice(2, 6); s.Contiguous() || s.Vector().Int64s()[0] != 2 {
+		t.Error("cross-boundary slice")
+	}
+}
+
+func TestViewTypeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on type mismatch")
+		}
+	}()
+	NewView(Int64, FromFloat64([]float64{1}))
+}
+
+func TestViewIntTimestampAlias(t *testing.T) {
+	v := NewView(Timestamp, FromInt64([]int64{1}), FromTimestamp([]int64{2}))
+	if v.Len() != 2 {
+		t.Errorf("alias view len %d", v.Len())
+	}
+}
+
+func TestColsAndViews(t *testing.T) {
+	cols := []*Vector{FromInt64([]int64{1}), FromStr([]string{"a"})}
+	views := Views(cols)
+	if len(views) != 2 || !views[0].Contiguous() {
+		t.Fatal("Views shape")
+	}
+	back := Cols(views)
+	if back[0] != cols[0] || back[1] != cols[1] {
+		t.Error("Cols of one-part views should be zero-copy")
+	}
+}
+
+// TestTruncateZeroesStringHeaders pins the Truncate guarantee the segment
+// store relies on: dropped string headers are cleared so a truncated,
+// reused buffer (Batch.Reset) cannot pin the previous fill's strings —
+// and a view cut from a sealed segment before the truncation still reads
+// its own (capped) part unchanged.
+func TestTruncateZeroesStringHeaders(t *testing.T) {
+	v := New(Str, 4)
+	v.AppendStrs([]string{"keep", "drop1", "drop2"})
+	view := v.Slice(0, 3).Clone() // snapshot semantics of a sealed segment
+	v.Truncate(1)
+	// The dropped headers in the shared backing array must be zeroed.
+	raw := v.Strs()[:3]
+	if raw[1] != "" || raw[2] != "" {
+		t.Errorf("dropped headers not zeroed: %q %q", raw[1], raw[2])
+	}
+	if v.Len() != 1 || v.Strs()[0] != "keep" {
+		t.Errorf("retained prefix damaged: %v", v)
+	}
+	if view.Strs()[2] != "drop2" {
+		t.Errorf("cloned view must not observe truncation: %v", view)
+	}
+}
