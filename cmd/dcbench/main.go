@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	dcbench [-fig 4a|4b|5a|5b|6a|6b|7a|7b|8|9|9inset|scaling|fanout|all]
+//	dcbench [-fig 4a|4b|5a|5b|6a|6b|7a|7b|8|9|9inset|scaling|fanout|parallel|all]
 //	        [-scale N] [-windows N] [-json DIR]
 //
 // -scale divides the paper's window sizes (default 64; -scale 1 runs the
@@ -11,9 +11,10 @@
 // the 100M-tuple point of Fig 6a).
 //
 // -json DIR additionally writes machine-readable results for the figures
-// that support it (currently fanout → DIR/BENCH_fanout.json with
-// ns/op and allocs/op per query count), so CI can track the perf
-// trajectory across commits.
+// that support it (fanout → DIR/BENCH_fanout.json with ns/op and allocs/op
+// per query count, parallel → DIR/BENCH_parallel.json with wall time and
+// speedup per worker count), so CI can track the perf trajectory across
+// commits.
 package main
 
 import (
@@ -42,7 +43,8 @@ var figures = []struct {
 	{"9", bench.RunFig9},
 	{"9inset", bench.RunFig9Inset},
 	{"scaling", bench.RunScaling},
-	{"fanout", nil}, // special-cased: one sweep feeds both table and JSON
+	{"fanout", nil},   // special-cased: one sweep feeds both table and JSON
+	{"parallel", nil}, // special-cased likewise
 }
 
 func main() {
@@ -63,6 +65,8 @@ func main() {
 		var err error
 		if f.name == "fanout" {
 			tbl, err = runFanout(cfg, *jsonDir)
+		} else if f.name == "parallel" {
+			tbl, err = runParallel(cfg, *jsonDir)
 		} else {
 			tbl, err = f.run(cfg)
 		}
@@ -97,4 +101,23 @@ func runFanout(cfg bench.Config, jsonDir string) (*bench.Table, error) {
 		fmt.Printf("wrote %s\n", path)
 	}
 	return bench.FanoutTable(points, rows*batches), nil
+}
+
+// runParallel measures the intra-query parallelism sweep once and feeds
+// the single measurement to both the printed table and (when -json is
+// set) the machine-readable BENCH_parallel.json.
+func runParallel(cfg bench.Config, jsonDir string) (*bench.Table, error) {
+	window, slide, slides := bench.ParallelParams(cfg)
+	points, err := bench.MeasureParallelSweep(window, slide, slides)
+	if err != nil {
+		return nil, err
+	}
+	if jsonDir != "" {
+		path, err := bench.WriteParallelJSON(points, jsonDir)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+	return bench.ParallelTable(points, window, slide, slides), nil
 }

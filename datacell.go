@@ -118,6 +118,13 @@ type Options struct {
 	Chunks int
 	// AdaptiveChunks enables the self-tuning chunk controller (Fig 8).
 	AdaptiveChunks bool
+	// Parallelism bounds the worker goroutines this query may use for
+	// intra-query parallelism (incremental mode): independent basic-window
+	// fragments of buffered slides evaluate concurrently over the shared
+	// segment store. 0 inherits the DB default (SetParallelism), 1 forces
+	// sequential evaluation. Results are identical at any setting; see
+	// docs/ARCHITECTURE.md and the README "Tuning" section.
+	Parallelism int
 }
 
 // Result is one window result.
@@ -366,6 +373,7 @@ func (db *DB) Register(query string, opts Options) (*Query, error) {
 		AutoThreshold:  opts.AutoThreshold,
 		Chunks:         opts.Chunks,
 		AdaptiveChunks: opts.AdaptiveChunks,
+		Parallelism:    opts.Parallelism,
 		OnResult: func(r *engine.Result) {
 			q.deliver(&Result{
 				Window:       r.Window,
@@ -500,6 +508,13 @@ func (q *Query) Close() {
 	}
 	q.db.eng.Deregister(q.cq)
 }
+
+// SetParallelism sets the DB-wide default for intra-query parallelism:
+// queries registered afterwards with Options.Parallelism == 0 evaluate
+// their independent basic-window fragments over up to n workers (n <= 1
+// means sequential). A natural setting is runtime.NumCPU(). Results are
+// unaffected — parallel and sequential evaluation are bit-identical.
+func (db *DB) SetParallelism(n int) { db.eng.SetDefaultParallelism(n) }
 
 // QueryOnce runs a one-time query over persistent tables.
 func (db *DB) QueryOnce(query string) (*Table, error) { return db.eng.QueryOnce(query) }

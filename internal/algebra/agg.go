@@ -168,6 +168,48 @@ func extreme(v *vector.Vector, sel vector.Sel, wantMin bool) (vector.Value, bool
 	return best, true
 }
 
+// SumView computes the global sum of a possibly multi-part view, one dense
+// part at a time — the segment-aware form of Sum, so a window spanning
+// basket segment boundaries is aggregated without a contiguous copy.
+func SumView(v vector.View) vector.Value {
+	if vector.IntKind(v.Type()) {
+		var s int64
+		for _, p := range v.Parts() {
+			s += Sum(p, nil).I
+		}
+		return vector.IntValue(s)
+	}
+	var s float64
+	for _, p := range v.Parts() {
+		s += Sum(p, nil).F
+	}
+	return vector.FloatValue(s)
+}
+
+// MinView returns the minimum across all parts of a view; ok is false on an
+// empty view.
+func MinView(v vector.View) (vector.Value, bool) { return extremeView(v, true) }
+
+// MaxView returns the maximum across all parts of a view; ok is false on an
+// empty view.
+func MaxView(v vector.View) (vector.Value, bool) { return extremeView(v, false) }
+
+func extremeView(v vector.View, wantMin bool) (vector.Value, bool) {
+	var best vector.Value
+	found := false
+	for _, p := range v.Parts() {
+		x, ok := extreme(p, nil, wantMin)
+		if !ok {
+			continue
+		}
+		if !found || (wantMin && x.Less(best)) || (!wantMin && best.Less(x)) {
+			best = x
+			found = true
+		}
+	}
+	return best, found
+}
+
 // GroupedAgg computes one aggregate per group. v is the value column
 // (ignored for AggCount), sel restricts the rows in the same order Group
 // visited them, and g holds the group assignment. The result vector has

@@ -82,57 +82,68 @@ func (op CmpOp) Flip() CmpOp {
 // paths cover the numeric types the benchmarks exercise; strings and bools
 // fall back to boxed comparison.
 func Select(v *vector.Vector, op CmpOp, c vector.Value, cand vector.Sel) vector.Sel {
+	return SelectInto(nil, v, op, c, cand, 0)
+}
+
+// SelectInto is the part-at-a-time form of Select: matching row ids are
+// offset by base and appended to out (which may be nil). Multi-part view
+// kernels call it once per contiguous part, so a window spanning segment
+// boundaries is filtered with the same dense loops as a one-part window,
+// without materializing a contiguous copy first.
+func SelectInto(out vector.Sel, v *vector.Vector, op CmpOp, c vector.Value, cand vector.Sel, base int32) vector.Sel {
 	switch v.Type() {
 	case vector.Int64, vector.Timestamp:
 		if c.Typ == vector.Float64 {
-			return selectGeneric(v, op, c, cand)
+			return selectGeneric(out, v, op, c, cand, base)
 		}
-		return selectInt64(v.Int64s(), op, c.AsInt(), cand)
+		return selectInt64(out, v.Int64s(), op, c.AsInt(), cand, base)
 	case vector.Float64:
-		return selectFloat64(v.Float64s(), op, c.AsFloat(), cand)
+		return selectFloat64(out, v.Float64s(), op, c.AsFloat(), cand, base)
 	default:
-		return selectGeneric(v, op, c, cand)
+		return selectGeneric(out, v, op, c, cand, base)
 	}
 }
 
-func selectInt64(vals []int64, op CmpOp, c int64, cand vector.Sel) vector.Sel {
-	out := make(vector.Sel, 0, guessCap(len(vals), cand))
+func selectInt64(out vector.Sel, vals []int64, op CmpOp, c int64, cand vector.Sel, base int32) vector.Sel {
+	if out == nil {
+		out = make(vector.Sel, 0, guessCap(len(vals), cand))
+	}
 	if cand == nil {
 		switch op {
 		case Lt:
 			for i, x := range vals {
 				if x < c {
-					out = append(out, int32(i))
+					out = append(out, base+int32(i))
 				}
 			}
 		case Le:
 			for i, x := range vals {
 				if x <= c {
-					out = append(out, int32(i))
+					out = append(out, base+int32(i))
 				}
 			}
 		case Gt:
 			for i, x := range vals {
 				if x > c {
-					out = append(out, int32(i))
+					out = append(out, base+int32(i))
 				}
 			}
 		case Ge:
 			for i, x := range vals {
 				if x >= c {
-					out = append(out, int32(i))
+					out = append(out, base+int32(i))
 				}
 			}
 		case Eq:
 			for i, x := range vals {
 				if x == c {
-					out = append(out, int32(i))
+					out = append(out, base+int32(i))
 				}
 			}
 		case Ne:
 			for i, x := range vals {
 				if x != c {
-					out = append(out, int32(i))
+					out = append(out, base+int32(i))
 				}
 			}
 		}
@@ -156,14 +167,16 @@ func selectInt64(vals []int64, op CmpOp, c int64, cand vector.Sel) vector.Sel {
 			keep = x != c
 		}
 		if keep {
-			out = append(out, i)
+			out = append(out, base+i)
 		}
 	}
 	return out
 }
 
-func selectFloat64(vals []float64, op CmpOp, c float64, cand vector.Sel) vector.Sel {
-	out := make(vector.Sel, 0, guessCap(len(vals), cand))
+func selectFloat64(out vector.Sel, vals []float64, op CmpOp, c float64, cand vector.Sel, base int32) vector.Sel {
+	if out == nil {
+		out = make(vector.Sel, 0, guessCap(len(vals), cand))
+	}
 	iter := func(i int32, x float64) {
 		keep := false
 		switch op {
@@ -181,7 +194,7 @@ func selectFloat64(vals []float64, op CmpOp, c float64, cand vector.Sel) vector.
 			keep = x != c
 		}
 		if keep {
-			out = append(out, i)
+			out = append(out, base+i)
 		}
 	}
 	if cand == nil {
@@ -196,8 +209,10 @@ func selectFloat64(vals []float64, op CmpOp, c float64, cand vector.Sel) vector.
 	return out
 }
 
-func selectGeneric(v *vector.Vector, op CmpOp, c vector.Value, cand vector.Sel) vector.Sel {
-	out := make(vector.Sel, 0, guessCap(v.Len(), cand))
+func selectGeneric(out vector.Sel, v *vector.Vector, op CmpOp, c vector.Value, cand vector.Sel, base int32) vector.Sel {
+	if out == nil {
+		out = make(vector.Sel, 0, guessCap(v.Len(), cand))
+	}
 	test := func(i int32) {
 		cmp := v.Get(int(i)).Compare(c)
 		keep := false
@@ -216,7 +231,7 @@ func selectGeneric(v *vector.Vector, op CmpOp, c vector.Value, cand vector.Sel) 
 			keep = cmp != 0
 		}
 		if keep {
-			out = append(out, i)
+			out = append(out, base+i)
 		}
 	}
 	if cand == nil {
@@ -249,19 +264,27 @@ func SelectRange(v *vector.Vector, lo, hi vector.Value, loIncl, hiIncl bool, can
 // SelectBools returns the rows of a Bool vector that are true, restricted to
 // cand when non-nil. It is how computed predicates become selections.
 func SelectBools(v *vector.Vector, cand vector.Sel) vector.Sel {
+	return SelectBoolsInto(nil, v, cand, 0)
+}
+
+// SelectBoolsInto is the part-at-a-time form of SelectBools: matching row
+// ids are offset by base and appended to out (which may be nil).
+func SelectBoolsInto(out vector.Sel, v *vector.Vector, cand vector.Sel, base int32) vector.Sel {
 	bs := v.Bools()
-	out := make(vector.Sel, 0, guessCap(len(bs), cand))
+	if out == nil {
+		out = make(vector.Sel, 0, guessCap(len(bs), cand))
+	}
 	if cand == nil {
 		for i, b := range bs {
 			if b {
-				out = append(out, int32(i))
+				out = append(out, base+int32(i))
 			}
 		}
 		return out
 	}
 	for _, i := range cand {
 		if bs[i] {
-			out = append(out, i)
+			out = append(out, base+i)
 		}
 	}
 	return out

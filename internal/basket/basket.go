@@ -1,18 +1,3 @@
-// Package basket implements DataCell's lightweight stream tables as a
-// shared, per-stream segment log. A receptor appends each tuple exactly
-// once into the mutable tail segment; when the tail reaches the seal
-// threshold it becomes an immutable sealed segment and a fresh tail opens.
-// Every subscribed query reads the log through a Cursor — a read offset
-// over the segment chain — so N standing queries share one copy of the
-// data, expiration is a cursor advance (no per-query deletes), and whole
-// segments are physically reclaimed once the minimum cursor horizon across
-// all subscribers has passed them.
-//
-// The locking discipline of Algorithm 1/2 in the paper is kept per log:
-// receptors and factories serialize on the log mutex, but because sealed
-// segments are immutable and the tail is append-only, factories take
-// window views under the lock and execute on them after releasing it —
-// ingest is never blocked by query processing.
 package basket
 
 import (

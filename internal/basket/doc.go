@@ -1,0 +1,36 @@
+// Package basket implements DataCell's lightweight stream tables as a
+// shared, per-stream segment log. A receptor appends each tuple exactly
+// once into the mutable tail segment; when the tail reaches the seal
+// threshold it becomes an immutable sealed segment and a fresh tail opens.
+// Every subscribed query reads the log through a Cursor — a read offset
+// over the segment chain — so N standing queries share one copy of the
+// data, expiration is a cursor advance (no per-query deletes), and whole
+// segments are physically reclaimed once the minimum cursor horizon across
+// all subscribers has passed them.
+//
+// # Contract and locking rules
+//
+// The log mutex (Basket.Lock/Unlock, shared by every Cursor of the log)
+// guards the segment chain: appends, seals, reclamation, cursor positions
+// and all the *Locked accessors. The immutability rules that make the rest
+// of the engine work are:
+//
+//   - A sealed segment never changes. Reading its columns requires no lock.
+//   - The tail segment is append-only: a prefix [0, n) observed under the
+//     lock stays valid after release, even while receptors keep appending
+//     (slice growth copies; readers keep the old backing array alive).
+//   - Views (Cursor.ViewLocked → basket.View → vector.View) must be TAKEN
+//     under the log lock but may be READ unlocked, indefinitely: the parts
+//     alias sealed segments or a stable tail prefix and keep the backing
+//     arrays alive across reclamation. This is what lets factories execute
+//     window fragments — including in parallel (internal/core) — without
+//     blocking ingest.
+//   - Views alias log storage. Any value that must survive beyond the
+//     current step (e.g. a basic-window slot in internal/core) must be
+//     cloned by its owner; the log never clones on a reader's behalf.
+//
+// Expiration is logical: Cursor.AdvanceLocked moves the read offset, and
+// the log drops whole segments only once min(horizon) over all cursors has
+// passed them — a slow subscriber pins memory, a closed cursor releases
+// its pin.
+package basket

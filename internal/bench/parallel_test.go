@@ -1,0 +1,58 @@
+package bench
+
+import (
+	"testing"
+)
+
+// TestParallelSweepChecksums runs a tiny sweep end to end: every worker
+// count must produce the same number of windows and an identical result
+// checksum (bit-identical parallel evaluation), and allocations per step
+// must not grow with the worker count's data volume.
+func TestParallelSweepChecksums(t *testing.T) {
+	points, err := MeasureParallelSweep(4096, 256, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) < 2 {
+		t.Skipf("single-CPU sweep: %d points", len(points))
+	}
+	for _, p := range points[1:] {
+		if p.Windows != points[0].Windows {
+			t.Errorf("workers=%d: %d windows, workers=1: %d", p.Workers, p.Windows, points[0].Windows)
+		}
+		if p.ResultSum != points[0].ResultSum {
+			t.Errorf("workers=%d checksum %d != %d", p.Workers, p.ResultSum, points[0].ResultSum)
+		}
+	}
+}
+
+// BenchmarkParallelBW measures the backlog-drain wall time of one
+// multi-basic-window query at 1 and 4 fragment workers — the acceptance
+// benchmark for intra-query parallelism (expect >1.5x at 4 workers on a
+// multicore host; run with -benchtime to taste).
+func BenchmarkParallelBW(b *testing.B) {
+	const (
+		window = 1 << 17 // 16 basic windows of 8192 tuples
+		slide  = 1 << 13
+		slides = 48
+	)
+	for _, workers := range []int{1, 4} {
+		b.Run(benchName(workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				p, err := MeasureParallel(workers, window, slide, slides)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(p.NsPerTuple, "ns/tuple")
+			}
+		})
+	}
+}
+
+func benchName(workers int) string {
+	if workers == 1 {
+		return "workers=1"
+	}
+	return "workers=4"
+}

@@ -1,0 +1,51 @@
+// Package core implements the paper's primary contribution: rewriting an
+// optimized physical query plan into an *incremental* plan, plus the
+// runtime that executes it across window slides.
+//
+// # The rewrite (Section 3 of the paper)
+//
+// Rewrite applies the paper's four transformations:
+//
+//  1. Split — the input stream is cut into n = |W|/|w| basic windows.
+//  2. Per-basic-window processing — the deepest possible prefix of the plan
+//     is replicated so it runs independently on each basic window
+//     ("split the plan as deep as possible").
+//  3. Merge — partial intermediates are concatenated and compensated:
+//     simple concatenation for selections/maps (Fig 3a), re-applied
+//     aggregates for sum/min/max and sum-of-counts for count (Fig 3b),
+//     re-grouping for grouped aggregation (Fig 3d). avg was already
+//     expanded to sum+count+div by the planner (Fig 3c).
+//  4. Transition — intermediates slide with the window: per-basic-window
+//     slots rotate, and join matrices expire a row and column per step
+//     (Fig 3e: the join is replicated n×n times, only the new row and
+//     column are evaluated per slide).
+//
+// Landmark windows keep one cumulative intermediate per merge point
+// instead of a ring of n slots (Section 3, "Landmark Window Queries").
+//
+// # The runtime: stages, parallelism, locking
+//
+// Runtime executes the rewritten plan in stages per slide: static (table
+// binds, once), per-basic-window fragments (one per new basic window per
+// windowed source), join-matrix cells (one per new cell), then the serial
+// merge. The contract that enables intra-query parallelism:
+//
+//   - Per-bw fragments and new join cells are pure: they read only the
+//     immutable plan, the static environment, table inputs and (immutable,
+//     taken-under-the-log-lock) segment views, and write only a private
+//     worker environment. Fragments of distinct basic windows — including
+//     basic windows of distinct buffered slides (StepBatch) — may
+//     therefore run concurrently.
+//   - Options.Parallelism bounds the worker pool; workers deposit slot
+//     files into indexed positions and the transition + merge stages stay
+//     single-threaded, so results are bit-identical at every setting.
+//   - Slot files must survive basket reclamation: values that alias log
+//     storage (bind registers, unflattened views) are cloned/materialized
+//     by runPerBW before entering a slot. The Runtime owns its slots and
+//     cells exclusively; callers serialize Step/StepBatch/PushChunk (the
+//     engine does so via its per-query step mutex).
+//
+// The Runtime itself takes no locks: it relies on its caller for step
+// serialization and on the basket's immutability rules for unlocked view
+// reads.
+package core

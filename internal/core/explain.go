@@ -37,7 +37,7 @@ func (ip *IncPlan) Explain() string {
 	}
 	writeStage("static (once per step)", ip.Static)
 	for s, instrs := range ip.PerBW {
-		writeStage(fmt.Sprintf("per basic window of source %d (%s)", s, ip.Prog.Sources[s].Ref), instrs)
+		writeStage(fmt.Sprintf("per basic window of source %d (%s) [independent per bw: parallel-eligible]", s, ip.Prog.Sources[s].Ref), instrs)
 	}
 	writeStage("per join-matrix cell", ip.Cell)
 

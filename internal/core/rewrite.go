@@ -1,25 +1,3 @@
-// Package core implements the paper's primary contribution: rewriting an
-// optimized physical query plan into an *incremental* plan, plus the
-// runtime that executes it across window slides.
-//
-// The rewrite applies the paper's four transformations (Section 3):
-//
-//  1. Split — the input stream is cut into n = |W|/|w| basic windows.
-//  2. Per-basic-window processing — the deepest possible prefix of the plan
-//     is replicated so it runs independently on each basic window
-//     ("split the plan as deep as possible").
-//  3. Merge — partial intermediates are concatenated and compensated:
-//     simple concatenation for selections/maps (Fig 3a), re-applied
-//     aggregates for sum/min/max and sum-of-counts for count (Fig 3b),
-//     re-grouping for grouped aggregation (Fig 3d). avg was already
-//     expanded to sum+count+div by the planner (Fig 3c).
-//  4. Transition — intermediates slide with the window: per-basic-window
-//     slots rotate, and join matrices expire a row and column per step
-//     (Fig 3e: the join is replicated n×n times, only the new row and
-//     column are evaluated per slide).
-//
-// Landmark windows keep one cumulative intermediate per merge point
-// instead of a ring of n slots (Section 3, "Landmark Window Queries").
 package core
 
 import (

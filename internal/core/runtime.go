@@ -2,6 +2,8 @@ package core
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"datacell/internal/exec"
@@ -23,9 +25,39 @@ type StepStats struct {
 	ResultRows int
 }
 
+// StepResult is one window slide's outcome within a StepBatch: the result
+// table (nil while the first window is still filling) plus its stats.
+type StepResult struct {
+	Table *exec.Table
+	Stats StepStats
+}
+
+// Options tune runtime execution. They never change plan semantics:
+// results are bit-identical at every setting.
+type Options struct {
+	// Parallelism bounds the worker goroutines used to evaluate independent
+	// plan fragments concurrently — the per-basic-window fragments of the
+	// slides queued in a StepBatch (and of multiple stream sources within
+	// one slide) and the new join-matrix cells of a slide. <= 1 executes
+	// sequentially on the calling goroutine. Slot order, merge order and
+	// therefore results are identical at any value: workers write into
+	// indexed slots and the transition + merge stages stay single-threaded.
+	Parallelism int
+}
+
 // regFile stores the retained datums of one basic window (or one matrix
 // cell), indexed by slot position.
 type regFile []exec.Datum
+
+// workerEnv is one worker's private execution state: a register file for
+// fragment evaluation and an input scratch slice (the per-source exec
+// inputs with the worker's basic-window view patched in). Pooling both
+// keeps steady-state stepping allocation-flat and lets fragment evaluation
+// fan out without sharing mutable state.
+type workerEnv struct {
+	env    []exec.Datum
+	inputs []exec.Input
+}
 
 // Runtime executes an IncPlan across window slides, maintaining the
 // per-basic-window intermediate slots and the join matrix.
@@ -41,14 +73,33 @@ type Runtime struct {
 
 	staticEnv  []exec.Datum
 	staticOuts []plan.Reg
-	scratch    []exec.Datum
-	inputs     []exec.Input
+
+	// par is the bounded fragment-worker count; envs[i] is worker i's
+	// private environment (envs[0] doubles as the sequential scratch).
+	par  int
+	envs []*workerEnv
+
+	// srcIdx lists the windowed stream sources in source order; per-bw
+	// fragments exist only for these.
+	srcIdx []int
+
+	// Reusable task scratch so steady-state stepping allocates nothing
+	// beyond the slot files themselves.
+	taskFiles []regFile
+	taskErrs  []error
+	cellIdx   [][2]int
+	cellFiles []regFile
+	slideBuf  [][][]vector.View
+	resBuf    []StepResult
 
 	steps int
 }
 
-// NewRuntime prepares an executor for an incremental plan.
-func NewRuntime(ip *IncPlan) *Runtime {
+// NewRuntime prepares a sequential executor for an incremental plan.
+func NewRuntime(ip *IncPlan) *Runtime { return NewRuntimeOpts(ip, Options{}) }
+
+// NewRuntimeOpts prepares an executor with explicit runtime options.
+func NewRuntimeOpts(ip *IncPlan, opts Options) *Runtime {
 	rt := &Runtime{
 		ip:      ip,
 		slots:   make([][]regFile, len(ip.Prog.Sources)),
@@ -68,18 +119,87 @@ func NewRuntime(ip *IncPlan) *Runtime {
 	for _, in := range ip.Static {
 		rt.staticOuts = append(rt.staticOuts, in.Out...)
 	}
+	for s := range ip.Prog.Sources {
+		if rt.windowedStream(s) {
+			rt.srcIdx = append(rt.srcIdx, s)
+		}
+	}
 	rt.staticEnv = make([]exec.Datum, ip.NumRegs)
-	rt.scratch = make([]exec.Datum, ip.NumRegs)
+	rt.par = opts.Parallelism
+	if rt.par < 1 {
+		rt.par = 1
+	}
+	rt.envs = make([]*workerEnv, rt.par)
+	for i := range rt.envs {
+		rt.envs[i] = &workerEnv{
+			env:    make([]exec.Datum, ip.NumRegs),
+			inputs: make([]exec.Input, len(ip.Prog.Sources)),
+		}
+	}
 	return rt
 }
 
-// Steps returns the number of Step calls so far.
+// Steps returns the number of window slides processed so far.
 func (rt *Runtime) Steps() int { return rt.steps }
+
+// Parallelism returns the configured fragment-worker bound (>= 1).
+func (rt *Runtime) Parallelism() int { return rt.par }
 
 // windowedStream reports whether source s expects basic-window pushes.
 func (rt *Runtime) windowedStream(s int) bool {
 	spec := rt.ip.Prog.Sources[s]
 	return spec.IsStream && spec.Window != nil
+}
+
+// forEach runs fn for every task in [0, n): sequentially on envs[0] when
+// parallelism is off or there is only one task, otherwise across
+// min(par, n) workers pulling tasks from a shared counter, each with its
+// own environment. Every task runs exactly once and writes only into
+// indexed slots, so execution order cannot leak into results; the
+// lowest-index error is returned to match sequential error behavior.
+func (rt *Runtime) forEach(n int, fn func(task int, w *workerEnv) error) error {
+	if n <= 1 || rt.par <= 1 {
+		w := rt.envs[0]
+		for i := 0; i < n; i++ {
+			if err := fn(i, w); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	workers := rt.par
+	if workers > n {
+		workers = n
+	}
+	if cap(rt.taskErrs) < n {
+		rt.taskErrs = make([]error, n)
+	}
+	errs := rt.taskErrs[:n]
+	for i := range errs {
+		errs[i] = nil
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for wi := 0; wi < workers; wi++ {
+		go func(w *workerEnv) {
+			defer wg.Done()
+			for {
+				t := int(next.Add(1)) - 1
+				if t >= n {
+					return
+				}
+				errs[t] = fn(t, w)
+			}
+		}(rt.envs[wi])
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // PushChunk processes a fraction of the next basic window of source s
@@ -91,7 +211,7 @@ func (rt *Runtime) PushChunk(s int, view []vector.View, inputs []exec.Input) err
 		return fmt.Errorf("core: chunked processing is limited to single-stream plans")
 	}
 	rt.runStatic(inputs)
-	file, err := rt.runPerBW(s, view, inputs)
+	file, err := rt.runPerBW(s, view, inputs, rt.envs[0])
 	if err != nil {
 		return err
 	}
@@ -106,56 +226,107 @@ func (rt *Runtime) PushChunk(s int, view []vector.View, inputs []exec.Input) err
 // non-stream sources. The returned table is nil while the first window is
 // still filling.
 func (rt *Runtime) Step(newBW [][]vector.View, inputs []exec.Input) (*exec.Table, StepStats, error) {
-	var stats StepStats
+	rt.slideBuf = append(rt.slideBuf[:0], newBW)
+	res, err := rt.stepSlides(rt.slideBuf, inputs, rt.resBuf[:0])
+	// Clear the reuse buffers' contents: retained views would pin segment
+	// backing arrays past reclamation, and a retained StepResult would pin
+	// the emitted table, for as long as the query sits idle.
+	rt.slideBuf[0] = nil
+	rt.resBuf = res[:0]
+	if err != nil {
+		clear(res)
+		return nil, StepStats{}, err
+	}
+	out := res[0]
+	clear(res)
+	return out.Table, out.Stats, nil
+}
+
+// StepBatch processes k consecutive window slides whose basic-window views
+// are all available — the intra-query parallel path. The per-bw fragments
+// of all k slides (times windowed sources) are evaluated concurrently
+// across the worker pool; the transition (slot rotation, join matrix) and
+// merge stages then run serially slide by slide, so the returned results
+// are bit-identical to k sequential Step calls at any parallelism.
+// Entry i of the result corresponds to slide i (Table nil while the first
+// window is still filling).
+func (rt *Runtime) StepBatch(slides [][][]vector.View, inputs []exec.Input) ([]StepResult, error) {
+	return rt.stepSlides(slides, inputs, make([]StepResult, 0, len(slides)))
+}
+
+func (rt *Runtime) stepSlides(slides [][][]vector.View, inputs []exec.Input, out []StepResult) ([]StepResult, error) {
+	k := len(slides)
+	rt.steps += k
 	t0 := time.Now()
-	rt.steps++
 	rt.runStatic(inputs)
 
-	evicted := false
-	for s := range rt.ip.Prog.Sources {
-		if !rt.windowedStream(s) {
+	// Phase 1 — evaluate the per-bw fragment of every (slide, windowed
+	// source) pair across the worker pool. Task t covers slide t/nsrc and
+	// windowed source srcIdx[t%nsrc]; results land in indexed slots so the
+	// serial assembly below observes exactly the sequential order.
+	nsrc := len(rt.srcIdx)
+	ntask := k * nsrc
+	if cap(rt.taskFiles) < ntask {
+		rt.taskFiles = make([]regFile, ntask)
+	}
+	files := rt.taskFiles[:ntask]
+	err := rt.forEach(ntask, func(t int, w *workerEnv) error {
+		s := rt.srcIdx[t%nsrc]
+		f, err := rt.runPerBW(s, slides[t/nsrc][s], inputs, w)
+		files[t] = f
+		return err
+	})
+	if err != nil {
+		return out, err
+	}
+	perBWNS := time.Since(t0).Nanoseconds()
+
+	// Phase 2 — serial per slide: chunk combination, slot rotation, join
+	// matrix update (its new cells fan out in parallel again), then merge.
+	for sl := 0; sl < k; sl++ {
+		var stats StepStats
+		t1 := time.Now()
+		evicted := false
+		for j, s := range rt.srcIdx {
+			file := files[sl*nsrc+j]
+			files[sl*nsrc+j] = nil // don't pin slot files in the scratch
+			if len(rt.pending[s]) > 0 {
+				chunks := append(rt.pending[s], file)
+				file = rt.combineChunks(s, chunks)
+				rt.pending[s] = nil
+			}
+			if !rt.ip.Landmark && len(rt.slots[s]) == rt.ip.N {
+				// Transition phase: expire the oldest basic window.
+				rt.slots[s] = rt.slots[s][1:]
+				evicted = true
+			}
+			rt.slots[s] = append(rt.slots[s], file)
+		}
+		if rt.ip.HasJoin {
+			if err := rt.updateCells(evicted, inputs); err != nil {
+				return out, err
+			}
+		}
+		stats.MainNS = perBWNS/int64(k) + time.Since(t1).Nanoseconds()
+
+		if !rt.ready() {
+			out = append(out, StepResult{Stats: stats})
 			continue
 		}
-		file, err := rt.runPerBW(s, newBW[s], inputs)
+		t2 := time.Now()
+		tbl, env, err := rt.merge(inputs)
 		if err != nil {
-			return nil, stats, err
+			return out, err
 		}
-		if len(rt.pending[s]) > 0 {
-			chunks := append(rt.pending[s], file)
-			file = rt.combineChunks(s, chunks)
-			rt.pending[s] = nil
+		if rt.ip.Landmark {
+			rt.compactLandmark(env)
 		}
-		if !rt.ip.Landmark && len(rt.slots[s]) == rt.ip.N {
-			// Transition phase: expire the oldest basic window.
-			rt.slots[s] = rt.slots[s][1:]
-			evicted = true
-		}
-		rt.slots[s] = append(rt.slots[s], file)
+		stats.MergeNS = time.Since(t2).Nanoseconds()
+		stats.Emitted = true
+		stats.ResultRows = tbl.NumRows()
+		out = append(out, StepResult{Table: tbl, Stats: stats})
 	}
-
-	if rt.ip.HasJoin {
-		if err := rt.updateCells(evicted, inputs); err != nil {
-			return nil, stats, err
-		}
-	}
-	stats.MainNS = time.Since(t0).Nanoseconds()
-
-	if !rt.ready() {
-		return nil, stats, nil
-	}
-
-	t1 := time.Now()
-	tbl, env, err := rt.merge(inputs)
-	if err != nil {
-		return nil, stats, err
-	}
-	if rt.ip.Landmark {
-		rt.compactLandmark(env)
-	}
-	stats.MergeNS = time.Since(t1).Nanoseconds()
-	stats.Emitted = true
-	stats.ResultRows = tbl.NumRows()
-	return tbl, stats, nil
+	return out, nil
 }
 
 func (rt *Runtime) ready() bool {
@@ -177,7 +348,6 @@ func (rt *Runtime) ready() bool {
 }
 
 func (rt *Runtime) runStatic(inputs []exec.Input) {
-	rt.inputs = inputs
 	for _, in := range rt.ip.Static {
 		if err := exec.ExecInstr(in, rt.staticEnv, inputs); err != nil {
 			// Static instructions only fail on schema mismatches, which
@@ -194,17 +364,22 @@ func (rt *Runtime) copyStatic(env []exec.Datum) {
 }
 
 // runPerBW executes source s's per-basic-window fragment over the given
-// column views and returns the slot file of retained values. Views that
-// lie inside one basket segment are consumed zero-copy; views spanning a
-// segment boundary are flattened into contiguous scratch columns first
-// (the bulk operators need dense payloads).
-func (rt *Runtime) runPerBW(s int, view []vector.View, inputs []exec.Input) (regFile, error) {
-	cols := vector.Cols(view)
-	env := rt.scratch
+// column views inside worker environment w and returns the slot file of
+// retained values. The views are bound as-is — part-aware operators
+// (select, take, scalar aggregates) iterate boundary-spanning views part
+// by part, and only operators without a part-aware path flatten a column
+// (lazily, at most once). Safe to call concurrently from distinct worker
+// environments: it reads only immutable plan/segment state and writes only
+// w and its returned file.
+func (rt *Runtime) runPerBW(s int, view []vector.View, inputs []exec.Input, w *workerEnv) (regFile, error) {
+	env := w.env
 	rt.copyStatic(env)
-	bwInputs := make([]exec.Input, len(inputs))
+	if cap(w.inputs) < len(inputs) {
+		w.inputs = make([]exec.Input, len(inputs))
+	}
+	bwInputs := w.inputs[:len(inputs)]
 	copy(bwInputs, inputs)
-	bwInputs[s] = exec.Input{Cols: cols}
+	bwInputs[s] = exec.Input{Views: view}
 	for _, in := range rt.ip.PerBW[s] {
 		if err := exec.ExecInstr(in, env, bwInputs); err != nil {
 			return nil, fmt.Errorf("core: per-bw stage (source %d): %w", s, err)
@@ -213,7 +388,13 @@ func (rt *Runtime) runPerBW(s int, view []vector.View, inputs []exec.Input) (reg
 	file := make(regFile, len(rt.ip.SlotRegs[s]))
 	for i, r := range rt.ip.SlotRegs[s] {
 		d := env[r]
-		if rt.ip.BindRegs[r] && d.Kind == exec.KindVec {
+		switch {
+		case d.Kind == exec.KindView:
+			// A bound column consumed only through part-aware operators:
+			// the slot must survive segment reclamation, so materialize a
+			// private contiguous copy now.
+			d = exec.VecDatum(d.View.Materialize())
+		case rt.ip.BindRegs[r] && d.Kind == exec.KindVec:
 			// Slot values must survive basket deletions: clone raw views.
 			d = exec.VecDatum(d.Vec.Clone())
 		}
@@ -242,6 +423,9 @@ func (rt *Runtime) combineChunks(s int, chunks []regFile) regFile {
 
 // updateCells maintains the join matrix: expire the row and column of the
 // evicted basic windows, then evaluate the cells involving the new ones.
+// The new cells of one slide are independent of each other (each reads
+// only the immutable slot files), so they fan out across the worker pool;
+// assignment back into the matrix is serial and index-ordered.
 func (rt *Runtime) updateCells(evicted bool, inputs []exec.Input) error {
 	ls, rs := rt.ip.CellSources[0], rt.ip.CellSources[1]
 	if evicted && len(rt.cells) > 0 {
@@ -254,27 +438,40 @@ func (rt *Runtime) updateCells(evicted bool, inputs []exec.Input) error {
 	for len(rt.cells) < L {
 		rt.cells = append(rt.cells, nil)
 	}
+	rt.cellIdx = rt.cellIdx[:0]
 	for i := 0; i < L; i++ {
 		for len(rt.cells[i]) < R {
 			rt.cells[i] = append(rt.cells[i], nil)
 		}
 		for j := 0; j < R; j++ {
-			if rt.cells[i][j] != nil {
-				continue
+			if rt.cells[i][j] == nil {
+				rt.cellIdx = append(rt.cellIdx, [2]int{i, j})
 			}
-			file, err := rt.runCell(i, j, inputs)
-			if err != nil {
-				return err
-			}
-			rt.cells[i][j] = file
 		}
+	}
+	coords := rt.cellIdx
+	if cap(rt.cellFiles) < len(coords) {
+		rt.cellFiles = make([]regFile, len(coords))
+	}
+	cfiles := rt.cellFiles[:len(coords)]
+	err := rt.forEach(len(coords), func(t int, w *workerEnv) error {
+		f, err := rt.runCell(coords[t][0], coords[t][1], inputs, w)
+		cfiles[t] = f
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	for t, c := range coords {
+		rt.cells[c[0]][c[1]] = cfiles[t]
+		cfiles[t] = nil
 	}
 	return nil
 }
 
-func (rt *Runtime) runCell(i, j int, inputs []exec.Input) (regFile, error) {
+func (rt *Runtime) runCell(i, j int, inputs []exec.Input, w *workerEnv) (regFile, error) {
 	ls, rs := rt.ip.CellSources[0], rt.ip.CellSources[1]
-	env := rt.scratch
+	env := w.env
 	rt.copyStatic(env)
 	for pos, r := range rt.ip.SlotRegs[ls] {
 		env[r] = rt.slots[ls][i][pos]

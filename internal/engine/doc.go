@@ -1,0 +1,35 @@
+// Package engine implements the DataCell architecture around the kernel:
+// receptors feed stream tuples into per-stream segment logs, factories
+// (continuous-query executors) fire when their input cursors can fill the
+// next window step, and emitters deliver results — the Petri-net
+// scheduling model of the paper. Both execution modes are provided:
+// incremental (the paper's contribution, via internal/core) and full
+// re-evaluation (the DataCellR baseline).
+//
+// # Contract and locking rules
+//
+// Three lock domains, with a strict order between the first two:
+//
+//   - e.mu guards engine metadata: the stream/table/query registries and
+//     each stream's subscriber snapshot. Subscriber lists are immutable
+//     copy-on-write slices — (de)registration publishes a fresh slice, so
+//     receptors iterate them without cloning per append.
+//   - Each stream's log mutex (basket.Basket) guards that log's segments
+//     and cursors. e.mu may be held while acquiring a log lock
+//     (Register/Deregister wire cursors under both), never the reverse:
+//     receptor and factory paths release e.mu before touching a log and
+//     never call back into the engine while holding one.
+//   - Each query's stepMu serializes its window steps, whether fired by
+//     the query's own scheduler worker, a synchronous Pump, or
+//     PumpParallel; statsMu makes the cumulative counters readable while
+//     a worker runs. OnResult callbacks run under stepMu, so a query's
+//     results are totally ordered.
+//
+// Factories take window views under the log lock and execute unlocked
+// (immutable sealed segments, append-only tail — see internal/basket), so
+// query processing never blocks ingest. With Options.Parallelism > 1 the
+// incremental path batches buffered slides and evaluates their
+// per-basic-window fragments concurrently (core.Runtime.StepBatch) —
+// intra-query parallelism on top of the per-query scheduler workers —
+// with results identical to sequential execution.
+package engine

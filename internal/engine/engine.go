@@ -1,10 +1,3 @@
-// Package engine implements the DataCell architecture around the kernel:
-// receptors feed stream tuples into baskets, factories (continuous-query
-// executors) fire when their input baskets can fill the next window step,
-// and emitters deliver results — the Petri-net scheduling model of the
-// paper. Both execution modes are provided: incremental (the paper's
-// contribution, via internal/core) and full re-evaluation (the DataCellR
-// baseline).
 package engine
 
 import (
@@ -57,6 +50,10 @@ type Engine struct {
 	tables  map[string]*tableStore
 	queries map[string]*ContinuousQuery
 	nextID  int
+	// defaultPar is the intra-query parallelism applied to queries
+	// registered without an explicit Options.Parallelism (<= 1 means
+	// sequential; see SetDefaultParallelism).
+	defaultPar int
 
 	// loadNS accumulates wall time spent appending stream data (the
 	// "loading" component of the paper's cost breakdown figure).
@@ -113,6 +110,16 @@ func New() *Engine {
 
 // Catalog exposes the engine's catalog (read-mostly).
 func (e *Engine) Catalog() *catalog.Catalog { return e.cat }
+
+// SetDefaultParallelism sets the intra-query parallelism inherited by
+// queries registered afterwards with Options.Parallelism == 0. Values
+// <= 1 mean sequential evaluation. Already-registered queries keep the
+// parallelism they were built with.
+func (e *Engine) SetDefaultParallelism(n int) {
+	e.mu.Lock()
+	e.defaultPar = n
+	e.mu.Unlock()
+}
 
 // RegisterStream declares a stream source.
 func (e *Engine) RegisterStream(name string, schema catalog.Schema) error {

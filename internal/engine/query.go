@@ -37,6 +37,13 @@ type Options struct {
 	Chunks int
 	// AdaptiveChunks turns on the self-adapting controller of Fig 8.
 	AdaptiveChunks bool
+	// Parallelism bounds the worker goroutines used for intra-query
+	// parallelism in incremental mode: the independent per-basic-window
+	// fragments of buffered slides (and of multiple stream sources / join
+	// cells within one slide) evaluate concurrently over shared segments.
+	// 0 inherits the engine default (SetDefaultParallelism), 1 forces
+	// sequential execution. Results are identical at any setting.
+	Parallelism int
 	// OnResult is invoked synchronously for every produced window result.
 	OnResult func(*Result)
 }
@@ -222,7 +229,13 @@ func (e *Engine) Register(query string, opts Options) (*ContinuousQuery, error) 
 			return nil, err
 		}
 		q.inc = inc
-		q.rt = core.NewRuntime(inc)
+		par := opts.Parallelism
+		if par == 0 {
+			e.mu.Lock()
+			par = e.defaultPar
+			e.mu.Unlock()
+		}
+		q.rt = core.NewRuntimeOpts(inc, core.Options{Parallelism: par})
 		if opts.Chunks > 1 || opts.AdaptiveChunks {
 			if inc.HasJoin {
 				return nil, fmt.Errorf("engine: chunked processing supports single-stream plans only")
@@ -338,13 +351,15 @@ func (q *ContinuousQuery) CostBreakdown() (mainNS, mergeNS, totalNS int64) {
 func (q *ContinuousQuery) Chunker() *ChunkController { return q.chunker }
 
 // pump fires the query as many times as buffered data allows and returns
-// the number of steps executed. Safe to call from any goroutine: stepMu
-// keeps the query's steps totally ordered.
+// the number of window slides executed. Safe to call from any goroutine:
+// stepMu keeps the query's steps totally ordered.
 func (q *ContinuousQuery) pump() (int, error) { return q.pumpUntil(nil) }
 
 // pumpUntil is pump with an optional cancellation channel, checked between
-// steps so a worker being stopped abandons its drain after at most one
-// more window step (remaining data stays buffered for the next scheduler).
+// firings so a worker being stopped abandons its drain after at most one
+// more firing (remaining data stays buffered for the next scheduler). One
+// firing covers one window slide, or a whole batch of buffered slides on
+// the intra-query parallel path; the returned count is always slides.
 func (q *ContinuousQuery) pumpUntil(stop <-chan struct{}) (int, error) {
 	q.stepMu.Lock()
 	defer q.stepMu.Unlock()
@@ -357,14 +372,14 @@ func (q *ContinuousQuery) pumpUntil(stop <-chan struct{}) (int, error) {
 			default:
 			}
 		}
-		fired, err := q.fireOnce()
+		n, err := q.fireOnce()
 		if err != nil {
 			return steps, err
 		}
-		if !fired {
+		if n == 0 {
 			return steps, nil
 		}
-		steps++
+		steps += n
 	}
 }
 
@@ -407,8 +422,10 @@ func resolveAutoMode(prog *plan.Program, threshold int64) Mode {
 	return Reevaluation
 }
 
-// fireOnce checks readiness and, if possible, executes one step.
-func (q *ContinuousQuery) fireOnce() (bool, error) {
+// fireOnce checks readiness and, if possible, executes one step (or one
+// batch of buffered slides on the parallel path). It returns the number of
+// window slides executed — 0 when the query cannot fire.
+func (q *ContinuousQuery) fireOnce() (int, error) {
 	switch q.Mode {
 	case Incremental:
 		return q.fireIncremental()
@@ -451,11 +468,11 @@ func (qi *queryInput) slideMicros() int64 {
 	return 0
 }
 
-func (q *ContinuousQuery) fireIncremental() (bool, error) {
+func (q *ContinuousQuery) fireIncremental() (int, error) {
 	// Chunked processing consumes fractions of the basic window early.
 	if q.chunker != nil {
 		if err := q.pumpChunks(); err != nil {
-			return false, err
+			return 0, err
 		}
 	}
 	// Determine per-source consumption.
@@ -467,15 +484,22 @@ func (q *ContinuousQuery) fireIncremental() (bool, error) {
 		need := stepSize(qi.spec) - qi.chunkBuffer
 		c, ok := q.consumable(qi, need)
 		if !ok {
-			return false, nil
+			return 0, nil
 		}
 		counts[qi.srcIdx] = c
+	}
+
+	// Intra-query parallelism: when several complete slides are already
+	// buffered, take them all in one batch so the runtime evaluates their
+	// per-bw fragments concurrently.
+	if k := q.batchableSlides(counts); k > 1 {
+		return q.fireIncrementalBatch(counts, k)
 	}
 
 	t0 := time.Now()
 	inputs, err := q.eng.tableInputs(q.prog)
 	if err != nil {
-		return false, err
+		return 0, err
 	}
 	// Take the basic-window views under each log's lock, then execute
 	// unlocked: sealed segments are immutable and the tail is append-only,
@@ -494,7 +518,7 @@ func (q *ContinuousQuery) fireIncremental() (bool, error) {
 	}
 	tbl, stats, err := q.rt.Step(newBW, inputs)
 	if err != nil {
-		return false, err
+		return 0, err
 	}
 	for _, qi := range q.inputs {
 		if qi.cur == nil {
@@ -521,7 +545,90 @@ func (q *ContinuousQuery) fireIncremental() (bool, error) {
 	if tbl != nil {
 		q.emit(&Result{Window: q.bumpWindows(), Table: tbl, Stats: stats, StepNS: stepNS})
 	}
-	return true, nil
+	return 1, nil
+}
+
+// batchableSlides reports how many complete window slides can be taken in
+// one StepBatch right now. Batching requires parallel workers to profit
+// from, no chunked processing in flight, discard-on-process cursors (so a
+// slide's views sit at a fixed positional prefix) and pure count-based
+// windows on every stream source (time-based windows need per-slide
+// boundary accounting, which stays on the one-slide path). The batch is
+// capped at 4x the worker count so a deep backlog drains in bounded bites.
+func (q *ContinuousQuery) batchableSlides(counts []int) int {
+	if q.rt.Parallelism() <= 1 || q.chunker != nil || !q.inc.DiscardInput {
+		return 1
+	}
+	k := 0
+	for _, qi := range q.inputs {
+		if qi.cur == nil {
+			continue
+		}
+		if qi.spec.Kind != sql.CountWindow || qi.spec.SlideDur > 0 {
+			return 1
+		}
+		qi.cur.Lock()
+		avail := qi.cur.LenLocked() / counts[qi.srcIdx]
+		qi.cur.Unlock()
+		if k == 0 || avail < k {
+			k = avail
+		}
+	}
+	if k < 1 {
+		k = 1
+	}
+	if max := q.rt.Parallelism() * 4; k > max {
+		k = max
+	}
+	return k
+}
+
+// fireIncrementalBatch executes k buffered slides in one runtime batch.
+// Views for slide i are taken at positional offset i*slide under each
+// log's lock and evaluated unlocked, exactly like the one-slide path; the
+// cursors advance once by the whole batch afterwards.
+func (q *ContinuousQuery) fireIncrementalBatch(counts []int, k int) (int, error) {
+	t0 := time.Now()
+	inputs, err := q.eng.tableInputs(q.prog)
+	if err != nil {
+		return 0, err
+	}
+	slides := make([][][]vector.View, k)
+	for sl := range slides {
+		slides[sl] = make([][]vector.View, len(q.inputs))
+	}
+	for _, qi := range q.inputs {
+		if qi.cur == nil {
+			continue
+		}
+		w := counts[qi.srcIdx]
+		qi.cur.Lock()
+		for sl := 0; sl < k; sl++ {
+			slides[sl][qi.srcIdx] = qi.cur.ViewLocked(sl*w, (sl+1)*w).ColViews()
+		}
+		qi.cur.Unlock()
+	}
+	results, err := q.rt.StepBatch(slides, inputs)
+	if err != nil {
+		return 0, err
+	}
+	for _, qi := range q.inputs {
+		if qi.cur == nil {
+			continue
+		}
+		qi.cur.Lock()
+		// batchableSlides already required DiscardInput.
+		qi.cur.AdvanceLocked(k * counts[qi.srcIdx])
+		qi.cur.Unlock()
+	}
+	stepNS := time.Since(t0).Nanoseconds() / int64(k)
+	for _, r := range results {
+		q.account(r.Stats, stepNS)
+		if r.Table != nil {
+			q.emit(&Result{Window: q.bumpWindows(), Table: r.Table, Stats: r.Stats, StepNS: stepNS})
+		}
+	}
+	return k, nil
 }
 
 // pumpChunks processes early chunks of the current basic window while
@@ -576,7 +683,7 @@ func (q *ContinuousQuery) pumpChunks() error {
 
 // fireReevaluation re-runs the original plan over the full window every
 // slide (the DataCellR baseline): Algorithm 1 of the paper.
-func (q *ContinuousQuery) fireReevaluation() (bool, error) {
+func (q *ContinuousQuery) fireReevaluation() (int, error) {
 	type viewPlan struct {
 		qi     *queryInput
 		view   int // tuples in the window view
@@ -593,21 +700,21 @@ func (q *ContinuousQuery) fireReevaluation() (bool, error) {
 		case qi.spec.Kind == sql.CountWindow:
 			if qi.cur.LenLocked() < int(qi.spec.Rows) {
 				qi.cur.Unlock()
-				return false, nil
+				return 0, nil
 			}
 			plans = append(plans, viewPlan{qi: qi, view: int(qi.spec.Rows), expire: int(qi.spec.SlideRows)})
 		case qi.spec.Kind == sql.LandmarkWindow && qi.spec.SlideRows > 0:
 			need := int(qi.spec.SlideRows) * (q.Windows() + 1)
 			if qi.cur.LenLocked() < need {
 				qi.cur.Unlock()
-				return false, nil
+				return 0, nil
 			}
 			plans = append(plans, viewPlan{qi: qi, view: need})
 		default: // time-based sliding or landmark window
 			if !qi.haveBound {
 				if qi.cur.LenLocked() == 0 {
 					qi.cur.Unlock()
-					return false, nil
+					return 0, nil
 				}
 				qi.firstTS = qi.cur.TimestampsLocked(0, 1)[0]
 				qi.boundary = qi.firstTS + qi.spec.SlideDur.Microseconds()
@@ -615,7 +722,7 @@ func (q *ContinuousQuery) fireReevaluation() (bool, error) {
 			}
 			if qi.watermark < qi.boundary {
 				qi.cur.Unlock()
-				return false, nil
+				return 0, nil
 			}
 			view := qi.cur.CountUntilLocked(qi.boundary)
 			expire := 0
@@ -633,22 +740,25 @@ func (q *ContinuousQuery) fireReevaluation() (bool, error) {
 		qi.cur.Unlock()
 	}
 	if len(plans) == 0 {
-		return false, nil
+		return 0, nil
 	}
 
 	t0 := time.Now()
 	inputs, err := q.eng.tableInputs(q.prog)
 	if err != nil {
-		return false, err
+		return 0, err
 	}
 	var tbl *exec.Table
 	if emit {
 		// Window views are taken under each log's lock but evaluated
 		// unlocked (immutable segments, append-only tail): re-running the
-		// full window never blocks receptors.
+		// full window never blocks receptors. The views are bound as
+		// multi-part segment views — re-evaluation windows usually span
+		// many segments, and the part-aware operators save the full-window
+		// contiguous copy every slide.
 		for _, p := range plans {
 			p.qi.cur.Lock()
-			inputs[p.qi.srcIdx] = exec.Input{Cols: p.qi.cur.ViewLocked(0, p.view).Cols()}
+			inputs[p.qi.srcIdx] = exec.Input{Views: p.qi.cur.ViewLocked(0, p.view).ColViews()}
 			p.qi.cur.Unlock()
 		}
 		tbl, err = exec.Run(q.prog, inputs)
@@ -666,16 +776,16 @@ func (q *ContinuousQuery) fireReevaluation() (bool, error) {
 		}
 	}
 	if err != nil {
-		return false, err
+		return 0, err
 	}
 	if !emit {
-		return true, nil
+		return 1, nil
 	}
 	stepNS := time.Since(t0).Nanoseconds()
 	stats := core.StepStats{MainNS: stepNS, Emitted: true, ResultRows: tbl.NumRows()}
 	q.account(stats, stepNS)
 	q.emit(&Result{Window: q.bumpWindows(), Table: tbl, Stats: stats, StepNS: stepNS})
-	return true, nil
+	return 1, nil
 }
 
 func (q *ContinuousQuery) account(stats core.StepStats, stepNS int64) {

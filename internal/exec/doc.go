@@ -1,0 +1,29 @@
+// Package exec interprets physical programs (internal/plan) over
+// in-memory columnar data. It is the execution engine shared by one-time
+// queries, DataCellR-style re-evaluation, and the per-fragment execution
+// inside the incremental runtime (internal/core), which drives ExecInstr
+// with its own register environments.
+//
+// # Contract
+//
+//   - A register file ([]Datum) belongs to exactly one executing fragment
+//     at a time: ExecInstr reads and writes it without synchronization.
+//     Concurrent fragment execution (core's worker pool) therefore uses
+//     one register file per worker. The instruction stream, the input
+//     columns and any bound segment views are read-only and may be shared
+//     across workers freely.
+//   - Inputs supply one column set per program source — dense columns
+//     (Input.Cols) or multi-part segment views (Input.Views, preferred
+//     when set). OpBind binds a view register (KindView) for genuinely
+//     boundary-spanning views; contiguous views degrade to plain vector
+//     datums with zero overhead.
+//   - Part-aware operators (select/filter, take, scalar aggregates)
+//     consume KindView registers by iterating parts directly. Operators
+//     without a part-aware path flatten through vec(), which caches the
+//     dense column back into the register so the copy happens at most
+//     once — and not at all for columns only read part-aware.
+//   - Datums produced by operators (take/map/agg outputs) own fresh
+//     storage; only bind registers alias their input. Callers that retain
+//     register values across steps (core's slot files) must clone or
+//     materialize aliasing datums themselves.
+package exec

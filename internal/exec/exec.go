@@ -1,8 +1,3 @@
-// Package exec interprets physical programs (internal/plan) over in-memory
-// columnar data. It is the execution engine shared by one-time queries,
-// DataCellR-style re-evaluation, and the per-fragment execution inside the
-// incremental runtime (internal/core), which drives ExecInstr with its own
-// register environments.
 package exec
 
 import (
@@ -25,6 +20,11 @@ const (
 	KindSel
 	KindGroups
 	KindTable
+	// KindView holds a possibly multi-part column view (vector.View) bound
+	// straight from the segment store. Part-aware operators (select, take,
+	// scalar aggregates) consume it without flattening; everything else
+	// materializes it lazily — and at most once — through vec().
+	KindView
 )
 
 // Datum is a register value.
@@ -34,10 +34,21 @@ type Datum struct {
 	Sel    vector.Sel
 	Groups *algebra.Groups
 	Table  *algebra.IntTable
+	View   vector.View
 }
 
 // VecDatum wraps a vector.
 func VecDatum(v *vector.Vector) Datum { return Datum{Kind: KindVec, Vec: v} }
+
+// ViewDatum wraps a column view. Contiguous views (zero or one part)
+// degrade to a plain vector datum — only genuinely boundary-spanning views
+// take the part-aware paths.
+func ViewDatum(v vector.View) Datum {
+	if v.Contiguous() {
+		return VecDatum(v.Vector())
+	}
+	return Datum{Kind: KindView, View: v}
+}
 
 // SelDatum wraps a selection. A nil selection is normalized to an empty
 // one: inside register files, nil must never mean "all rows" (an empty
@@ -64,14 +75,28 @@ func (d Datum) Rows() int {
 		return len(d.Sel)
 	case KindGroups:
 		return d.Groups.Len()
+	case KindView:
+		return d.View.Len()
 	}
 	return 0
 }
 
 // Input supplies the column data for one program source: the current window
-// view of a basket, or a table's columns.
+// view of a basket, or a table's columns. When Views is non-nil it takes
+// precedence over Cols and binds each column as a (possibly multi-part)
+// segment view, letting the part-aware operators skip the contiguous copy
+// for windows that span basket segment boundaries.
 type Input struct {
-	Cols []*vector.Vector
+	Cols  []*vector.Vector
+	Views []vector.View
+}
+
+// Arity returns the number of columns the input supplies.
+func (in Input) Arity() int {
+	if in.Views != nil {
+		return len(in.Views)
+	}
+	return len(in.Cols)
 }
 
 // Table is a materialized query result.
@@ -158,6 +183,12 @@ func BuildResult(in plan.Instr, regs []Datum) (*Table, error) {
 	minLen := -1
 	for _, r := range in.In {
 		d := regs[r]
+		if d.Kind == KindView {
+			// A bound column that flowed straight to the result (bare
+			// projection): flatten here, caching like vec() does.
+			d = VecDatum(d.View.Vector())
+			regs[r] = d
+		}
 		if d.Kind != KindVec {
 			return nil, fmt.Errorf("result register r%d holds %v, not a vector", r, d.Kind)
 		}
@@ -183,13 +214,25 @@ func ExecInstr(in plan.Instr, regs []Datum, inputs []Input) error {
 		if in.Source >= len(inputs) {
 			return fmt.Errorf("bind source %d out of range", in.Source)
 		}
-		cols := inputs[in.Source].Cols
-		if in.Col >= len(cols) {
+		src := inputs[in.Source]
+		if in.Col >= src.Arity() {
 			return fmt.Errorf("bind column %d out of range", in.Col)
 		}
-		regs[in.Out[0]] = VecDatum(cols[in.Col])
+		if src.Views != nil {
+			regs[in.Out[0]] = ViewDatum(src.Views[in.Col])
+		} else {
+			regs[in.Out[0]] = VecDatum(src.Cols[in.Col])
+		}
 
 	case plan.OpSelect:
+		if d := regs[in.In[0]]; d.Kind == KindView {
+			var out vector.Sel
+			d.View.ForEachPart(func(base int, p *vector.Vector) {
+				out = algebra.SelectInto(out, p, in.Cmp, in.Val, nil, int32(base))
+			})
+			regs[in.Out[0]] = SelDatum(out)
+			break
+		}
 		v, err := vec(regs, in.In[0])
 		if err != nil {
 			return err
@@ -197,6 +240,14 @@ func ExecInstr(in plan.Instr, regs []Datum, inputs []Input) error {
 		regs[in.Out[0]] = SelDatum(algebra.Select(v, in.Cmp, in.Val, nil))
 
 	case plan.OpSelectBools:
+		if d := regs[in.In[0]]; d.Kind == KindView {
+			var out vector.Sel
+			d.View.ForEachPart(func(base int, p *vector.Vector) {
+				out = algebra.SelectBoolsInto(out, p, nil, int32(base))
+			})
+			regs[in.Out[0]] = SelDatum(out)
+			break
+		}
 		v, err := vec(regs, in.In[0])
 		if err != nil {
 			return err
@@ -204,11 +255,15 @@ func ExecInstr(in plan.Instr, regs []Datum, inputs []Input) error {
 		regs[in.Out[0]] = SelDatum(algebra.SelectBools(v, nil))
 
 	case plan.OpTake:
-		v, err := vec(regs, in.In[0])
+		s, err := sel(regs, in.In[1])
 		if err != nil {
 			return err
 		}
-		s, err := sel(regs, in.In[1])
+		if d := regs[in.In[0]]; d.Kind == KindView {
+			regs[in.Out[0]] = VecDatum(d.View.Take(s))
+			break
+		}
+		v, err := vec(regs, in.In[0])
 		if err != nil {
 			return err
 		}
@@ -281,6 +336,29 @@ func ExecInstr(in plan.Instr, regs []Datum, inputs []Input) error {
 		regs[in.Out[0]] = SelDatum(g.Repr)
 
 	case plan.OpAgg:
+		if d := regs[in.In[0]]; d.Kind == KindView && len(in.In) == 1 {
+			// Scalar aggregate over a boundary-spanning bound column:
+			// aggregate part at a time, no contiguous copy.
+			out := vector.New(aggType(in.Agg, d.View.Type()), 1)
+			switch in.Agg {
+			case algebra.AggSum:
+				out.AppendValue(algebra.SumView(d.View))
+			case algebra.AggCount:
+				out.AppendValue(vector.IntValue(int64(d.View.Len())))
+			case algebra.AggMin:
+				if m, ok := algebra.MinView(d.View); ok {
+					out.AppendValue(m)
+				}
+			case algebra.AggMax:
+				if m, ok := algebra.MaxView(d.View); ok {
+					out.AppendValue(m)
+				}
+			default:
+				return fmt.Errorf("agg %s reached the executor", in.Agg)
+			}
+			regs[in.Out[0]] = VecDatum(out)
+			break
+		}
 		v, err := vec(regs, in.In[0])
 		if err != nil {
 			return err
@@ -363,6 +441,16 @@ func aggType(kind algebra.AggKind, in vector.Type) vector.Type {
 
 func vec(regs []Datum, r plan.Reg) (*vector.Vector, error) {
 	d := regs[r]
+	if d.Kind == KindView {
+		// An operator without a part-aware path needs this column dense:
+		// flatten once and cache the result back into the register, so
+		// repeated consumers pay the copy at most once. Lazy beats the old
+		// eager flatten — columns only ever read through part-aware
+		// operators are never copied at all.
+		flat := d.View.Vector()
+		regs[r] = VecDatum(flat)
+		return flat, nil
+	}
 	if d.Kind != KindVec {
 		return nil, fmt.Errorf("r%d is not a vector (kind %d)", r, d.Kind)
 	}

@@ -1,0 +1,127 @@
+package exec
+
+import (
+	"testing"
+
+	"datacell/internal/algebra"
+	"datacell/internal/plan"
+	"datacell/internal/vector"
+)
+
+// viewInput builds a single-source input whose only column is a three-part
+// view over [0, n) scaled by mul.
+func viewInput(n int, mul int64) Input {
+	a := make([]int64, 0, n)
+	for i := 0; i < n; i++ {
+		a = append(a, int64(i)*mul)
+	}
+	v := vector.NewView(vector.Int64,
+		vector.FromInt64(a[:n/3]),
+		vector.FromInt64(a[n/3:2*n/3]),
+		vector.FromInt64(a[2*n/3:]))
+	return Input{Views: []vector.View{v}}
+}
+
+// run executes instrs over regs/inputs, failing the test on error.
+func run(t *testing.T, instrs []plan.Instr, regs []Datum, inputs []Input) {
+	t.Helper()
+	for _, in := range instrs {
+		if err := ExecInstr(in, regs, inputs); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestPartAwareSelectTakeAgg checks that a bind–select–take–sum chain over
+// a boundary-spanning view produces the same results as over a contiguous
+// column, without the view ever being flattened (the bind register must
+// still hold a view afterwards).
+func TestPartAwareSelectTakeAgg(t *testing.T) {
+	const n = 30
+	in := viewInput(n, 3)
+	flat := Input{Cols: []*vector.Vector{in.Views[0].Materialize()}}
+
+	prog := []plan.Instr{
+		{Op: plan.OpBind, Source: 0, Col: 0, Out: []plan.Reg{0}},
+		{Op: plan.OpSelect, Cmp: algebra.Gt, Val: vector.IntValue(30), In: []plan.Reg{0}, Out: []plan.Reg{1}},
+		{Op: plan.OpTake, In: []plan.Reg{0, 1}, Out: []plan.Reg{2}},
+		{Op: plan.OpAgg, Agg: algebra.AggSum, In: []plan.Reg{2}, Out: []plan.Reg{3}},
+	}
+	viewRegs := make([]Datum, 4)
+	flatRegs := make([]Datum, 4)
+	run(t, prog, viewRegs, []Input{in})
+	run(t, prog, flatRegs, []Input{flat})
+
+	if viewRegs[0].Kind != KindView {
+		t.Fatalf("bind register was flattened (kind %d)", viewRegs[0].Kind)
+	}
+	if len(viewRegs[1].Sel) != len(flatRegs[1].Sel) {
+		t.Fatalf("sel length: view %d flat %d", len(viewRegs[1].Sel), len(flatRegs[1].Sel))
+	}
+	for i := range viewRegs[1].Sel {
+		if viewRegs[1].Sel[i] != flatRegs[1].Sel[i] {
+			t.Fatalf("sel[%d]: %d vs %d", i, viewRegs[1].Sel[i], flatRegs[1].Sel[i])
+		}
+	}
+	if got, want := viewRegs[3].Vec.Get(0).I, flatRegs[3].Vec.Get(0).I; got != want {
+		t.Fatalf("sum over view %d, over flat %d", got, want)
+	}
+}
+
+// TestPartAwareScalarAggs checks sum/count/min/max directly over a bound
+// multi-part view.
+func TestPartAwareScalarAggs(t *testing.T) {
+	in := viewInput(12, 7)
+	cases := []struct {
+		agg  algebra.AggKind
+		want int64
+	}{
+		{algebra.AggSum, 7 * (11 * 12 / 2)},
+		{algebra.AggCount, 12},
+		{algebra.AggMin, 0},
+		{algebra.AggMax, 77},
+	}
+	for _, tc := range cases {
+		regs := make([]Datum, 2)
+		run(t, []plan.Instr{
+			{Op: plan.OpBind, Source: 0, Col: 0, Out: []plan.Reg{0}},
+			{Op: plan.OpAgg, Agg: tc.agg, In: []plan.Reg{0}, Out: []plan.Reg{1}},
+		}, regs, []Input{in})
+		if regs[0].Kind != KindView {
+			t.Fatalf("%s: view was flattened", tc.agg)
+		}
+		if got := regs[1].Vec.Get(0).I; got != tc.want {
+			t.Fatalf("%s over view: %d want %d", tc.agg, got, tc.want)
+		}
+	}
+}
+
+// TestViewLazyFlattenCaches checks that an operator without a part-aware
+// path (OpMap) flattens a view lazily and caches the dense column back
+// into the register.
+func TestViewLazyFlattenCaches(t *testing.T) {
+	in := viewInput(9, 2)
+	regs := make([]Datum, 2)
+	run(t, []plan.Instr{
+		{Op: plan.OpBind, Source: 0, Col: 0, Out: []plan.Reg{0}},
+		{Op: plan.OpGroup, In: []plan.Reg{0}, Out: []plan.Reg{1}},
+	}, regs, []Input{in})
+	if regs[0].Kind != KindVec {
+		t.Fatalf("group input should have been flattened and cached, kind %d", regs[0].Kind)
+	}
+	if regs[0].Vec.Len() != 9 {
+		t.Fatalf("cached flatten length %d", regs[0].Vec.Len())
+	}
+}
+
+// TestContiguousViewBindsAsVector pins the zero-overhead path: a one-part
+// view binds as a plain vector datum aliasing the segment.
+func TestContiguousViewBindsAsVector(t *testing.T) {
+	col := vector.FromInt64([]int64{1, 2, 3})
+	in := Input{Views: []vector.View{vector.ViewOf(col)}}
+	regs := make([]Datum, 1)
+	run(t, []plan.Instr{{Op: plan.OpBind, Source: 0, Col: 0, Out: []plan.Reg{0}}}, regs, []Input{in})
+	if regs[0].Kind != KindVec || regs[0].Vec != col {
+		t.Fatal("contiguous view should bind zero-copy as the part itself")
+	}
+}

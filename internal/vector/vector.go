@@ -1,11 +1,3 @@
-// Package vector implements the columnar storage primitives of the
-// reproduction: typed, densely packed columns (the analogue of MonetDB's
-// BATs) together with zero-copy views and selection vectors.
-//
-// Every operator in internal/algebra consumes and produces vectors; the
-// DataCell incremental rewriter relies on the fact that intermediates are
-// ordinary, fully materialized vectors that can be retained across window
-// slides and concatenated cheaply.
 package vector
 
 import "fmt"

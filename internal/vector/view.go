@@ -69,6 +69,69 @@ func (v View) Vector() *Vector {
 	return Concat(v.parts...)
 }
 
+// Materialize flattens the view into a freshly allocated vector that
+// shares no storage with the underlying segments. Use it (instead of
+// Vector, which aliases a single part) for values that must outlive
+// segment reclamation — e.g. basic-window slot state.
+func (v View) Materialize() *Vector {
+	out := New(v.typ, v.n)
+	for _, p := range v.parts {
+		out.AppendVector(p)
+	}
+	return out
+}
+
+// ForEachPart calls f once per non-empty part, oldest first, passing the
+// logical row offset of the part's first value. It is the part-iteration
+// primitive the segment-aware operator kernels are built on: operators
+// process each contiguous part with their dense fast path and offset the
+// produced row ids by base.
+func (v View) ForEachPart(f func(base int, p *Vector)) {
+	base := 0
+	for _, p := range v.parts {
+		f(base, p)
+		base += p.Len()
+	}
+}
+
+// Take materializes the rows of v named by sel (logical row ids) into a
+// fresh vector; a nil sel copies the whole view. Ascending selections —
+// the output of every filter — are gathered with a single monotonic walk
+// over the parts, so a boundary-spanning view is never flattened just to
+// project the surviving rows. Unsorted selections fall back to flattening.
+func (v View) Take(sel Sel) *Vector {
+	if sel == nil {
+		return v.Materialize()
+	}
+	if len(v.parts) <= 1 {
+		return v.Vector().Take(sel)
+	}
+	for i := 1; i < len(sel); i++ {
+		if sel[i] < sel[i-1] {
+			return v.Vector().Take(sel)
+		}
+	}
+	out := New(v.typ, len(sel))
+	pi, base := 0, 0
+	local := make(Sel, 0, len(sel))
+	flush := func() {
+		if len(local) > 0 {
+			out.AppendVector(v.parts[pi].Take(local))
+			local = local[:0]
+		}
+	}
+	for _, s := range sel {
+		for int(s)-base >= v.parts[pi].Len() {
+			flush()
+			base += v.parts[pi].Len()
+			pi++
+		}
+		local = append(local, s-int32(base))
+	}
+	flush()
+	return out
+}
+
 // Slice returns the sub-view of rows [lo, hi).
 func (v View) Slice(lo, hi int) View {
 	if lo < 0 || hi < lo || hi > v.n {

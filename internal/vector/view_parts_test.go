@@ -1,0 +1,80 @@
+package vector
+
+import (
+	"testing"
+)
+
+func threePartView() View {
+	return NewView(Int64,
+		FromInt64([]int64{10, 11, 12}),
+		FromInt64([]int64{13, 14}),
+		FromInt64([]int64{15, 16, 17, 18}))
+}
+
+func TestViewForEachPartBases(t *testing.T) {
+	v := threePartView()
+	var bases []int
+	var lens []int
+	v.ForEachPart(func(base int, p *Vector) {
+		bases = append(bases, base)
+		lens = append(lens, p.Len())
+	})
+	if len(bases) != 3 || bases[0] != 0 || bases[1] != 3 || bases[2] != 5 {
+		t.Fatalf("bases: %v", bases)
+	}
+	if lens[0]+lens[1]+lens[2] != v.Len() {
+		t.Fatalf("lens %v vs Len %d", lens, v.Len())
+	}
+}
+
+func TestViewTakeAscendingAcrossParts(t *testing.T) {
+	v := threePartView()
+	got := v.Take(Sel{0, 2, 3, 4, 5, 8})
+	want := []int64{10, 12, 13, 14, 15, 18}
+	if got.Len() != len(want) {
+		t.Fatalf("len %d", got.Len())
+	}
+	for i, w := range want {
+		if got.Int64s()[i] != w {
+			t.Fatalf("row %d: %d want %d (%v)", i, got.Int64s()[i], w, got.Int64s())
+		}
+	}
+}
+
+func TestViewTakeUnsortedFallback(t *testing.T) {
+	v := threePartView()
+	got := v.Take(Sel{8, 0, 5})
+	want := []int64{18, 10, 15}
+	for i, w := range want {
+		if got.Int64s()[i] != w {
+			t.Fatalf("row %d: %d want %d", i, got.Int64s()[i], w)
+		}
+	}
+	// Empty and nil selections.
+	if v.Take(Sel{}).Len() != 0 {
+		t.Error("empty sel")
+	}
+	if v.Take(nil).Len() != v.Len() {
+		t.Error("nil sel copies all")
+	}
+}
+
+func TestViewMaterializeIsPrivateCopy(t *testing.T) {
+	part := FromInt64([]int64{1, 2, 3})
+	v := NewView(Int64, part, FromInt64([]int64{4, 5}))
+	m := v.Materialize()
+	if m.Len() != 5 || m.Int64s()[4] != 5 {
+		t.Fatalf("materialize: %v", m.Int64s())
+	}
+	m.Int64s()[0] = 99
+	if part.Int64s()[0] != 1 {
+		t.Error("materialize must not alias the parts")
+	}
+	// Single-part views must also copy (Vector would alias).
+	one := ViewOf(part)
+	m1 := one.Materialize()
+	m1.Int64s()[1] = 42
+	if part.Int64s()[1] != 2 {
+		t.Error("single-part materialize aliased the segment")
+	}
+}
