@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	dcbench [-fig 4a|4b|5a|5b|6a|6b|7a|7b|8|9|9inset|scaling|fanout|parallel|all]
+//	dcbench [-fig 4a|4b|5a|5b|6a|6b|7a|7b|8|9|9inset|scaling|fanout|parallel|merge|all]
 //	        [-scale N] [-windows N] [-json DIR]
 //
 // -scale divides the paper's window sizes (default 64; -scale 1 runs the
@@ -13,8 +13,9 @@
 // -json DIR additionally writes machine-readable results for the figures
 // that support it (fanout → DIR/BENCH_fanout.json with ns/op and allocs/op
 // per query count, parallel → DIR/BENCH_parallel.json with wall time and
-// speedup per worker count), so CI can track the perf trajectory across
-// commits.
+// speedup per worker count, merge → DIR/BENCH_merge.json with per-stage
+// times and merge speedup per key domain x worker count), so CI can track
+// the perf trajectory across commits.
 package main
 
 import (
@@ -45,10 +46,11 @@ var figures = []struct {
 	{"scaling", bench.RunScaling},
 	{"fanout", nil},   // special-cased: one sweep feeds both table and JSON
 	{"parallel", nil}, // special-cased likewise
+	{"merge", nil},    // special-cased likewise
 }
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate (4a..9inset, 'scaling', 'fanout', or 'all')")
+	fig := flag.String("fig", "all", "figure to regenerate (4a..9inset, 'scaling', 'fanout', 'parallel', 'merge', or 'all')")
 	scale := flag.Int("scale", 64, "divide the paper's window sizes by this factor")
 	windows := flag.Int("windows", 0, "override the number of measured windows (0 = paper default)")
 	jsonDir := flag.String("json", "", "directory to write machine-readable BENCH_*.json results into (empty = off)")
@@ -63,11 +65,14 @@ func main() {
 		t0 := time.Now()
 		var tbl *bench.Table
 		var err error
-		if f.name == "fanout" {
+		switch f.name {
+		case "fanout":
 			tbl, err = runFanout(cfg, *jsonDir)
-		} else if f.name == "parallel" {
+		case "parallel":
 			tbl, err = runParallel(cfg, *jsonDir)
-		} else {
+		case "merge":
+			tbl, err = runMerge(cfg, *jsonDir)
+		default:
 			tbl, err = f.run(cfg)
 		}
 		if err != nil {
@@ -101,6 +106,25 @@ func runFanout(cfg bench.Config, jsonDir string) (*bench.Table, error) {
 		fmt.Printf("wrote %s\n", path)
 	}
 	return bench.FanoutTable(points, rows*batches), nil
+}
+
+// runMerge measures the partitioned-merge sweep (key domains x worker
+// counts) once and feeds the single measurement to both the printed table
+// and (when -json is set) the machine-readable BENCH_merge.json.
+func runMerge(cfg bench.Config, jsonDir string) (*bench.Table, error) {
+	window, slide, slides := bench.MergeParams(cfg)
+	points, err := bench.MeasureMergeSweep(window, slide, slides)
+	if err != nil {
+		return nil, err
+	}
+	if jsonDir != "" {
+		path, err := bench.WriteMergeJSON(points, jsonDir)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+	return bench.MergeTable(points, window, slide, slides), nil
 }
 
 // runParallel measures the intra-query parallelism sweep once and feeds

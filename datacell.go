@@ -135,9 +135,12 @@ type Result struct {
 	Table *exec.Table
 	// Latency is the processing time of the step that emitted this window.
 	Latency time.Duration
-	// MainLatency and MergeLatency split Latency into the original plan's
-	// work and the incremental merge overhead (incremental mode only).
-	MainLatency, MergeLatency time.Duration
+	// MainLatency, PartitionLatency and MergeLatency split Latency into the
+	// three runtime stages: fragment work (the original plan's per-basic-
+	// window / per-segment evaluation), the partitioned grouped re-group,
+	// and the serial merge remainder (incremental mode; re-evaluation
+	// reports the scan under Main and the combine under Merge).
+	MainLatency, PartitionLatency, MergeLatency time.Duration
 }
 
 // Table re-exports the result table type.
@@ -376,11 +379,12 @@ func (db *DB) Register(query string, opts Options) (*Query, error) {
 		Parallelism:    opts.Parallelism,
 		OnResult: func(r *engine.Result) {
 			q.deliver(&Result{
-				Window:       r.Window,
-				Table:        r.Table,
-				Latency:      time.Duration(r.StepNS),
-				MainLatency:  time.Duration(r.Stats.MainNS),
-				MergeLatency: time.Duration(r.Stats.MergeNS),
+				Window:           r.Window,
+				Table:            r.Table,
+				Latency:          time.Duration(r.StepNS),
+				MainLatency:      time.Duration(r.Stats.MainNS),
+				PartitionLatency: time.Duration(r.Stats.PartitionNS),
+				MergeLatency:     time.Duration(r.Stats.MergeNS),
 			})
 		},
 	})

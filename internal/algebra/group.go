@@ -65,18 +65,22 @@ func groupInt64(g *Groups, vals []int64, sel vector.Sel) {
 	}
 }
 
+// genericKey encodes the key values of one row as a collision-free string,
+// the shared key form of the generic (multi-column / non-integer) grouping
+// paths in Group, GroupWith and Partitioner.Split.
+func genericKey(keys []*vector.Vector, pos int32) string {
+	s := ""
+	for _, k := range keys {
+		s += k.Get(int(pos)).String()
+		s += "\x00"
+	}
+	return s
+}
+
 func groupGeneric(g *Groups, keys []*vector.Vector, sel vector.Sel) {
 	seen := make(map[string]int32, 64)
-	keyOf := func(pos int32) string {
-		s := ""
-		for _, k := range keys {
-			s += k.Get(int(pos)).String()
-			s += "\x00"
-		}
-		return s
-	}
 	visit := func(pos int32) {
-		ks := keyOf(pos)
+		ks := genericKey(keys, pos)
 		id, ok := seen[ks]
 		if !ok {
 			id = int32(g.K)

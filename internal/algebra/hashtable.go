@@ -65,6 +65,155 @@ func BuildInt(v *vector.Vector, sel vector.Sel) *IntTable {
 // Len returns the number of build rows.
 func (t *IntTable) Len() int { return len(t.keys) }
 
+// GroupTable is a reusable grouping hashtable: the key -> dense group id
+// index behind GroupWith. Unlike the throwaway maps inside Group, a
+// GroupTable survives across calls via Reset, so steady-state consumers —
+// the incremental merge stage re-grouping concatenated partials every
+// slide, and the Partitioner's per-shard tables — stop allocating per
+// firing. Int64/Timestamp single-key grouping runs on an open-addressing
+// table; every other key shape falls back to a reused string-keyed map.
+type GroupTable struct {
+	mask  uint64
+	slots []int32 // group id + 1; 0 = empty
+	keys  []int64 // aligned with slots
+	used  int     // occupied slots; drives load-factor growth
+	// generic (multi-column / non-integer) keys
+	strIDs map[string]int32
+}
+
+// NewGroupTable returns an empty reusable grouping table.
+func NewGroupTable() *GroupTable { return &GroupTable{} }
+
+// Reset clears the table for reuse, growing the open-addressing arrays
+// when the expected key count needs more room. expectedKeys is only a
+// sizing hint — the table grows itself if more distinct keys show up.
+// The backing storage is retained, so a steady-state caller that Resets
+// between firings performs no per-firing allocation.
+func (t *GroupTable) Reset(expectedKeys int) {
+	size := 16
+	for size < 2*expectedKeys {
+		size <<= 1
+	}
+	if size > len(t.slots) {
+		t.slots = make([]int32, size)
+		t.keys = make([]int64, size)
+		t.mask = uint64(size - 1)
+	} else {
+		clear(t.slots)
+	}
+	t.used = 0
+	if t.strIDs != nil {
+		clear(t.strIDs)
+	}
+}
+
+// grow doubles the open-addressing arrays and rehashes the occupied
+// slots, keeping the assigned group ids.
+func (t *GroupTable) grow() {
+	oldSlots, oldKeys := t.slots, t.keys
+	size := 2 * len(oldSlots)
+	t.slots = make([]int32, size)
+	t.keys = make([]int64, size)
+	t.mask = uint64(size - 1)
+	for i, s := range oldSlots {
+		if s == 0 {
+			continue
+		}
+		h := hashInt64(oldKeys[i], t.mask)
+		for t.slots[h] != 0 {
+			h = (h + 1) & t.mask
+		}
+		t.slots[h] = s
+		t.keys[h] = oldKeys[i]
+	}
+}
+
+// insertInt64 returns the dense id of key k, assigning nextID on first
+// sight. found reports whether the key was already present. The table
+// grows at 50% load, so an underestimated Reset hint costs a rehash, not
+// an unterminated probe loop.
+func (t *GroupTable) insertInt64(k int64, nextID int32) (id int32, found bool) {
+	if 2*t.used >= len(t.slots) {
+		t.grow()
+	}
+	h := hashInt64(k, t.mask)
+	for {
+		s := t.slots[h]
+		if s == 0 {
+			t.slots[h] = nextID + 1
+			t.keys[h] = k
+			t.used++
+			return nextID, false
+		}
+		if t.keys[h] == k {
+			return s - 1, true
+		}
+		h = (h + 1) & t.mask
+	}
+}
+
+// GroupWith computes dense group ids exactly like Group — rows visited in
+// selection order, ids in first-appearance order — but through a reusable
+// GroupTable instead of throwaway maps. The caller must Reset the table
+// with a key-count hint before each use; rows restricted to sel keep their
+// original positions in g.Repr, so shard-local groupings retain globally
+// meaningful representative row ids.
+func GroupWith(t *GroupTable, keys []*vector.Vector, sel vector.Sel) *Groups {
+	if len(keys) == 0 {
+		panic("algebra: GroupWith with no keys")
+	}
+	n := keys[0].Len()
+	if sel != nil {
+		n = len(sel)
+	}
+	g := &Groups{IDs: make([]int32, 0, n)}
+	if len(keys) == 1 && vector.IntKind(keys[0].Type()) {
+		vals := keys[0].Int64s()
+		visit := func(pos int32, v int64) {
+			id, found := t.insertInt64(v, int32(g.K))
+			if !found {
+				g.K++
+				g.Repr = append(g.Repr, pos)
+			}
+			g.IDs = append(g.IDs, id)
+		}
+		if sel == nil {
+			for i, v := range vals {
+				visit(int32(i), v)
+			}
+		} else {
+			for _, i := range sel {
+				visit(i, vals[i])
+			}
+		}
+		return g
+	}
+	if t.strIDs == nil {
+		t.strIDs = make(map[string]int32, 64)
+	}
+	visit := func(pos int32) {
+		ks := genericKey(keys, pos)
+		id, ok := t.strIDs[ks]
+		if !ok {
+			id = int32(g.K)
+			t.strIDs[ks] = id
+			g.K++
+			g.Repr = append(g.Repr, pos)
+		}
+		g.IDs = append(g.IDs, id)
+	}
+	if sel == nil {
+		for i := 0; i < n; i++ {
+			visit(int32(i))
+		}
+	} else {
+		for _, i := range sel {
+			visit(i)
+		}
+	}
+	return g
+}
+
 // Probe joins probe rows of v (restricted to sel) against the table,
 // returning (probe row, build row) pairs ordered by probe position and,
 // within one probe row, by build position.

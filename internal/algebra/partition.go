@@ -1,0 +1,183 @@
+package algebra
+
+import (
+	"datacell/internal/vector"
+)
+
+// Partitioner hash-partitions rows by group key into P disjoint shards, the
+// state behind the partition-parallel grouped merge: each shard can be
+// grouped and aggregated independently (all rows of one key land in one
+// shard), and the per-shard results stitch back into the exact serial
+// ordering via StitchShards. Shard assignment depends only on the key
+// values and P — never on worker scheduling — so downstream processing is
+// deterministic at any worker count.
+//
+// The per-shard row lists and grouping hashtables are retained across
+// Reset, so a runtime that partitions every window slide allocates nothing
+// in steady state.
+type Partitioner struct {
+	p      int
+	shards []vector.Sel
+	tables []*GroupTable
+}
+
+// NewPartitioner returns an empty partitioner; call Reset before Split.
+func NewPartitioner() *Partitioner { return &Partitioner{} }
+
+// P returns the current shard count.
+func (pt *Partitioner) P() int { return pt.p }
+
+// Reset prepares the partitioner for p shards, reusing the shard row lists
+// and per-shard hashtables of earlier rounds.
+func (pt *Partitioner) Reset(p int) {
+	if p < 1 {
+		p = 1
+	}
+	pt.p = p
+	for len(pt.shards) < p {
+		pt.shards = append(pt.shards, nil)
+	}
+	for len(pt.tables) < p {
+		pt.tables = append(pt.tables, NewGroupTable())
+	}
+	for i := 0; i < p; i++ {
+		if pt.shards[i] == nil {
+			// Non-nil even when the shard stays empty: a nil selection means
+			// "all rows" to the grouping kernels, which must only ever happen
+			// through the deliberate single-shard identity in Split.
+			pt.shards[i] = vector.Sel{}
+		} else {
+			pt.shards[i] = pt.shards[i][:0]
+		}
+	}
+}
+
+// partitionMul is a distinct odd multiplier (not intHashMul) so the shard
+// assignment never correlates with the bucket choice of the per-shard
+// GroupTable — correlated hashes would funnel each shard's keys into a few
+// buckets.
+const partitionMul = 0xBF58476D1CE4E5B9
+
+func shardOfInt64(k int64, p int) int {
+	return int((uint64(k) * partitionMul >> 17) % uint64(p))
+}
+
+// fnv1a hashes a string (FNV-1a 64) for generic-key shard assignment.
+func fnv1a(s string) uint64 {
+	h := uint64(0xcbf29ce484222325)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 0x100000001b3
+	}
+	return h
+}
+
+// Split assigns every row of the key columns to its shard. All key columns
+// must have equal length. With one shard the scan is skipped entirely:
+// shard 0 is the identity (nil) selection.
+func (pt *Partitioner) Split(keys []*vector.Vector) {
+	if len(keys) == 0 {
+		panic("algebra: Split with no keys")
+	}
+	if pt.p == 1 {
+		pt.shards[0] = nil
+		return
+	}
+	n := keys[0].Len()
+	if len(keys) == 1 && vector.IntKind(keys[0].Type()) {
+		vals := keys[0].Int64s()
+		for i, v := range vals {
+			s := shardOfInt64(v, pt.p)
+			pt.shards[s] = append(pt.shards[s], int32(i))
+		}
+		return
+	}
+	for i := 0; i < n; i++ {
+		s := int(fnv1a(genericKey(keys, int32(i))) % uint64(pt.p))
+		pt.shards[s] = append(pt.shards[s], int32(i))
+	}
+}
+
+// Shard returns shard i's row selection (ascending; nil means all rows,
+// the single-shard identity).
+func (pt *Partitioner) Shard(i int) vector.Sel { return pt.shards[i] }
+
+// Table returns shard i's reusable grouping hashtable. The caller Resets
+// it with a key-count hint before grouping the shard.
+func (pt *Partitioner) Table(i int) *GroupTable { return pt.tables[i] }
+
+// Table0 returns the first reusable hashtable without requiring a Reset of
+// the shard layout — the single-shard fast path's table.
+func (pt *Partitioner) Table0() *GroupTable {
+	if len(pt.tables) == 0 {
+		pt.tables = append(pt.tables, NewGroupTable())
+	}
+	return pt.tables[0]
+}
+
+// ShardRef names one group inside a sharded grouping: the shard it lives
+// in and its local dense id there.
+type ShardRef struct {
+	Shard int32
+	Local int32
+}
+
+// StitchShards merges per-shard group structures back into the global
+// first-appearance order of a serial grouping over the same rows. Each
+// shard's Repr holds original (global) row positions in ascending order —
+// grouping visits its ascending shard selection in order, so first
+// occurrences ascend — and a P-way merge by representative position
+// reproduces exactly the id order a single Group over all rows would have
+// assigned. Returns the gather order (one ShardRef per output group) and
+// the global representative selection, both in output group order.
+func StitchShards(shards []*Groups) ([]ShardRef, vector.Sel) {
+	total := 0
+	for _, g := range shards {
+		total += g.K
+	}
+	order := make([]ShardRef, 0, total)
+	repr := make(vector.Sel, 0, total)
+	heads := make([]int, len(shards))
+	for len(order) < total {
+		best := -1
+		var bestPos int32
+		for s, g := range shards {
+			if heads[s] >= g.K {
+				continue
+			}
+			if pos := g.Repr[heads[s]]; best < 0 || pos < bestPos {
+				best, bestPos = s, pos
+			}
+		}
+		order = append(order, ShardRef{Shard: int32(best), Local: int32(heads[best])})
+		repr = append(repr, bestPos)
+		heads[best]++
+	}
+	return order, repr
+}
+
+// GatherShards assembles the stitched aggregate column: output row i is
+// vals[order[i].Shard].Get(order[i].Local). All per-shard vectors must
+// share one type; int64 and float64 payloads gather without boxing.
+func GatherShards(vals []*vector.Vector, order []ShardRef) *vector.Vector {
+	if len(vals) == 0 {
+		panic("algebra: GatherShards with no shards")
+	}
+	t := vals[0].Type()
+	out := vector.New(t, len(order))
+	switch t {
+	case vector.Int64, vector.Timestamp:
+		for _, o := range order {
+			out.AppendInt64(vals[o.Shard].Int64s()[o.Local])
+		}
+	case vector.Float64:
+		for _, o := range order {
+			out.AppendFloat64(vals[o.Shard].Float64s()[o.Local])
+		}
+	default:
+		for _, o := range order {
+			out.AppendValue(vals[o.Shard].Get(int(o.Local)))
+		}
+	}
+	return out
+}

@@ -1,0 +1,230 @@
+package algebra
+
+import (
+	"math/rand"
+	"testing"
+
+	"datacell/internal/vector"
+)
+
+// skewedKeys draws n keys from [0, domain) with a heavy skew toward low
+// ids (roughly zipf-shaped), the distribution that stresses partition
+// balance.
+func skewedKeys(rng *rand.Rand, n int, domain int64) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		k := rng.Int63n(domain)
+		if rng.Intn(3) > 0 { // 2/3 of rows collapse onto a small hot set
+			k = rng.Int63n(1 + domain/16)
+		}
+		out[i] = k
+	}
+	return out
+}
+
+// TestGroupWithMatchesGroup checks the reusable-hashtable grouping against
+// the map-based Group on random (skewed) keys and random selections, and
+// reuses one table across all trials to exercise Reset.
+func TestGroupWithMatchesGroup(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tbl := NewGroupTable()
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(400)
+		keys := []*vector.Vector{vector.FromInt64(skewedKeys(rng, n, 1+rng.Int63n(300)))}
+		var sel vector.Sel
+		if trial%2 == 1 {
+			for i := 0; i < n; i++ {
+				if rng.Intn(3) == 0 {
+					sel = append(sel, int32(i))
+				}
+			}
+		}
+		want := Group(keys, sel)
+		tbl.Reset(n)
+		got := GroupWith(tbl, keys, sel)
+		assertGroupsEqual(t, trial, got, want)
+	}
+}
+
+// TestGroupWithGrowsPastHint pins the load-factor growth: an Reset hint
+// far below the distinct-key count must cost a rehash, not a hang, and
+// the assigned ids must survive growth unchanged.
+func TestGroupWithGrowsPastHint(t *testing.T) {
+	n := 5000
+	vals := make([]int64, n)
+	for i := range vals {
+		vals[i] = int64(i * 7)
+	}
+	keys := []*vector.Vector{vector.FromInt64(vals)}
+	tbl := NewGroupTable()
+	tbl.Reset(4) // 16 slots for 5000 distinct keys
+	assertGroupsEqual(t, 0, GroupWith(tbl, keys, nil), Group(keys, nil))
+}
+
+// TestGroupWithGenericKeys covers the string and multi-column fallback of
+// GroupWith (reused map) against Group.
+func TestGroupWithGenericKeys(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	tbl := NewGroupTable()
+	names := []string{"a", "b", "c", "dd", "ee"}
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(200)
+		ss := make([]string, n)
+		xs := make([]int64, n)
+		for i := range ss {
+			ss[i] = names[rng.Intn(len(names))]
+			xs[i] = rng.Int63n(4)
+		}
+		keys := []*vector.Vector{vector.FromStr(ss), vector.FromInt64(xs)}
+		want := Group(keys, nil)
+		tbl.Reset(n)
+		got := GroupWith(tbl, keys, nil)
+		assertGroupsEqual(t, trial, got, want)
+	}
+}
+
+func assertGroupsEqual(t *testing.T, trial int, got, want *Groups) {
+	t.Helper()
+	if got.K != want.K || len(got.IDs) != len(want.IDs) {
+		t.Fatalf("trial %d: K=%d/%d rows=%d/%d", trial, got.K, want.K, len(got.IDs), len(want.IDs))
+	}
+	for i := range want.IDs {
+		if got.IDs[i] != want.IDs[i] {
+			t.Fatalf("trial %d: id[%d]=%d want %d", trial, i, got.IDs[i], want.IDs[i])
+		}
+	}
+	for i := range want.Repr {
+		if got.Repr[i] != want.Repr[i] {
+			t.Fatalf("trial %d: repr[%d]=%d want %d", trial, i, got.Repr[i], want.Repr[i])
+		}
+	}
+}
+
+// TestPartitionerShardsDisjointCover checks that Split produces a disjoint
+// cover of all rows with key-pure shards (all rows of one key in one
+// shard), across randomized shard counts.
+func TestPartitionerShardsDisjointCover(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	pt := NewPartitioner()
+	for trial := 0; trial < 40; trial++ {
+		n := 1 + rng.Intn(500)
+		vals := skewedKeys(rng, n, 1+rng.Int63n(200))
+		keys := []*vector.Vector{vector.FromInt64(vals)}
+		p := 1 + rng.Intn(9)
+		pt.Reset(p)
+		pt.Split(keys)
+		seen := make([]bool, n)
+		keyShard := map[int64]int{}
+		for s := 0; s < p; s++ {
+			sel := pt.Shard(s)
+			if p == 1 && sel == nil {
+				continue // identity shard covers everything by definition
+			}
+			prev := int32(-1)
+			for _, row := range sel {
+				if row <= prev {
+					t.Fatalf("trial %d: shard %d not ascending", trial, s)
+				}
+				prev = row
+				if seen[row] {
+					t.Fatalf("trial %d: row %d in two shards", trial, row)
+				}
+				seen[row] = true
+				if prior, ok := keyShard[vals[row]]; ok && prior != s {
+					t.Fatalf("trial %d: key %d split across shards %d and %d", trial, vals[row], prior, s)
+				}
+				keyShard[vals[row]] = s
+			}
+		}
+		if p > 1 {
+			for i, ok := range seen {
+				if !ok {
+					t.Fatalf("trial %d: row %d unassigned", trial, i)
+				}
+			}
+		}
+	}
+}
+
+// TestPartitionedGroupingMatchesSerial runs the full partitioned pipeline —
+// Split, per-shard GroupWith + GroupedAgg, StitchShards + GatherShards —
+// against the serial Group + GroupedAgg + Take, over skewed int64 and
+// generic keys, int64 and float64 values, and randomized shard counts.
+// Output order and every value must match the serial result exactly.
+func TestPartitionedGroupingMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	pt := NewPartitioner()
+	for trial := 0; trial < 60; trial++ {
+		n := 1 + rng.Intn(600)
+		kv := skewedKeys(rng, n, 1+rng.Int63n(400))
+		var keyCols []*vector.Vector
+		if trial%3 == 2 {
+			ss := make([]string, n)
+			for i, k := range kv {
+				ss[i] = string(rune('a'+k%26)) + string(rune('a'+(k/26)%26))
+			}
+			keyCols = []*vector.Vector{vector.FromStr(ss)}
+		} else {
+			keyCols = []*vector.Vector{vector.FromInt64(kv)}
+		}
+		ints := make([]int64, n)
+		floats := make([]float64, n)
+		for i := range ints {
+			ints[i] = rng.Int63n(1000) - 500
+			floats[i] = rng.NormFloat64()
+		}
+		intCol, floatCol := vector.FromInt64(ints), vector.FromFloat64(floats)
+
+		g := Group(keyCols, nil)
+		wantKeys := keyCols[0].Take(g.Repr)
+		wantSum := GroupedAgg(AggSum, intCol, nil, g)
+		wantFSum := GroupedAgg(AggSum, floatCol, nil, g)
+		wantMin := GroupedAgg(AggMin, intCol, nil, g)
+
+		p := 1 + rng.Intn(8)
+		pt.Reset(p)
+		pt.Split(keyCols)
+		shards := make([]*Groups, p)
+		sums := make([]*vector.Vector, p)
+		fsums := make([]*vector.Vector, p)
+		mins := make([]*vector.Vector, p)
+		for s := 0; s < p; s++ {
+			sel := pt.Shard(s)
+			tbl := pt.Table(s)
+			hint := n
+			if sel != nil {
+				hint = len(sel)
+			}
+			tbl.Reset(hint)
+			sg := GroupWith(tbl, keyCols, sel)
+			shards[s] = sg
+			sums[s] = GroupedAgg(AggSum, intCol, sel, sg)
+			fsums[s] = GroupedAgg(AggSum, floatCol, sel, sg)
+			mins[s] = GroupedAgg(AggMin, intCol, sel, sg)
+		}
+		order, repr := StitchShards(shards)
+		if len(order) != g.K {
+			t.Fatalf("trial %d (p=%d): %d stitched groups, want %d", trial, p, len(order), g.K)
+		}
+		gotKeys := keyCols[0].Take(repr)
+		gotSum := GatherShards(sums, order)
+		gotFSum := GatherShards(fsums, order)
+		gotMin := GatherShards(mins, order)
+		for i := 0; i < g.K; i++ {
+			if !gotKeys.Get(i).Equal(wantKeys.Get(i)) {
+				t.Fatalf("trial %d (p=%d): key[%d]=%v want %v", trial, p, i, gotKeys.Get(i), wantKeys.Get(i))
+			}
+			if gotSum.Get(i).I != wantSum.Get(i).I {
+				t.Fatalf("trial %d (p=%d): sum[%d]=%d want %d", trial, p, i, gotSum.Get(i).I, wantSum.Get(i).I)
+			}
+			// Bit-identical float sums: partitioning preserves the relative
+			// order of every group's rows, so the summation sequence matches.
+			if gotFSum.Get(i).F != wantFSum.Get(i).F {
+				t.Fatalf("trial %d (p=%d): fsum[%d]=%v want %v", trial, p, i, gotFSum.Get(i).F, wantFSum.Get(i).F)
+			}
+			if gotMin.Get(i).I != wantMin.Get(i).I {
+				t.Fatalf("trial %d (p=%d): min[%d]=%d want %d", trial, p, i, gotMin.Get(i).I, wantMin.Get(i).I)
+			}
+		}
+	}
+}

@@ -1,0 +1,224 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"datacell/internal/engine"
+	"datacell/internal/workload"
+)
+
+// This file measures the partition-parallel merge (not a paper figure):
+// one grouped continuous query drains a buffered backlog while the merge
+// stage — re-grouping the concatenated per-basic-window partials — runs
+// through the seed-style serial instruction path (throwaway map grouping
+// per firing; the baseline), or through the grouped-merge kernel at 1..N
+// workers (reusable hashtables, hash-partitioned across the worker pool
+// when the host has schedulable CPUs to overlap shards on). The sweep
+// crosses key-domain sizes with worker counts: small domains keep the
+// merge cheap (fragments dominate), large domains make the re-group the
+// bottleneck the kernel lifts. Every cell is checksum-verified against the
+// baseline of the same domain — the partitioned merge must be
+// bit-identical. cmd/dcbench renders the table (-fig merge) and can emit
+// the machine-readable BENCH_merge.json consumed by CI.
+
+// mergeQuery keeps per-group work trivial so the grouped merge itself
+// (concat + re-group + compensating aggregates) dominates at large key
+// domains.
+const mergeQuery = `SELECT x1, sum(x2), count(*) FROM s [RANGE %d SLIDE %d] GROUP BY x1`
+
+// MergePoint is one measured (key domain, worker count) cell. Baseline
+// marks the seed-style serial-merge run (grouped-merge kernel disabled)
+// that anchors the speedup columns of its key domain.
+type MergePoint struct {
+	Keys         int     `json:"key_domain"`
+	Workers      int     `json:"workers"`
+	Baseline     bool    `json:"serial_baseline,omitempty"`
+	Windows      int     `json:"windows"`
+	Tuples       int     `json:"tuples"`
+	WallMS       float64 `json:"wall_ms"`
+	FragmentMS   float64 `json:"fragment_ms"`
+	PartitionMS  float64 `json:"partition_ms"`
+	MergeMS      float64 `json:"merge_ms"`
+	MergeSpeedup float64 `json:"merge_speedup_vs_serial"`
+	Speedup      float64 `json:"speedup_vs_serial"`
+	ResultSum    int64   `json:"result_checksum"`
+	AllocPerStep float64 `json:"allocs_per_step"`
+}
+
+// MeasureMerge registers one grouped incremental query with the given
+// worker count and key domain, buffers the whole backlog, and measures the
+// single Pump that drains it, splitting time by stage (StageBreakdown).
+func MeasureMerge(workers, keys, window, slide, slides int, baseline bool) (MergePoint, error) {
+	p := MergePoint{Keys: keys, Workers: workers, Baseline: baseline}
+	e := engine.New()
+	if err := e.RegisterStream("s", intSchema()); err != nil {
+		return p, err
+	}
+	var windows int
+	var checksum int64
+	opts := engine.Options{
+		Mode:             engine.Incremental,
+		Parallelism:      workers,
+		SerialMergeInstr: baseline,
+		OnResult: func(r *engine.Result) {
+			windows++
+			for _, col := range r.Table.Cols {
+				for i := 0; i < col.Len(); i++ {
+					checksum = checksum*31 + col.Get(i).I
+				}
+			}
+		},
+	}
+	q, err := e.Register(fmt.Sprintf(mergeQuery, window, slide), opts)
+	if err != nil {
+		return p, err
+	}
+	gen := workload.NewGen(1717, int64(keys), 1000)
+	total := slide * slides
+	for off := 0; off < total; off += slide {
+		if err := e.AppendColumns("s", gen.Next(slide), nil); err != nil {
+			return p, err
+		}
+	}
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	t0 := time.Now()
+	steps, err := e.Pump()
+	elapsed := time.Since(t0)
+	runtime.ReadMemStats(&m1)
+	if err != nil {
+		return p, err
+	}
+	if steps != slides {
+		return p, fmt.Errorf("bench: drained %d steps, want %d", steps, slides)
+	}
+	frag, part, merge, _ := q.StageBreakdown()
+	p.Windows = windows
+	p.Tuples = total
+	p.WallMS = float64(elapsed.Nanoseconds()) / 1e6
+	p.FragmentMS = float64(frag) / 1e6
+	p.PartitionMS = float64(part) / 1e6
+	p.MergeMS = float64(merge) / 1e6
+	p.ResultSum = checksum
+	p.AllocPerStep = float64(m1.Mallocs-m0.Mallocs) / float64(steps)
+	return p, nil
+}
+
+// MergeWorkerCounts mirrors ParallelWorkerCounts: 1, 2, 4 plus NumCPU.
+func MergeWorkerCounts() []int { return ParallelWorkerCounts() }
+
+// MergeKeyDomains returns the swept key-domain sizes relative to the
+// window: a small hot set (merge negligible), a mid-size domain, and a
+// domain of window order (every basic window contributes mostly distinct
+// keys — the heavy-compensation shape).
+func MergeKeyDomains(window int) []int {
+	small := 16
+	mid := window / 64
+	if mid <= small {
+		mid = small * 4
+	}
+	large := window
+	return []int{small, mid, large}
+}
+
+// MeasureMergeSweep measures, per key domain, the seed-serial baseline
+// plus every kernel worker count, verifies result checksums match across
+// all cells of the domain, and anchors the speedup columns on the
+// baseline's merge-stage and wall times.
+func MeasureMergeSweep(window, slide, slides int) ([]MergePoint, error) {
+	var points []MergePoint
+	for _, keys := range MergeKeyDomains(window) {
+		base, err := MeasureMerge(1, keys, window, slide, slides, true)
+		if err != nil {
+			return nil, err
+		}
+		base.Speedup = 1
+		base.MergeSpeedup = 1
+		points = append(points, base)
+		for _, workers := range MergeWorkerCounts() {
+			pt, err := MeasureMerge(workers, keys, window, slide, slides, false)
+			if err != nil {
+				return nil, err
+			}
+			if pt.ResultSum != base.ResultSum {
+				return nil, fmt.Errorf("bench: keys=%d workers=%d checksum %d differs from serial baseline %d",
+					keys, pt.Workers, pt.ResultSum, base.ResultSum)
+			}
+			pt.Speedup = base.WallMS / pt.WallMS
+			if m := pt.PartitionMS + pt.MergeMS; m > 0 {
+				pt.MergeSpeedup = (base.PartitionMS + base.MergeMS) / m
+			}
+			points = append(points, pt)
+		}
+	}
+	return points, nil
+}
+
+// MergeParams derives the sweep size from the config: at Scale 1 the
+// window holds 2^22 tuples across 16 basic windows with a 48-slide
+// backlog.
+func MergeParams(cfg Config) (window, slide, slides int) {
+	window, slide = cfg.sized(1<<22, 16)
+	return window, slide, 48
+}
+
+// RunMerge regenerates the partitioned-merge table.
+func RunMerge(cfg Config) (*Table, error) {
+	window, slide, slides := MergeParams(cfg)
+	points, err := MeasureMergeSweep(window, slide, slides)
+	if err != nil {
+		return nil, err
+	}
+	return MergeTable(points, window, slide, slides), nil
+}
+
+// MergeTable renders measured merge points as a dcbench table.
+func MergeTable(points []MergePoint, window, slide, slides int) *Table {
+	t := &Table{
+		Figure: "Merge",
+		Title: fmt.Sprintf("partition-parallel grouped merge: |W|=%d, |w|=%d, %d-slide backlog, key domains x workers",
+			window, slide, slides),
+		Header: []string{"keys", "workers", "wall_ms", "fragment_ms", "partition_ms", "merge_ms", "merge_speedup", "speedup", "allocs_per_step"},
+		Notes:  "(serial = seed-style instruction merge, the speedup anchor; merge_speedup compares the merge stage — partition + serial remainder — against it; checksums verified identical across every cell)",
+	}
+	for _, p := range points {
+		workers := fmt.Sprint(p.Workers)
+		if p.Baseline {
+			workers = "serial"
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(p.Keys),
+			workers,
+			fmt.Sprintf("%.1f", p.WallMS),
+			fmt.Sprintf("%.1f", p.FragmentMS),
+			fmt.Sprintf("%.1f", p.PartitionMS),
+			fmt.Sprintf("%.1f", p.MergeMS),
+			fmt.Sprintf("%.2f", p.MergeSpeedup),
+			fmt.Sprintf("%.2f", p.Speedup),
+			fmt.Sprintf("%.1f", p.AllocPerStep),
+		})
+	}
+	return t
+}
+
+// WriteMergeJSON writes measured merge points as BENCH_merge.json into dir
+// — the machine-readable form CI archives alongside the fanout/parallel
+// figures.
+func WriteMergeJSON(points []MergePoint, dir string) (string, error) {
+	blob, err := json.MarshalIndent(struct {
+		Bench  string       `json:"bench"`
+		Points []MergePoint `json:"points"`
+	}{Bench: "merge", Points: points}, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	path := dir + string(os.PathSeparator) + "BENCH_merge.json"
+	if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}

@@ -1,0 +1,77 @@
+package bench
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestMergeSweepChecksums runs a small merge sweep end to end: every
+// (domain, workers) cell must produce the same number of windows and an
+// identical checksum within its domain, and the large-domain parallel
+// cells must actually record partition-stage time (the sharded path
+// engaged).
+func TestMergeSweepChecksums(t *testing.T) {
+	// Raise GOMAXPROCS so the sharded path engages even on 1-CPU hosts
+	// (PartitionMS counts only genuinely sharded re-groups).
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	points, err := MeasureMergeSweep(8192, 512, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perDomain := map[int][]MergePoint{}
+	for _, p := range points {
+		perDomain[p.Keys] = append(perDomain[p.Keys], p)
+	}
+	for keys, pts := range perDomain {
+		for _, p := range pts[1:] {
+			if p.Windows != pts[0].Windows {
+				t.Errorf("keys=%d workers=%d: %d windows, want %d", keys, p.Workers, p.Windows, pts[0].Windows)
+			}
+			if p.ResultSum != pts[0].ResultSum {
+				t.Errorf("keys=%d workers=%d checksum %d != %d", keys, p.Workers, p.ResultSum, pts[0].ResultSum)
+			}
+		}
+	}
+	large := MergeKeyDomains(8192)[2]
+	engaged := false
+	var sawBaseline bool
+	for _, p := range perDomain[large] {
+		if p.Baseline {
+			sawBaseline = true
+		}
+		if !p.Baseline && p.PartitionMS > 0 {
+			engaged = true
+		}
+	}
+	if !sawBaseline {
+		t.Error("sweep lacks the seed-serial baseline cell")
+	}
+	if len(perDomain[large]) > 1 && !engaged {
+		t.Error("large-domain kernel cells never recorded partition-stage time")
+	}
+}
+
+// BenchmarkMergePartitioned measures the backlog-drain wall time of a
+// large-key-domain grouped query at 1 and 4 workers — the acceptance
+// benchmark for the partitioned merge (the merge stage should shrink
+// toward 1/workers on a multicore host).
+func BenchmarkMergePartitioned(b *testing.B) {
+	const (
+		window = 1 << 16
+		slide  = 1 << 12
+		slides = 32
+	)
+	for _, cell := range []struct {
+		name     string
+		workers  int
+		baseline bool
+	}{{"serial", 1, true}, {"kernel-1", 1, false}, {"kernel-4", 4, false}} {
+		b.Run(cell.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := MeasureMerge(cell.workers, window, window, slide, slides, cell.baseline); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

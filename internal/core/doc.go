@@ -37,8 +37,14 @@
 //     basic windows of distinct buffered slides (StepBatch) — may
 //     therefore run concurrently.
 //   - Options.Parallelism bounds the worker pool; workers deposit slot
-//     files into indexed positions and the transition + merge stages stay
+//     files into indexed positions and the transition stage stays
 //     single-threaded, so results are bit-identical at every setting.
+//   - The merge stage is serial except for its grouped-aggregation blocks
+//     (IncPlan.GroupMerges): those re-group the concatenated partials via
+//     hash-partitioned shards on the same worker pool (mergeGrouped),
+//     with reusable per-shard hashtables and a stitch that reproduces the
+//     exact serial group order — bit-identical results at any worker or
+//     shard count, including float accumulation order.
 //   - Slot files must survive basket reclamation: values that alias log
 //     storage (bind registers, unflattened views) are cloned/materialized
 //     by runPerBW before entering a slot. The Runtime owns its slots and
@@ -48,4 +54,9 @@
 // The Runtime itself takes no locks: it relies on its caller for step
 // serialization and on the basket's immutability rules for unlocked view
 // reads.
+//
+// SplitForReevaluation reuses the rewriter for the re-evaluation baseline:
+// the per-basic-window fragment doubles as a per-segment-part prefix and
+// the merge stage as its combine tail (exec.PartialProgram), so full-window
+// scans parallelize across segments with the same machinery.
 package core

@@ -52,6 +52,18 @@ func (ip *IncPlan) Explain() string {
 		}
 	}
 	writeStage("merge (compensation + tail)", ip.Merge)
+	for _, gm := range ip.GroupMerges {
+		keys := make([]string, len(gm.CatKeys))
+		for i, r := range gm.CatKeys {
+			keys[i] = fmt.Sprintf("r%d", r)
+		}
+		aggs := make([]string, len(gm.Aggs))
+		for i, a := range gm.Aggs {
+			aggs[i] = fmt.Sprintf("%s(r%d)->r%d", a.Kind, a.Cat, a.Out)
+		}
+		fmt.Fprintf(&sb, "grouped merge block @%d [partition-parallel eligible: keys %s re-grouped across P shards, aggs %s]\n",
+			gm.Start, strings.Join(keys, ","), strings.Join(aggs, ","))
+	}
 
 	for s, regs := range ip.SlotRegs {
 		if len(regs) > 0 {

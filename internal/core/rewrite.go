@@ -61,6 +61,32 @@ type ConcatSpec struct {
 	Source int // for ConcatPerBW: which source's slots
 }
 
+// GroupMergeAgg is one aggregate of a grouped merge block: the
+// concatenated partial values in Cat are re-aggregated with the
+// compensating Kind into Out, grouped by the block's keys.
+type GroupMergeAgg struct {
+	Cat  plan.Reg
+	Kind algebra.AggKind
+	Out  plan.Reg
+}
+
+// GroupMergeSpec describes one grouped-aggregation compensation block in
+// the merge stage — the re-group of concatenated partial keys plus the
+// compensating grouped aggregates (Fig 3d). The block occupies Merge
+// instructions [Start, Start+Len); its intermediate group/representative
+// registers are synthesized and consumed nowhere else, so a runtime may
+// replace the whole block with a partition-parallel re-group that fills
+// exactly KeyOuts and the Aggs' Out registers.
+type GroupMergeSpec struct {
+	Start, Len int
+	// CatKeys are the concatenated per-partial key columns (concat dsts).
+	CatKeys []plan.Reg
+	// KeyOuts receive the merged (representative) key columns, aligned
+	// with CatKeys.
+	KeyOuts []plan.Reg
+	Aggs    []GroupMergeAgg
+}
+
 // IncPlan is the rewritten, incremental form of a physical program.
 type IncPlan struct {
 	Prog     *plan.Program
@@ -82,6 +108,9 @@ type IncPlan struct {
 	Merge []plan.Instr
 	// Concats must be materialized (in order) before Merge runs.
 	Concats []ConcatSpec
+	// GroupMerges lists the grouped-aggregation blocks inside Merge that
+	// are eligible for partition-parallel execution, by ascending Start.
+	GroupMerges []GroupMergeSpec
 
 	// SlotRegs[s] lists the per-basic-window registers of source s whose
 	// values the runtime must retain across steps.
@@ -680,6 +709,7 @@ func (rw *rewriter) materializeCluster(cl *cluster) error {
 		rw.addConcat(ck, kt)
 		catKeys[i] = ck
 	}
+	spec := GroupMergeSpec{Start: len(rw.ip.Merge), CatKeys: catKeys}
 	g2 := rw.newReg()
 	rw.ip.Merge = append(rw.ip.Merge, plan.Instr{Op: plan.OpGroup, In: catKeys, Out: []plan.Reg{g2}})
 	rs2 := rw.newReg()
@@ -688,6 +718,7 @@ func (rw *rewriter) materializeCluster(cl *cluster) error {
 		// The merged key column lands in the original key-take register.
 		rw.ip.Merge = append(rw.ip.Merge, plan.Instr{Op: plan.OpTake, In: []plan.Reg{catKeys[i], rs2}, Out: []plan.Reg{kt}})
 		rw.merged[kt] = true
+		spec.KeyOuts = append(spec.KeyOuts, kt)
 	}
 	for _, ag := range cl.aggs {
 		cv := rw.newReg()
@@ -696,7 +727,10 @@ func (rw *rewriter) materializeCluster(cl *cluster) error {
 			Op: plan.OpAgg, Agg: ag.kind.MergeKind(), In: []plan.Reg{cv, g2}, Out: []plan.Reg{ag.reg},
 		})
 		rw.merged[ag.reg] = true
+		spec.Aggs = append(spec.Aggs, GroupMergeAgg{Cat: cv, Kind: ag.kind.MergeKind(), Out: ag.reg})
 	}
+	spec.Len = len(rw.ip.Merge) - spec.Start
+	rw.ip.GroupMerges = append(rw.ip.GroupMerges, spec)
 	return nil
 }
 

@@ -2,22 +2,27 @@ package core
 
 import (
 	"fmt"
-	"sync"
-	"sync/atomic"
+	"runtime"
 	"time"
 
+	"datacell/internal/algebra"
 	"datacell/internal/exec"
 	"datacell/internal/plan"
 	"datacell/internal/vector"
 )
 
-// StepStats reports where one slide spent its time, matching the paper's
-// Fig 7 cost breakdown: MainNS is the "query processing" cost (per-basic-
-// window and per-cell fragments of the original plan), MergeNS the cost of
-// all additional merge/compensation work.
+// StepStats reports where one slide spent its time, refining the paper's
+// Fig 7 cost breakdown into three stages: MainNS is the fragment cost
+// (per-basic-window and per-cell fragments of the original plan),
+// PartitionNS the share of the compensation spent in genuinely sharded
+// grouped re-groups (zero for plans without grouped aggregation and for
+// blocks that ran single-shard), and MergeNS the remaining serial
+// merge/compensation work. The total merge cost of the step is
+// PartitionNS + MergeNS.
 type StepStats struct {
-	MainNS  int64
-	MergeNS int64
+	MainNS      int64
+	PartitionNS int64
+	MergeNS     int64
 	// Emitted reports whether this step produced a window result (false
 	// while the preface, i.e. the first window, is still filling).
 	Emitted bool
@@ -43,6 +48,12 @@ type Options struct {
 	// therefore results are identical at any value: workers write into
 	// indexed slots and the transition + merge stages stay single-threaded.
 	Parallelism int
+	// SerialMergeInstr disables the grouped-merge kernel (partitioned
+	// re-group with reusable hashtables): grouped compensation blocks then
+	// execute through the plain instruction path, one throwaway map-based
+	// grouping per firing. Results are identical; this exists as the
+	// benchmark/testing baseline for the kernel.
+	SerialMergeInstr bool
 }
 
 // regFile stores the retained datums of one basic window (or one matrix
@@ -82,6 +93,17 @@ type Runtime struct {
 	// srcIdx lists the windowed stream sources in source order; per-bw
 	// fragments exist only for these.
 	srcIdx []int
+
+	// groupMergeAt indexes the plan's grouped merge blocks by their start
+	// instruction; partitioner and the shard scratch below are the reusable
+	// state of the partition-parallel merge path (hashtables survive across
+	// slides via Reset, so steady-state grouped queries allocate no tables
+	// per firing).
+	groupMergeAt map[int]*GroupMergeSpec
+	partitioner  *algebra.Partitioner
+	shardGroups  []*algebra.Groups
+	shardAggs    [][]*vector.Vector
+	mergeKeys    []*vector.Vector
 
 	// Reusable task scratch so steady-state stepping allocates nothing
 	// beyond the slot files themselves.
@@ -129,6 +151,13 @@ func NewRuntimeOpts(ip *IncPlan, opts Options) *Runtime {
 	if rt.par < 1 {
 		rt.par = 1
 	}
+	if len(ip.GroupMerges) > 0 && !opts.SerialMergeInstr {
+		rt.groupMergeAt = make(map[int]*GroupMergeSpec, len(ip.GroupMerges))
+		for i := range ip.GroupMerges {
+			rt.groupMergeAt[ip.GroupMerges[i].Start] = &ip.GroupMerges[i]
+		}
+		rt.partitioner = algebra.NewPartitioner()
+	}
 	rt.envs = make([]*workerEnv, rt.par)
 	for i := range rt.envs {
 		rt.envs[i] = &workerEnv{
@@ -153,53 +182,17 @@ func (rt *Runtime) windowedStream(s int) bool {
 
 // forEach runs fn for every task in [0, n): sequentially on envs[0] when
 // parallelism is off or there is only one task, otherwise across
-// min(par, n) workers pulling tasks from a shared counter, each with its
-// own environment. Every task runs exactly once and writes only into
-// indexed slots, so execution order cannot leak into results; the
-// lowest-index error is returned to match sequential error behavior.
+// min(par, n) workers (exec.ForEachWorker), each with its own
+// environment. Every task runs exactly once and writes only into indexed
+// slots, so execution order cannot leak into results; the lowest-index
+// error is returned to match sequential error behavior.
 func (rt *Runtime) forEach(n int, fn func(task int, w *workerEnv) error) error {
-	if n <= 1 || rt.par <= 1 {
-		w := rt.envs[0]
-		for i := 0; i < n; i++ {
-			if err := fn(i, w); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	workers := rt.par
-	if workers > n {
-		workers = n
-	}
 	if cap(rt.taskErrs) < n {
 		rt.taskErrs = make([]error, n)
 	}
-	errs := rt.taskErrs[:n]
-	for i := range errs {
-		errs[i] = nil
-	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for wi := 0; wi < workers; wi++ {
-		go func(w *workerEnv) {
-			defer wg.Done()
-			for {
-				t := int(next.Add(1)) - 1
-				if t >= n {
-					return
-				}
-				errs[t] = fn(t, w)
-			}
-		}(rt.envs[wi])
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	return nil
+	return exec.ForEachWorker(n, rt.par, rt.taskErrs[:cap(rt.taskErrs)], func(task, worker int) error {
+		return fn(task, rt.envs[worker])
+	})
 }
 
 // PushChunk processes a fraction of the next basic window of source s
@@ -314,14 +307,15 @@ func (rt *Runtime) stepSlides(slides [][][]vector.View, inputs []exec.Input, out
 			continue
 		}
 		t2 := time.Now()
-		tbl, env, err := rt.merge(inputs)
+		tbl, env, partNS, err := rt.merge(inputs)
 		if err != nil {
 			return out, err
 		}
 		if rt.ip.Landmark {
 			rt.compactLandmark(env)
 		}
-		stats.MergeNS = time.Since(t2).Nanoseconds()
+		stats.PartitionNS = partNS
+		stats.MergeNS = time.Since(t2).Nanoseconds() - partNS
 		stats.Emitted = true
 		stats.ResultRows = tbl.NumRows()
 		out = append(out, StepResult{Table: tbl, Stats: stats})
@@ -493,35 +487,175 @@ func (rt *Runtime) runCell(i, j int, inputs []exec.Input, w *workerEnv) (regFile
 
 // merge materializes the concatenations, runs the merge fragment and
 // returns the window result plus the merge environment (used for landmark
-// compaction).
-func (rt *Runtime) merge(inputs []exec.Input) (*exec.Table, []exec.Datum, error) {
+// compaction) and the nanoseconds spent in partitioned grouped re-groups.
+// Grouped-aggregation blocks execute through mergeGrouped — partitioned
+// across the worker pool when the partials are large enough — instead of
+// instruction-by-instruction; results are bit-identical either way.
+func (rt *Runtime) merge(inputs []exec.Input) (*exec.Table, []exec.Datum, int64, error) {
 	env := make([]exec.Datum, rt.ip.NumRegs)
 	rt.copyStatic(env)
 	for _, spec := range rt.ip.Concats {
 		vecs, err := rt.gather(spec)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, 0, err
 		}
 		env[spec.Dst] = exec.VecDatum(vector.Concat(vecs...))
 	}
 	var result *exec.Table
-	for _, in := range rt.ip.Merge {
+	var partNS int64
+	for idx := 0; idx < len(rt.ip.Merge); idx++ {
+		if spec, ok := rt.groupMergeAt[idx]; ok {
+			t0 := time.Now()
+			handled, sharded, err := rt.mergeGrouped(spec, env)
+			if err != nil {
+				return nil, nil, partNS, err
+			}
+			if handled {
+				// Only genuinely sharded blocks count as partition-stage
+				// time; the single-shard kernel is serial merge work.
+				if sharded {
+					partNS += time.Since(t0).Nanoseconds()
+				}
+				idx += spec.Len - 1
+				continue
+			}
+		}
+		in := rt.ip.Merge[idx]
 		if in.Op == plan.OpResult {
 			tbl, err := exec.BuildResult(in, env)
 			if err != nil {
-				return nil, nil, fmt.Errorf("core: merge result: %w", err)
+				return nil, nil, partNS, fmt.Errorf("core: merge result: %w", err)
 			}
 			result = tbl
 			continue
 		}
 		if err := exec.ExecInstr(in, env, inputs); err != nil {
-			return nil, nil, fmt.Errorf("core: merge stage: %w", err)
+			return nil, nil, partNS, fmt.Errorf("core: merge stage: %w", err)
 		}
 	}
 	if result == nil {
-		return nil, nil, fmt.Errorf("core: merge produced no result")
+		return nil, nil, partNS, fmt.Errorf("core: merge produced no result")
 	}
-	return result, env, nil
+	return result, env, partNS, nil
+}
+
+// partitionMinRows is the concatenated-partial size below which sharding
+// overhead (the partition scan plus worker handoff) outweighs the parallel
+// re-group; smaller blocks run single-shard on the reusable hashtable.
+const partitionMinRows = 256
+
+// mergeShards picks the shard count for a grouped merge block of the given
+// size: the worker bound, capped by the schedulable CPUs — sharding beyond
+// them cannot overlap and only adds partition/stitch overhead — and by the
+// minimum block size. Results are bit-identical at every shard count, so
+// the cap trades speed only.
+func (rt *Runtime) mergeShards(rows int) int {
+	if rt.par <= 1 || rows < partitionMinRows {
+		return 1
+	}
+	p := rt.par
+	if g := runtime.GOMAXPROCS(0); p > g {
+		p = g
+	}
+	return p
+}
+
+// mergeGrouped executes one grouped-aggregation compensation block: the
+// concatenated partial keys are hash-partitioned into P disjoint shards,
+// each shard is re-grouped and re-aggregated on the worker pool with
+// reusable per-shard hashtables, and the per-shard results are stitched
+// back in global first-appearance order — exactly the ordering (and, for
+// floats, the exact summation sequence) of the serial block, so results
+// are bit-identical at any parallelism. P degrades to 1 (still reusing the
+// hashtable, skipping the partition scan) when parallelism is off or the
+// block is too small to shard profitably.
+func (rt *Runtime) mergeGrouped(spec *GroupMergeSpec, env []exec.Datum) (handled, sharded bool, err error) {
+	if cap(rt.mergeKeys) < len(spec.CatKeys) {
+		rt.mergeKeys = make([]*vector.Vector, len(spec.CatKeys))
+	}
+	keys := rt.mergeKeys[:len(spec.CatKeys)]
+	for i, r := range spec.CatKeys {
+		d := env[r]
+		if d.Kind != exec.KindVec {
+			return false, false, nil // fall back to the plain instruction path
+		}
+		keys[i] = d.Vec
+	}
+	rows := keys[0].Len()
+	p := rt.mergeShards(rows)
+	pt := rt.partitioner
+	if p == 1 {
+		// Single shard: group on the reusable hashtable, skip the partition
+		// scan and the stitch/gather copies (order is already global).
+		tbl := pt.Table0()
+		tbl.Reset(rows)
+		g := algebra.GroupWith(tbl, keys, nil)
+		for i, r := range spec.KeyOuts {
+			env[r] = exec.VecDatum(keys[i].Take(g.Repr))
+		}
+		for _, ag := range spec.Aggs {
+			d := env[ag.Cat]
+			if d.Kind != exec.KindVec {
+				return false, false, fmt.Errorf("core: grouped merge r%d holds non-vector partials", ag.Cat)
+			}
+			env[ag.Out] = exec.VecDatum(algebra.GroupedAgg(ag.Kind, d.Vec, nil, g))
+		}
+		clear(keys) // don't pin the slide's concatenated key columns
+		return true, false, nil
+	}
+	pt.Reset(p)
+	pt.Split(keys)
+
+	if cap(rt.shardGroups) < p {
+		rt.shardGroups = make([]*algebra.Groups, p)
+		rt.shardAggs = make([][]*vector.Vector, p)
+	}
+	shards := rt.shardGroups[:p]
+	aggs := rt.shardAggs[:p]
+	poolErr := rt.forEach(p, func(s int, _ *workerEnv) error {
+		sel := pt.Shard(s)
+		hint := rows
+		if sel != nil {
+			hint = len(sel)
+		}
+		tbl := pt.Table(s)
+		tbl.Reset(hint)
+		g := algebra.GroupWith(tbl, keys, sel)
+		shards[s] = g
+		if cap(aggs[s]) < len(spec.Aggs) {
+			aggs[s] = make([]*vector.Vector, len(spec.Aggs))
+		} else {
+			aggs[s] = aggs[s][:len(spec.Aggs)]
+		}
+		for ai, ag := range spec.Aggs {
+			d := env[ag.Cat]
+			if d.Kind != exec.KindVec {
+				return fmt.Errorf("core: grouped merge r%d holds non-vector partials", ag.Cat)
+			}
+			aggs[s][ai] = algebra.GroupedAgg(ag.Kind, d.Vec, sel, g)
+		}
+		return nil
+	})
+	if poolErr != nil {
+		return false, false, poolErr
+	}
+	order, repr := algebra.StitchShards(shards)
+	for i, r := range spec.KeyOuts {
+		env[r] = exec.VecDatum(keys[i].Take(repr))
+	}
+	for ai, ag := range spec.Aggs {
+		cols := make([]*vector.Vector, p)
+		for s := 0; s < p; s++ {
+			cols[s] = aggs[s][ai]
+		}
+		env[ag.Out] = exec.VecDatum(algebra.GatherShards(cols, order))
+	}
+	for s := range shards {
+		shards[s] = nil // don't pin group scratch past the step
+		clear(aggs[s])  // nor the per-shard aggregate vectors
+	}
+	clear(keys) // nor the slide's concatenated key columns
+	return true, true, nil
 }
 
 func (rt *Runtime) gather(spec ConcatSpec) ([]*vector.Vector, error) {

@@ -1,0 +1,49 @@
+package core
+
+import (
+	"datacell/internal/exec"
+	"datacell/internal/plan"
+)
+
+// SplitForReevaluation derives a split execution form of a physical
+// program for re-evaluation mode: the incremental rewriter already knows
+// how to cut a plan into a deepest-possible per-basic-window fragment plus
+// a concatenation/compensation merge, and that decomposition is exactly a
+// per-part split when the "basic windows" are the segments of one window
+// view — the per-part prefix is the per-bw fragment, the combine tail the
+// merge stage, and the retained slot registers the partial frontier. The
+// returned PartialProgram lets engine re-evaluation fan a full-window scan
+// across segments (exec.PartialProgram.Run) instead of flattening it.
+//
+// ok is false when the plan does not split: joins between two streams
+// (their matrix shape is tied to slide counts, not segments), plans with
+// zero or several windowed stream sources, and plans the incremental
+// rewriter rejects all re-evaluate monolithically via exec.Run.
+func SplitForReevaluation(prog *plan.Program) (*exec.PartialProgram, bool) {
+	src := -1
+	for s, spec := range prog.Sources {
+		if spec.IsStream && spec.Window != nil {
+			if src >= 0 {
+				return nil, false
+			}
+			src = s
+		}
+	}
+	if src < 0 {
+		return nil, false
+	}
+	// n is structural only here (the instruction lists are identical for
+	// every n); landmark must be off so no compaction semantics leak in.
+	ip, err := Rewrite(prog, 1, false)
+	if err != nil || ip.HasJoin {
+		return nil, false
+	}
+	concats := make([]exec.PartialConcat, 0, len(ip.Concats))
+	for _, c := range ip.Concats {
+		if c.Kind != ConcatPerBW || c.Source != src {
+			return nil, false
+		}
+		concats = append(concats, exec.PartialConcat{Dst: c.Dst, Src: c.Src})
+	}
+	return exec.NewPartialProgram(src, ip.NumRegs, ip.Static, ip.PerBW[src], ip.Merge, ip.SlotRegs[src], concats), true
+}

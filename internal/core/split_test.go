@@ -1,0 +1,126 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"datacell/internal/exec"
+	"datacell/internal/vector"
+)
+
+// randParts cuts n deterministic two-column rows into randomly sized
+// contiguous parts (segment shapes), returning both the per-part views and
+// the flattened whole-window input.
+func randParts(rng *rand.Rand, n int, keyDomain int64) (parts [][]vector.View, whole exec.Input) {
+	x1 := make([]int64, n)
+	x2 := make([]int64, n)
+	for i := range x1 {
+		x1[i] = rng.Int63n(keyDomain)
+		x2[i] = rng.Int63n(2000) - 1000
+	}
+	cols := []*vector.Vector{vector.FromInt64(x1), vector.FromInt64(x2)}
+	off := 0
+	for off < n {
+		m := 1 + rng.Intn(n/2+1)
+		if off+m > n {
+			m = n - off
+		}
+		part := []vector.View{
+			vector.ViewOf(cols[0].Slice(off, off+m)),
+			vector.ViewOf(cols[1].Slice(off, off+m)),
+		}
+		parts = append(parts, part)
+		off += m
+	}
+	return parts, exec.Input{Cols: cols}
+}
+
+// TestSplitReevaluationMatchesRun checks the segment-parallel re-evaluation
+// path: SplitForReevaluation + PartialProgram.Run over randomized part
+// shapes and worker counts must be bit-identical to the monolithic
+// exec.Run over the flattened window, for scalar aggregates, grouped
+// aggregation (skewed keys), bare projections and sort/limit tails.
+func TestSplitReevaluationMatchesRun(t *testing.T) {
+	queries := []string{
+		`SELECT count(*), sum(x2), min(x2), max(x2) FROM s [RANGE 100 SLIDE 10] WHERE x1 > 3`,
+		`SELECT x1, sum(x2), count(*) FROM s [RANGE 100 SLIDE 10] GROUP BY x1`,
+		`SELECT x1, avg(x2) FROM s [RANGE 100 SLIDE 10] WHERE x1 > 1 GROUP BY x1`,
+		`SELECT x1, x2 FROM s [RANGE 100 SLIDE 10] WHERE x2 > 0`,
+		`SELECT x1, x2 FROM s [RANGE 100 SLIDE 10] ORDER BY x2 LIMIT 7`,
+	}
+	for _, query := range queries {
+		t.Run(query, func(t *testing.T) {
+			prog := compile(t, query)
+			pp, ok := SplitForReevaluation(prog)
+			if !ok {
+				t.Fatal("plan did not split")
+			}
+			rng := rand.New(rand.NewSource(42))
+			for trial := 0; trial < 20; trial++ {
+				n := 1 + rng.Intn(300)
+				keyDomain := int64(1 + rng.Intn(64))
+				parts, whole := randParts(rng, n, keyDomain)
+				want, err := exec.Run(prog, []exec.Input{whole})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, par := range []int{1, 2, 4 + rng.Intn(4)} {
+					got, _, err := pp.Run(parts, []exec.Input{{}}, par)
+					if err != nil {
+						t.Fatalf("trial %d par %d: %v", trial, par, err)
+					}
+					if gk, wk := tblKey(got), tblKey(want); gk != wk {
+						t.Fatalf("trial %d par %d (%d parts):\n got %s\nwant %s",
+							trial, par, len(parts), gk, wk)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSplitReevaluationStreamTableJoin covers the static stage of the
+// split: a stream-table join binds and hash-builds the table side once,
+// probes it per part.
+func TestSplitReevaluationStreamTableJoin(t *testing.T) {
+	prog := compile(t, `SELECT tab.val, s.x2 FROM s [RANGE 50 SLIDE 10], tab WHERE s.x1 = tab.key`)
+	pp, ok := SplitForReevaluation(prog)
+	if !ok {
+		t.Fatal("stream-table join did not split")
+	}
+	ids := []int64{0, 1, 2, 3, 4}
+	vals := []int64{10, 11, 12, 13, 14}
+	table := exec.Input{Cols: []*vector.Vector{vector.FromInt64(ids), vector.FromInt64(vals)}}
+	streamIdx, tableIdx := 0, 1
+	if !prog.Sources[0].IsStream {
+		streamIdx, tableIdx = 1, 0
+	}
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 10; trial++ {
+		parts, whole := randParts(rng, 1+rng.Intn(200), 8)
+		inputs := make([]exec.Input, 2)
+		inputs[tableIdx] = table
+		wholeInputs := make([]exec.Input, 2)
+		wholeInputs[streamIdx], wholeInputs[tableIdx] = whole, table
+		want, err := exec.Run(prog, wholeInputs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := pp.Run(parts, inputs, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tblKey(got) != tblKey(want) {
+			t.Fatalf("trial %d:\n got %s\nwant %s", trial, tblKey(got), tblKey(want))
+		}
+	}
+}
+
+// TestSplitForReevaluationRejectsJoins pins the fallback contract: a
+// stream-stream join re-evaluates monolithically.
+func TestSplitForReevaluationRejectsJoins(t *testing.T) {
+	prog := compile(t, `SELECT count(*) FROM s [RANGE 20 SLIDE 10], s2 [RANGE 20 SLIDE 10] WHERE s.x2 = s2.x2`)
+	if _, ok := SplitForReevaluation(prog); ok {
+		t.Fatal("stream-stream join must not split")
+	}
+}

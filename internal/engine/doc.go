@@ -28,8 +28,13 @@
 // Factories take window views under the log lock and execute unlocked
 // (immutable sealed segments, append-only tail — see internal/basket), so
 // query processing never blocks ingest. With Options.Parallelism > 1 the
-// incremental path batches buffered slides and evaluates their
-// per-basic-window fragments concurrently (core.Runtime.StepBatch) —
-// intra-query parallelism on top of the per-query scheduler workers —
-// with results identical to sequential execution.
+// incremental path batches buffered slides — pure count windows by fixed
+// stride, pure time windows by precomputed watermark-closed boundaries —
+// and evaluates their per-basic-window fragments concurrently
+// (core.Runtime.StepBatch), with grouped merge blocks re-grouped
+// partition-parallel on the same pool; the re-evaluation path fans
+// per-segment partials of its full-window scan across the same worker
+// bound (exec.PartialProgram). All of it is intra-query parallelism on
+// top of the per-query scheduler workers, with results identical to
+// sequential execution at every setting.
 package engine

@@ -44,6 +44,10 @@ type Options struct {
 	// 0 inherits the engine default (SetDefaultParallelism), 1 forces
 	// sequential execution. Results are identical at any setting.
 	Parallelism int
+	// SerialMergeInstr disables the grouped-merge kernel and runs grouped
+	// compensation through the seed-style instruction path (throwaway maps
+	// every firing) — the benchmark baseline; see core.Options.
+	SerialMergeInstr bool
 	// OnResult is invoked synchronously for every produced window result.
 	OnResult func(*Result)
 }
@@ -61,6 +65,13 @@ type ContinuousQuery struct {
 	inc    *core.IncPlan
 	inputs []*queryInput // one per program source (nil basket for tables)
 	seq    int           // registration order, for deterministic Pump
+
+	// Re-evaluation mode: the split (per-part + combine) form of the plan
+	// and the worker bound for fanning per-segment partials. reevalPP is
+	// nil when the plan does not split (stream-stream joins, multiple
+	// windowed sources) — those re-evaluate monolithically via exec.Run.
+	reevalPP  *exec.PartialProgram
+	reevalPar int
 
 	onResult func(*Result)
 	chunker  *ChunkController
@@ -87,8 +98,12 @@ type ContinuousQuery struct {
 	windows int
 	totalNS int64
 	mainNS  int64
+	partNS  int64
 	mergeNS int64
-	err     error
+	// batchedSlides counts slides executed through StepBatch (the
+	// intra-query parallel path), for observability and tests.
+	batchedSlides int64
+	err           error
 	// emitting is true while the query's OnResult callback is running.
 	// Deregister/Stop consult it to avoid self-deadlock when the callback
 	// itself tears the scheduler down (see stopWorker).
@@ -214,7 +229,17 @@ func (e *Engine) Register(query string, opts Options) (*ContinuousQuery, error) 
 	if q.onResult == nil {
 		q.onResult = func(*Result) {}
 	}
+	par := opts.Parallelism
+	if par == 0 {
+		e.mu.Lock()
+		par = e.defaultPar
+		e.mu.Unlock()
+	}
 
+	if q.Mode == Reevaluation {
+		q.reevalPar = par
+		q.reevalPP, _ = core.SplitForReevaluation(prog)
+	}
 	if q.Mode == Incremental {
 		landmark := false
 		n := 1
@@ -229,13 +254,7 @@ func (e *Engine) Register(query string, opts Options) (*ContinuousQuery, error) 
 			return nil, err
 		}
 		q.inc = inc
-		par := opts.Parallelism
-		if par == 0 {
-			e.mu.Lock()
-			par = e.defaultPar
-			e.mu.Unlock()
-		}
-		q.rt = core.NewRuntimeOpts(inc, core.Options{Parallelism: par})
+		q.rt = core.NewRuntimeOpts(inc, core.Options{Parallelism: par, SerialMergeInstr: opts.SerialMergeInstr})
 		if opts.Chunks > 1 || opts.AdaptiveChunks {
 			if inc.HasJoin {
 				return nil, fmt.Errorf("engine: chunked processing supports single-stream plans only")
@@ -340,11 +359,31 @@ func (q *ContinuousQuery) bumpWindows() int {
 	return q.windows
 }
 
-// CostBreakdown returns cumulative (main, merge, total) nanoseconds.
+// CostBreakdown returns cumulative (main, merge, total) nanoseconds in the
+// paper's two-stage form; the merge lump includes the partitioned re-group
+// share. See StageBreakdown for the three-stage split.
 func (q *ContinuousQuery) CostBreakdown() (mainNS, mergeNS, totalNS int64) {
 	q.statsMu.Lock()
 	defer q.statsMu.Unlock()
-	return q.mainNS, q.mergeNS, q.totalNS
+	return q.mainNS, q.partNS + q.mergeNS, q.totalNS
+}
+
+// StageBreakdown returns cumulative per-stage nanoseconds: fragment work
+// (per-basic-window / per-segment-part evaluation), the partitioned
+// grouped re-group inside the merge, the serial merge remainder, and the
+// total step wall time.
+func (q *ContinuousQuery) StageBreakdown() (fragmentNS, partitionNS, mergeNS, totalNS int64) {
+	q.statsMu.Lock()
+	defer q.statsMu.Unlock()
+	return q.mainNS, q.partNS, q.mergeNS, q.totalNS
+}
+
+// BatchedSlides reports how many window slides drained through the
+// intra-query parallel StepBatch path.
+func (q *ContinuousQuery) BatchedSlides() int64 {
+	q.statsMu.Lock()
+	defer q.statsMu.Unlock()
+	return q.batchedSlides
 }
 
 // Chunker exposes the adaptive chunk controller (nil when disabled).
@@ -492,8 +531,8 @@ func (q *ContinuousQuery) fireIncremental() (int, error) {
 	// Intra-query parallelism: when several complete slides are already
 	// buffered, take them all in one batch so the runtime evaluates their
 	// per-bw fragments concurrently.
-	if k := q.batchableSlides(counts); k > 1 {
-		return q.fireIncrementalBatch(counts, k)
+	if b := q.batchableSlides(counts); b != nil {
+		return q.fireIncrementalBatch(b)
 	}
 
 	t0 := time.Now()
@@ -540,7 +579,7 @@ func (q *ContinuousQuery) fireIncremental() (int, error) {
 	stepNS := time.Since(t0).Nanoseconds()
 	q.account(stats, stepNS)
 	if q.chunker != nil {
-		q.chunker.Observe(stats.MainNS + stats.MergeNS)
+		q.chunker.Observe(stats.MainNS + stats.PartitionNS + stats.MergeNS)
 	}
 	if tbl != nil {
 		q.emit(&Result{Window: q.bumpWindows(), Table: tbl, Stats: stats, StepNS: stepNS})
@@ -548,46 +587,96 @@ func (q *ContinuousQuery) fireIncremental() (int, error) {
 	return 1, nil
 }
 
-// batchableSlides reports how many complete window slides can be taken in
-// one StepBatch right now. Batching requires parallel workers to profit
-// from, no chunked processing in flight, discard-on-process cursors (so a
-// slide's views sit at a fixed positional prefix) and pure count-based
-// windows on every stream source (time-based windows need per-slide
-// boundary accounting, which stays on the one-slide path). The batch is
-// capped at 4x the worker count so a deep backlog drains in bounded bites.
-func (q *ContinuousQuery) batchableSlides(counts []int) int {
+// slideBatch describes k > 1 buffered slides ready for one StepBatch: for
+// every stream source, ends[srcIdx] holds the cumulative tuple count
+// consumed from that source after each slide (ascending, len k) — slide
+// sl's basic window is the cursor-relative range [ends[sl-1], ends[sl]).
+type slideBatch struct {
+	k    int
+	ends [][]int
+}
+
+// batchableSlides reports the batch of complete window slides that can be
+// taken in one StepBatch right now (nil when only the one-slide path
+// applies). Batching requires parallel workers to profit from, no chunked
+// processing in flight, and discard-on-process cursors (so a slide's views
+// sit at a fixed positional prefix). Two window shapes qualify: pure
+// count-based windows (every slide consumes a fixed count) and pure
+// time-based windows, whose next k slide boundaries are precomputed as
+// successive watermark-closed timestamps — bursty event-time backlogs
+// drain through StepBatch just like count backlogs. The batch is capped at
+// 4x the worker count so a deep backlog drains in bounded bites.
+func (q *ContinuousQuery) batchableSlides(counts []int) *slideBatch {
 	if q.rt.Parallelism() <= 1 || q.chunker != nil || !q.inc.DiscardInput {
-		return 1
+		return nil
 	}
-	k := 0
+	kMax := q.rt.Parallelism() * 4
+	b := &slideBatch{k: kMax, ends: make([][]int, len(q.inputs))}
 	for _, qi := range q.inputs {
 		if qi.cur == nil {
 			continue
 		}
-		if qi.spec.Kind != sql.CountWindow || qi.spec.SlideDur > 0 {
-			return 1
+		switch {
+		case qi.spec.Kind == sql.CountWindow && qi.spec.SlideDur == 0:
+			qi.cur.Lock()
+			avail := qi.cur.LenLocked() / counts[qi.srcIdx]
+			qi.cur.Unlock()
+			if avail < b.k {
+				b.k = avail
+			}
+		case qi.spec.Kind == sql.TimeWindow && qi.spec.SlideDur > 0 && qi.haveBound:
+			// Precompute the successive basic-window boundaries the
+			// watermark already closes; each CountUntil is the cumulative
+			// consumption after that slide.
+			slide := qi.slideMicros()
+			ends := make([]int, 0, kMax)
+			qi.cur.Lock()
+			for i := 0; i < kMax; i++ {
+				bound := qi.boundary + int64(i)*slide
+				if qi.watermark < bound {
+					break
+				}
+				ends = append(ends, qi.cur.CountUntilLocked(bound))
+			}
+			qi.cur.Unlock()
+			if len(ends) < b.k {
+				b.k = len(ends)
+			}
+			b.ends[qi.srcIdx] = ends
+		default:
+			// Landmark and mixed count/time shapes keep per-slide
+			// accounting the one-slide path owns.
+			return nil
 		}
-		qi.cur.Lock()
-		avail := qi.cur.LenLocked() / counts[qi.srcIdx]
-		qi.cur.Unlock()
-		if k == 0 || avail < k {
-			k = avail
+	}
+	if b.k <= 1 {
+		return nil
+	}
+	for _, qi := range q.inputs {
+		if qi.cur == nil {
+			continue
 		}
+		if ends := b.ends[qi.srcIdx]; ends != nil {
+			b.ends[qi.srcIdx] = ends[:b.k]
+			continue
+		}
+		w := counts[qi.srcIdx]
+		ends := make([]int, b.k)
+		for sl := range ends {
+			ends[sl] = (sl + 1) * w
+		}
+		b.ends[qi.srcIdx] = ends
 	}
-	if k < 1 {
-		k = 1
-	}
-	if max := q.rt.Parallelism() * 4; k > max {
-		k = max
-	}
-	return k
+	return b
 }
 
-// fireIncrementalBatch executes k buffered slides in one runtime batch.
-// Views for slide i are taken at positional offset i*slide under each
-// log's lock and evaluated unlocked, exactly like the one-slide path; the
-// cursors advance once by the whole batch afterwards.
-func (q *ContinuousQuery) fireIncrementalBatch(counts []int, k int) (int, error) {
+// fireIncrementalBatch executes the buffered slides of a slideBatch in one
+// runtime batch. Views for slide sl are taken at the cursor-relative range
+// [ends[sl-1], ends[sl]) under each log's lock and evaluated unlocked,
+// exactly like the one-slide path; the cursors advance once by the whole
+// batch afterwards and time-window boundaries jump k slides forward.
+func (q *ContinuousQuery) fireIncrementalBatch(b *slideBatch) (int, error) {
+	k := b.k
 	t0 := time.Now()
 	inputs, err := q.eng.tableInputs(q.prog)
 	if err != nil {
@@ -601,10 +690,12 @@ func (q *ContinuousQuery) fireIncrementalBatch(counts []int, k int) (int, error)
 		if qi.cur == nil {
 			continue
 		}
-		w := counts[qi.srcIdx]
+		ends := b.ends[qi.srcIdx]
 		qi.cur.Lock()
+		start := 0
 		for sl := 0; sl < k; sl++ {
-			slides[sl][qi.srcIdx] = qi.cur.ViewLocked(sl*w, (sl+1)*w).ColViews()
+			slides[sl][qi.srcIdx] = qi.cur.ViewLocked(start, ends[sl]).ColViews()
+			start = ends[sl]
 		}
 		qi.cur.Unlock()
 	}
@@ -616,11 +707,18 @@ func (q *ContinuousQuery) fireIncrementalBatch(counts []int, k int) (int, error)
 		if qi.cur == nil {
 			continue
 		}
+		ends := b.ends[qi.srcIdx]
 		qi.cur.Lock()
 		// batchableSlides already required DiscardInput.
-		qi.cur.AdvanceLocked(k * counts[qi.srcIdx])
+		qi.cur.AdvanceLocked(ends[k-1])
+		if qi.haveBound {
+			qi.boundary += int64(k) * qi.slideMicros()
+		}
 		qi.cur.Unlock()
 	}
+	q.statsMu.Lock()
+	q.batchedSlides += int64(k)
+	q.statsMu.Unlock()
 	stepNS := time.Since(t0).Nanoseconds() / int64(k)
 	for _, r := range results {
 		q.account(r.Stats, stepNS)
@@ -749,6 +847,8 @@ func (q *ContinuousQuery) fireReevaluation() (int, error) {
 		return 0, err
 	}
 	var tbl *exec.Table
+	var split bool
+	var splitStats exec.PartialStats
 	if emit {
 		// Window views are taken under each log's lock but evaluated
 		// unlocked (immutable segments, append-only tail): re-running the
@@ -761,7 +861,23 @@ func (q *ContinuousQuery) fireReevaluation() (int, error) {
 			inputs[p.qi.srcIdx] = exec.Input{Views: p.qi.cur.ViewLocked(0, p.view).ColViews()}
 			p.qi.cur.Unlock()
 		}
-		tbl, err = exec.Run(q.prog, inputs)
+		// Segment-parallel re-evaluation: when the plan splits and the
+		// window spans several segments, evaluate the per-part prefix of
+		// each segment's share across the worker bound (inline when the
+		// bound is 1) and combine serially. The split form is used at
+		// every Parallelism setting so the result — including the float
+		// accumulation association, which follows segment boundaries like
+		// incremental mode's basic-window partials — never depends on the
+		// worker count.
+		if q.reevalPP != nil {
+			if parts := splitColParts(inputs[q.reevalPP.Source].Views); len(parts) > 1 {
+				tbl, splitStats, err = q.reevalPP.Run(parts, inputs, q.reevalPar)
+				split = true
+			}
+		}
+		if !split {
+			tbl, err = exec.Run(q.prog, inputs)
+		}
 	}
 	if err == nil {
 		for _, p := range plans {
@@ -783,14 +899,46 @@ func (q *ContinuousQuery) fireReevaluation() (int, error) {
 	}
 	stepNS := time.Since(t0).Nanoseconds()
 	stats := core.StepStats{MainNS: stepNS, Emitted: true, ResultRows: tbl.NumRows()}
+	if split {
+		// The split run knows its own stage boundary: the parallel per-part
+		// scan is fragment work, the serial combine is merge work.
+		stats.MainNS = splitStats.PartialNS
+		stats.MergeNS = splitStats.CombineNS
+	}
 	q.account(stats, stepNS)
 	q.emit(&Result{Window: q.bumpWindows(), Table: tbl, Stats: stats, StepNS: stepNS})
 	return 1, nil
 }
 
+// splitColParts slices a window's aligned multi-part column views into
+// per-segment part groups: parts[i][c] is column c's contiguous slice of
+// segment i. All columns of one basket view share the same segmentation,
+// so the first column's part lengths drive the cut.
+func splitColParts(cols []vector.View) [][]vector.View {
+	if len(cols) == 0 {
+		return nil
+	}
+	var lens []int
+	cols[0].ForEachPart(func(_ int, p *vector.Vector) { lens = append(lens, p.Len()) })
+	if len(lens) <= 1 {
+		return nil
+	}
+	parts := make([][]vector.View, len(lens))
+	off := 0
+	for i, n := range lens {
+		parts[i] = make([]vector.View, len(cols))
+		for c := range cols {
+			parts[i][c] = cols[c].Slice(off, off+n)
+		}
+		off += n
+	}
+	return parts
+}
+
 func (q *ContinuousQuery) account(stats core.StepStats, stepNS int64) {
 	q.statsMu.Lock()
 	q.mainNS += stats.MainNS
+	q.partNS += stats.PartitionNS
 	q.mergeNS += stats.MergeNS
 	q.totalNS += stepNS
 	q.statsMu.Unlock()

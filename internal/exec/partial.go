@@ -1,0 +1,216 @@
+package exec
+
+import (
+	"fmt"
+	"time"
+
+	"datacell/internal/plan"
+	"datacell/internal/vector"
+)
+
+// This file splits the monolithic Run into a resumable two-phase form: a
+// per-part prefix (RunPartial) that evaluates the deepest splittable plan
+// fragment over one contiguous part of the window — one basket segment's
+// share — and a combine tail (Combine) that gathers the per-part partials
+// and resumes execution to the result. PartialProgram.Run orchestrates
+// both over a bounded worker group, so a re-evaluation-mode full-window
+// scan parallelizes across segments with results bit-identical to Run on
+// the flattened window at any worker count.
+//
+// exec does not analyze programs itself; core.SplitForReevaluation derives
+// the split from its incremental rewriter (the per-part prefix is exactly
+// the per-basic-window fragment, the combine tail the merge stage).
+
+// PartialConcat instructs Combine to fill register Dst with the
+// concatenation of every part's retained Src value, in part order.
+type PartialConcat struct {
+	Dst, Src plan.Reg
+}
+
+// PartialStats splits one partial run's wall time into the parallel
+// per-part phase and the serial combine tail.
+type PartialStats struct {
+	PartialNS int64
+	CombineNS int64
+}
+
+// PartialProgram is a program split for per-part evaluation (see the file
+// comment). Construct it with NewPartialProgram; the instruction lists
+// must satisfy the usual SSA discipline with PerPart reading only static
+// and per-part registers.
+type PartialProgram struct {
+	// Source is the windowed stream source whose window is split; every
+	// other source is bound whole (tables, already-static inputs).
+	Source  int
+	NumRegs int
+	// Static runs once per evaluation, before any part.
+	Static []plan.Instr
+	// PerPart runs once per window part with Source bound to that part.
+	PerPart []plan.Instr
+	// Tail is the combine stage: it resumes from the gathered partials
+	// and ends with OpResult.
+	Tail []plan.Instr
+	// PartRegs lists the registers whose per-part values the combine stage
+	// gathers (through Concats).
+	PartRegs []plan.Reg
+	Concats  []PartialConcat
+
+	staticOuts []plan.Reg
+	partPos    map[plan.Reg]int
+}
+
+// NewPartialProgram assembles a split program and precomputes its
+// bookkeeping (static output set, partial register positions).
+func NewPartialProgram(source, numRegs int, static, perPart, tail []plan.Instr, partRegs []plan.Reg, concats []PartialConcat) *PartialProgram {
+	pp := &PartialProgram{
+		Source: source, NumRegs: numRegs,
+		Static: static, PerPart: perPart, Tail: tail,
+		PartRegs: partRegs, Concats: concats,
+		partPos: make(map[plan.Reg]int, len(partRegs)),
+	}
+	for i, r := range partRegs {
+		pp.partPos[r] = i
+	}
+	for _, in := range static {
+		pp.staticOuts = append(pp.staticOuts, in.Out...)
+	}
+	return pp
+}
+
+// RunStatic evaluates the static stage once into a fresh environment
+// (table binds, constants — everything independent of the split window).
+func (pp *PartialProgram) RunStatic(inputs []Input) ([]Datum, error) {
+	env := make([]Datum, pp.NumRegs)
+	for _, in := range pp.Static {
+		if err := ExecInstr(in, env, inputs); err != nil {
+			return nil, fmt.Errorf("exec: partial static: %w", err)
+		}
+	}
+	return env, nil
+}
+
+// copyStatic seeds a scratch environment with the static outputs.
+func (pp *PartialProgram) copyStatic(dst, static []Datum) {
+	for _, r := range pp.staticOuts {
+		dst[r] = static[r]
+	}
+}
+
+// RunPartial evaluates the per-part prefix over one part's column views —
+// env is a caller-owned scratch of NumRegs registers (its previous
+// contents are ignored), static the environment RunStatic produced, and
+// inputs the full source bindings (entry Source is replaced by the part).
+// It returns the part's retained partial values aligned with PartRegs.
+// Safe to call concurrently with distinct env/inputs scratches.
+func (pp *PartialProgram) RunPartial(env, static []Datum, part []vector.View, inputs []Input) ([]Datum, error) {
+	pp.copyStatic(env, static)
+	partInputs := make([]Input, len(inputs))
+	copy(partInputs, inputs)
+	partInputs[pp.Source] = Input{Views: part}
+	return pp.runPartialInto(env, partInputs)
+}
+
+func (pp *PartialProgram) runPartialInto(env []Datum, partInputs []Input) ([]Datum, error) {
+	for _, in := range pp.PerPart {
+		if err := ExecInstr(in, env, partInputs); err != nil {
+			return nil, fmt.Errorf("exec: partial (source %d): %w", pp.Source, err)
+		}
+	}
+	file := make([]Datum, len(pp.PartRegs))
+	for i, r := range pp.PartRegs {
+		d := env[r]
+		if d.Kind == KindView {
+			// A bound column retained untouched: flatten so Combine's
+			// concatenation sees a plain vector (parts are contiguous, so
+			// this is the zero-copy case).
+			d = VecDatum(d.View.Vector())
+		}
+		file[i] = d
+	}
+	return file, nil
+}
+
+// Combine gathers the per-part partials (in part order) and resumes the
+// program through the combine tail to the result table.
+func (pp *PartialProgram) Combine(static []Datum, partials [][]Datum, inputs []Input) (*Table, error) {
+	env := make([]Datum, pp.NumRegs)
+	pp.copyStatic(env, static)
+	for _, c := range pp.Concats {
+		pos, ok := pp.partPos[c.Src]
+		if !ok {
+			return nil, fmt.Errorf("exec: combine concat of unretained r%d", c.Src)
+		}
+		vecs := make([]*vector.Vector, 0, len(partials))
+		for _, file := range partials {
+			d := file[pos]
+			if d.Kind != KindVec {
+				return nil, fmt.Errorf("exec: partial r%d holds non-vector (kind %d)", c.Src, d.Kind)
+			}
+			vecs = append(vecs, d.Vec)
+		}
+		env[c.Dst] = VecDatum(vector.Concat(vecs...))
+	}
+	var result *Table
+	for _, in := range pp.Tail {
+		if in.Op == plan.OpResult {
+			tbl, err := BuildResult(in, env)
+			if err != nil {
+				return nil, fmt.Errorf("exec: combine result: %w", err)
+			}
+			result = tbl
+			continue
+		}
+		if err := ExecInstr(in, env, inputs); err != nil {
+			return nil, fmt.Errorf("exec: combine: %w", err)
+		}
+	}
+	if result == nil {
+		return nil, fmt.Errorf("exec: combine produced no result")
+	}
+	return result, nil
+}
+
+// Run evaluates the split program over the window's parts — parts[i]
+// holds part i's per-column views, all columns aligned — fanning
+// RunPartial across up to par workers and combining serially. Partials
+// deposit into indexed slots and the combine walks them in part order, so
+// the result is bit-identical to Run on the flattened window at any par;
+// on errors the lowest part index wins, matching sequential behavior.
+func (pp *PartialProgram) Run(parts [][]vector.View, inputs []Input, par int) (*Table, PartialStats, error) {
+	var stats PartialStats
+	if len(parts) == 0 {
+		return nil, stats, fmt.Errorf("exec: partial run needs at least one part")
+	}
+	t0 := time.Now()
+	static, err := pp.RunStatic(inputs)
+	if err != nil {
+		return nil, stats, err
+	}
+	files := make([][]Datum, len(parts))
+	workers := par
+	if workers > len(parts) {
+		workers = len(parts)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	envs := make([][]Datum, workers)
+	errs := make([]error, len(parts))
+	if err := ForEachWorker(len(parts), workers, errs, func(task, worker int) error {
+		env := envs[worker]
+		if env == nil {
+			env = make([]Datum, pp.NumRegs)
+			envs[worker] = env
+		}
+		f, err := pp.RunPartial(env, static, parts[task], inputs)
+		files[task] = f
+		return err
+	}); err != nil {
+		return nil, stats, err
+	}
+	stats.PartialNS = time.Since(t0).Nanoseconds()
+	t1 := time.Now()
+	tbl, err := pp.Combine(static, files, inputs)
+	stats.CombineNS = time.Since(t1).Nanoseconds()
+	return tbl, stats, err
+}

@@ -1,0 +1,118 @@
+package exec
+
+import (
+	"testing"
+
+	"datacell/internal/algebra"
+	"datacell/internal/plan"
+	"datacell/internal/vector"
+)
+
+// handSplitProgram builds a split program by hand:
+//
+//	per part:  r0 = bind(src 0, col 0); r1 = select(r0 > 10); r2 = take(r0, r1)
+//	           r3 = sum(r2)   (partial)
+//	combine:   r4 = concat of r2 across parts; r5 = concat of r3 partials
+//	           r6 = sum(r5)   (compensation)
+//	           result(r4, r6)
+func handSplitProgram() *PartialProgram {
+	perPart := []plan.Instr{
+		{Op: plan.OpBind, Source: 0, Col: 0, Out: []plan.Reg{0}},
+		{Op: plan.OpSelect, Cmp: algebra.Gt, Val: vector.IntValue(10), In: []plan.Reg{0}, Out: []plan.Reg{1}},
+		{Op: plan.OpTake, In: []plan.Reg{0, 1}, Out: []plan.Reg{2}},
+		{Op: plan.OpAgg, Agg: algebra.AggSum, In: []plan.Reg{2}, Out: []plan.Reg{3}},
+	}
+	tail := []plan.Instr{
+		{Op: plan.OpAgg, Agg: algebra.AggSum, In: []plan.Reg{5}, Out: []plan.Reg{6}},
+		{Op: plan.OpAgg, Agg: algebra.AggCount, In: []plan.Reg{4}, Out: []plan.Reg{7}},
+		{Op: plan.OpResult, In: []plan.Reg{7, 6}, Names: []string{"rows", "total"}},
+	}
+	return NewPartialProgram(0, 8, nil, perPart, tail,
+		[]plan.Reg{2, 3},
+		[]PartialConcat{{Dst: 4, Src: 2}, {Dst: 5, Src: 3}})
+}
+
+func partOf(xs ...int64) []vector.View {
+	return []vector.View{vector.ViewOf(vector.FromInt64(xs))}
+}
+
+// TestPartialProgramPhases drives the resumable API step by step: static,
+// one RunPartial per part (reusing one scratch env, as a worker would),
+// then Combine — and checks the partials and the stitched result.
+func TestPartialProgramPhases(t *testing.T) {
+	pp := handSplitProgram()
+	inputs := []Input{{}}
+	static, err := pp.RunStatic(inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := make([]Datum, pp.NumRegs)
+	parts := [][]vector.View{partOf(5, 11, 20), partOf(1, 2), partOf(30, 7, 12)}
+	var files [][]Datum
+	for _, part := range parts {
+		f, err := pp.RunPartial(env, static, part, inputs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(f) != 2 {
+			t.Fatalf("partial file has %d entries", len(f))
+		}
+		files = append(files, f)
+	}
+	// Part 1 keeps no rows; its sum partial must still exist (zero).
+	if got := files[1][1].Vec.Get(0).I; got != 0 {
+		t.Fatalf("empty part sum partial = %d", got)
+	}
+	// The retained takes hold the surviving rows in part order.
+	wantTakes := [][]int64{{11, 20}, {}, {30, 12}}
+	for p, want := range wantTakes {
+		got := files[p][0].Vec
+		if got.Len() != len(want) {
+			t.Fatalf("part %d take has %d rows, want %d", p, got.Len(), len(want))
+		}
+		for i, w := range want {
+			if got.Get(i).I != w {
+				t.Fatalf("part %d row %d: %d want %d", p, i, got.Get(i).I, w)
+			}
+		}
+	}
+	tbl, err := pp.Combine(static, files, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.NumRows() != 1 {
+		t.Fatalf("rows: %d want 1", tbl.NumRows())
+	}
+	if got := tbl.Cols[0].Get(0).I; got != 4 {
+		t.Fatalf("surviving rows=%d want 4", got)
+	}
+	if got := tbl.Cols[1].Get(0).I; got != 73 {
+		t.Fatalf("total=%d want 73", got)
+	}
+}
+
+// TestPartialProgramRunParallelism checks Run at several worker counts
+// (including more workers than parts) for identical results.
+func TestPartialProgramRunParallelism(t *testing.T) {
+	pp := handSplitProgram()
+	inputs := []Input{{}}
+	parts := [][]vector.View{
+		partOf(12, 3), partOf(99), partOf(4, 4, 4), partOf(15, 16, 17, 2),
+	}
+	var want string
+	for _, par := range []int{1, 2, 3, 16} {
+		tbl, stats, err := pp.Run(parts, inputs, par)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.PartialNS <= 0 {
+			t.Fatal("missing partial-phase timing")
+		}
+		key := tbl.String()
+		if want == "" {
+			want = key
+		} else if key != want {
+			t.Fatalf("par %d differs:\n%s\nvs\n%s", par, key, want)
+		}
+	}
+}
