@@ -89,8 +89,9 @@ func main() {
 	}
 }
 
-// runFanout measures the ingest-fanout sweep once and feeds the single
-// measurement to both the printed table and (when -json is set) the
+// runFanout measures the ingest-fanout sweep plus the shared-plan
+// per-slide sweep once, prints the ingest table inline, and feeds both
+// measurements to the returned slide table and (when -json is set) the
 // machine-readable BENCH_fanout.json.
 func runFanout(cfg bench.Config, jsonDir string) (*bench.Table, error) {
 	rows, batches := bench.FanoutParams(cfg)
@@ -98,14 +99,20 @@ func runFanout(cfg bench.Config, jsonDir string) (*bench.Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	window, slide, slides := bench.FanoutSlideParams(cfg)
+	slidePoints, err := bench.MeasureFanoutSlideSweep(window, slide, slides)
+	if err != nil {
+		return nil, err
+	}
 	if jsonDir != "" {
-		path, err := bench.WriteFanoutJSON(points, jsonDir)
+		path, err := bench.WriteFanoutJSON(points, slidePoints, jsonDir)
 		if err != nil {
 			return nil, err
 		}
 		fmt.Printf("wrote %s\n", path)
 	}
-	return bench.FanoutTable(points, rows*batches), nil
+	bench.FanoutTable(points, rows*batches).Fprint(os.Stdout)
+	return bench.FanoutSlideTable(slidePoints, window, slide), nil
 }
 
 // runMerge measures the partitioned-merge sweep (key domains x worker

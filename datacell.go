@@ -125,6 +125,13 @@ type Options struct {
 	// sequential evaluation. Results are identical at any setting; see
 	// docs/ARCHITECTURE.md and the README "Tuning" section.
 	Parallelism int
+	// PrivateFragments opts this query out of the shared-plan catalog:
+	// its per-slide window fragments are evaluated privately even when
+	// other standing queries on the stream compute the identical fragment.
+	// The default (sharing on) evaluates each canonical fragment once per
+	// slide and fans the partial into every subscriber's private merge;
+	// results are bit-identical either way. See Query.Explain.
+	PrivateFragments bool
 }
 
 // Result is one window result.
@@ -372,11 +379,12 @@ type Query struct {
 func (db *DB) Register(query string, opts Options) (*Query, error) {
 	q := &Query{db: db}
 	cq, err := db.eng.Register(query, engine.Options{
-		Mode:           opts.Mode,
-		AutoThreshold:  opts.AutoThreshold,
-		Chunks:         opts.Chunks,
-		AdaptiveChunks: opts.AdaptiveChunks,
-		Parallelism:    opts.Parallelism,
+		Mode:             opts.Mode,
+		AutoThreshold:    opts.AutoThreshold,
+		Chunks:           opts.Chunks,
+		AdaptiveChunks:   opts.AdaptiveChunks,
+		Parallelism:      opts.Parallelism,
+		PrivateFragments: opts.PrivateFragments,
 		OnResult: func(r *engine.Result) {
 			q.deliver(&Result{
 				Window:           r.Window,
@@ -491,6 +499,12 @@ func (q *Query) SQL() string { return q.cq.SQL }
 
 // Mode returns the execution mode.
 func (q *Query) Mode() Mode { return q.cq.Mode }
+
+// Explain returns a human-readable description of the query's physical
+// plan. For incremental queries it includes the rewrite's stage programs,
+// the canonical fragment fingerprint, and whether the pre-merge fragment
+// is currently shared with other standing queries ("shared×N").
+func (q *Query) Explain() string { return q.cq.Explain() }
 
 // Err returns the terminal error of this query's worker goroutine, or nil
 // while the query is healthy. A failed query stops producing results until

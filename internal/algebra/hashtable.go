@@ -79,6 +79,10 @@ type GroupTable struct {
 	used  int     // occupied slots; drives load-factor growth
 	// generic (multi-column / non-integer) keys
 	strIDs map[string]int32
+	// groups is the table-owned result of the latest GroupWith: IDs and
+	// Repr are reused across firings, so a steady-state caller that holds
+	// the result only until its next grouping allocates nothing per call.
+	groups Groups
 }
 
 // NewGroupTable returns an empty reusable grouping table.
@@ -158,7 +162,19 @@ func (t *GroupTable) insertInt64(k int64, nextID int32) (id int32, found bool) {
 // with a key-count hint before each use; rows restricted to sel keep their
 // original positions in g.Repr, so shard-local groupings retain globally
 // meaningful representative row ids.
+//
+// The returned Groups is owned by the table and reused: it stays valid
+// only until the table's next GroupWith or Reset.
 func GroupWith(t *GroupTable, keys []*vector.Vector, sel vector.Sel) *Groups {
+	return GroupWithKeys(t, keys, sel, nil)
+}
+
+// GroupWithKeys is GroupWith with optionally precomputed generic row keys:
+// when rowKeys is non-nil, rowKeys[pos] must hold genericKey(keys, pos)
+// for every visited global row position, letting a caller that already
+// built the key strings (Partitioner.Split's generic scan) skip building
+// them a second time. Integer single-key grouping ignores rowKeys.
+func GroupWithKeys(t *GroupTable, keys []*vector.Vector, sel vector.Sel, rowKeys []string) *Groups {
 	if len(keys) == 0 {
 		panic("algebra: GroupWith with no keys")
 	}
@@ -166,7 +182,13 @@ func GroupWith(t *GroupTable, keys []*vector.Vector, sel vector.Sel) *Groups {
 	if sel != nil {
 		n = len(sel)
 	}
-	g := &Groups{IDs: make([]int32, 0, n)}
+	g := &t.groups
+	g.IDs = g.IDs[:0]
+	g.Repr = g.Repr[:0]
+	g.K = 0
+	if cap(g.IDs) < n {
+		g.IDs = make([]int32, 0, n)
+	}
 	if len(keys) == 1 && vector.IntKind(keys[0].Type()) {
 		vals := keys[0].Int64s()
 		visit := func(pos int32, v int64) {
@@ -192,7 +214,12 @@ func GroupWith(t *GroupTable, keys []*vector.Vector, sel vector.Sel) *Groups {
 		t.strIDs = make(map[string]int32, 64)
 	}
 	visit := func(pos int32) {
-		ks := genericKey(keys, pos)
+		var ks string
+		if rowKeys != nil {
+			ks = rowKeys[pos]
+		} else {
+			ks = genericKey(keys, pos)
+		}
 		id, ok := t.strIDs[ks]
 		if !ok {
 			id = int32(g.K)

@@ -19,6 +19,14 @@ type Partitioner struct {
 	p      int
 	shards []vector.Sel
 	tables []*GroupTable
+
+	// rowKeys caches the generic key string built for each row during the
+	// Split scan, so the per-shard groupings do not build the same
+	// multi-column keys a second time; genericSplit records whether the
+	// last Split took the generic path (the cache is meaningless — and
+	// stays empty — on the int64 fast path).
+	rowKeys      []string
+	genericSplit bool
 }
 
 // NewPartitioner returns an empty partitioner; call Reset before Split.
@@ -79,6 +87,9 @@ func (pt *Partitioner) Split(keys []*vector.Vector) {
 	if len(keys) == 0 {
 		panic("algebra: Split with no keys")
 	}
+	if pt.genericSplit {
+		pt.ReleaseKeys() // stale cache from a caller that skipped ReleaseKeys
+	}
 	if pt.p == 1 {
 		pt.shards[0] = nil
 		return
@@ -92,10 +103,34 @@ func (pt *Partitioner) Split(keys []*vector.Vector) {
 		}
 		return
 	}
+	pt.genericSplit = true
 	for i := 0; i < n; i++ {
-		s := int(fnv1a(genericKey(keys, int32(i))) % uint64(pt.p))
+		ks := genericKey(keys, int32(i))
+		pt.rowKeys = append(pt.rowKeys, ks)
+		s := int(fnv1a(ks) % uint64(pt.p))
 		pt.shards[s] = append(pt.shards[s], int32(i))
 	}
+}
+
+// RowKeys returns the per-row generic key strings cached by the last
+// Split, indexed by global row position, or nil when the last Split took
+// the int64 fast path (no key strings exist there). Pass the result as
+// GroupWithKeys' rowKeys so per-shard grouping reuses the Split scan's
+// work; call ReleaseKeys once the slide's groupings are done.
+func (pt *Partitioner) RowKeys() []string {
+	if !pt.genericSplit {
+		return nil
+	}
+	return pt.rowKeys
+}
+
+// ReleaseKeys clears the cached key strings so they do not pin the
+// slide's key columns (string headers alias Get results) past the merge;
+// the backing array is retained for the next Split.
+func (pt *Partitioner) ReleaseKeys() {
+	clear(pt.rowKeys)
+	pt.rowKeys = pt.rowKeys[:0]
+	pt.genericSplit = false
 }
 
 // Shard returns shard i's row selection (ascending; nil means all rows,
@@ -131,13 +166,32 @@ type ShardRef struct {
 // assigned. Returns the gather order (one ShardRef per output group) and
 // the global representative selection, both in output group order.
 func StitchShards(shards []*Groups) ([]ShardRef, vector.Sel) {
+	return StitchShardsInto(shards, nil, nil)
+}
+
+// StitchShardsInto is StitchShards appending into caller-provided buffers
+// (reset to length zero first), so a steady-state caller reuses the order
+// and repr storage across firings. Nil buffers allocate fresh ones.
+func StitchShardsInto(shards []*Groups, order []ShardRef, repr vector.Sel) ([]ShardRef, vector.Sel) {
 	total := 0
 	for _, g := range shards {
 		total += g.K
 	}
-	order := make([]ShardRef, 0, total)
-	repr := make(vector.Sel, 0, total)
-	heads := make([]int, len(shards))
+	if order == nil {
+		order = make([]ShardRef, 0, total)
+	} else {
+		order = order[:0]
+	}
+	if repr == nil {
+		repr = make(vector.Sel, 0, total)
+	} else {
+		repr = repr[:0]
+	}
+	var headsArr [16]int
+	heads := headsArr[:]
+	if len(shards) > len(headsArr) {
+		heads = make([]int, len(shards))
+	}
 	for len(order) < total {
 		best := -1
 		var bestPos int32

@@ -126,14 +126,140 @@ func FanoutTable(points []FanoutPoint, tuplesPerPoint int) *Table {
 	return t
 }
 
-// WriteFanoutJSON writes measured fanout points as BENCH_fanout.json into
-// dir — the machine-readable form CI archives to track the perf
-// trajectory across commits.
-func WriteFanoutJSON(points []FanoutPoint, dir string) (string, error) {
+// --- processing fanout: per-slide wall-clock vs subscriber count ----------
+
+// fanoutSlideQuery is the shared-plan workload shape: every query computes
+// the same per-slide fragment (filterless grouped sum at one slide size),
+// while the window length and HAVING threshold vary per query so each
+// keeps a private merge tail. With the fragment registry every slide is
+// evaluated once and fanned out; with PrivateFragments each of the Q
+// queries re-evaluates it.
+const fanoutSlideQuery = `SELECT x1, sum(x2) FROM s [RANGE %d SLIDE %d] GROUP BY x1 HAVING sum(x2) > %d`
+
+// FanoutSlideQueryCounts is the standard sweep for the shared-plan
+// catalog: per-slide processing cost at 1, 64 and 1024 subscribed
+// queries.
+var FanoutSlideQueryCounts = []int{1, 64, 1024}
+
+// FanoutSlidePoint is one measured query count: wall-clock per stream
+// slide draining the same backlog with fragment sharing on (the default)
+// and off (PrivateFragments — the per-query baseline that scales
+// linearly in Q).
+type FanoutSlidePoint struct {
+	Queries           int     `json:"queries"`
+	Slides            int     `json:"slides"`
+	SharedNsPerSlide  float64 `json:"shared_ns_per_slide"`
+	PrivateNsPerSlide float64 `json:"private_ns_per_slide"`
+	Speedup           float64 `json:"private_over_shared"`
+}
+
+// MeasureFanoutSlides registers nQueries fragment-sharing queries
+// (window length and HAVING threshold vary, the pre-merge fragment is
+// identical), buffers slides stream slides, and times the Pump that
+// drains them. Returns wall-clock nanoseconds per stream slide.
+func MeasureFanoutSlides(nQueries, window, slide, slides int, private bool) (float64, error) {
+	e := engine.New()
+	if err := e.RegisterStream("s", intSchema()); err != nil {
+		return 0, err
+	}
+	windows := 0
+	for i := 0; i < nQueries; i++ {
+		q := fmt.Sprintf(fanoutSlideQuery, window*(1+i%2), slide, i)
+		opts := engine.Options{
+			Mode:             engine.Incremental,
+			PrivateFragments: private,
+			OnResult:         func(*engine.Result) { windows++ },
+		}
+		if _, err := e.Register(q, opts); err != nil {
+			return 0, err
+		}
+	}
+	// Small key domain: the merge tails stay cheap, so the fragment work
+	// the registry deduplicates dominates the drain.
+	gen := workload.NewGen(1234, 16, 1000)
+	for i := 0; i < slides; i++ {
+		if err := e.AppendColumns("s", gen.Next(slide), nil); err != nil {
+			return 0, err
+		}
+	}
+	t0 := time.Now()
+	if _, err := e.Pump(); err != nil {
+		return 0, err
+	}
+	elapsed := time.Since(t0)
+	if windows == 0 {
+		return 0, fmt.Errorf("bench: fanout slide drain fired no windows")
+	}
+	return float64(elapsed.Nanoseconds()) / float64(slides), nil
+}
+
+// MeasureFanoutSlideSweep measures shared and private drains for every
+// query count in FanoutSlideQueryCounts. Sharing must hold the per-slide
+// cost ~flat from 1 to 1024 queries while the private baseline grows
+// linearly.
+func MeasureFanoutSlideSweep(window, slide, slides int) ([]FanoutSlidePoint, error) {
+	points := make([]FanoutSlidePoint, 0, len(FanoutSlideQueryCounts))
+	for _, nq := range FanoutSlideQueryCounts {
+		shared, err := MeasureFanoutSlides(nq, window, slide, slides, false)
+		if err != nil {
+			return nil, err
+		}
+		priv, err := MeasureFanoutSlides(nq, window, slide, slides, true)
+		if err != nil {
+			return nil, err
+		}
+		points = append(points, FanoutSlidePoint{
+			Queries:           nq,
+			Slides:            slides,
+			SharedNsPerSlide:  shared,
+			PrivateNsPerSlide: priv,
+			Speedup:           priv / shared,
+		})
+	}
+	return points, nil
+}
+
+// FanoutSlideParams derives the slide sweep size from the config: at
+// Scale 1 a 2^20-tuple window over 2 basic windows — few large basic
+// windows keep the per-query merge tail small relative to the per-slide
+// fragment work the registry deduplicates. The backlog holds three fills
+// of the widest registered window (2x RANGE), so every query in the sweep
+// emits windows during the measured drain.
+func FanoutSlideParams(cfg Config) (window, slide, slides int) {
+	window, slide = cfg.sized(1<<20, 2)
+	return window, slide, 3 * (window / slide) * 2
+}
+
+// FanoutSlideTable renders the measured slide points as a dcbench table.
+func FanoutSlideTable(points []FanoutSlidePoint, window, slide int) *Table {
+	t := &Table{
+		Figure: "FanoutSlides",
+		Title: fmt.Sprintf("per-slide wall-clock vs subscribed queries (|W|=%d, |w|=%d, shared-plan catalog vs private evaluation)",
+			window, slide),
+		Header: []string{"queries", "shared_ms_per_slide", "private_ms_per_slide", "private/shared"},
+		Notes:  "(fragments interned per stream: shared cost must stay ~flat in the query count, private grows linearly)",
+	}
+	for _, p := range points {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(p.Queries),
+			fmt.Sprintf("%.3f", p.SharedNsPerSlide/1e6),
+			fmt.Sprintf("%.3f", p.PrivateNsPerSlide/1e6),
+			fmt.Sprintf("%.2f", p.Speedup),
+		})
+	}
+	return t
+}
+
+// WriteFanoutJSON writes measured fanout points (ingest sweep plus the
+// optional shared-plan slide sweep) as BENCH_fanout.json into dir — the
+// machine-readable form CI archives to track the perf trajectory across
+// commits.
+func WriteFanoutJSON(points []FanoutPoint, slidePoints []FanoutSlidePoint, dir string) (string, error) {
 	blob, err := json.MarshalIndent(struct {
-		Bench  string        `json:"bench"`
-		Points []FanoutPoint `json:"points"`
-	}{Bench: "fanout", Points: points}, "", "  ")
+		Bench       string             `json:"bench"`
+		Points      []FanoutPoint      `json:"points"`
+		SlidePoints []FanoutSlidePoint `json:"slide_points,omitempty"`
+	}{Bench: "fanout", Points: points, SlidePoints: slidePoints}, "", "  ")
 	if err != nil {
 		return "", err
 	}

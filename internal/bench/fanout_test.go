@@ -22,8 +22,12 @@ func TestWriteFanoutJSON(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	slidePoints := []FanoutSlidePoint{{
+		Queries: 1, Slides: 4,
+		SharedNsPerSlide: 1000, PrivateNsPerSlide: 2000, Speedup: 2,
+	}}
 	dir := t.TempDir()
-	path, err := WriteFanoutJSON(points, dir)
+	path, err := WriteFanoutJSON(points, slidePoints, dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -35,8 +39,9 @@ func TestWriteFanoutJSON(t *testing.T) {
 		t.Fatal(err)
 	}
 	var got struct {
-		Bench  string        `json:"bench"`
-		Points []FanoutPoint `json:"points"`
+		Bench       string             `json:"bench"`
+		Points      []FanoutPoint      `json:"points"`
+		SlidePoints []FanoutSlidePoint `json:"slide_points"`
 	}
 	if err := json.Unmarshal(blob, &got); err != nil {
 		t.Fatal(err)
@@ -47,6 +52,31 @@ func TestWriteFanoutJSON(t *testing.T) {
 	for _, p := range got.Points {
 		if p.NsPerTuple <= 0 || p.Tuples != 256*4 {
 			t.Errorf("point %+v", p)
+		}
+	}
+	if len(got.SlidePoints) != 1 || got.SlidePoints[0].Speedup != 2 {
+		t.Fatalf("slide points round-trip: %+v", got.SlidePoints)
+	}
+}
+
+// TestFanoutSlideSweep runs the shared-plan slide sweep at a tiny scale
+// and sanity-checks the measurements (positive, fragment sharing never
+// slower than ~the measurement noise allows is asserted only at the CI
+// bench scale — here we only require well-formed points).
+func TestFanoutSlideSweep(t *testing.T) {
+	old := FanoutSlideQueryCounts
+	FanoutSlideQueryCounts = []int{1, 8}
+	defer func() { FanoutSlideQueryCounts = old }()
+	points, err := MeasureFanoutSlideSweep(1024, 256, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("points: %d", len(points))
+	}
+	for _, p := range points {
+		if p.SharedNsPerSlide <= 0 || p.PrivateNsPerSlide <= 0 || p.Speedup <= 0 {
+			t.Errorf("malformed point %+v", p)
 		}
 	}
 }

@@ -96,7 +96,7 @@ func MeasureMerge(workers, keys, window, slide, slides int, baseline bool) (Merg
 	if steps != slides {
 		return p, fmt.Errorf("bench: drained %d steps, want %d", steps, slides)
 	}
-	frag, part, merge, _ := q.StageBreakdown()
+	frag, _, part, merge, _ := q.StageBreakdown()
 	p.Windows = windows
 	p.Tuples = total
 	p.WallMS = float64(elapsed.Nanoseconds()) / 1e6

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"datacell/internal/plan"
+	"datacell/internal/sql"
+)
+
+// This file canonicalizes per-basic-window plan fragments so structurally
+// identical fragments of *different* queries can be recognized and
+// evaluated once per slide (the engine's shared-plan catalog). Two
+// fragments are shareable exactly when their canonical keys match: same
+// slide spec, same instruction sequence under canonical register
+// numbering (constants, expressions and aggregate kinds included), and
+// the same retained-slot layout. The key deliberately excludes the window
+// *length*: a per-bw fragment computes one slide's partial, so queries
+// with equal slides but different window spans (RANGE 100 SLIDE 10 vs
+// RANGE 50 SLIDE 10) still produce bit-identical slot files and may share
+// them — each runtime keeps its own slot ring and merge tail.
+
+// FragmentKey returns the canonical form of source s's per-basic-window
+// fragment, or "" when the fragment is not canonicalizable: landmark
+// plans (their slots are replaced by query-private cumulative state),
+// non-windowed sources, slide shapes without a fixed tuple/time slide,
+// and fragments that read values computed outside the fragment (e.g. a
+// static hash table built from a joined relation — such values depend on
+// evaluation time, so the partial is not a pure function of the slide).
+//
+// The key is an exact-match interning key: registers are renumbered by
+// first definition inside the fragment, so queries whose compilers
+// assigned different register ids still collide, while any structural
+// difference — including the retained-slot order that fixes what slot
+// position i means — keeps them apart.
+func (ip *IncPlan) FragmentKey(s int) string {
+	if s < 0 || s >= len(ip.PerBW) || ip.Landmark || len(ip.PerBW[s]) == 0 {
+		return ""
+	}
+	src := ip.Prog.Sources[s]
+	if !src.IsStream || src.Window == nil {
+		return ""
+	}
+	var sb strings.Builder
+	spec := src.Window
+	switch {
+	case spec.Kind == sql.CountWindow && spec.SlideDur == 0 && spec.SlideRows > 0:
+		fmt.Fprintf(&sb, "win=count slide=%d\n", spec.SlideRows)
+	case spec.Kind == sql.TimeWindow && spec.SlideDur > 0:
+		fmt.Fprintf(&sb, "win=time slide=%dus\n", spec.SlideDur.Microseconds())
+	default:
+		return ""
+	}
+
+	canon := map[plan.Reg]int{}
+	for _, in := range ip.PerBW[s] {
+		sb.WriteString(in.Op.String())
+		for _, r := range in.In {
+			id, ok := canon[r]
+			if !ok {
+				// The fragment reads a value it did not compute (static
+				// stage output): not a pure function of the slide.
+				return ""
+			}
+			fmt.Fprintf(&sb, " c%d", id)
+		}
+		sb.WriteString(" ->")
+		for _, r := range in.Out {
+			canon[r] = len(canon)
+			fmt.Fprintf(&sb, " c%d", canon[r])
+		}
+		// Serialize every auxiliary operand that changes the instruction's
+		// semantics; the value type disambiguates e.g. int 1 from string "1".
+		switch in.Op {
+		case plan.OpBind:
+			fmt.Fprintf(&sb, " col=%d", in.Col)
+		case plan.OpSelect:
+			fmt.Fprintf(&sb, " %s %s:%s", in.Cmp, in.Val.Typ, in.Val)
+		case plan.OpMap:
+			fmt.Fprintf(&sb, " %s", in.Expr.String())
+		case plan.OpAgg:
+			fmt.Fprintf(&sb, " %s", in.Agg)
+		case plan.OpSort:
+			fmt.Fprintf(&sb, " %v", in.Descs)
+		case plan.OpLimitVec:
+			fmt.Fprintf(&sb, " n=%d", in.N)
+		}
+		sb.WriteByte('\n')
+	}
+	// The slot list pins the file layout: position i of an interned slot
+	// file must hold the same canonical value for every subscriber.
+	sb.WriteString("slots:")
+	for _, r := range ip.SlotRegs[s] {
+		id, ok := canon[r]
+		if !ok {
+			return ""
+		}
+		fmt.Fprintf(&sb, " c%d", id)
+	}
+	sb.WriteByte('\n')
+	return sb.String()
+}
+
+// FragmentFingerprint returns a short stable hash of FragmentKey(s) for
+// display (Explain, stats) — 16 hex digits of FNV-1a 64, or "" when the
+// fragment is not canonicalizable. Sharing decisions use the full key;
+// the fingerprint only names it.
+func (ip *IncPlan) FragmentFingerprint(s int) string {
+	key := ip.FragmentKey(s)
+	if key == "" {
+		return ""
+	}
+	h := uint64(0xcbf29ce484222325)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 0x100000001b3
+	}
+	return fmt.Sprintf("%016x", h)
+}

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// canonKey rewrites a single-stream query with n basic windows and returns
+// its source-0 fragment key.
+func canonKey(t *testing.T, q string, n int, landmark bool) string {
+	t.Helper()
+	ip, err := Rewrite(compile(t, q), n, landmark)
+	if err != nil {
+		t.Fatalf("rewrite %q: %v", q, err)
+	}
+	return ip.FragmentKey(0)
+}
+
+func TestFragmentKeyStable(t *testing.T) {
+	q := `SELECT x1, sum(x2) FROM s [RANGE 4096 SLIDE 1024] GROUP BY x1`
+	a := canonKey(t, q, 4, false)
+	b := canonKey(t, q, 4, false)
+	if a == "" {
+		t.Fatal("grouped aggregation fragment should canonicalize")
+	}
+	if a != b {
+		t.Fatalf("same query, different keys:\n%s\nvs\n%s", a, b)
+	}
+	if !strings.HasPrefix(a, "win=count slide=1024\n") {
+		t.Errorf("key should pin the slide spec, got:\n%s", a)
+	}
+}
+
+func TestFragmentKeySharesAcrossWindowLengthAndMergeTail(t *testing.T) {
+	// The fragment computes one slide's partial, so the window length and
+	// everything in the merge tail (HAVING thresholds) must not split the
+	// key: these queries can share per-slide partials.
+	base := canonKey(t, `SELECT x1, sum(x2) FROM s [RANGE 4096 SLIDE 1024] GROUP BY x1`, 4, false)
+	for _, q := range []string{
+		`SELECT x1, sum(x2) FROM s [RANGE 2048 SLIDE 1024] GROUP BY x1`,
+		`SELECT x1, sum(x2) FROM s [RANGE 4096 SLIDE 1024] GROUP BY x1 HAVING sum(x2) > 10`,
+		`SELECT x1, sum(x2) FROM s [RANGE 4096 SLIDE 1024] GROUP BY x1 HAVING sum(x2) > 99999`,
+	} {
+		if got := canonKey(t, q, 2, false); got != base {
+			t.Errorf("%s\nshould share the base fragment key; got:\n%s\nwant:\n%s", q, got, base)
+		}
+	}
+}
+
+func TestFragmentKeySplitsOnSemantics(t *testing.T) {
+	base := canonKey(t, `SELECT x1, sum(x2) FROM s [RANGE 4096 SLIDE 1024] WHERE x1 < 50 GROUP BY x1`, 4, false)
+	for _, q := range []string{
+		// Different filter constant: different partials.
+		`SELECT x1, sum(x2) FROM s [RANGE 4096 SLIDE 1024] WHERE x1 < 51 GROUP BY x1`,
+		// Different slide: partials cover different tuple ranges.
+		`SELECT x1, sum(x2) FROM s [RANGE 4096 SLIDE 512] WHERE x1 < 50 GROUP BY x1`,
+		// Different aggregate input column.
+		`SELECT x1, sum(x1) FROM s [RANGE 4096 SLIDE 1024] WHERE x1 < 50 GROUP BY x1`,
+		// Different aggregate kind.
+		`SELECT x1, max(x2) FROM s [RANGE 4096 SLIDE 1024] WHERE x1 < 50 GROUP BY x1`,
+	} {
+		got := canonKey(t, q, 4, false)
+		if got == base {
+			t.Errorf("%s\nmust NOT share the base fragment key:\n%s", q, base)
+		}
+	}
+}
+
+func TestFragmentKeyExclusions(t *testing.T) {
+	// Landmark plans keep query-private cumulative slots.
+	if got := canonKey(t, `SELECT sum(x2) FROM s [LANDMARK SLIDE 5]`, 1, true); got != "" {
+		t.Errorf("landmark fragment must not canonicalize, got:\n%s", got)
+	}
+}
+
+func TestFragmentFingerprintFormat(t *testing.T) {
+	ip, err := Rewrite(compile(t, `SELECT sum(x2) FROM s [RANGE 100 SLIDE 10]`), 10, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := ip.FragmentFingerprint(0)
+	if len(fp) != 16 {
+		t.Fatalf("fingerprint %q: want 16 hex digits", fp)
+	}
+	for _, c := range fp {
+		if !strings.ContainsRune("0123456789abcdef", c) {
+			t.Fatalf("fingerprint %q: non-hex digit %q", fp, c)
+		}
+	}
+	if ip.FragmentFingerprint(0) != fp {
+		t.Error("fingerprint not stable")
+	}
+	// Explain surfaces the fingerprint so sharing decisions are observable.
+	if !strings.Contains(ip.Explain(), "fingerprint="+fp) {
+		t.Errorf("Explain misses fingerprint %s:\n%s", fp, ip.Explain())
+	}
+}

@@ -55,6 +55,23 @@
 // serialization and on the basket's immutability rules for unlocked view
 // reads.
 //
+// # Fragment canonicalization and the split step
+//
+// IncPlan.FragmentKey renders a windowed source's per-basic-window
+// program in canonical form — window kind + slide (not length), registers
+// renumbered by first definition, semantic operands included — so two
+// queries that compute the same per-slide partial produce the same key
+// even when their window lengths and merge tails differ;
+// FragmentFingerprint hashes it for display. To let the engine evaluate
+// such a fragment once and fan it out, Step's work is also addressable in
+// two halves: EvalFragments runs only the pre-merge fragment pipeline of
+// buffered slides and returns their slot files, and StepFiles consumes
+// slot files (own or adopted from another query) through the private
+// slot rotation + merge tail. EvalFragments output is immutable and
+// holds only owned vectors, so one slot file may enter any number of
+// queries' slot rings; Step(Batch) remains the fused form with identical
+// results.
+//
 // SplitForReevaluation reuses the rewriter for the re-evaluation baseline:
 // the per-basic-window fragment doubles as a per-segment-part prefix and
 // the merge stage as its combine tail (exec.PartialProgram), so full-window

@@ -37,7 +37,11 @@ func (ip *IncPlan) Explain() string {
 	}
 	writeStage("static (once per step)", ip.Static)
 	for s, instrs := range ip.PerBW {
-		writeStage(fmt.Sprintf("per basic window of source %d (%s) [independent per bw: parallel-eligible]", s, ip.Prog.Sources[s].Ref), instrs)
+		title := fmt.Sprintf("per basic window of source %d (%s) [independent per bw: parallel-eligible]", s, ip.Prog.Sources[s].Ref)
+		if fp := ip.FragmentFingerprint(s); fp != "" {
+			title += " fingerprint=" + fp
+		}
+		writeStage(title, instrs)
 	}
 	writeStage("per join-matrix cell", ip.Cell)
 

@@ -23,6 +23,11 @@ type StepStats struct {
 	MainNS      int64
 	PartitionNS int64
 	MergeNS     int64
+	// SharedNS is the time attributed to adopting a shared fragment partial
+	// computed by another query (registry wait plus handoff). Zero on the
+	// private path and on slides this query led itself; the engine fills it
+	// in for adopted slides, where MainNS carries no fragment cost.
+	SharedNS int64
 	// Emitted reports whether this step produced a window result (false
 	// while the preface, i.e. the first window, is still filling).
 	Emitted bool
@@ -56,9 +61,15 @@ type Options struct {
 	SerialMergeInstr bool
 }
 
-// regFile stores the retained datums of one basic window (or one matrix
-// cell), indexed by slot position.
-type regFile []exec.Datum
+// SlotFile stores the retained datums of one basic window (or one matrix
+// cell), indexed by slot position. It is the unit of sharing between
+// queries: a file holds only owned, immutable vectors (runPerBW
+// materializes views and clones raw binds), so one file produced by
+// EvalFragments can be read concurrently by every subscriber's merge.
+type SlotFile []exec.Datum
+
+// regFile is the runtime-internal name for a slot file.
+type regFile = SlotFile
 
 // workerEnv is one worker's private execution state: a register file for
 // fragment evaluation and an input scratch slice (the per-source exec
@@ -104,6 +115,12 @@ type Runtime struct {
 	shardGroups  []*algebra.Groups
 	shardAggs    [][]*vector.Vector
 	mergeKeys    []*vector.Vector
+	stitchOrder  []algebra.ShardRef
+	stitchRepr   vector.Sel
+
+	// mergeEnv is the reusable merge-stage register file; its entries are
+	// cleared after every firing so it never pins a slide's vectors.
+	mergeEnv []exec.Datum
 
 	// Reusable task scratch so steady-state stepping allocates nothing
 	// beyond the slot files themselves.
@@ -147,6 +164,7 @@ func NewRuntimeOpts(ip *IncPlan, opts Options) *Runtime {
 		}
 	}
 	rt.staticEnv = make([]exec.Datum, ip.NumRegs)
+	rt.mergeEnv = make([]exec.Datum, ip.NumRegs)
 	rt.par = opts.Parallelism
 	if rt.par < 1 {
 		rt.par = 1
@@ -277,48 +295,128 @@ func (rt *Runtime) stepSlides(slides [][][]vector.View, inputs []exec.Input, out
 	// Phase 2 — serial per slide: chunk combination, slot rotation, join
 	// matrix update (its new cells fan out in parallel again), then merge.
 	for sl := 0; sl < k; sl++ {
-		var stats StepStats
-		t1 := time.Now()
-		evicted := false
-		for j, s := range rt.srcIdx {
-			file := files[sl*nsrc+j]
-			files[sl*nsrc+j] = nil // don't pin slot files in the scratch
-			if len(rt.pending[s]) > 0 {
-				chunks := append(rt.pending[s], file)
-				file = rt.combineChunks(s, chunks)
-				rt.pending[s] = nil
-			}
-			if !rt.ip.Landmark && len(rt.slots[s]) == rt.ip.N {
-				// Transition phase: expire the oldest basic window.
-				rt.slots[s] = rt.slots[s][1:]
-				evicted = true
-			}
-			rt.slots[s] = append(rt.slots[s], file)
-		}
-		if rt.ip.HasJoin {
-			if err := rt.updateCells(evicted, inputs); err != nil {
-				return out, err
-			}
-		}
-		stats.MainNS = perBWNS/int64(k) + time.Since(t1).Nanoseconds()
-
-		if !rt.ready() {
-			out = append(out, StepResult{Stats: stats})
-			continue
-		}
-		t2 := time.Now()
-		tbl, env, partNS, err := rt.merge(inputs)
+		res, err := rt.applySlide(files[sl*nsrc:(sl+1)*nsrc], inputs, perBWNS/int64(k))
 		if err != nil {
 			return out, err
 		}
-		if rt.ip.Landmark {
-			rt.compactLandmark(env)
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// applySlide advances the runtime by one slide whose per-bw fragment
+// outputs are already evaluated: newFiles holds one slot file per windowed
+// source (srcIdx order; entries are nil'd out so the caller's scratch does
+// not pin them), fragNS is the fragment cost to attribute to this slide's
+// MainNS. It performs the serial tail of a step — chunk combination, slot
+// rotation, join-matrix update, merge — and is the common substrate of the
+// private step path and the engine's shared-fragment path.
+func (rt *Runtime) applySlide(newFiles []regFile, inputs []exec.Input, fragNS int64) (StepResult, error) {
+	var stats StepStats
+	t1 := time.Now()
+	evicted := false
+	for j, s := range rt.srcIdx {
+		file := newFiles[j]
+		newFiles[j] = nil // don't pin slot files in the scratch
+		if len(rt.pending[s]) > 0 {
+			chunks := append(rt.pending[s], file)
+			file = rt.combineChunks(s, chunks)
+			rt.pending[s] = nil
 		}
-		stats.PartitionNS = partNS
-		stats.MergeNS = time.Since(t2).Nanoseconds() - partNS
-		stats.Emitted = true
-		stats.ResultRows = tbl.NumRows()
-		out = append(out, StepResult{Table: tbl, Stats: stats})
+		if !rt.ip.Landmark && len(rt.slots[s]) == rt.ip.N {
+			// Transition phase: expire the oldest basic window.
+			rt.slots[s] = rt.slots[s][1:]
+			evicted = true
+		}
+		rt.slots[s] = append(rt.slots[s], file)
+	}
+	if rt.ip.HasJoin {
+		if err := rt.updateCells(evicted, inputs); err != nil {
+			return StepResult{}, err
+		}
+	}
+	stats.MainNS = fragNS + time.Since(t1).Nanoseconds()
+
+	if !rt.ready() {
+		return StepResult{Stats: stats}, nil
+	}
+	t2 := time.Now()
+	tbl, env, partNS, err := rt.merge(inputs)
+	if err != nil {
+		return StepResult{}, err
+	}
+	if rt.ip.Landmark {
+		rt.compactLandmark(env)
+	}
+	// env is the reusable merge register file: clear it so it does not pin
+	// the slide's concatenations and result columns past this firing.
+	clear(env)
+	stats.PartitionNS = partNS
+	stats.MergeNS = time.Since(t2).Nanoseconds() - partNS
+	stats.Emitted = true
+	stats.ResultRows = tbl.NumRows()
+	return StepResult{Table: tbl, Stats: stats}, nil
+}
+
+// EvalFragments evaluates the per-bw fragment for k consecutive slides of
+// a single-stream plan and returns the slot files without touching any
+// runtime state (slots, pending, matrix, step count): the produced files
+// are pure functions of the slide views and the static stage. The engine's
+// fragment registry uses this to have one query compute files that many
+// queries then feed through their own StepFiles. The second result is the
+// wall-clock nanoseconds spent evaluating.
+func (rt *Runtime) EvalFragments(slides [][]vector.View, inputs []exec.Input) ([]SlotFile, int64, error) {
+	if len(rt.srcIdx) != 1 || rt.ip.HasJoin {
+		return nil, 0, fmt.Errorf("core: fragment evaluation is limited to single-stream plans")
+	}
+	t0 := time.Now()
+	rt.runStatic(inputs)
+	s := rt.srcIdx[0]
+	files := make([]SlotFile, len(slides))
+	err := rt.forEach(len(slides), func(t int, w *workerEnv) error {
+		f, err := rt.runPerBW(s, slides[t], inputs, w)
+		files[t] = f
+		return err
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	return files, time.Since(t0).Nanoseconds(), nil
+}
+
+// StepFiles processes k consecutive slides of a single-stream plan whose
+// per-bw slot files are already evaluated — the adoption side of fragment
+// sharing. files[i] is slide i's slot file (from this runtime's or another
+// structurally identical runtime's EvalFragments); shared[i] marks files
+// computed by another query, whose fragment cost is excluded from MainNS
+// (the engine attributes it to SharedNS instead). evalNS is the total
+// fragment cost of the slides this query did evaluate itself, spread
+// evenly across them. The serial tail is identical to StepBatch, so
+// results are bit-identical to private evaluation.
+func (rt *Runtime) StepFiles(files []SlotFile, shared []bool, evalNS int64, inputs []exec.Input) ([]StepResult, error) {
+	if len(rt.srcIdx) != 1 || rt.ip.HasJoin {
+		return nil, fmt.Errorf("core: fragment stepping is limited to single-stream plans")
+	}
+	k := len(files)
+	rt.steps += k
+	rt.runStatic(inputs)
+	owned := 0
+	for _, sh := range shared {
+		if !sh {
+			owned++
+		}
+	}
+	out := make([]StepResult, 0, k)
+	for sl := 0; sl < k; sl++ {
+		var fragNS int64
+		if !shared[sl] && owned > 0 {
+			fragNS = evalNS / int64(owned)
+		}
+		res, err := rt.applySlide(files[sl:sl+1], inputs, fragNS)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, res)
 	}
 	return out, nil
 }
@@ -492,7 +590,8 @@ func (rt *Runtime) runCell(i, j int, inputs []exec.Input, w *workerEnv) (regFile
 // across the worker pool when the partials are large enough — instead of
 // instruction-by-instruction; results are bit-identical either way.
 func (rt *Runtime) merge(inputs []exec.Input) (*exec.Table, []exec.Datum, int64, error) {
-	env := make([]exec.Datum, rt.ip.NumRegs)
+	env := rt.mergeEnv
+	clear(env) // stale entries from an errored firing must not leak in
 	rt.copyStatic(env)
 	for _, spec := range rt.ip.Concats {
 		vecs, err := rt.gather(spec)
@@ -605,6 +704,7 @@ func (rt *Runtime) mergeGrouped(spec *GroupMergeSpec, env []exec.Datum) (handled
 	}
 	pt.Reset(p)
 	pt.Split(keys)
+	rowKeys := pt.RowKeys() // generic keys built once in the Split scan
 
 	if cap(rt.shardGroups) < p {
 		rt.shardGroups = make([]*algebra.Groups, p)
@@ -620,7 +720,7 @@ func (rt *Runtime) mergeGrouped(spec *GroupMergeSpec, env []exec.Datum) (handled
 		}
 		tbl := pt.Table(s)
 		tbl.Reset(hint)
-		g := algebra.GroupWith(tbl, keys, sel)
+		g := algebra.GroupWithKeys(tbl, keys, sel, rowKeys)
 		shards[s] = g
 		if cap(aggs[s]) < len(spec.Aggs) {
 			aggs[s] = make([]*vector.Vector, len(spec.Aggs))
@@ -632,14 +732,17 @@ func (rt *Runtime) mergeGrouped(spec *GroupMergeSpec, env []exec.Datum) (handled
 			if d.Kind != exec.KindVec {
 				return fmt.Errorf("core: grouped merge r%d holds non-vector partials", ag.Cat)
 			}
-			aggs[s][ai] = algebra.GroupedAgg(ag.Kind, d.Vec, sel, g)
+			// The per-shard accumulator vectors live in rt.shardAggs across
+			// firings; GroupedAggInto refills them in place.
+			aggs[s][ai] = algebra.GroupedAggInto(ag.Kind, d.Vec, sel, g, aggs[s][ai])
 		}
 		return nil
 	})
 	if poolErr != nil {
 		return false, false, poolErr
 	}
-	order, repr := algebra.StitchShards(shards)
+	rt.stitchOrder, rt.stitchRepr = algebra.StitchShardsInto(shards, rt.stitchOrder, rt.stitchRepr)
+	order, repr := rt.stitchOrder, rt.stitchRepr
 	for i, r := range spec.KeyOuts {
 		env[r] = exec.VecDatum(keys[i].Take(repr))
 	}
@@ -651,10 +754,10 @@ func (rt *Runtime) mergeGrouped(spec *GroupMergeSpec, env []exec.Datum) (handled
 		env[ag.Out] = exec.VecDatum(algebra.GatherShards(cols, order))
 	}
 	for s := range shards {
-		shards[s] = nil // don't pin group scratch past the step
-		clear(aggs[s])  // nor the per-shard aggregate vectors
+		shards[s] = nil // the table-owned groups stay with their tables
 	}
-	clear(keys) // nor the slide's concatenated key columns
+	pt.ReleaseKeys()
+	clear(keys) // don't pin the slide's concatenated key columns
 	return true, true, nil
 }
 

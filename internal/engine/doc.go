@@ -37,4 +37,18 @@
 // bound (exec.PartialProgram). All of it is intra-query parallelism on
 // top of the per-query scheduler workers, with results identical to
 // sequential execution at every setting.
+//
+// Across queries, each stream carries a fragmentRegistry (the shared-plan
+// catalog): eligible incremental queries whose canonical pre-merge
+// fragment matches (core.IncPlan.FragmentKey) intern one sharedFragment,
+// and each slide is evaluated once by whichever subscriber fires first
+// (core.Runtime.EvalFragments), with the published slot files adopted by
+// the rest, who run only their private merge tails (StepFiles). The
+// registry's locks nest strictly inside the engine order above: e.mu →
+// fragmentRegistry.mu → sharedFragment.mu, and a leader publishes every
+// partial it claimed before waiting on any other, so fragment sharing
+// introduces no cross-query deadlock. Deregistration releases the
+// refcount; the last subscriber's detach deletes the fragment and its
+// cache. Options.PrivateFragments opts a query out; results are
+// bit-identical either way.
 package engine

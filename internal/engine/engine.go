@@ -83,6 +83,10 @@ type streamInfo struct {
 	subscribers []*queryInput
 	watermark   int64
 	appended    int64
+	// frags is the stream's shared-plan catalog: canonical per-bw fragment
+	// -> the queries subscribed to it, so each fragment is evaluated once
+	// per slide no matter how many queries stand on the stream.
+	frags *fragmentRegistry
 }
 
 // Lock-ordering note: e.mu (engine metadata) may be held while acquiring a
@@ -128,7 +132,7 @@ func (e *Engine) RegisterStream(name string, schema catalog.Schema) error {
 	if err := e.cat.Register(&catalog.Source{Name: name, Kind: catalog.Stream, Schema: schema}); err != nil {
 		return err
 	}
-	e.streams[name] = &streamInfo{schema: schema, log: basket.New(name, schema)}
+	e.streams[name] = &streamInfo{schema: schema, log: basket.New(name, schema), frags: newFragmentRegistry()}
 	return nil
 }
 

@@ -1,0 +1,206 @@
+package engine
+
+import (
+	"errors"
+	"sync"
+
+	"datacell/internal/core"
+)
+
+// errFragmentAborted marks a shared partial whose leader errored or exited
+// before evaluating it; waiting followers fall back to computing the slide
+// privately.
+var errFragmentAborted = errors.New("engine: shared fragment leader aborted")
+
+// fragmentRegistry is one stream's shared-plan catalog: canonical fragment
+// key -> the sharedFragment evaluated once per slide for every subscribed
+// query. Guarded by its own mutex; acquired only after e.mu (never the
+// reverse) and before any sharedFragment.mu.
+type fragmentRegistry struct {
+	mu    sync.Mutex
+	frags map[string]*sharedFragment
+}
+
+func newFragmentRegistry() *fragmentRegistry {
+	return &fragmentRegistry{frags: map[string]*sharedFragment{}}
+}
+
+// sharedFragment is one canonical per-basic-window fragment with its
+// current subscribers and the cache of slide partials in flight. Partials
+// are keyed by the absolute segment-log position where the slide starts,
+// so queries whose cursors sit at the same offset share, and queries
+// subscribed mid-slide simply lead their own (differently keyed) ranges.
+type sharedFragment struct {
+	reg *fragmentRegistry
+	key string
+	fp  string // display fingerprint (core.FragmentFingerprint)
+
+	mu sync.Mutex
+	// subs maps each subscribed query to the absolute log position it will
+	// consume next; the minimum over all subscribers is the prune horizon.
+	subs map[*ContinuousQuery]int64
+	// cache holds the slide partials keyed by absolute start position.
+	cache map[int64]*fragPartial
+	// consumes counts consumedTo calls since the last prune; the O(subs)
+	// horizon scan runs once per len(subs) consumes (one round of firings),
+	// keeping the per-firing bookkeeping O(1) amortized at high fanout
+	// while still bounding the cache to ~two rounds of partials.
+	consumes int
+}
+
+// fragPartial is one slide's shared slot file. The leader (the first query
+// to acquire the range) evaluates and publishes it; followers wait on done.
+// file and err are written exactly once before done closes, so readers
+// after wait() need no lock.
+type fragPartial struct {
+	start, end int64
+	done       chan struct{}
+	file       core.SlotFile
+	err        error
+}
+
+// attach subscribes q to the fragment named by key, creating it on first
+// use. pos is the absolute log position of q's cursor (its first slide
+// start). Returns the fragment q must acquire slides through.
+func (fr *fragmentRegistry) attach(key, fp string, q *ContinuousQuery, pos int64) *sharedFragment {
+	fr.mu.Lock()
+	sf, ok := fr.frags[key]
+	if !ok {
+		sf = &sharedFragment{
+			reg:   fr,
+			key:   key,
+			fp:    fp,
+			subs:  map[*ContinuousQuery]int64{},
+			cache: map[int64]*fragPartial{},
+		}
+		fr.frags[key] = sf
+	}
+	fr.mu.Unlock()
+	sf.mu.Lock()
+	sf.subs[q] = pos
+	sf.mu.Unlock()
+	return sf
+}
+
+// detach unsubscribes q (refcounted release): the fragment's cache is
+// pruned to the remaining subscribers, and the fragment itself is deleted
+// from the registry once no subscriber is left, so orphaned fragments stop
+// accumulating partials the moment their last query deregisters.
+func (fr *fragmentRegistry) detach(sf *sharedFragment, q *ContinuousQuery) {
+	fr.mu.Lock()
+	sf.mu.Lock()
+	delete(sf.subs, q)
+	if len(sf.subs) == 0 {
+		clear(sf.cache)
+		delete(fr.frags, sf.key)
+	} else {
+		sf.pruneLocked()
+	}
+	sf.mu.Unlock()
+	fr.mu.Unlock()
+}
+
+// acquire claims the slide covering absolute positions [start, end).
+// lead=true means the caller must evaluate the slide: either it is the
+// first to claim the range (a fresh fragPartial was cached for it to
+// publish — it MUST publish, success or error, before waiting on any other
+// partial), or p is nil and the cached range disagrees on end — then the
+// caller computes privately and publishes nothing. lead=false returns the
+// cached partial to wait on.
+func (sf *sharedFragment) acquire(start, end int64) (p *fragPartial, lead bool) {
+	sf.mu.Lock()
+	defer sf.mu.Unlock()
+	if p, ok := sf.cache[start]; ok {
+		if p.end != end {
+			// Same start, different slide extent — should not happen for
+			// aligned subscribers (ts-ordered arrival makes a closed slide's
+			// tuple count final), but stay correct if it does: evaluate
+			// privately without poisoning the cache.
+			return nil, true
+		}
+		return p, false
+	}
+	p = &fragPartial{start: start, end: end, done: make(chan struct{})}
+	sf.cache[start] = p
+	return p, true
+}
+
+// publish installs the evaluated slot file (or the leader's error) and
+// releases every waiting follower.
+func (p *fragPartial) publish(file core.SlotFile, err error) {
+	p.file = file
+	p.err = err
+	close(p.done)
+}
+
+// wait blocks until the leader publishes.
+func (p *fragPartial) wait() { <-p.done }
+
+// consumedTo records that q has consumed every slide below pos and prunes
+// partials no remaining subscriber will read. A query that detached
+// concurrently is not re-added.
+func (sf *sharedFragment) consumedTo(q *ContinuousQuery, pos int64) {
+	sf.mu.Lock()
+	defer sf.mu.Unlock()
+	if _, ok := sf.subs[q]; !ok {
+		return
+	}
+	sf.subs[q] = pos
+	sf.consumes++
+	if sf.consumes >= len(sf.subs) {
+		sf.pruneLocked()
+	}
+}
+
+// pruneLocked drops cached partials wholly below the minimum subscriber
+// position. A follower still waiting on a partial has not advanced past
+// its start, so its entry survives until the follower consumes it.
+func (sf *sharedFragment) pruneLocked() {
+	sf.consumes = 0
+	if len(sf.subs) == 0 {
+		clear(sf.cache)
+		return
+	}
+	min := int64(-1)
+	for _, pos := range sf.subs {
+		if min < 0 || pos < min {
+			min = pos
+		}
+	}
+	for start, p := range sf.cache {
+		if p.start < min {
+			delete(sf.cache, start)
+		}
+	}
+}
+
+// subscribers reports the current subscriber count (Explain, tests).
+func (sf *sharedFragment) subscribers() int {
+	sf.mu.Lock()
+	defer sf.mu.Unlock()
+	return len(sf.subs)
+}
+
+// cached reports the number of partials currently held (testing hook).
+func (sf *sharedFragment) cached() int {
+	sf.mu.Lock()
+	defer sf.mu.Unlock()
+	return len(sf.cache)
+}
+
+// fragmentsOf returns a stream's fragment registry (testing hook).
+func (e *Engine) fragmentsOf(stream string) *fragmentRegistry {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if si, ok := e.streams[stream]; ok {
+		return si.frags
+	}
+	return nil
+}
+
+// size reports the number of live shared fragments (testing hook).
+func (fr *fragmentRegistry) size() int {
+	fr.mu.Lock()
+	defer fr.mu.Unlock()
+	return len(fr.frags)
+}

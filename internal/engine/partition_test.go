@@ -141,7 +141,7 @@ func TestPartitionStatsSurfaced(t *testing.T) {
 	if len(c.results) == 0 {
 		t.Fatal("no windows")
 	}
-	frag, part, merge, total := q.StageBreakdown()
+	frag, _, part, merge, total := q.StageBreakdown()
 	if frag <= 0 || part <= 0 || merge <= 0 {
 		t.Fatalf("stage breakdown: frag=%d part=%d merge=%d", frag, part, merge)
 	}

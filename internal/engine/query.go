@@ -48,6 +48,12 @@ type Options struct {
 	// compensation through the seed-style instruction path (throwaway maps
 	// every firing) — the benchmark baseline; see core.Options.
 	SerialMergeInstr bool
+	// PrivateFragments opts this query out of the stream's shared-plan
+	// catalog: its per-bw fragments are always evaluated privately even
+	// when other standing queries intern an identical fragment. The
+	// benchmark baseline for fragment sharing; results are identical
+	// either way.
+	PrivateFragments bool
 	// OnResult is invoked synchronously for every produced window result.
 	OnResult func(*Result)
 }
@@ -103,7 +109,17 @@ type ContinuousQuery struct {
 	// batchedSlides counts slides executed through StepBatch (the
 	// intra-query parallel path), for observability and tests.
 	batchedSlides int64
-	err           error
+	// frag is the query's interned shared fragment (nil when the query is
+	// ineligible or opted out). Guarded by statsMu so Deregister clearing
+	// it never races a late synchronous pump.
+	frag *sharedFragment
+	// sharedNS accumulates time spent adopting partials another query
+	// computed (registry wait + handoff); sharedSlides / leadSlides count
+	// slides adopted vs led through the shared path.
+	sharedNS     int64
+	sharedSlides int64
+	leadSlides   int64
+	err          error
 	// emitting is true while the query's OnResult callback is running.
 	// Deregister/Stop consult it to avoid self-deadlock when the callback
 	// itself tears the scheduler down (see stopWorker).
@@ -125,6 +141,14 @@ func (q *ContinuousQuery) isEmitting() bool {
 	q.statsMu.Lock()
 	defer q.statsMu.Unlock()
 	return q.emitting
+}
+
+// fragment returns the query's shared fragment, or nil when sharing is
+// off for this query (ineligible, opted out, or already deregistered).
+func (q *ContinuousQuery) fragment() *sharedFragment {
+	q.statsMu.Lock()
+	defer q.statsMu.Unlock()
+	return q.frag
 }
 
 // notifyData posts a non-blocking wake-up for the query's worker.
@@ -263,6 +287,18 @@ func (e *Engine) Register(query string, opts Options) (*ContinuousQuery, error) 
 		}
 	}
 
+	// Fragment-sharing eligibility: a single-stream incremental plan whose
+	// per-bw fragment canonicalizes, with discard-on-process cursors (so a
+	// slide is a fixed positional log range) and no chunked processing
+	// (chunks split the fragment across arrivals). Landmark plans are out:
+	// their slots carry query-private cumulative state.
+	var fragKey, fragFP string
+	if q.Mode == Incremental && !opts.PrivateFragments && q.chunker == nil &&
+		len(prog.Sources) == 1 && !q.inc.HasJoin && !q.inc.Landmark && q.inc.DiscardInput {
+		fragKey = q.inc.FragmentKey(0)
+		fragFP = q.inc.FragmentFingerprint(0)
+	}
+
 	// Wire cursors onto the shared stream logs.
 	e.mu.Lock()
 	for i, src := range prog.Sources {
@@ -282,6 +318,14 @@ func (e *Engine) Register(query string, opts Options) (*ContinuousQuery, error) 
 			// subscriber sees only tuples appended from now on.
 			qi.cur = si.log.NewCursor()
 			qi.watermark = si.watermark
+			if fragKey != "" {
+				// Intern the query's fragment in the stream's shared-plan
+				// catalog, anchored at the cursor's absolute position.
+				qi.cur.Lock()
+				pos := qi.cur.PosLocked()
+				qi.cur.Unlock()
+				q.frag = si.frags.attach(fragKey, fragFP, q, pos)
+			}
 			// Publish a fresh subscriber snapshot (copy-on-write) so
 			// receptors can iterate the slice without cloning per append.
 			subs := make([]*queryInput, len(si.subscribers)+1)
@@ -319,6 +363,16 @@ func (e *Engine) Deregister(q *ContinuousQuery) {
 		q.stepMu.Unlock()
 	}
 	e.mu.Lock()
+	// Release the query's shared-fragment subscription (refcounted): the
+	// fragment stops caching partials for q, and disappears entirely when
+	// q was its last subscriber.
+	q.statsMu.Lock()
+	frag := q.frag
+	q.frag = nil
+	q.statsMu.Unlock()
+	if frag != nil {
+		frag.reg.detach(frag, q)
+	}
 	for _, qi := range q.inputs {
 		e.detachLocked(qi)
 	}
@@ -369,13 +423,15 @@ func (q *ContinuousQuery) CostBreakdown() (mainNS, mergeNS, totalNS int64) {
 }
 
 // StageBreakdown returns cumulative per-stage nanoseconds: fragment work
-// (per-basic-window / per-segment-part evaluation), the partitioned
-// grouped re-group inside the merge, the serial merge remainder, and the
-// total step wall time.
-func (q *ContinuousQuery) StageBreakdown() (fragmentNS, partitionNS, mergeNS, totalNS int64) {
+// this query evaluated itself (per-basic-window / per-segment-part
+// evaluation), time spent adopting shared fragment partials computed by
+// other queries (registry wait + handoff), the partitioned grouped
+// re-group inside the merge, the serial merge remainder, and the total
+// step wall time.
+func (q *ContinuousQuery) StageBreakdown() (fragmentNS, sharedNS, partitionNS, mergeNS, totalNS int64) {
 	q.statsMu.Lock()
 	defer q.statsMu.Unlock()
-	return q.mainNS, q.partNS, q.mergeNS, q.totalNS
+	return q.mainNS, q.sharedNS, q.partNS, q.mergeNS, q.totalNS
 }
 
 // BatchedSlides reports how many window slides drained through the
@@ -384,6 +440,30 @@ func (q *ContinuousQuery) BatchedSlides() int64 {
 	q.statsMu.Lock()
 	defer q.statsMu.Unlock()
 	return q.batchedSlides
+}
+
+// SharedSlides reports how many slides the query adopted from the shared
+// fragment catalog versus led (evaluated itself and published).
+func (q *ContinuousQuery) SharedSlides() (adopted, led int64) {
+	q.statsMu.Lock()
+	defer q.statsMu.Unlock()
+	return q.sharedSlides, q.leadSlides
+}
+
+// Explain renders the query's rewritten plan plus its sharing decision:
+// the canonical fragment fingerprint and how many queries currently
+// subscribe to it, so sharing is observable without reading stats.
+func (q *ContinuousQuery) Explain() string {
+	s := fmt.Sprintf("query %s [%s]: %s\n", q.ID, q.Mode, q.SQL)
+	if q.inc != nil {
+		s += q.inc.Explain()
+	}
+	if frag := q.fragment(); frag != nil {
+		s += fmt.Sprintf("fragment sharing: fingerprint %s shared×%d\n", frag.fp, frag.subscribers())
+	} else if q.Mode == Incremental {
+		s += "fragment sharing: off (private evaluation)\n"
+	}
+	return s
 }
 
 // Chunker exposes the adaptive chunk controller (nil when disabled).
@@ -528,6 +608,23 @@ func (q *ContinuousQuery) fireIncremental() (int, error) {
 		counts[qi.srcIdx] = c
 	}
 
+	// Shared-plan path: when the query's fragment is interned in the
+	// stream's catalog, fire through the registry so each slide's fragment
+	// is evaluated once across all subscribed queries — even a single
+	// buffered slide, and at any parallelism.
+	if frag := q.fragment(); frag != nil {
+		// At Parallelism <= 1 take one slide per firing — same emission
+		// cadence as the sequential private path (one window per fire);
+		// with workers, drain batches exactly like fireIncrementalBatch.
+		kMax := 1
+		if q.rt.Parallelism() > 1 {
+			kMax = q.rt.Parallelism() * 4
+		}
+		if b := q.slidePlan(counts, kMax); b != nil {
+			return q.fireShared(frag, b)
+		}
+	}
+
 	// Intra-query parallelism: when several complete slides are already
 	// buffered, take them all in one batch so the runtime evaluates their
 	// per-bw fragments concurrently.
@@ -610,7 +707,21 @@ func (q *ContinuousQuery) batchableSlides(counts []int) *slideBatch {
 	if q.rt.Parallelism() <= 1 || q.chunker != nil || !q.inc.DiscardInput {
 		return nil
 	}
-	kMax := q.rt.Parallelism() * 4
+	b := q.slidePlan(counts, q.rt.Parallelism()*4)
+	if b == nil || b.k <= 1 {
+		return nil
+	}
+	return b
+}
+
+// slidePlan computes the batch of up to kMax complete, watermark-closed
+// slides available right now — the common slide accounting of the
+// StepBatch path (which requires k > 1 to profit) and the shared-fragment
+// path (which fires even single slides through the registry). Requires
+// discard-on-process cursors, which both callers guarantee; returns nil
+// for window shapes without precomputable slide ends (landmark, mixed
+// count/time).
+func (q *ContinuousQuery) slidePlan(counts []int, kMax int) *slideBatch {
 	b := &slideBatch{k: kMax, ends: make([][]int, len(q.inputs))}
 	for _, qi := range q.inputs {
 		if qi.cur == nil {
@@ -649,7 +760,7 @@ func (q *ContinuousQuery) batchableSlides(counts []int) *slideBatch {
 			return nil
 		}
 	}
-	if b.k <= 1 {
+	if b.k < 1 {
 		return nil
 	}
 	for _, qi := range q.inputs {
@@ -724,6 +835,163 @@ func (q *ContinuousQuery) fireIncrementalBatch(b *slideBatch) (int, error) {
 		q.account(r.Stats, stepNS)
 		if r.Table != nil {
 			q.emit(&Result{Window: q.bumpWindows(), Table: r.Table, Stats: r.Stats, StepNS: stepNS})
+		}
+	}
+	return k, nil
+}
+
+// fireShared executes the buffered slides of a slideBatch through the
+// stream's shared-plan catalog. For each slide the query claims the
+// absolute log range in the fragment registry: the first claimant (leader)
+// evaluates the fragment and publishes the slot file; every other
+// subscriber adopts the published file without re-evaluating. Leaders
+// publish ALL their owed partials — success or abort — before waiting on
+// any adopted slide, so cross-query waits can never cycle. The merge tail
+// stays private per query (StepFiles), so results are bit-identical to
+// private evaluation, including float accumulation order.
+func (q *ContinuousQuery) fireShared(frag *sharedFragment, b *slideBatch) (int, error) {
+	k := b.k
+	t0 := time.Now()
+	inputs, err := q.eng.tableInputs(q.prog)
+	if err != nil {
+		return 0, err
+	}
+	qi := q.inputs[0] // sharing eligibility requires a single stream source
+	ends := b.ends[qi.srcIdx]
+
+	qi.cur.Lock()
+	base := qi.cur.PosLocked()
+	qi.cur.Unlock()
+
+	// Claim every slide's range up front so our leadership set is fixed
+	// before any evaluation or waiting happens.
+	partials := make([]*fragPartial, k)
+	lead := make([]bool, k)
+	published := make([]bool, k)
+	for sl := 0; sl < k; sl++ {
+		lo := int64(0)
+		if sl > 0 {
+			lo = int64(ends[sl-1])
+		}
+		partials[sl], lead[sl] = frag.acquire(base+lo, base+int64(ends[sl]))
+	}
+	// Whatever happens below, owed partials must be released: followers of
+	// an aborted leader recompute privately instead of hanging.
+	defer func() {
+		for sl := range partials {
+			if lead[sl] && partials[sl] != nil && !published[sl] {
+				partials[sl].publish(nil, errFragmentAborted)
+			}
+		}
+	}()
+
+	// Evaluate the slides this query leads (including end-mismatch slides
+	// it computes privately), in slide order so partials are bit-identical
+	// to the private StepBatch path.
+	nLead := 0
+	for sl := 0; sl < k; sl++ {
+		if lead[sl] {
+			nLead++
+		}
+	}
+	files := make([]core.SlotFile, k)
+	sharedMask := make([]bool, k)
+	var evalNS int64
+	if nLead > 0 {
+		views := make([][]vector.View, 0, nLead)
+		qi.cur.Lock()
+		for sl := 0; sl < k; sl++ {
+			if !lead[sl] {
+				continue
+			}
+			lo := 0
+			if sl > 0 {
+				lo = ends[sl-1]
+			}
+			views = append(views, qi.cur.ViewLocked(lo, ends[sl]).ColViews())
+		}
+		qi.cur.Unlock()
+		led, ns, err := q.rt.EvalFragments(views, inputs)
+		if err != nil {
+			return 0, err
+		}
+		evalNS = ns
+		fi := 0
+		for sl := 0; sl < k; sl++ {
+			if !lead[sl] {
+				continue
+			}
+			files[sl] = led[fi]
+			fi++
+			if partials[sl] != nil {
+				partials[sl].publish(files[sl], nil)
+				published[sl] = true
+			}
+		}
+	}
+
+	// Adopt the slides another query leads. All our own partials are
+	// published by now, so blocking here cannot deadlock the catalog.
+	var waitNS int64
+	nShared := 0
+	for sl := 0; sl < k; sl++ {
+		if lead[sl] {
+			continue
+		}
+		tw := time.Now()
+		p := partials[sl]
+		p.wait()
+		waitNS += time.Since(tw).Nanoseconds()
+		if p.err != nil {
+			// The leader aborted; fall back to evaluating privately.
+			lo := 0
+			if sl > 0 {
+				lo = ends[sl-1]
+			}
+			qi.cur.Lock()
+			view := qi.cur.ViewLocked(lo, ends[sl]).ColViews()
+			qi.cur.Unlock()
+			own, ns, err := q.rt.EvalFragments([][]vector.View{view}, inputs)
+			if err != nil {
+				return 0, err
+			}
+			evalNS += ns
+			files[sl] = own[0]
+			continue
+		}
+		files[sl] = p.file
+		sharedMask[sl] = true
+		nShared++
+	}
+
+	results, err := q.rt.StepFiles(files, sharedMask, evalNS, inputs)
+	if err != nil {
+		return 0, err
+	}
+	qi.cur.Lock()
+	// Sharing eligibility already required DiscardInput.
+	qi.cur.AdvanceLocked(ends[k-1])
+	if qi.haveBound {
+		qi.boundary += int64(k) * qi.slideMicros()
+	}
+	qi.cur.Unlock()
+	frag.consumedTo(q, base+int64(ends[k-1]))
+
+	q.statsMu.Lock()
+	if k > 1 {
+		q.batchedSlides += int64(k)
+	}
+	q.sharedSlides += int64(nShared)
+	q.leadSlides += int64(k - nShared)
+	q.statsMu.Unlock()
+	stepNS := time.Since(t0).Nanoseconds() / int64(k)
+	for i := range results {
+		if sharedMask[i] && nShared > 0 {
+			results[i].Stats.SharedNS = waitNS / int64(nShared)
+		}
+		q.account(results[i].Stats, stepNS)
+		if results[i].Table != nil {
+			q.emit(&Result{Window: q.bumpWindows(), Table: results[i].Table, Stats: results[i].Stats, StepNS: stepNS})
 		}
 	}
 	return k, nil
@@ -938,6 +1206,7 @@ func splitColParts(cols []vector.View) [][]vector.View {
 func (q *ContinuousQuery) account(stats core.StepStats, stepNS int64) {
 	q.statsMu.Lock()
 	q.mainNS += stats.MainNS
+	q.sharedNS += stats.SharedNS
 	q.partNS += stats.PartitionNS
 	q.mergeNS += stats.MergeNS
 	q.totalNS += stepNS
