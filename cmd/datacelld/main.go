@@ -1,8 +1,20 @@
-// Command datacelld is a small interactive shell around the DataCell
-// engine: declare streams and tables, register continuous queries, feed
-// csv data, and watch window results stream out.
+// Command datacelld is the DataCell daemon and shell.
 //
-// Commands (terminated by newline; SQL statements by ';'):
+// Three modes:
+//
+//	datacelld                       -- local interactive shell (in-process engine)
+//	datacelld -listen :7878         -- TCP server speaking the DCL1 wire protocol
+//	datacelld -connect host:7878    -- interactive shell against a remote server
+//
+// Server mode accepts any number of concurrent clients, multiplexes their
+// continuous queries onto one engine (identical statements share a single
+// evaluation and a single result encode), and applies each connection's
+// slow-consumer policy. -metrics exposes engine and wire statistics in
+// Prometheus text format. SIGINT/SIGTERM drain gracefully: the listener
+// closes, owed windows are flushed to every subscriber, then connections
+// end with a BYE frame.
+//
+// Shell commands (terminated by newline; SQL statements by ';'):
 //
 //	CREATE STREAM <name> (<col> <type>, ...)
 //	CREATE TABLE  <name> (<col> <type>, ...)
@@ -10,311 +22,111 @@
 //	SELECT ... ;                           -- one-time query over tables
 //	FEED <stream> <file.csv> [batch]       -- append csv rows to a stream
 //	LOAD <table> <file.csv>                -- insert csv rows into a table
-//	RUN                                    -- start the concurrent scheduler
-//	STOP                                   -- halt it (reports worker errors)
-//	QUERIES                                -- list registered queries
+//	RUN | STOP                             -- local shell only: scheduler control
+//	QUERIES                                -- list registered queries (sorted by id)
 //	HELP | QUIT
-//
-// While the scheduler is running (RUN), each registered query is pumped by
-// its own worker goroutine as data arrives, so FEED only appends; without
-// it, FEED pumps synchronously after every batch.
 //
 // Types: BIGINT, DOUBLE, VARCHAR, BOOLEAN, TIMESTAMP.
 //
-// Example session:
+// Example:
 //
-//	CREATE STREAM s (x1 BIGINT, x2 BIGINT)
-//	REGISTER SELECT x1, sum(x2) FROM s [RANGE 1000 SLIDE 100] GROUP BY x1;
-//	FEED s data.csv
+//	terminal 1:  datacelld -listen :7878 -metrics :7879
+//	terminal 2:  datacelld -connect localhost:7878
+//	             CREATE STREAM s (x1 BIGINT, x2 BIGINT)
+//	             REGISTER SELECT x1, sum(x2) FROM s [RANGE 1000 SLIDE 100] GROUP BY x1;
+//	             FEED s data.csv
 package main
 
 import (
-	"bufio"
 	"context"
+	"flag"
 	"fmt"
-	"io"
+	"net"
+	"net/http"
 	"os"
-	"strconv"
-	"strings"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"datacell"
-	"datacell/internal/vector"
-	"datacell/internal/workload"
+	"datacell/internal/serve"
 )
 
 func main() {
-	db := datacell.New()
-	in := bufio.NewScanner(os.Stdin)
-	in.Buffer(make([]byte, 1<<20), 1<<20)
-	fmt.Println("DataCell shell — HELP for commands")
-	var pending strings.Builder
-	queries := map[string]*datacell.Query{}
-	nextID := 0
+	listen := flag.String("listen", "", "serve the wire protocol on this address (e.g. :7878)")
+	metrics := flag.String("metrics", "", "serve /metrics over HTTP on this address (server mode only)")
+	connect := flag.String("connect", "", "run the shell against a remote datacelld at this address")
+	drain := flag.Duration("drain", 5*time.Second, "graceful-drain bound for shutdown (server mode)")
+	flag.Parse()
 
-	for {
-		if pending.Len() == 0 {
-			fmt.Print("datacell> ")
-		} else {
-			fmt.Print("      ... ")
-		}
-		if !in.Scan() {
-			return
-		}
-		line := strings.TrimSpace(in.Text())
-		if line == "" {
-			continue
-		}
-		upper := strings.ToUpper(line)
-
-		// Statement accumulation for SQL (';'-terminated).
-		if pending.Len() > 0 || strings.HasPrefix(upper, "SELECT") || strings.HasPrefix(upper, "REGISTER") {
-			pending.WriteString(line)
-			pending.WriteByte(' ')
-			if !strings.HasSuffix(line, ";") {
-				continue
-			}
-			stmt := strings.TrimSpace(pending.String())
-			pending.Reset()
-			runSQL(db, stmt, queries, &nextID)
-			continue
-		}
-
-		switch {
-		case upper == "QUIT" || upper == "EXIT":
-			db.Stop()
-			return
-		case upper == "HELP":
-			fmt.Println("CREATE STREAM/TABLE name (col TYPE, ...) | REGISTER [REEVAL] SELECT ...; | SELECT ...; | FEED stream file [batch] | LOAD table file | RUN | STOP | QUERIES | QUIT")
-		case upper == "RUN":
-			db.Run()
-			fmt.Println("scheduler running (one worker per query)")
-		case upper == "STOP":
-			db.Stop()
-			// Stop abandons the drain after at most one step per query;
-			// finish any ready windows synchronously so STOP is deterministic.
-			if _, err := db.Pump(); err != nil {
-				fmt.Println("scheduler stopped with error:", err)
-			} else if err := db.Err(); err != nil {
-				fmt.Println("scheduler stopped with error:", err)
-			} else {
-				fmt.Println("scheduler stopped")
-			}
-		case upper == "QUERIES":
-			for id, q := range queries {
-				status := ""
-				if err := q.Err(); err != nil {
-					status = fmt.Sprintf(", FAILED: %v", err)
-				}
-				fmt.Printf("%s [%s, %d windows%s]: %s\n", id, q.Mode(), q.Windows(), status, q.SQL())
-			}
-		case strings.HasPrefix(upper, "CREATE STREAM "), strings.HasPrefix(upper, "CREATE TABLE "):
-			if err := runCreate(db, line); err != nil {
-				fmt.Println("error:", err)
-			}
-		case strings.HasPrefix(upper, "FEED "):
-			if err := runFeed(db, line); err != nil {
-				fmt.Println("error:", err)
-			}
-		case strings.HasPrefix(upper, "LOAD "):
-			if err := runLoad(db, line); err != nil {
-				fmt.Println("error:", err)
-			}
-		default:
-			fmt.Println("error: unknown command (HELP for usage)")
-		}
-	}
-}
-
-func runSQL(db *datacell.DB, stmt string, queries map[string]*datacell.Query, nextID *int) {
-	stmt = strings.TrimSuffix(stmt, ";")
-	upper := strings.ToUpper(stmt)
-	switch {
-	case strings.HasPrefix(upper, "REGISTER"):
-		rest := strings.TrimSpace(stmt[len("REGISTER"):])
-		opts := datacell.Options{}
-		if strings.HasPrefix(strings.ToUpper(rest), "REEVAL") {
-			opts.Mode = datacell.Reevaluation
-			rest = strings.TrimSpace(rest[len("REEVAL"):])
-		}
-		q, err := db.Register(rest, opts)
-		if err != nil {
-			fmt.Println("error:", err)
-			return
-		}
-		*nextID++
-		id := fmt.Sprintf("q%d", *nextID)
-		queries[id] = q
-		q.OnResult(func(r *datacell.Result) {
-			fmt.Printf("[%s window %d, %v]\n%s", id, r.Window, r.Latency.Round(0), r.Table)
-		})
-		fmt.Printf("registered %s (%s)\n", id, q.Mode())
-	default:
-		tbl, err := db.QueryOnce(stmt)
-		if err != nil {
-			fmt.Println("error:", err)
-			return
-		}
-		fmt.Print(tbl)
-	}
-}
-
-func runCreate(db *datacell.DB, line string) error {
-	open := strings.Index(line, "(")
-	closeIdx := strings.LastIndex(line, ")")
-	if open < 0 || closeIdx < open {
-		return fmt.Errorf("expected CREATE STREAM|TABLE name (col TYPE, ...)")
-	}
-	head := strings.Fields(strings.TrimSpace(line[:open]))
-	if len(head) != 3 {
-		return fmt.Errorf("expected CREATE STREAM|TABLE name")
-	}
-	kind := strings.ToUpper(head[1])
-	name := strings.ToLower(head[2])
-	var cols []datacell.ColumnDef
-	for _, part := range strings.Split(line[open+1:closeIdx], ",") {
-		fields := strings.Fields(strings.TrimSpace(part))
-		if len(fields) != 2 {
-			return fmt.Errorf("bad column definition %q", part)
-		}
-		t, err := parseType(fields[1])
-		if err != nil {
-			return err
-		}
-		cols = append(cols, datacell.Col(strings.ToLower(fields[0]), t))
-	}
 	var err error
-	if kind == "STREAM" {
-		err = db.RegisterStream(name, cols...)
-	} else {
-		err = db.RegisterTable(name, cols...)
+	switch {
+	case *listen != "" && *connect != "":
+		fmt.Fprintln(os.Stderr, "datacelld: -listen and -connect are mutually exclusive")
+		os.Exit(2)
+	case *listen != "":
+		err = runServer(*listen, *metrics, *drain)
+	case *connect != "":
+		err = runRemoteShell(*connect)
+	default:
+		err = runLocalShell()
 	}
-	if err == nil {
-		fmt.Printf("created %s %s (%d columns)\n", strings.ToLower(kind), name, len(cols))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "datacelld:", err)
+		os.Exit(1)
 	}
-	return err
 }
 
-func parseType(s string) (datacell.Type, error) {
-	switch strings.ToUpper(s) {
-	case "BIGINT", "INT", "INTEGER":
-		return datacell.Int64, nil
-	case "DOUBLE", "FLOAT":
-		return datacell.Float64, nil
-	case "VARCHAR", "TEXT", "STRING":
-		return datacell.String, nil
-	case "BOOLEAN", "BOOL":
-		return datacell.Bool, nil
-	case "TIMESTAMP":
-		return datacell.Timestamp, nil
+// runServer hosts one engine behind the wire protocol until a signal
+// drains it.
+func runServer(addr, metricsAddr string, drain time.Duration) error {
+	db := datacell.New()
+	srv := serve.New(db, serve.Config{DrainTimeout: drain})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
 	}
-	return 0, fmt.Errorf("unknown type %q", s)
-}
+	fmt.Printf("datacelld: serving on %s\n", ln.Addr())
 
-func runFeed(db *datacell.DB, line string) error {
-	fields := strings.Fields(line)
-	if len(fields) < 3 {
-		return fmt.Errorf("usage: FEED stream file.csv [batch]")
-	}
-	stream, path := strings.ToLower(fields[1]), fields[2]
-	batch := 1024
-	if len(fields) > 3 {
-		if b, err := strconv.Atoi(fields[3]); err == nil && b > 0 {
-			batch = b
+	if metricsAddr != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", srv.MetricsHandler())
+		mln, err := net.Listen("tcp", metricsAddr)
+		if err != nil {
+			ln.Close()
+			return fmt.Errorf("metrics listener: %w", err)
 		}
-	}
-	rows, err := feedCSV(db, stream, path, batch)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("fed %d rows into %s\n", rows, stream)
-	return nil
-}
-
-// feedCSV streams integer csv rows into a stream through the columnar
-// Source/Batch ingest path, honoring the user's per-append batch size
-// (each AppendBatch shares one arrival timestamp). With the concurrent
-// scheduler running, appending is enough — each query's worker fires as
-// its baskets fill; otherwise it pumps synchronously after each batch so
-// results interleave with loading.
-func feedCSV(db *datacell.DB, stream, path string, batch int) (int64, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return 0, err
-	}
-	defer f.Close()
-	// Probe arity from the first line.
-	br := bufio.NewReader(f)
-	first, err := br.ReadString('\n')
-	if err != nil && err != io.EOF {
-		return 0, err
-	}
-	arity := strings.Count(first, ",") + 1
-	if _, err := f.Seek(0, io.SeekStart); err != nil {
-		return 0, err
-	}
-	return db.Attach(context.Background(), stream, workload.NewCSVSource(f, arity),
-		datacell.AttachOptions{
-			BatchRows: batch,
-			AfterBatch: func() error {
-				if db.Running() {
-					return nil // workers fire as baskets fill
-				}
-				_, err := db.Pump()
-				return err
-			},
-		})
-}
-
-func runLoad(db *datacell.DB, line string) error {
-	fields := strings.Fields(line)
-	if len(fields) != 3 {
-		return fmt.Errorf("usage: LOAD table file.csv")
-	}
-	table, path := strings.ToLower(fields[1]), fields[2]
-	f, err := os.Open(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	br := bufio.NewReader(f)
-	first, err := br.ReadString('\n')
-	if err != nil && err != io.EOF {
-		return err
-	}
-	arity := strings.Count(first, ",") + 1
-	if _, err := f.Seek(0, io.SeekStart); err != nil {
-		return err
-	}
-	r := workload.NewCSVReader(f, arity)
-	total := int64(0)
-	for {
-		cols, rerr := r.ReadBatch(4096)
-		if cols[0].Len() > 0 {
-			if err := db.InsertRows(table, colsToRows(cols)...); err != nil {
-				return err
+		fmt.Printf("datacelld: metrics on http://%s/metrics\n", mln.Addr())
+		go func() {
+			if err := http.Serve(mln, mux); err != nil {
+				fmt.Fprintln(os.Stderr, "datacelld: metrics server:", err)
 			}
-		}
-		if rerr == io.EOF {
-			break
-		}
-		if rerr != nil {
-			return rerr
-		}
+		}()
 	}
-	total = r.Rows()
-	fmt.Printf("loaded %d rows into %s\n", total, table)
-	return nil
-}
 
-func colsToRows(cols []*vector.Vector) [][]datacell.Value {
-	n := cols[0].Len()
-	rows := make([][]datacell.Value, n)
-	for i := 0; i < n; i++ {
-		row := make([]datacell.Value, len(cols))
-		for c, col := range cols {
-			row[c] = col.Get(i)
-		}
-		rows[i] = row
+	// SIGINT/SIGTERM start the graceful drain; a second signal aborts it.
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+	shutdownErr := make(chan error, 1)
+	go func() {
+		sig := <-sigs
+		fmt.Printf("datacelld: %s — draining (flushing owed windows, bound %s)\n", sig, drain)
+		go func() {
+			<-sigs
+			fmt.Fprintln(os.Stderr, "datacelld: second signal, aborting")
+			os.Exit(1)
+		}()
+		ctx, cancel := context.WithTimeout(context.Background(), drain)
+		defer cancel()
+		shutdownErr <- srv.Shutdown(ctx)
+	}()
+
+	if err := srv.Serve(ln); err != nil {
+		return err
 	}
-	return rows
+	if err := <-shutdownErr; err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	fmt.Println("datacelld: drained, bye")
+	return nil
 }

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	dcbench [-fig 4a|4b|5a|5b|6a|6b|7a|7b|8|9|9inset|scaling|fanout|parallel|merge|all]
+//	dcbench [-fig 4a|4b|5a|5b|6a|6b|7a|7b|8|9|9inset|scaling|fanout|parallel|merge|serve|all]
 //	        [-scale N] [-windows N] [-json DIR]
 //
 // -scale divides the paper's window sizes (default 64; -scale 1 runs the
@@ -14,8 +14,9 @@
 // that support it (fanout → DIR/BENCH_fanout.json with ns/op and allocs/op
 // per query count, parallel → DIR/BENCH_parallel.json with wall time and
 // speedup per worker count, merge → DIR/BENCH_merge.json with per-stage
-// times and merge speedup per key domain x worker count), so CI can track
-// the perf trajectory across commits.
+// times and merge speedup per key domain x worker count, serve →
+// DIR/BENCH_serve.json with end-to-end p50/p99 latency per client count),
+// so CI can track the perf trajectory across commits.
 package main
 
 import (
@@ -47,10 +48,11 @@ var figures = []struct {
 	{"fanout", nil},   // special-cased: one sweep feeds both table and JSON
 	{"parallel", nil}, // special-cased likewise
 	{"merge", nil},    // special-cased likewise
+	{"serve", nil},    // special-cased likewise
 }
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate (4a..9inset, 'scaling', 'fanout', 'parallel', 'merge', or 'all')")
+	fig := flag.String("fig", "all", "figure to regenerate (4a..9inset, 'scaling', 'fanout', 'parallel', 'merge', 'serve', or 'all')")
 	scale := flag.Int("scale", 64, "divide the paper's window sizes by this factor")
 	windows := flag.Int("windows", 0, "override the number of measured windows (0 = paper default)")
 	jsonDir := flag.String("json", "", "directory to write machine-readable BENCH_*.json results into (empty = off)")
@@ -72,6 +74,8 @@ func main() {
 			tbl, err = runParallel(cfg, *jsonDir)
 		case "merge":
 			tbl, err = runMerge(cfg, *jsonDir)
+		case "serve":
+			tbl, err = runServe(cfg, *jsonDir)
 		default:
 			tbl, err = f.run(cfg)
 		}
@@ -132,6 +136,26 @@ func runMerge(cfg bench.Config, jsonDir string) (*bench.Table, error) {
 		fmt.Printf("wrote %s\n", path)
 	}
 	return bench.MergeTable(points, window, slide, slides), nil
+}
+
+// runServe measures the serving-tier latency sweep (N TCP clients over M
+// shared statements) once and feeds the single measurement to both the
+// printed table and (when -json is set) the machine-readable
+// BENCH_serve.json.
+func runServe(cfg bench.Config, jsonDir string) (*bench.Table, error) {
+	slide, windows := bench.ServeParams(cfg)
+	points, err := bench.MeasureServeSweep(slide, windows)
+	if err != nil {
+		return nil, err
+	}
+	if jsonDir != "" {
+		path, err := bench.WriteServeJSON(points, jsonDir)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+	return bench.ServeTable(points, slide, windows), nil
 }
 
 // runParallel measures the intra-query parallelism sweep once and feeds

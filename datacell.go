@@ -48,6 +48,7 @@ package datacell
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"datacell/internal/catalog"
@@ -372,6 +373,10 @@ type Query struct {
 	handler  func(*Result)
 	sub      *subscription
 	buffered []*Result
+
+	// delivered and dropped accumulate across subscriptions (each new
+	// Subscribe wires the same counters), so Stats survives resubscribes.
+	delivered, dropped atomic.Int64
 }
 
 // Register compiles and installs a continuous query written in the
@@ -510,6 +515,62 @@ func (q *Query) Explain() string { return q.cq.Explain() }
 // while the query is healthy. A failed query stops producing results until
 // the scheduler is restarted (Stop then Run), which retries it.
 func (q *Query) Err() error { return q.cq.Err() }
+
+// Fingerprint returns the canonical fingerprint of the query's pre-merge
+// fragment — the shared-plan catalog's interning key rendered as 16 hex
+// digits — or "" when the plan has no canonical fragment (re-evaluation
+// mode, joins, landmark windows). Queries with equal fingerprints compute
+// bit-identical per-slide partials; the serving tier uses the fingerprint
+// to label shared result streams in /metrics and QUERIES listings.
+func (q *Query) Fingerprint() string { return q.cq.Fingerprint() }
+
+// QueryStats is a point-in-time snapshot of one continuous query's
+// cumulative runtime counters — the serving tier's /metrics export
+// surface. All durations are cumulative across the query's lifetime.
+type QueryStats struct {
+	// Windows is the number of window results emitted.
+	Windows int
+	// Fragment, Shared, Partition, Merge and Total mirror the engine's
+	// StageBreakdown: fragment work the query evaluated itself, time spent
+	// adopting shared fragment partials computed by other queries, the
+	// partitioned grouped re-group, the serial merge remainder, and total
+	// step wall time.
+	Fragment, Shared, Partition, Merge, Total time.Duration
+	// AdoptedSlides and LedSlides count slides the query adopted from the
+	// shared-plan catalog versus evaluated itself and published.
+	AdoptedSlides, LedSlides int64
+	// BatchedSlides counts slides drained through the intra-query parallel
+	// StepBatch path.
+	BatchedSlides int64
+	// Delivered and Dropped count results handed to this query's
+	// subscription channels versus discarded by a DropOldest subscription.
+	Delivered, Dropped int64
+}
+
+// Stats returns a snapshot of the query's cumulative runtime counters.
+// It is safe to call concurrently with a running scheduler.
+func (q *Query) Stats() QueryStats {
+	fragNS, sharedNS, partNS, mergeNS, totalNS := q.cq.StageBreakdown()
+	adopted, led := q.cq.SharedSlides()
+	return QueryStats{
+		Windows:       q.cq.Windows(),
+		Fragment:      time.Duration(fragNS),
+		Shared:        time.Duration(sharedNS),
+		Partition:     time.Duration(partNS),
+		Merge:         time.Duration(mergeNS),
+		Total:         time.Duration(totalNS),
+		AdoptedSlides: adopted,
+		LedSlides:     led,
+		BatchedSlides: q.cq.BatchedSlides(),
+		Delivered:     q.delivered.Load(),
+		Dropped:       q.dropped.Load(),
+	}
+}
+
+// IngestDuration reports the cumulative wall time spent in receptor-side
+// loading (Append/AppendBatch and friends) across all streams — the
+// ingest half of the /metrics export.
+func (db *DB) IngestDuration() time.Duration { return time.Duration(db.eng.LoadNS()) }
 
 // Close deregisters the query. If the scheduler is running, the query's
 // worker is stopped first (blocking until any in-flight step finishes).

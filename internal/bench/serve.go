@@ -1,0 +1,249 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"sort"
+	"time"
+
+	"datacell"
+	"datacell/internal/serve"
+	"datacell/internal/vector"
+)
+
+// This file measures the serving tier end to end (not a paper figure):
+// N TCP clients subscribed to M distinct statements over one sustained
+// ingest feed, all through cmd/datacelld's wire protocol. The latency of
+// one sample is append-to-Recv wall clock — receptor ingest, window
+// evaluation, the shared result encode, the socket round trip and the
+// client-side decode all included. The shared-encode fanout is what the
+// sweep pins: with N subscribers over M statements the server serializes
+// each window M times, not N times, so encodes/frames must stay at M/N as
+// N grows — the wire-level extension of the shared-plan catalog's
+// "evaluate once, fan out" contract.
+
+// serveStmt varies only its WHERE threshold: every statement shares the
+// stream's window boundaries (tuple windows count arrivals, the filter
+// applies within), so each appended slide fires one window per statement
+// and the lock-step sweep below can await all of them.
+const serveStmt = `SELECT count(*) FROM s [RANGE %d SLIDE %d] WHERE x1 >= %d`
+
+// ServeClientCounts is the standard sweep: end-to-end latency at 1, 64
+// and 256 concurrent subscribed clients.
+var ServeClientCounts = []int{1, 64, 256}
+
+// ServePoint is one measured client count.
+type ServePoint struct {
+	Clients    int `json:"clients"`
+	Statements int `json:"statements"`
+	Windows    int `json:"windows"`
+	// P50/P99 are microseconds of append-to-receive latency across all
+	// clients and windows.
+	P50Micros float64 `json:"p50_us"`
+	P99Micros float64 `json:"p99_us"`
+	// EncodesPerWindow is how many times the server serialized each window
+	// (= Statements when sharing works); FramesPerWindow is how many result
+	// frames it wrote (= Clients).
+	EncodesPerWindow float64 `json:"encodes_per_window"`
+	FramesPerWindow  float64 `json:"frames_per_window"`
+	// ShareFactor = frames/encodes: subscribers served per serialize.
+	ShareFactor float64 `json:"share_factor"`
+}
+
+// MeasureServe runs one client count: nClients connections subscribe
+// round-robin over min(4, nClients) distinct statements, then a feeder
+// appends `windows` slides in lock step — append slide w, await window w
+// on every client, record each client's latency sample.
+func MeasureServe(nClients, slide, windows int) (ServePoint, error) {
+	p := ServePoint{Clients: nClients, Windows: windows}
+	db := datacell.New()
+	db.MustRegisterStream("s",
+		datacell.Col("x1", datacell.Int64), datacell.Col("x2", datacell.Int64))
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return p, err
+	}
+	srv := serve.New(db, serve.Config{})
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(ln) }()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+		<-serveDone
+	}()
+
+	nStmts := nClients
+	if nStmts > 4 {
+		nStmts = 4
+	}
+	p.Statements = nStmts
+	clients := make([]*serve.Client, nClients)
+	subs := make([]*serve.Sub, nClients)
+	defer func() {
+		for _, cl := range clients {
+			if cl != nil {
+				cl.Close()
+			}
+		}
+	}()
+	for i := range clients {
+		cl, err := serve.Dial(ln.Addr().String())
+		if err != nil {
+			return p, err
+		}
+		clients[i] = cl
+		stmt := fmt.Sprintf(serveStmt, slide, slide, i%nStmts)
+		sub, err := cl.Register(stmt, serve.RegisterOptions{
+			Policy: serve.PolicyBlock,
+			Buffer: 4,
+		})
+		if err != nil {
+			return p, err
+		}
+		subs[i] = sub
+	}
+	feeder, err := serve.Dial(ln.Addr().String())
+	if err != nil {
+		return p, err
+	}
+	defer feeder.Close()
+
+	mkSlide := func(base int) []*vector.Vector {
+		a := vector.New(vector.Int64, slide)
+		b := vector.New(vector.Int64, slide)
+		for i := 0; i < slide; i++ {
+			a.AppendInt64(int64((base + i) % 1000))
+			b.AppendInt64(1)
+		}
+		return []*vector.Vector{a, b}
+	}
+	// Warm-up window: first-segment allocation, query plan warm paths.
+	warm := 1
+	total := windows + warm
+	samples := make([]float64, 0, nClients*windows)
+	recvErr := make(chan error, nClients)
+	latencies := make([]time.Duration, nClients)
+	var stats0 serve.Stats
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	for w := 1; w <= total; w++ {
+		t0 := time.Now()
+		if err := feeder.Append("s", nil, mkSlide(w*slide)); err != nil {
+			return p, err
+		}
+		for i, sub := range subs {
+			go func(i int, sub *serve.Sub) {
+				r, err := sub.Recv(ctx)
+				if err == nil && r.Window != w {
+					err = fmt.Errorf("client %d: window %d, want %d", i, r.Window, w)
+				}
+				latencies[i] = time.Since(t0)
+				recvErr <- err
+			}(i, sub)
+		}
+		for range subs {
+			if err := <-recvErr; err != nil {
+				return p, err
+			}
+		}
+		if w > warm {
+			for _, d := range latencies {
+				samples = append(samples, float64(d.Nanoseconds())/1e3)
+			}
+		}
+		if w == warm {
+			stats0 = srv.Stats() // re-baseline after warm-up
+		}
+	}
+	stats1 := srv.Stats()
+	sort.Float64s(samples)
+	p.P50Micros = quantile(samples, 0.50)
+	p.P99Micros = quantile(samples, 0.99)
+	p.EncodesPerWindow = float64(stats1.Encodes-stats0.Encodes) / float64(windows)
+	p.FramesPerWindow = float64(stats1.ResultFrames-stats0.ResultFrames) / float64(windows)
+	if p.EncodesPerWindow > 0 {
+		p.ShareFactor = p.FramesPerWindow / p.EncodesPerWindow
+	}
+	return p, nil
+}
+
+// quantile reads q from sorted samples (nearest-rank).
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)))
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// MeasureServeSweep measures every client count in ServeClientCounts.
+func MeasureServeSweep(slide, windows int) ([]ServePoint, error) {
+	points := make([]ServePoint, 0, len(ServeClientCounts))
+	for _, n := range ServeClientCounts {
+		pt, err := MeasureServe(n, slide, windows)
+		if err != nil {
+			return nil, err
+		}
+		points = append(points, pt)
+	}
+	return points, nil
+}
+
+// ServeParams derives the sweep size from the config: 256-tuple slides,
+// 2048/Scale measured windows per client count (minimum 8 so the p99 rank
+// is populated even in smoke runs).
+func ServeParams(cfg Config) (slide, windows int) {
+	w := cfg.windows(cfg.scale(2048))
+	if w < 8 {
+		w = 8
+	}
+	return 256, w
+}
+
+// ServeTable renders measured serve points as a dcbench table.
+func ServeTable(points []ServePoint, slide, windows int) *Table {
+	t := &Table{
+		Figure: "Serve",
+		Title: fmt.Sprintf("end-to-end latency vs concurrent clients (%d-tuple slides, %d windows, TCP loopback)",
+			slide, windows),
+		Header: []string{"clients", "stmts", "p50_us", "p99_us", "encodes/win", "frames/win", "share"},
+		Notes:  "(shared encode: encodes/win tracks distinct statements, not clients — serialization cost is sublinear in subscribers)",
+	}
+	for _, p := range points {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(p.Clients),
+			fmt.Sprint(p.Statements),
+			fmt.Sprintf("%.0f", p.P50Micros),
+			fmt.Sprintf("%.0f", p.P99Micros),
+			fmt.Sprintf("%.1f", p.EncodesPerWindow),
+			fmt.Sprintf("%.1f", p.FramesPerWindow),
+			fmt.Sprintf("%.1f", p.ShareFactor),
+		})
+	}
+	return t
+}
+
+// WriteServeJSON writes measured serve points as BENCH_serve.json into
+// dir — the machine-readable form CI archives to track the serving tier's
+// latency trajectory across commits.
+func WriteServeJSON(points []ServePoint, dir string) (string, error) {
+	blob, err := json.MarshalIndent(struct {
+		Bench  string       `json:"bench"`
+		Points []ServePoint `json:"points"`
+	}{Bench: "serve", Points: points}, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	path := dir + string(os.PathSeparator) + "BENCH_serve.json"
+	if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}

@@ -1,0 +1,90 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestMeasureServeSmoke runs a tiny sweep point end to end: 3 clients
+// over 2 distinct statements, 8 windows, real TCP loopback.
+func TestMeasureServeSmoke(t *testing.T) {
+	pt, err := MeasureServe(3, 32, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.Clients != 3 || pt.Windows != 8 || pt.Statements != 3 {
+		t.Fatalf("point: %+v", pt)
+	}
+	if pt.P50Micros <= 0 || pt.P99Micros < pt.P50Micros {
+		t.Fatalf("quantiles: %+v", pt)
+	}
+	// The sharing contract: one encode per statement per window, one frame
+	// per client per window.
+	if pt.EncodesPerWindow != 3 || pt.FramesPerWindow != 3 {
+		t.Fatalf("encode accounting: %+v", pt)
+	}
+}
+
+// TestMeasureServeSharedEncode pins sublinearity where clients exceed
+// statements: 6 clients share 4 statements, so each window costs 4
+// encodes and 6 frames.
+func TestMeasureServeSharedEncode(t *testing.T) {
+	pt, err := MeasureServe(6, 32, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.Statements != 4 {
+		t.Fatalf("statements: %+v", pt)
+	}
+	if pt.EncodesPerWindow != 4 || pt.FramesPerWindow != 6 {
+		t.Fatalf("encode accounting: %+v", pt)
+	}
+	if pt.ShareFactor != 1.5 {
+		t.Fatalf("share factor: %+v", pt)
+	}
+}
+
+func TestWriteServeJSON(t *testing.T) {
+	points := []ServePoint{{
+		Clients: 64, Statements: 4, Windows: 16,
+		P50Micros: 120, P99Micros: 900,
+		EncodesPerWindow: 4, FramesPerWindow: 64, ShareFactor: 16,
+	}}
+	dir := t.TempDir()
+	path, err := WriteServeJSON(points, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path) != "BENCH_serve.json" {
+		t.Fatalf("path: %s", path)
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		Bench  string       `json:"bench"`
+		Points []ServePoint `json:"points"`
+	}
+	if err := json.Unmarshal(blob, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Bench != "serve" || len(got.Points) != 1 || got.Points[0].ShareFactor != 16 {
+		t.Fatalf("parsed: %+v", got)
+	}
+}
+
+func BenchmarkServeRoundTrip(b *testing.B) {
+	windows := b.N
+	if windows < 8 {
+		windows = 8
+	}
+	pt, err := MeasureServe(4, 64, windows)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(pt.P50Micros, "p50-us")
+	b.ReportMetric(pt.P99Micros, "p99-us")
+}

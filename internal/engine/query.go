@@ -450,6 +450,19 @@ func (q *ContinuousQuery) SharedSlides() (adopted, led int64) {
 	return q.sharedSlides, q.leadSlides
 }
 
+// Fingerprint returns the canonical fingerprint of the query's pre-merge
+// fragment ("" when the plan has none — re-evaluation mode, joins,
+// landmark windows, or otherwise non-canonicalizable fragments). Two
+// standing queries with equal fingerprints compute bit-identical per-slide
+// partials; the serving tier uses it one layer up to label shared result
+// streams.
+func (q *ContinuousQuery) Fingerprint() string {
+	if q.inc == nil || len(q.prog.Sources) != 1 {
+		return ""
+	}
+	return q.inc.FragmentFingerprint(0)
+}
+
 // Explain renders the query's rewritten plan plus its sharing decision:
 // the canonical fragment fingerprint and how many queries currently
 // subscribe to it, so sharing is observable without reading stats.

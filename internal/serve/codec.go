@@ -1,0 +1,325 @@
+package serve
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"datacell/internal/exec"
+	"datacell/internal/vector"
+)
+
+// This file is the columnar frame codec: result tables and ingest batches
+// cross the wire as *blocks* — whole columns appended as raw payload runs,
+// encoded straight from vector.Vector payloads or multi-part vector.View
+// parts. There is no per-row marshalling and no Value boxing anywhere on
+// the path; a string column is the only per-value walk (each string needs
+// its length).
+//
+// Block layout:
+//
+//	u32 rows | u16 ncols
+//	per column:
+//	  u8 type | u16 namelen | name bytes | payload
+//	payload by type:
+//	  Int64/Timestamp  rows × 8 bytes little-endian
+//	  Float64          rows × 8 bytes little-endian IEEE-754 bits
+//	  Bool             rows × 1 byte (0/1)
+//	  Str              rows × (u32 len | bytes)
+
+// --- append-side primitives ------------------------------------------------
+
+func appendU16(b []byte, x uint16) []byte {
+	return append(b, byte(x>>8), byte(x))
+}
+
+func appendU32(b []byte, x uint32) []byte {
+	return append(b, byte(x>>24), byte(x>>16), byte(x>>8), byte(x))
+}
+
+func appendU64(b []byte, x uint64) []byte {
+	return append(b, byte(x>>56), byte(x>>48), byte(x>>40), byte(x>>32),
+		byte(x>>24), byte(x>>16), byte(x>>8), byte(x))
+}
+
+func appendI64(b []byte, x int64) []byte { return appendU64(b, uint64(x)) }
+
+// appendStr32 appends a u32-length-prefixed string.
+func appendStr32(b []byte, s string) []byte {
+	b = appendU32(b, uint32(len(s)))
+	return append(b, s...)
+}
+
+// appendInt64s bulk-appends a little-endian int64 run. grow-once, then a
+// straight store loop — the hot path for BIGINT/TIMESTAMP columns.
+func appendInt64s(b []byte, xs []int64) []byte {
+	off := len(b)
+	b = append(b, make([]byte, 8*len(xs))...)
+	for i, x := range xs {
+		binary.LittleEndian.PutUint64(b[off+8*i:], uint64(x))
+	}
+	return b
+}
+
+// appendFloat64s bulk-appends a little-endian IEEE-754 run.
+func appendFloat64s(b []byte, xs []float64) []byte {
+	off := len(b)
+	b = append(b, make([]byte, 8*len(xs))...)
+	for i, x := range xs {
+		binary.LittleEndian.PutUint64(b[off+8*i:], math.Float64bits(x))
+	}
+	return b
+}
+
+// AppendBlockHeader starts a block of rows × ncols; exactly ncols
+// column appends must follow, each carrying rows values.
+func AppendBlockHeader(b []byte, rows, ncols int) []byte {
+	b = appendU32(b, uint32(rows))
+	return appendU16(b, uint16(ncols))
+}
+
+// AppendViewCol appends one named column from a (possibly multi-part)
+// view, part at a time — a boundary-spanning window column is encoded
+// without flattening. The view's length must equal the block's row count.
+func AppendViewCol(b []byte, name string, v vector.View) []byte {
+	b = append(b, byte(v.Type()))
+	b = appendU16(b, uint16(len(name)))
+	b = append(b, name...)
+	for _, p := range v.Parts() {
+		switch v.Type() {
+		case vector.Int64, vector.Timestamp:
+			b = appendInt64s(b, p.Int64s())
+		case vector.Float64:
+			b = appendFloat64s(b, p.Float64s())
+		case vector.Bool:
+			for _, x := range p.Bools() {
+				if x {
+					b = append(b, 1)
+				} else {
+					b = append(b, 0)
+				}
+			}
+		case vector.Str:
+			for _, s := range p.Strs() {
+				b = appendStr32(b, s)
+			}
+		}
+	}
+	return b
+}
+
+// AppendVectorCol appends one named single-part column.
+func AppendVectorCol(b []byte, name string, v *vector.Vector) []byte {
+	return AppendViewCol(b, name, vector.ViewOf(v))
+}
+
+// AppendTable appends an exec.Table as a block. All columns must share
+// the table's row count (exec guarantees rectangularity).
+func AppendTable(b []byte, t *exec.Table) []byte {
+	b = AppendBlockHeader(b, t.NumRows(), len(t.Cols))
+	for i, col := range t.Cols {
+		b = AppendViewCol(b, t.Names[i], vector.ViewOf(col))
+	}
+	return b
+}
+
+// AppendVectors appends unnamed-or-named columns as a block; names may be
+// nil (positional mapping at the receiver) but must otherwise match cols.
+func AppendVectors(b []byte, names []string, cols []*vector.Vector) []byte {
+	rows := 0
+	if len(cols) > 0 {
+		rows = cols[0].Len()
+	}
+	b = AppendBlockHeader(b, rows, len(cols))
+	for i, col := range cols {
+		name := ""
+		if names != nil {
+			name = names[i]
+		}
+		b = AppendVectorCol(b, name, col)
+	}
+	return b
+}
+
+// --- decode side -----------------------------------------------------------
+
+// byteReader walks a payload with bounds checking; the first overrun
+// latches ErrTruncated.
+type byteReader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *byteReader) fail(what string) {
+	if r.err == nil {
+		r.err = fmt.Errorf("%w: %s at offset %d of %d", ErrTruncated, what, r.off, len(r.b))
+	}
+}
+
+func (r *byteReader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || len(r.b)-r.off < n {
+		r.fail(fmt.Sprintf("%d bytes", n))
+		return nil
+	}
+	out := r.b[r.off : r.off+n]
+	r.off += n
+	return out
+}
+
+func (r *byteReader) u8() uint8 {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (r *byteReader) u16() uint16 {
+	b := r.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint16(b)
+}
+
+func (r *byteReader) u32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}
+
+func (r *byteReader) u64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+
+func (r *byteReader) i64() int64 { return int64(r.u64()) }
+
+func (r *byteReader) str32() string {
+	n := r.u32()
+	b := r.take(int(n))
+	if b == nil {
+		return ""
+	}
+	return string(b)
+}
+
+func (r *byteReader) str16() string {
+	n := r.u16()
+	b := r.take(int(n))
+	if b == nil {
+		return ""
+	}
+	return string(b)
+}
+
+// rest reports whether unread bytes remain.
+func (r *byteReader) rest() int { return len(r.b) - r.off }
+
+// Block is a decoded columnar block. Names may contain empty strings
+// (positional columns).
+type Block struct {
+	Names []string
+	Cols  []*vector.Vector
+}
+
+// NumRows returns the block's row count.
+func (b *Block) NumRows() int {
+	if len(b.Cols) == 0 {
+		return 0
+	}
+	return b.Cols[0].Len()
+}
+
+// Table converts the block into an exec.Table sharing the column storage.
+func (b *Block) Table() *exec.Table {
+	return &exec.Table{Names: b.Names, Cols: b.Cols}
+}
+
+// decodeBlock reads one block from r. Column payloads are validated
+// against the header row count; any shortfall (a truncated or corrupt
+// frame) fails with ErrTruncated rather than producing a ragged block.
+func decodeBlock(r *byteReader) (*Block, error) {
+	rows := int(r.u32())
+	ncols := int(r.u16())
+	if r.err != nil {
+		return nil, r.err
+	}
+	// Sanity floor: a column needs at least 1 byte/row (Bool); reject row
+	// counts the remaining payload cannot possibly hold so corrupt headers
+	// fail fast instead of allocating rows of scratch.
+	if ncols > 0 && rows > r.rest() {
+		r.fail(fmt.Sprintf("%d rows × %d cols", rows, ncols))
+		return nil, r.err
+	}
+	blk := &Block{Names: make([]string, ncols), Cols: make([]*vector.Vector, ncols)}
+	for c := 0; c < ncols; c++ {
+		typ := vector.Type(r.u8())
+		if typ > vector.Timestamp {
+			if r.err == nil {
+				r.err = fmt.Errorf("serve: unknown column type %d", typ)
+			}
+			return nil, r.err
+		}
+		blk.Names[c] = r.str16()
+		col := vector.New(typ, rows)
+		switch typ {
+		case vector.Int64, vector.Timestamp:
+			raw := r.take(8 * rows)
+			if raw == nil {
+				return nil, r.err
+			}
+			for i := 0; i < rows; i++ {
+				col.AppendInt64(int64(binary.LittleEndian.Uint64(raw[8*i:])))
+			}
+		case vector.Float64:
+			raw := r.take(8 * rows)
+			if raw == nil {
+				return nil, r.err
+			}
+			for i := 0; i < rows; i++ {
+				col.AppendFloat64(math.Float64frombits(binary.LittleEndian.Uint64(raw[8*i:])))
+			}
+		case vector.Bool:
+			raw := r.take(rows)
+			if raw == nil {
+				return nil, r.err
+			}
+			for i := 0; i < rows; i++ {
+				col.AppendBool(raw[i] != 0)
+			}
+		case vector.Str:
+			for i := 0; i < rows; i++ {
+				col.AppendStr(r.str32())
+			}
+			if r.err != nil {
+				return nil, r.err
+			}
+		}
+		blk.Cols[c] = col
+	}
+	return blk, r.err
+}
+
+// DecodeBlock decodes a standalone block payload, rejecting trailing
+// garbage.
+func DecodeBlock(payload []byte) (*Block, error) {
+	r := &byteReader{b: payload}
+	blk, err := decodeBlock(r)
+	if err != nil {
+		return nil, err
+	}
+	if r.rest() != 0 {
+		return nil, fmt.Errorf("serve: %d trailing bytes after block", r.rest())
+	}
+	return blk, nil
+}

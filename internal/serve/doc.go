@@ -1,0 +1,52 @@
+// Package serve is datacell's network serving tier: a TCP server that
+// multiplexes many concurrent clients onto one engine instance, speaking a
+// length-prefixed binary protocol with columnar result frames, plus the
+// matching Go client and a /metrics HTTP exporter.
+//
+// # Protocol
+//
+// Every message is a frame: a 4-byte big-endian payload length, a 1-byte
+// message type, and the payload (see protocol.go for the per-type
+// layouts). Payloads are capped at MaxFrame; a reader rejects oversized
+// frames before allocating and treats a short payload as a truncated
+// frame. Result payloads carry whole columns (columnar blocks encoded by
+// codec.go straight from vector.Vector / vector.View parts — no per-row
+// boxing), so a window result costs one encode regardless of row count.
+//
+// # Multiplexing and shared encode
+//
+// Each client connection is served by one reader goroutine (parsing
+// commands) and per-subscription writer pumps. Subscriptions are interned
+// by statement: all clients registering the same SQL text and mode attach
+// to a single sharedSub owning one engine query and one
+// Query.Subscribe channel, and every window result is encoded exactly
+// once and fanned to the N attached connection writers — one serialize, N
+// writes. This extends the engine's shared-plan fragment catalog (which
+// shares pre-merge evaluation across *different* statements with equal
+// fragment fingerprints) one layer up: identical statements also share
+// the merge, the subscription, and the wire encode.
+//
+// # Backpressure
+//
+// The shared engine subscription runs SubOptions{OnOverflow: Block}, so
+// the engine never drops a window before the fanout saw it. Each attached
+// connection then applies its own policy at its delivery queue — the same
+// {buffer, overflow} shape as SubOptions, per connection:
+//
+//   - PolicyBlock: the fanout blocks until the writer drains — the stall
+//     propagates through the Block subscription into the query step,
+//     exactly the engine's Block semantics, now per wire consumer.
+//   - PolicyDropOldest: the queue drops its oldest undelivered frame —
+//     bounded staleness; a slow or dead socket never stalls ingest, the
+//     engine, or other clients.
+//   - PolicyDisconnect: a full queue closes the connection (the client is
+//     told via a BYE frame when the socket still accepts writes).
+//
+// # Drain
+//
+// Shutdown stops accepting, halts the scheduler, pumps owed windows
+// synchronously, closes the shared subscriptions (their channels drain
+// through the fanout), flushes writer queues, sends BYE and closes — all
+// bounded by the caller's context deadline, after which connections are
+// force-closed.
+package serve

@@ -1,0 +1,92 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+)
+
+// MetricsHandler returns an HTTP handler exporting the engine's runtime
+// statistics and the server's wire counters in the Prometheus text
+// exposition format. One scrape walks the shared-query registry sorted by
+// ID, so output order is stable across scrapes.
+func (s *Server) MetricsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		var sb strings.Builder
+		s.writeMetrics(&sb)
+		w.Write([]byte(sb.String()))
+	})
+}
+
+// writeMetrics renders one scrape.
+func (s *Server) writeMetrics(sb *strings.Builder) {
+	st := s.Stats()
+	fmt.Fprintf(sb, "# HELP datacell_ingest_seconds_total Cumulative receptor-side load time.\n")
+	fmt.Fprintf(sb, "# TYPE datacell_ingest_seconds_total counter\n")
+	fmt.Fprintf(sb, "datacell_ingest_seconds_total %g\n", s.db.IngestDuration().Seconds())
+
+	fmt.Fprintf(sb, "# TYPE datacell_serve_connections gauge\n")
+	fmt.Fprintf(sb, "datacell_serve_connections %d\n", st.Conns)
+	fmt.Fprintf(sb, "# TYPE datacell_serve_subscriptions gauge\n")
+	fmt.Fprintf(sb, "datacell_serve_subscriptions %d\n", st.Subscriptions)
+	fmt.Fprintf(sb, "# TYPE datacell_serve_shared_queries gauge\n")
+	fmt.Fprintf(sb, "datacell_serve_shared_queries %d\n", st.SharedQueries)
+	fmt.Fprintf(sb, "# TYPE datacell_serve_accepted_total counter\n")
+	fmt.Fprintf(sb, "datacell_serve_accepted_total %d\n", st.Accepted)
+	fmt.Fprintf(sb, "# TYPE datacell_serve_disconnects_total counter\n")
+	fmt.Fprintf(sb, "datacell_serve_disconnects_total %d\n", st.Disconnects)
+	fmt.Fprintf(sb, "# HELP datacell_serve_result_encodes_total Window results serialized (one per window per statement, shared by all its subscribers).\n")
+	fmt.Fprintf(sb, "# TYPE datacell_serve_result_encodes_total counter\n")
+	fmt.Fprintf(sb, "datacell_serve_result_encodes_total %d\n", st.Encodes)
+	fmt.Fprintf(sb, "# TYPE datacell_serve_result_frames_total counter\n")
+	fmt.Fprintf(sb, "datacell_serve_result_frames_total %d\n", st.ResultFrames)
+	fmt.Fprintf(sb, "# TYPE datacell_serve_result_frames_dropped_total counter\n")
+	fmt.Fprintf(sb, "datacell_serve_result_frames_dropped_total %d\n", st.DroppedFrames)
+	fmt.Fprintf(sb, "# TYPE datacell_serve_bytes_written_total counter\n")
+	fmt.Fprintf(sb, "datacell_serve_bytes_written_total %d\n", st.BytesOut)
+	fmt.Fprintf(sb, "# TYPE datacell_serve_append_rows_total counter\n")
+	fmt.Fprintf(sb, "datacell_serve_append_rows_total %d\n", st.AppendRows)
+
+	s.mu.Lock()
+	shared := make([]*sharedSub, 0, len(s.shared))
+	for _, ss := range s.shared {
+		shared = append(shared, ss)
+	}
+	s.mu.Unlock()
+	sort.Slice(shared, func(i, j int) bool { return shared[i].seq < shared[j].seq })
+
+	fmt.Fprintf(sb, "# HELP datacell_query_stage_seconds_total Cumulative per-stage step time (StageBreakdown).\n")
+	for _, ss := range shared {
+		qs := ss.query.Stats()
+		ss.mu.Lock()
+		subscribers := len(ss.members)
+		ss.mu.Unlock()
+		id := ss.id
+		fp := ss.fp
+		if fp == "" {
+			fp = "none"
+		}
+		fmt.Fprintf(sb, "datacell_query_info{query=%q,mode=%q,fingerprint=%q} 1\n", id, ss.query.Mode().String(), fp)
+		fmt.Fprintf(sb, "datacell_query_subscribers{query=%q} %d\n", id, subscribers)
+		fmt.Fprintf(sb, "datacell_query_windows_total{query=%q} %d\n", id, qs.Windows)
+		for _, stage := range []struct {
+			name string
+			sec  float64
+		}{
+			{"fragment", qs.Fragment.Seconds()},
+			{"shared", qs.Shared.Seconds()},
+			{"partition", qs.Partition.Seconds()},
+			{"merge", qs.Merge.Seconds()},
+			{"total", qs.Total.Seconds()},
+		} {
+			fmt.Fprintf(sb, "datacell_query_stage_seconds_total{query=%q,stage=%q} %g\n", id, stage.name, stage.sec)
+		}
+		fmt.Fprintf(sb, "datacell_query_slides_total{query=%q,kind=\"adopted\"} %d\n", id, qs.AdoptedSlides)
+		fmt.Fprintf(sb, "datacell_query_slides_total{query=%q,kind=\"led\"} %d\n", id, qs.LedSlides)
+		fmt.Fprintf(sb, "datacell_query_slides_total{query=%q,kind=\"batched\"} %d\n", id, qs.BatchedSlides)
+		fmt.Fprintf(sb, "datacell_query_results_total{query=%q,outcome=\"delivered\"} %d\n", id, qs.Delivered)
+		fmt.Fprintf(sb, "datacell_query_results_total{query=%q,outcome=\"dropped\"} %d\n", id, qs.Dropped)
+	}
+}

@@ -1,0 +1,94 @@
+package serve
+
+import (
+	"fmt"
+	"strings"
+
+	"datacell"
+)
+
+// ExecStatement runs one non-subscription statement against db: CREATE
+// STREAM/TABLE DDL or a one-shot SELECT over persistent tables. It
+// returns a human-readable detail line for DDL, or the result table for a
+// SELECT. REGISTER is deliberately not handled here — continuous queries
+// go through the subscription path (server MsgRegister / local shell).
+// Both the TCP server and datacelld's local shell dispatch through this
+// function, so the statement surface cannot drift between them.
+func ExecStatement(db *datacell.DB, stmt string) (string, *datacell.Table, error) {
+	stmt = strings.TrimSuffix(strings.TrimSpace(stmt), ";")
+	upper := strings.ToUpper(stmt)
+	switch {
+	case strings.HasPrefix(upper, "CREATE STREAM "), strings.HasPrefix(upper, "CREATE TABLE "):
+		detail, err := execCreate(db, stmt)
+		return detail, nil, err
+	case strings.HasPrefix(upper, "SELECT"):
+		tbl, err := db.QueryOnce(stmt)
+		return "", tbl, err
+	case stmt == "":
+		return "", nil, fmt.Errorf("serve: empty statement")
+	default:
+		return "", nil, fmt.Errorf("serve: unsupported statement (want CREATE STREAM/TABLE or SELECT): %.40q", stmt)
+	}
+}
+
+// execCreate parses and applies CREATE STREAM|TABLE name (col TYPE, ...).
+func execCreate(db *datacell.DB, line string) (string, error) {
+	open := strings.Index(line, "(")
+	closeIdx := strings.LastIndex(line, ")")
+	if open < 0 || closeIdx < open {
+		return "", fmt.Errorf("expected CREATE STREAM|TABLE name (col TYPE, ...)")
+	}
+	head := strings.Fields(strings.TrimSpace(line[:open]))
+	if len(head) != 3 {
+		return "", fmt.Errorf("expected CREATE STREAM|TABLE name")
+	}
+	kind := strings.ToUpper(head[1])
+	name := strings.ToLower(head[2])
+	var cols []datacell.ColumnDef
+	for _, part := range strings.Split(line[open+1:closeIdx], ",") {
+		fields := strings.Fields(strings.TrimSpace(part))
+		if len(fields) != 2 {
+			return "", fmt.Errorf("bad column definition %q", part)
+		}
+		t, err := ParseType(fields[1])
+		if err != nil {
+			return "", err
+		}
+		cols = append(cols, datacell.Col(strings.ToLower(fields[0]), t))
+	}
+	var err error
+	if kind == "STREAM" {
+		err = db.RegisterStream(name, cols...)
+	} else {
+		err = db.RegisterTable(name, cols...)
+	}
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("created %s %s (%d columns)", strings.ToLower(kind), name, len(cols)), nil
+}
+
+// ParseType maps a SQL type name onto a column type.
+func ParseType(s string) (datacell.Type, error) {
+	switch strings.ToUpper(s) {
+	case "BIGINT", "INT", "INTEGER":
+		return datacell.Int64, nil
+	case "DOUBLE", "FLOAT":
+		return datacell.Float64, nil
+	case "VARCHAR", "TEXT", "STRING":
+		return datacell.String, nil
+	case "BOOLEAN", "BOOL":
+		return datacell.Bool, nil
+	case "TIMESTAMP":
+		return datacell.Timestamp, nil
+	}
+	return 0, fmt.Errorf("unknown type %q", s)
+}
+
+// normalizeStmt is the shared-subscription interning key: whitespace runs
+// collapse so trivially reformatted statements still share one engine
+// query and one encode, while anything semantic (including case inside
+// string literals — we do not case-fold) keeps statements apart.
+func normalizeStmt(sql string) string {
+	return strings.Join(strings.Fields(strings.TrimSuffix(strings.TrimSpace(sql), ";")), " ")
+}

@@ -59,6 +59,25 @@ type subscription struct {
 	once   sync.Once
 	closed atomic.Bool
 	sendMu sync.Mutex
+
+	// delivered/dropped point at the owning Query's cumulative counters
+	// (nil for detached uses), so /metrics sees delivery totals across
+	// resubscribes.
+	delivered, dropped *atomic.Int64
+}
+
+// countDelivered bumps the owning query's delivered counter (if wired).
+func (s *subscription) countDelivered() {
+	if s.delivered != nil {
+		s.delivered.Add(1)
+	}
+}
+
+// countDropped bumps the owning query's dropped counter (if wired).
+func (s *subscription) countDropped() {
+	if s.dropped != nil {
+		s.dropped.Add(1)
+	}
 }
 
 // close shuts the subscription down (idempotent) and closes the result
@@ -109,15 +128,18 @@ func (s *subscription) send(r *Result) bool {
 		for {
 			select {
 			case s.ch <- r:
+				s.countDelivered()
 				return true
 			default:
 			}
 			select {
 			case <-s.ch: // drop the oldest queued result, retry the send
+				s.countDropped()
 			default:
 				if cap(s.ch) == 0 {
 					// Unbuffered and no receiver ready: the policy drops r
 					// itself — consumed per the policy, not lost by error.
+					s.countDropped()
 					return true
 				}
 				// Buffered channel momentarily drained by the consumer
@@ -130,6 +152,7 @@ func (s *subscription) send(r *Result) bool {
 	}
 	select {
 	case s.ch <- r:
+		s.countDelivered()
 		return true
 	case <-s.ctx.Done():
 		return false
@@ -187,11 +210,13 @@ func (q *Query) Subscribe(ctx context.Context, opts SubOptions) (<-chan *Result,
 		q.mu.Unlock()
 	}
 	s := &subscription{
-		ch:     make(chan *Result, opts.Buffer),
-		policy: opts.OnOverflow,
-		ctx:    ctx,
-		stop:   make(chan struct{}),
-		ready:  make(chan struct{}),
+		ch:        make(chan *Result, opts.Buffer),
+		policy:    opts.OnOverflow,
+		ctx:       ctx,
+		stop:      make(chan struct{}),
+		ready:     make(chan struct{}),
+		delivered: &q.delivered,
+		dropped:   &q.dropped,
 	}
 	backlog := q.buffered
 	q.buffered = nil
