@@ -192,6 +192,11 @@ func (cl *Client) errOr(fallback error) error {
 
 // fail ends the client: the terminal error is latched, every pending
 // request and subscription is released, and the socket is closed.
+// Subscription channels are NOT closed here — fail can run off the reader
+// goroutine (Close, a write failure) while the reader is blocked sending
+// on a full sub.ch, and closing the channel under that send would panic.
+// Ending the subs (close gone) unblocks the reader; closing the socket
+// makes its next read fail; its exit path closes the channels.
 func (cl *Client) fail(err error) {
 	cl.mu.Lock()
 	if cl.closed {
@@ -206,7 +211,6 @@ func (cl *Client) fail(err error) {
 	for _, s := range cl.subs {
 		subs = append(subs, s)
 	}
-	cl.subs = map[uint32]*Sub{}
 	cl.mu.Unlock()
 	close(cl.done)
 	for _, ch := range pending {
@@ -214,9 +218,23 @@ func (cl *Client) fail(err error) {
 	}
 	for _, s := range subs {
 		s.end()
-		close(s.ch) // the reader is gone: no sender remains
 	}
 	cl.c.Close()
+}
+
+// closeSubs runs when the reader goroutine exits. The reader is the only
+// sender on subscription channels, so it is the sole closer; by the time
+// it exits, fail has latched the terminal error (every reader exit path
+// calls fail first), so Recv on a closed channel reports that error.
+func (cl *Client) closeSubs() {
+	cl.mu.Lock()
+	subs := cl.subs
+	cl.subs = map[uint32]*Sub{}
+	cl.mu.Unlock()
+	for _, s := range subs {
+		s.end()
+		close(s.ch)
+	}
 }
 
 // Close shuts the client down. Active subscriptions end with ErrSubClosed.
@@ -227,6 +245,7 @@ func (cl *Client) Close() error {
 
 // readLoop demultiplexes server frames until the connection ends.
 func (cl *Client) readLoop(br *bufio.Reader) {
+	defer cl.closeSubs()
 	var buf []byte
 	for {
 		t, payload, nbuf, err := ReadFrame(br, buf)
@@ -402,6 +421,8 @@ func (cl *Client) Register(sql string, opts RegisterOptions) (*Sub, error) {
 	buffer := opts.Buffer
 	if buffer <= 0 {
 		buffer = 16
+	} else if buffer > 65536 {
+		buffer = 65536 // never size a channel off an unbounded request
 	}
 	sub := &Sub{
 		ID:          subID,

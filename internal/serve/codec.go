@@ -271,13 +271,18 @@ func decodeBlock(r *byteReader) (*Block, error) {
 			return nil, r.err
 		}
 		blk.Names[c] = r.str16()
-		col := vector.New(typ, rows)
+		// Bounds-check the column payload against the remaining bytes
+		// BEFORE vector.New preallocates rows of capacity — the sanity
+		// floor above only guarantees 1 byte/row, so a fixed-width type
+		// must not size an allocation off an unvalidated row count.
+		var col *vector.Vector
 		switch typ {
 		case vector.Int64, vector.Timestamp:
 			raw := r.take(8 * rows)
 			if raw == nil {
 				return nil, r.err
 			}
+			col = vector.New(typ, rows)
 			for i := 0; i < rows; i++ {
 				col.AppendInt64(int64(binary.LittleEndian.Uint64(raw[8*i:])))
 			}
@@ -286,6 +291,7 @@ func decodeBlock(r *byteReader) (*Block, error) {
 			if raw == nil {
 				return nil, r.err
 			}
+			col = vector.New(typ, rows)
 			for i := 0; i < rows; i++ {
 				col.AppendFloat64(math.Float64frombits(binary.LittleEndian.Uint64(raw[8*i:])))
 			}
@@ -294,10 +300,17 @@ func decodeBlock(r *byteReader) (*Block, error) {
 			if raw == nil {
 				return nil, r.err
 			}
+			col = vector.New(typ, rows)
 			for i := 0; i < rows; i++ {
 				col.AppendBool(raw[i] != 0)
 			}
 		case vector.Str:
+			// Each string needs at least its u32 length prefix.
+			if r.rest() < 4*rows {
+				r.fail(fmt.Sprintf("%d string rows", rows))
+				return nil, r.err
+			}
+			col = vector.New(typ, rows)
 			for i := 0; i < rows; i++ {
 				col.AppendStr(r.str32())
 			}

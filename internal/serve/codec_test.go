@@ -153,6 +153,31 @@ func TestDecodeRejectsOverdeclaredRows(t *testing.T) {
 	}
 }
 
+func TestDecodeValidatesFixedWidthBeforeAlloc(t *testing.T) {
+	// The row count passes the 1-byte/row sanity floor (the payload holds
+	// rows bytes) but an Int64 column needs 8 bytes/row: the decoder must
+	// reject before sizing a vector allocation off the unvalidated count.
+	const rows = 1 << 20
+	payload := AppendBlockHeader(nil, rows, 1)
+	payload = append(payload, byte(vector.Int64))
+	payload = appendU16(payload, 1)
+	payload = append(payload, 'x')
+	payload = append(payload, make([]byte, rows)...) // 1 byte/row, not 8
+	if _, err := DecodeBlock(payload); err == nil {
+		t.Fatal("undersized fixed-width payload accepted")
+	}
+
+	// Same for strings: each row needs at least its u32 length prefix.
+	payload = AppendBlockHeader(nil, rows, 1)
+	payload = append(payload, byte(vector.Str))
+	payload = appendU16(payload, 1)
+	payload = append(payload, 'x')
+	payload = append(payload, make([]byte, rows)...) // 1 byte/row, not 4
+	if _, err := DecodeBlock(payload); err == nil {
+		t.Fatal("undersized string payload accepted")
+	}
+}
+
 func TestFrameRoundTrip(t *testing.T) {
 	var buf bytes.Buffer
 	payloads := [][]byte{nil, {1}, bytes.Repeat([]byte{0xAB}, 70_000)}

@@ -46,6 +46,10 @@ type Config struct {
 	// DefaultClientBuffer is the per-connection result queue capacity used
 	// when a Register asks for 0 (default 64).
 	DefaultClientBuffer int
+	// MaxClientBuffer caps the per-connection queue capacity a Register may
+	// request (default 65536). The request is clamped, not rejected — the
+	// field is client-supplied and must never size an allocation directly.
+	MaxClientBuffer int
 	// DrainTimeout bounds Shutdown's graceful phase when the caller's
 	// context carries no deadline (default 5s).
 	DrainTimeout time.Duration
@@ -59,13 +63,21 @@ func (c Config) sharedBuffer() int {
 }
 
 func (c Config) clientBuffer(req int) int {
-	if req > 0 {
-		return req
+	if req <= 0 {
+		if c.DefaultClientBuffer > 0 {
+			req = c.DefaultClientBuffer
+		} else {
+			req = 64
+		}
 	}
-	if c.DefaultClientBuffer > 0 {
-		return c.DefaultClientBuffer
+	max := c.MaxClientBuffer
+	if max <= 0 {
+		max = 65536
 	}
-	return 64
+	if req > max {
+		req = max
+	}
+	return req
 }
 
 // Stats is a point-in-time snapshot of the server's wire counters.
@@ -261,25 +273,15 @@ func (m *member) detachSignal() { m.goneOnce.Do(func() { close(m.gone) }) }
 func (s *Server) register(c *conn, sql string, mode datacell.Mode, policy Policy, buffer int) (*member, string, error) {
 	key := shareKey{mode: mode, sql: normalizeStmt(sql)}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.draining || s.closed {
+		s.mu.Unlock()
 		return nil, "", errors.New("serve: server is draining")
 	}
 	ss := s.shared[key]
-	if ss != nil {
-		// retire holds s.mu before marking, so an entry found in the map
-		// while we hold s.mu cannot be retired; checked anyway.
-		ss.mu.Lock()
-		if ss.retired {
-			ss.mu.Unlock()
-			ss = nil
-		} else {
-			defer ss.mu.Unlock()
-		}
-	}
 	if ss == nil {
 		q, err := s.db.Register(key.sql, datacell.Options{Mode: mode})
 		if err != nil {
+			s.mu.Unlock()
 			return nil, "", err
 		}
 		ctx, cancel := context.WithCancel(context.Background())
@@ -287,6 +289,7 @@ func (s *Server) register(c *conn, sql string, mode datacell.Mode, policy Policy
 		if err != nil {
 			cancel()
 			q.Close()
+			s.mu.Unlock()
 			return nil, "", err
 		}
 		seq := s.nextQuery.Add(1)
@@ -304,8 +307,6 @@ func (s *Server) register(c *conn, sql string, mode datacell.Mode, policy Policy
 		s.shared[key] = ss
 		s.wg.Add(1)
 		go ss.fanout(ch)
-		ss.mu.Lock()
-		defer ss.mu.Unlock()
 	}
 	m := &member{
 		id:       s.nextSub.Add(1),
@@ -316,8 +317,25 @@ func (s *Server) register(c *conn, sql string, mode datacell.Mode, policy Policy
 		gone:     make(chan struct{}),
 		pumpDone: make(chan struct{}),
 	}
+	// Insert the member while still holding s.mu: retire takes s.mu before
+	// marking, so an entry found in the map here cannot retire underneath
+	// us, and once the member is in it sees len(members) > 0 and bails.
+	ss.mu.Lock()
 	ss.members[m.id] = m
+	ss.mu.Unlock()
+	s.mu.Unlock()
+	// Attach to the connection last, gated on the dead flag: teardown can
+	// fire concurrently from another subscription's pump (write failure) or
+	// a policy disconnect. Either teardown's sweep sees the member in
+	// c.subs and detaches it, or it ran first and marked the conn dead —
+	// then we detach here, so a post-teardown registration can never leak
+	// into the sharedSub as an unreachable Block-policy member.
 	c.mu.Lock()
+	if c.dead {
+		c.mu.Unlock()
+		s.detach(m)
+		return nil, "", errors.New("serve: connection closed")
+	}
 	c.subs[m.id] = m
 	c.mu.Unlock()
 	// The caller starts the pump after writing the MsgSubscribed response,
@@ -480,6 +498,7 @@ type conn struct {
 
 	mu   sync.Mutex
 	subs map[uint32]*member
+	dead bool // set by teardown; register refuses attachments after it
 }
 
 // writeFrame serializes one control frame onto the socket.
@@ -530,6 +549,7 @@ func (c *conn) teardown(reason string) {
 		close(c.gone)
 		c.c.Close()
 		c.mu.Lock()
+		c.dead = true
 		subs := make([]*member, 0, len(c.subs))
 		for _, m := range c.subs {
 			subs = append(subs, m)

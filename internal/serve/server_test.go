@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"bufio"
 	"context"
 	"fmt"
 	"io"
@@ -430,6 +431,127 @@ func TestServeGracefulDrain(t *testing.T) {
 	// New connections are refused while down.
 	if _, err := Dial(addr); err == nil {
 		t.Fatal("dial after shutdown should fail")
+	}
+}
+
+// TestRegisterBufferClamped sends a raw MsgRegister asking for a
+// 0xFFFFFFFF-slot queue: the client-supplied field must be clamped, never
+// used directly as a channel capacity (a ~100 GB allocation).
+func TestRegisterBufferClamped(t *testing.T) {
+	cfg := Config{}
+	if got := cfg.clientBuffer(int(uint32(0xFFFFFFFF))); got != 65536 {
+		t.Fatalf("huge request clamped to %d, want 65536", got)
+	}
+	if got := cfg.clientBuffer(0); got != 64 {
+		t.Fatalf("zero request got %d, want default 64", got)
+	}
+	if got := (Config{MaxClientBuffer: 8, DefaultClientBuffer: 100}).clientBuffer(0); got != 8 {
+		t.Fatalf("default above max got %d, want 8", got)
+	}
+
+	db := newIntDB(t)
+	_, addr := startServer(t, db, Config{})
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	bw := bufio.NewWriter(nc)
+	if err := WriteFrame(bw, MsgHello, append([]byte(Magic), ProtocolVersion)); err != nil {
+		t.Fatal(err)
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	br := bufio.NewReader(nc)
+	if tp, _, _, err := ReadFrame(br, nil); err != nil || tp != MsgOK {
+		t.Fatalf("handshake: type 0x%02x err %v", uint8(tp), err)
+	}
+	b := appendU32(nil, 1) // seq
+	b = append(b, byte(datacell.Incremental), byte(PolicyBlock))
+	b = appendU32(b, 0xFFFFFFFF)
+	b = appendStr32(b, `SELECT count(*) FROM s [RANGE 2 SLIDE 2]`)
+	if err := WriteFrame(bw, MsgRegister, b); err != nil {
+		t.Fatal(err)
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	tp, _, _, err := ReadFrame(br, nil)
+	if err != nil || tp != MsgSubscribed {
+		t.Fatalf("register with huge buffer: type 0x%02x err %v", uint8(tp), err)
+	}
+}
+
+// TestRegisterAfterTeardownDetaches pins the register/teardown race: a
+// registration that loses the race against connection teardown must be
+// detached (and its sharedSub retired), not leaked as an unreachable
+// member that would wedge a Block-policy fanout forever.
+func TestRegisterAfterTeardownDetaches(t *testing.T) {
+	db := newIntDB(t)
+	srv := New(db, Config{})
+	p1, p2 := net.Pipe()
+	defer p2.Close()
+	c := &conn{
+		srv:  srv,
+		c:    p1,
+		bw:   bufio.NewWriter(p1),
+		gone: make(chan struct{}),
+		subs: map[uint32]*member{},
+	}
+	srv.mu.Lock()
+	srv.conns[c] = struct{}{}
+	srv.mu.Unlock()
+	c.teardown("test")
+	if _, _, err := srv.register(c, `SELECT count(*) FROM s [RANGE 2 SLIDE 2]`, datacell.Incremental, PolicyBlock, 0); err == nil {
+		t.Fatal("register on a torn-down conn succeeded")
+	}
+	srv.mu.Lock()
+	leaked := len(srv.shared)
+	srv.mu.Unlock()
+	if leaked != 0 {
+		t.Fatalf("%d sharedSubs leaked after dead-conn register", leaked)
+	}
+	srv.wg.Wait() // the fanout goroutine exits once the query retires
+}
+
+// TestClientCloseDuringDelivery races Close against in-flight result
+// delivery to a full subscription channel. The reader goroutine is the
+// sole closer of sub.ch; a fail path that closed it could panic with
+// "send on closed channel" under this load.
+func TestClientCloseDuringDelivery(t *testing.T) {
+	db := newIntDB(t)
+	_, addr := startServer(t, db, Config{})
+	for i := 0; i < 8; i++ {
+		cl, err := Dial(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sub, err := cl.Register(`SELECT count(*) FROM s [RANGE 1 SLIDE 1]`, RegisterOptions{Buffer: 1, Policy: PolicyDropOldest})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cl.Append("s", nil, intCols(0, 64)); err != nil {
+			t.Fatal(err)
+		}
+		// Let one result land (the 1-slot channel fills behind it), then
+		// close while the server keeps delivering.
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		_, rerr := sub.Recv(ctx)
+		cancel()
+		if rerr != nil {
+			t.Fatal(rerr)
+		}
+		go cl.Close()
+		for { // drain until terminal; must end in an error, never a panic
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			_, err := sub.Recv(ctx)
+			cancel()
+			if err != nil {
+				break
+			}
+		}
+		cl.Close()
 	}
 }
 
