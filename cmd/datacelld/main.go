@@ -10,7 +10,9 @@
 // continuous queries onto one engine (identical statements share a single
 // evaluation and a single result encode), and applies each connection's
 // slow-consumer policy. -metrics exposes engine and wire statistics in
-// Prometheus text format. SIGINT/SIGTERM drain gracefully: the listener
+// Prometheus text format; -pprof additionally mounts net/http/pprof under
+// /debug/pprof/ on the same address (opt-in: the endpoints expose stacks
+// and heap contents). SIGINT/SIGTERM drain gracefully: the listener
 // closes, owed windows are flushed to every subscriber, then connections
 // end with a BYE frame.
 //
@@ -43,6 +45,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -55,6 +58,7 @@ import (
 func main() {
 	listen := flag.String("listen", "", "serve the wire protocol on this address (e.g. :7878)")
 	metrics := flag.String("metrics", "", "serve /metrics over HTTP on this address (server mode only)")
+	pprofOn := flag.Bool("pprof", false, "also serve net/http/pprof under /debug/pprof/ on the -metrics address")
 	connect := flag.String("connect", "", "run the shell against a remote datacelld at this address")
 	drain := flag.Duration("drain", 5*time.Second, "graceful-drain bound for shutdown (server mode)")
 	flag.Parse()
@@ -65,7 +69,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "datacelld: -listen and -connect are mutually exclusive")
 		os.Exit(2)
 	case *listen != "":
-		err = runServer(*listen, *metrics, *drain)
+		err = runServer(*listen, *metrics, *pprofOn, *drain)
 	case *connect != "":
 		err = runRemoteShell(*connect)
 	default:
@@ -79,7 +83,7 @@ func main() {
 
 // runServer hosts one engine behind the wire protocol until a signal
 // drains it.
-func runServer(addr, metricsAddr string, drain time.Duration) error {
+func runServer(addr, metricsAddr string, pprofOn bool, drain time.Duration) error {
 	db := datacell.New()
 	srv := serve.New(db, serve.Config{DrainTimeout: drain})
 	ln, err := net.Listen("tcp", addr)
@@ -91,12 +95,24 @@ func runServer(addr, metricsAddr string, drain time.Duration) error {
 	if metricsAddr != "" {
 		mux := http.NewServeMux()
 		mux.Handle("/metrics", srv.MetricsHandler())
+		if pprofOn {
+			// Gated behind a flag: the profile endpoints expose stacks and
+			// heap contents, so they are opt-in even on the metrics port.
+			mux.HandleFunc("/debug/pprof/", pprof.Index)
+			mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+			mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+			mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+			mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		}
 		mln, err := net.Listen("tcp", metricsAddr)
 		if err != nil {
 			ln.Close()
 			return fmt.Errorf("metrics listener: %w", err)
 		}
 		fmt.Printf("datacelld: metrics on http://%s/metrics\n", mln.Addr())
+		if pprofOn {
+			fmt.Printf("datacelld: pprof on http://%s/debug/pprof/\n", mln.Addr())
+		}
 		go func() {
 			if err := http.Serve(mln, mux); err != nil {
 				fmt.Fprintln(os.Stderr, "datacelld: metrics server:", err)

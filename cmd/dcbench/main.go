@@ -129,7 +129,7 @@ func runMerge(cfg bench.Config, jsonDir string) (*bench.Table, error) {
 		return nil, err
 	}
 	if jsonDir != "" {
-		path, err := bench.WriteMergeJSON(points, jsonDir)
+		path, err := bench.WriteMergeJSON(points, bench.NewMergeRunMeta(window, slide, slides), jsonDir)
 		if err != nil {
 			return nil, err
 		}

@@ -133,6 +133,15 @@ type Options struct {
 	// slide and fans the partial into every subscriber's private merge;
 	// results are bit-identical either way. See Query.Explain.
 	PrivateFragments bool
+	// PrivateMergeTails opts this query out of merge-tail sharing while
+	// leaving fragment sharing on: the query always runs its own concat +
+	// grouped re-group over the window even when other subscribers compute
+	// an identical merge head (same fragment, window length and
+	// group/aggregate shape — HAVING and projection constants excluded).
+	// The default (sharing on) computes each canonical head once per slide
+	// and every subscriber applies only its residual tail. Implied by
+	// PrivateFragments; results are bit-identical either way.
+	PrivateMergeTails bool
 }
 
 // Result is one window result.
@@ -384,12 +393,13 @@ type Query struct {
 func (db *DB) Register(query string, opts Options) (*Query, error) {
 	q := &Query{db: db}
 	cq, err := db.eng.Register(query, engine.Options{
-		Mode:             opts.Mode,
-		AutoThreshold:    opts.AutoThreshold,
-		Chunks:           opts.Chunks,
-		AdaptiveChunks:   opts.AdaptiveChunks,
-		Parallelism:      opts.Parallelism,
-		PrivateFragments: opts.PrivateFragments,
+		Mode:              opts.Mode,
+		AutoThreshold:     opts.AutoThreshold,
+		Chunks:            opts.Chunks,
+		AdaptiveChunks:    opts.AdaptiveChunks,
+		Parallelism:       opts.Parallelism,
+		PrivateFragments:  opts.PrivateFragments,
+		PrivateMergeTails: opts.PrivateMergeTails,
 		OnResult: func(r *engine.Result) {
 			q.deliver(&Result{
 				Window:           r.Window,
@@ -530,15 +540,21 @@ func (q *Query) Fingerprint() string { return q.cq.Fingerprint() }
 type QueryStats struct {
 	// Windows is the number of window results emitted.
 	Windows int
-	// Fragment, Shared, Partition, Merge and Total mirror the engine's
-	// StageBreakdown: fragment work the query evaluated itself, time spent
-	// adopting shared fragment partials computed by other queries, the
-	// partitioned grouped re-group, the serial merge remainder, and total
+	// Fragment, Shared, Scatter, Partition, Stitch, Merge and Total mirror
+	// the engine's StageBreakdown: fragment work the query evaluated
+	// itself, time spent adopting shared work (fragment partials and merge
+	// heads) computed by other queries, the parallel hash-scatter feeding
+	// the shards, the partitioned grouped re-group, the tree stitch that
+	// restores serial group order, the serial merge remainder, and total
 	// step wall time.
-	Fragment, Shared, Partition, Merge, Total time.Duration
+	Fragment, Shared, Scatter, Partition, Stitch, Merge, Total time.Duration
 	// AdoptedSlides and LedSlides count slides the query adopted from the
 	// shared-plan catalog versus evaluated itself and published.
 	AdoptedSlides, LedSlides int64
+	// AdoptedTails and LedTails count window merges whose shared merge
+	// head was adopted from the tail catalog versus computed and published
+	// by this query (see Options.PrivateMergeTails).
+	AdoptedTails, LedTails int64
 	// BatchedSlides counts slides drained through the intra-query parallel
 	// StepBatch path.
 	BatchedSlides int64
@@ -550,17 +566,22 @@ type QueryStats struct {
 // Stats returns a snapshot of the query's cumulative runtime counters.
 // It is safe to call concurrently with a running scheduler.
 func (q *Query) Stats() QueryStats {
-	fragNS, sharedNS, partNS, mergeNS, totalNS := q.cq.StageBreakdown()
+	st := q.cq.StageBreakdown()
 	adopted, led := q.cq.SharedSlides()
+	tailsAdopted, tailsLed := q.cq.SharedTails()
 	return QueryStats{
 		Windows:       q.cq.Windows(),
-		Fragment:      time.Duration(fragNS),
-		Shared:        time.Duration(sharedNS),
-		Partition:     time.Duration(partNS),
-		Merge:         time.Duration(mergeNS),
-		Total:         time.Duration(totalNS),
+		Fragment:      time.Duration(st.FragmentNS),
+		Shared:        time.Duration(st.SharedNS),
+		Scatter:       time.Duration(st.ScatterNS),
+		Partition:     time.Duration(st.PartitionNS),
+		Stitch:        time.Duration(st.StitchNS),
+		Merge:         time.Duration(st.MergeNS),
+		Total:         time.Duration(st.TotalNS),
 		AdoptedSlides: adopted,
 		LedSlides:     led,
+		AdoptedTails:  tailsAdopted,
+		LedTails:      tailsLed,
 		BatchedSlides: q.cq.BatchedSlides(),
 		Delivered:     q.delivered.Load(),
 		Dropped:       q.dropped.Load(),

@@ -74,15 +74,27 @@ func (t *IntTable) Len() int { return len(t.keys) }
 // table; every other key shape falls back to a reused string-keyed map.
 type GroupTable struct {
 	mask  uint64
-	slots []int32 // group id + 1; 0 = empty
-	keys  []int64 // aligned with slots
-	used  int     // occupied slots; drives load-factor growth
+	slots []groupSlot // interleaved key+id+epoch; one cache line per probe
+	epoch uint32      // slots with a different epoch read as empty
+	used  int         // occupied slots; drives load-factor growth
 	// generic (multi-column / non-integer) keys
 	strIDs map[string]int32
 	// groups is the table-owned result of the latest GroupWith: IDs and
 	// Repr are reused across firings, so a steady-state caller that holds
 	// the result only until its next grouping allocates nothing per call.
 	groups Groups
+}
+
+// groupSlot interleaves the key with its dense id so a probe touches one
+// cache line instead of two parallel arrays, and stamps the slot with the
+// Reset epoch so clearing a multi-megabyte table between firings is an
+// epoch bump, not a memset. A slot is occupied iff its epoch matches the
+// table's current epoch (which is never zero, so freshly allocated arrays
+// read empty).
+type groupSlot struct {
+	key   int64
+	id    int32
+	epoch uint32
 }
 
 // NewGroupTable returns an empty reusable grouping table.
@@ -98,12 +110,17 @@ func (t *GroupTable) Reset(expectedKeys int) {
 	for size < 2*expectedKeys {
 		size <<= 1
 	}
-	if size > len(t.slots) {
-		t.slots = make([]int32, size)
-		t.keys = make([]int64, size)
+	switch {
+	case size > len(t.slots):
+		t.slots = make([]groupSlot, size)
 		t.mask = uint64(size - 1)
-	} else {
-		clear(t.slots)
+		t.epoch = 1
+	default:
+		t.epoch++
+		if t.epoch == 0 { // epoch wrapped: fall back to one real clear
+			clear(t.slots)
+			t.epoch = 1
+		}
 	}
 	t.used = 0
 	if t.strIDs != nil {
@@ -111,24 +128,31 @@ func (t *GroupTable) Reset(expectedKeys int) {
 	}
 }
 
-// grow doubles the open-addressing arrays and rehashes the occupied
+// grow doubles the open-addressing array and rehashes the occupied
 // slots, keeping the assigned group ids.
 func (t *GroupTable) grow() {
-	oldSlots, oldKeys := t.slots, t.keys
-	size := 2 * len(oldSlots)
-	t.slots = make([]int32, size)
-	t.keys = make([]int64, size)
+	old := t.slots
+	size := 2 * len(old)
+	if size == 0 {
+		size = 16
+	}
+	t.slots = make([]groupSlot, size)
 	t.mask = uint64(size - 1)
-	for i, s := range oldSlots {
-		if s == 0 {
+	epoch := t.epoch
+	if epoch == 0 {
+		epoch = 1
+		t.epoch = 1
+	}
+	for _, s := range old {
+		if s.epoch != epoch {
 			continue
 		}
-		h := hashInt64(oldKeys[i], t.mask)
-		for t.slots[h] != 0 {
+		h := hashInt64(s.key, t.mask)
+		for t.slots[h].epoch == epoch {
 			h = (h + 1) & t.mask
 		}
-		t.slots[h] = s
-		t.keys[h] = oldKeys[i]
+		s2 := &t.slots[h]
+		s2.key, s2.id, s2.epoch = s.key, s.id, epoch
 	}
 }
 
@@ -141,16 +165,16 @@ func (t *GroupTable) insertInt64(k int64, nextID int32) (id int32, found bool) {
 		t.grow()
 	}
 	h := hashInt64(k, t.mask)
+	epoch := t.epoch
 	for {
-		s := t.slots[h]
-		if s == 0 {
-			t.slots[h] = nextID + 1
-			t.keys[h] = k
+		s := &t.slots[h]
+		if s.epoch != epoch {
+			s.key, s.id, s.epoch = k, nextID, epoch
 			t.used++
 			return nextID, false
 		}
-		if t.keys[h] == k {
-			return s - 1, true
+		if s.key == k {
+			return s.id, true
 		}
 		h = (h + 1) & t.mask
 	}

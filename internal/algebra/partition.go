@@ -27,6 +27,14 @@ type Partitioner struct {
 	// stays empty — on the int64 fast path).
 	rowKeys      []string
 	genericSplit bool
+
+	// wsel holds the parallel scatter's per-worker x per-shard
+	// sub-selections: worker w's ascending row range hashes into
+	// wsel[w][shard], and FinishShard concatenates the cells in worker
+	// order, reproducing exactly the shard contents a serial Split scan
+	// would have built. Retained across firings like the shard lists.
+	wsel     [][]vector.Sel
+	scatterW int
 }
 
 // NewPartitioner returns an empty partitioner; call Reset before Split.
@@ -110,6 +118,80 @@ func (pt *Partitioner) Split(keys []*vector.Vector) {
 		s := int(fnv1a(ks) % uint64(pt.p))
 		pt.shards[s] = append(pt.shards[s], int32(i))
 	}
+}
+
+// BeginScatter prepares a parallel Split over n rows with the given worker
+// count: each worker hashes a contiguous ascending row range into private
+// per-shard sub-selections (no locked table, no atomics), and FinishShard
+// concatenates the cells per shard in worker order. generic pre-sizes the
+// row-key cache for indexed writes (workers cover disjoint ranges, so the
+// writes never race). Shard contents are bit-identical to a serial Split
+// at any worker count: shard assignment depends only on key values, and
+// worker-order concatenation of ascending ranges restores the global
+// ascending row order.
+func (pt *Partitioner) BeginScatter(workers, n int, generic bool) {
+	if workers < 1 {
+		workers = 1
+	}
+	if pt.genericSplit {
+		pt.ReleaseKeys() // stale cache from a caller that skipped ReleaseKeys
+	}
+	pt.scatterW = workers
+	for len(pt.wsel) < workers {
+		pt.wsel = append(pt.wsel, nil)
+	}
+	for w := 0; w < workers; w++ {
+		for len(pt.wsel[w]) < pt.p {
+			pt.wsel[w] = append(pt.wsel[w], vector.Sel{})
+		}
+		for s := 0; s < pt.p; s++ {
+			pt.wsel[w][s] = pt.wsel[w][s][:0]
+		}
+	}
+	if generic {
+		pt.genericSplit = true
+		if cap(pt.rowKeys) < n {
+			pt.rowKeys = make([]string, n)
+		}
+		pt.rowKeys = pt.rowKeys[:n]
+	}
+}
+
+// ScatterIntRange hashes rows [lo, hi) of the int64 key column into worker
+// w's sub-selections. Safe to run concurrently across distinct workers.
+func (pt *Partitioner) ScatterIntRange(w int, vals []int64, lo, hi int) {
+	cells := pt.wsel[w]
+	p := pt.p
+	for i := lo; i < hi; i++ {
+		s := shardOfInt64(vals[i], p)
+		cells[s] = append(cells[s], int32(i))
+	}
+}
+
+// ScatterGenericRange hashes rows [lo, hi) of a generic (multi-column or
+// non-integer) key into worker w's sub-selections, filling the row-key
+// cache for the per-shard groupings. Safe across distinct workers: ranges
+// are disjoint, so the indexed cache writes never overlap.
+func (pt *Partitioner) ScatterGenericRange(w int, keys []*vector.Vector, lo, hi int) {
+	cells := pt.wsel[w]
+	p := uint64(pt.p)
+	for i := lo; i < hi; i++ {
+		ks := genericKey(keys, int32(i))
+		pt.rowKeys[i] = ks
+		s := int(fnv1a(ks) % p)
+		cells[s] = append(cells[s], int32(i))
+	}
+}
+
+// FinishShard concatenates shard s's per-worker cells in worker order,
+// installing the shard's final ascending selection. Shards are
+// independent, so a worker pool may finish them concurrently.
+func (pt *Partitioner) FinishShard(s int) {
+	dst := pt.shards[s][:0]
+	for w := 0; w < pt.scatterW; w++ {
+		dst = append(dst, pt.wsel[w][s]...)
+	}
+	pt.shards[s] = dst
 }
 
 // RowKeys returns the per-row generic key strings cached by the last

@@ -130,10 +130,13 @@ func FanoutTable(points []FanoutPoint, tuplesPerPoint int) *Table {
 
 // fanoutSlideQuery is the shared-plan workload shape: every query computes
 // the same per-slide fragment (filterless grouped sum at one slide size),
-// while the window length and HAVING threshold vary per query so each
-// keeps a private merge tail. With the fragment registry every slide is
-// evaluated once and fanned out; with PrivateFragments each of the Q
-// queries re-evaluates it.
+// the window length alternates between two values (two merge-tail
+// cliques) and the HAVING threshold varies per query (each clique's
+// queries differ only in the residual constant). With the fragment
+// registry every slide's fragment is evaluated once and fanned out; with
+// merge-tail sharing on top, each clique's grouped re-group also runs
+// once per window end; with PrivateFragments each of the Q queries
+// re-evaluates everything.
 const fanoutSlideQuery = `SELECT x1, sum(x2) FROM s [RANGE %d SLIDE %d] GROUP BY x1 HAVING sum(x2) > %d`
 
 // FanoutSlideQueryCounts is the standard sweep for the shared-plan
@@ -141,23 +144,42 @@ const fanoutSlideQuery = `SELECT x1, sum(x2) FROM s [RANGE %d SLIDE %d] GROUP BY
 // queries.
 var FanoutSlideQueryCounts = []int{1, 64, 1024}
 
+// FanoutSlideMode selects how much of the shared-plan catalog a drain
+// uses.
+type FanoutSlideMode int
+
+const (
+	// FanoutFullShared is the engine default: fragments and merge tails
+	// both interned.
+	FanoutFullShared FanoutSlideMode = iota
+	// FanoutFragmentsOnly shares fragments but keeps every merge tail
+	// private — the catalog as of the fragment-sharing PR, the baseline
+	// the merge-tail layer is measured against.
+	FanoutFragmentsOnly
+	// FanoutPrivate evaluates everything per query — the baseline that
+	// scales linearly in Q.
+	FanoutPrivate
+)
+
 // FanoutSlidePoint is one measured query count: wall-clock per stream
-// slide draining the same backlog with fragment sharing on (the default)
-// and off (PrivateFragments — the per-query baseline that scales
-// linearly in Q).
+// slide draining the same backlog fully shared (fragments + merge
+// tails), with fragment sharing only, and fully private.
 type FanoutSlidePoint struct {
-	Queries           int     `json:"queries"`
-	Slides            int     `json:"slides"`
-	SharedNsPerSlide  float64 `json:"shared_ns_per_slide"`
-	PrivateNsPerSlide float64 `json:"private_ns_per_slide"`
-	Speedup           float64 `json:"private_over_shared"`
+	Queries             int     `json:"queries"`
+	Slides              int     `json:"slides"`
+	SharedNsPerSlide    float64 `json:"shared_ns_per_slide"`
+	FragmentsNsPerSlide float64 `json:"fragments_only_ns_per_slide"`
+	PrivateNsPerSlide   float64 `json:"private_ns_per_slide"`
+	Speedup             float64 `json:"private_over_shared"`
+	TailSpeedup         float64 `json:"fragments_only_over_shared"`
 }
 
 // MeasureFanoutSlides registers nQueries fragment-sharing queries
-// (window length and HAVING threshold vary, the pre-merge fragment is
-// identical), buffers slides stream slides, and times the Pump that
-// drains them. Returns wall-clock nanoseconds per stream slide.
-func MeasureFanoutSlides(nQueries, window, slide, slides int, private bool) (float64, error) {
+// (window length alternates, HAVING threshold varies, the pre-merge
+// fragment is identical), buffers slides stream slides, and times the
+// Pump that drains them. Returns wall-clock nanoseconds per stream
+// slide.
+func MeasureFanoutSlides(nQueries, window, slide, slides int, mode FanoutSlideMode) (float64, error) {
 	e := engine.New()
 	if err := e.RegisterStream("s", intSchema()); err != nil {
 		return 0, err
@@ -166,17 +188,19 @@ func MeasureFanoutSlides(nQueries, window, slide, slides int, private bool) (flo
 	for i := 0; i < nQueries; i++ {
 		q := fmt.Sprintf(fanoutSlideQuery, window*(1+i%2), slide, i)
 		opts := engine.Options{
-			Mode:             engine.Incremental,
-			PrivateFragments: private,
-			OnResult:         func(*engine.Result) { windows++ },
+			Mode:              engine.Incremental,
+			PrivateFragments:  mode == FanoutPrivate,
+			PrivateMergeTails: mode == FanoutFragmentsOnly,
+			OnResult:          func(*engine.Result) { windows++ },
 		}
 		if _, err := e.Register(q, opts); err != nil {
 			return 0, err
 		}
 	}
-	// Small key domain: the merge tails stay cheap, so the fragment work
-	// the registry deduplicates dominates the drain.
-	gen := workload.NewGen(1234, 16, 1000)
+	// Large key domain: the grouped re-group in the merge tail carries
+	// real weight, so the sweep exposes both sharing layers — the
+	// fragment dedup and the merge-tail dedup.
+	gen := workload.NewGen(1234, 4096, 1000)
 	for i := 0; i < slides; i++ {
 		if err := e.AppendColumns("s", gen.Next(slide), nil); err != nil {
 			return 0, err
@@ -193,27 +217,34 @@ func MeasureFanoutSlides(nQueries, window, slide, slides int, private bool) (flo
 	return float64(elapsed.Nanoseconds()) / float64(slides), nil
 }
 
-// MeasureFanoutSlideSweep measures shared and private drains for every
-// query count in FanoutSlideQueryCounts. Sharing must hold the per-slide
-// cost ~flat from 1 to 1024 queries while the private baseline grows
-// linearly.
+// MeasureFanoutSlideSweep measures fully-shared, fragments-only and
+// private drains for every query count in FanoutSlideQueryCounts.
+// Sharing must hold the per-slide cost ~flat from 1 to 1024 queries
+// while the private baseline grows linearly; the fragments-only column
+// isolates what the merge-tail layer adds on top.
 func MeasureFanoutSlideSweep(window, slide, slides int) ([]FanoutSlidePoint, error) {
 	points := make([]FanoutSlidePoint, 0, len(FanoutSlideQueryCounts))
 	for _, nq := range FanoutSlideQueryCounts {
-		shared, err := MeasureFanoutSlides(nq, window, slide, slides, false)
+		shared, err := MeasureFanoutSlides(nq, window, slide, slides, FanoutFullShared)
 		if err != nil {
 			return nil, err
 		}
-		priv, err := MeasureFanoutSlides(nq, window, slide, slides, true)
+		frags, err := MeasureFanoutSlides(nq, window, slide, slides, FanoutFragmentsOnly)
+		if err != nil {
+			return nil, err
+		}
+		priv, err := MeasureFanoutSlides(nq, window, slide, slides, FanoutPrivate)
 		if err != nil {
 			return nil, err
 		}
 		points = append(points, FanoutSlidePoint{
-			Queries:           nq,
-			Slides:            slides,
-			SharedNsPerSlide:  shared,
-			PrivateNsPerSlide: priv,
-			Speedup:           priv / shared,
+			Queries:             nq,
+			Slides:              slides,
+			SharedNsPerSlide:    shared,
+			FragmentsNsPerSlide: frags,
+			PrivateNsPerSlide:   priv,
+			Speedup:             priv / shared,
+			TailSpeedup:         frags / shared,
 		})
 	}
 	return points, nil
@@ -236,15 +267,17 @@ func FanoutSlideTable(points []FanoutSlidePoint, window, slide int) *Table {
 		Figure: "FanoutSlides",
 		Title: fmt.Sprintf("per-slide wall-clock vs subscribed queries (|W|=%d, |w|=%d, shared-plan catalog vs private evaluation)",
 			window, slide),
-		Header: []string{"queries", "shared_ms_per_slide", "private_ms_per_slide", "private/shared"},
-		Notes:  "(fragments interned per stream: shared cost must stay ~flat in the query count, private grows linearly)",
+		Header: []string{"queries", "shared_ms_per_slide", "frags_only_ms_per_slide", "private_ms_per_slide", "private/shared", "frags_only/shared"},
+		Notes:  "(fragments and merge tails interned per stream: shared cost must stay ~flat in the query count, private grows linearly; frags_only/shared isolates the merge-tail layer)",
 	}
 	for _, p := range points {
 		t.Rows = append(t.Rows, []string{
 			fmt.Sprint(p.Queries),
 			fmt.Sprintf("%.3f", p.SharedNsPerSlide/1e6),
+			fmt.Sprintf("%.3f", p.FragmentsNsPerSlide/1e6),
 			fmt.Sprintf("%.3f", p.PrivateNsPerSlide/1e6),
 			fmt.Sprintf("%.2f", p.Speedup),
+			fmt.Sprintf("%.2f", p.TailSpeedup),
 		})
 	}
 	return t

@@ -24,7 +24,8 @@ func TestWriteFanoutJSON(t *testing.T) {
 	}
 	slidePoints := []FanoutSlidePoint{{
 		Queries: 1, Slides: 4,
-		SharedNsPerSlide: 1000, PrivateNsPerSlide: 2000, Speedup: 2,
+		SharedNsPerSlide: 1000, FragmentsNsPerSlide: 1500, PrivateNsPerSlide: 2000,
+		Speedup: 2, TailSpeedup: 1.5,
 	}}
 	dir := t.TempDir()
 	path, err := WriteFanoutJSON(points, slidePoints, dir)
@@ -75,7 +76,8 @@ func TestFanoutSlideSweep(t *testing.T) {
 		t.Fatalf("points: %d", len(points))
 	}
 	for _, p := range points {
-		if p.SharedNsPerSlide <= 0 || p.PrivateNsPerSlide <= 0 || p.Speedup <= 0 {
+		if p.SharedNsPerSlide <= 0 || p.FragmentsNsPerSlide <= 0 ||
+			p.PrivateNsPerSlide <= 0 || p.Speedup <= 0 || p.TailSpeedup <= 0 {
 			t.Errorf("malformed point %+v", p)
 		}
 	}

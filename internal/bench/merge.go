@@ -5,9 +5,12 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"time"
 
+	"datacell/internal/basket"
 	"datacell/internal/engine"
+	"datacell/internal/vector"
 	"datacell/internal/workload"
 )
 
@@ -41,7 +44,9 @@ type MergePoint struct {
 	Tuples       int     `json:"tuples"`
 	WallMS       float64 `json:"wall_ms"`
 	FragmentMS   float64 `json:"fragment_ms"`
+	ScatterMS    float64 `json:"scatter_ms"`
 	PartitionMS  float64 `json:"partition_ms"`
+	StitchMS     float64 `json:"stitch_ms"`
 	MergeMS      float64 `json:"merge_ms"`
 	MergeSpeedup float64 `json:"merge_speedup_vs_serial"`
 	Speedup      float64 `json:"speedup_vs_serial"`
@@ -54,6 +59,16 @@ type MergePoint struct {
 // single Pump that drains it, splitting time by stage (StageBreakdown).
 func MeasureMerge(workers, keys, window, slide, slides int, baseline bool) (MergePoint, error) {
 	p := MergePoint{Keys: keys, Workers: workers, Baseline: baseline}
+	// The runtime caps shard counts at GOMAXPROCS (shards beyond schedulable
+	// CPUs only add stitch overhead), so raise it to the measured worker
+	// count for the duration — on small hosts the sweep then still
+	// exercises the scatter/stitch machinery, and the checksum cross-check
+	// against the serial baseline keeps it honest (results are
+	// bit-identical at any worker count by construction).
+	if prev := runtime.GOMAXPROCS(0); workers > prev {
+		runtime.GOMAXPROCS(workers)
+		defer runtime.GOMAXPROCS(prev)
+	}
 	e := engine.New()
 	if err := e.RegisterStream("s", intSchema()); err != nil {
 		return p, err
@@ -66,9 +81,19 @@ func MeasureMerge(workers, keys, window, slide, slides int, baseline bool) (Merg
 		SerialMergeInstr: baseline,
 		OnResult: func(r *engine.Result) {
 			windows++
+			// Typed column walks: the boxed Get path costs more than the
+			// merge stage itself at large key domains, drowning the very
+			// effect this bench measures.
 			for _, col := range r.Table.Cols {
-				for i := 0; i < col.Len(); i++ {
-					checksum = checksum*31 + col.Get(i).I
+				switch col.Type() {
+				case vector.Int64, vector.Timestamp:
+					for _, v := range col.Int64s() {
+						checksum = checksum*31 + v
+					}
+				default:
+					for i := 0; i < col.Len(); i++ {
+						checksum = checksum*31 + col.Get(i).I
+					}
 				}
 			}
 		},
@@ -96,20 +121,31 @@ func MeasureMerge(workers, keys, window, slide, slides int, baseline bool) (Merg
 	if steps != slides {
 		return p, fmt.Errorf("bench: drained %d steps, want %d", steps, slides)
 	}
-	frag, _, part, merge, _ := q.StageBreakdown()
+	st := q.StageBreakdown()
 	p.Windows = windows
 	p.Tuples = total
 	p.WallMS = float64(elapsed.Nanoseconds()) / 1e6
-	p.FragmentMS = float64(frag) / 1e6
-	p.PartitionMS = float64(part) / 1e6
-	p.MergeMS = float64(merge) / 1e6
+	p.FragmentMS = float64(st.FragmentNS) / 1e6
+	p.ScatterMS = float64(st.ScatterNS) / 1e6
+	p.PartitionMS = float64(st.PartitionNS) / 1e6
+	p.StitchMS = float64(st.StitchNS) / 1e6
+	p.MergeMS = float64(st.MergeNS) / 1e6
 	p.ResultSum = checksum
 	p.AllocPerStep = float64(m1.Mallocs-m0.Mallocs) / float64(steps)
 	return p, nil
 }
 
-// MergeWorkerCounts mirrors ParallelWorkerCounts: 1, 2, 4 plus NumCPU.
-func MergeWorkerCounts() []int { return ParallelWorkerCounts() }
+// MergeWorkerCounts returns the merge sweep's worker counts: 1, 2, 4 and 8
+// plus NumCPU when larger. Counts above NumCPU are still measured —
+// MeasureMerge raises GOMAXPROCS for the run, so the scatter/stitch
+// machinery is exercised (and checksum-verified) even on small hosts.
+func MergeWorkerCounts() []int {
+	counts := []int{1, 2, 4, 8}
+	if ncpu := runtime.NumCPU(); ncpu > 8 {
+		counts = append(counts, ncpu)
+	}
+	return counts
+}
 
 // MergeKeyDomains returns the swept key-domain sizes relative to the
 // window: a small hot set (merge negligible), a mid-size domain, and a
@@ -149,7 +185,7 @@ func MeasureMergeSweep(window, slide, slides int) ([]MergePoint, error) {
 					keys, pt.Workers, pt.ResultSum, base.ResultSum)
 			}
 			pt.Speedup = base.WallMS / pt.WallMS
-			if m := pt.PartitionMS + pt.MergeMS; m > 0 {
+			if m := pt.ScatterMS + pt.PartitionMS + pt.StitchMS + pt.MergeMS; m > 0 {
 				pt.MergeSpeedup = (base.PartitionMS + base.MergeMS) / m
 			}
 			points = append(points, pt)
@@ -182,7 +218,7 @@ func MergeTable(points []MergePoint, window, slide, slides int) *Table {
 		Figure: "Merge",
 		Title: fmt.Sprintf("partition-parallel grouped merge: |W|=%d, |w|=%d, %d-slide backlog, key domains x workers",
 			window, slide, slides),
-		Header: []string{"keys", "workers", "wall_ms", "fragment_ms", "partition_ms", "merge_ms", "merge_speedup", "speedup", "allocs_per_step"},
+		Header: []string{"keys", "workers", "wall_ms", "fragment_ms", "scatter_ms", "partition_ms", "stitch_ms", "merge_ms", "merge_speedup", "speedup", "allocs_per_step"},
 		Notes:  "(serial = seed-style instruction merge, the speedup anchor; merge_speedup compares the merge stage — partition + serial remainder — against it; checksums verified identical across every cell)",
 	}
 	for _, p := range points {
@@ -195,7 +231,9 @@ func MergeTable(points []MergePoint, window, slide, slides int) *Table {
 			workers,
 			fmt.Sprintf("%.1f", p.WallMS),
 			fmt.Sprintf("%.1f", p.FragmentMS),
+			fmt.Sprintf("%.1f", p.ScatterMS),
 			fmt.Sprintf("%.1f", p.PartitionMS),
+			fmt.Sprintf("%.1f", p.StitchMS),
 			fmt.Sprintf("%.1f", p.MergeMS),
 			fmt.Sprintf("%.2f", p.MergeSpeedup),
 			fmt.Sprintf("%.2f", p.Speedup),
@@ -205,14 +243,48 @@ func MergeTable(points []MergePoint, window, slide, slides int) *Table {
 	return t
 }
 
-// WriteMergeJSON writes measured merge points as BENCH_merge.json into dir
-// — the machine-readable form CI archives alongside the fanout/parallel
-// figures.
-func WriteMergeJSON(points []MergePoint, dir string) (string, error) {
+// MergeRunMeta records the run environment alongside the measured points,
+// so a BENCH_merge.json is interpretable without the machine that made it:
+// the host's CPU budget, the swept worker counts, the ingest seal
+// threshold (segment granularity bounds how fragment views split), and the
+// toolchain version.
+type MergeRunMeta struct {
+	GoVersion     string `json:"go_version"`
+	GOMAXPROCS    int    `json:"gomaxprocs"`
+	NumCPU        int    `json:"num_cpu"`
+	WorkerSweep   []int  `json:"worker_sweep"`
+	SealThreshold int    `json:"seal_threshold_rows"`
+	Window        int    `json:"window"`
+	Slide         int    `json:"slide"`
+	Slides        int    `json:"slides"`
+}
+
+// NewMergeRunMeta captures the current run environment for the given sweep
+// geometry.
+func NewMergeRunMeta(window, slide, slides int) MergeRunMeta {
+	counts := MergeWorkerCounts()
+	sort.Ints(counts)
+	return MergeRunMeta{
+		GoVersion:     runtime.Version(),
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		NumCPU:        runtime.NumCPU(),
+		WorkerSweep:   counts,
+		SealThreshold: basket.DefaultSealRows,
+		Window:        window,
+		Slide:         slide,
+		Slides:        slides,
+	}
+}
+
+// WriteMergeJSON writes measured merge points plus run metadata as
+// BENCH_merge.json into dir — the machine-readable form CI archives
+// alongside the fanout/parallel figures.
+func WriteMergeJSON(points []MergePoint, meta MergeRunMeta, dir string) (string, error) {
 	blob, err := json.MarshalIndent(struct {
 		Bench  string       `json:"bench"`
+		Meta   MergeRunMeta `json:"meta"`
 		Points []MergePoint `json:"points"`
-	}{Bench: "merge", Points: points}, "", "  ")
+	}{Bench: "merge", Meta: meta, Points: points}, "", "  ")
 	if err != nil {
 		return "", err
 	}

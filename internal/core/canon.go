@@ -106,7 +106,115 @@ func (ip *IncPlan) FragmentKey(s int) string {
 // fragment is not canonicalizable. Sharing decisions use the full key;
 // the fingerprint only names it.
 func (ip *IncPlan) FragmentFingerprint(s int) string {
-	key := ip.FragmentKey(s)
+	return canonFingerprint(ip.FragmentKey(s))
+}
+
+// MergeTailKey returns the canonical form of the plan's *merge head* — the
+// concatenation of retained partials plus the single grouped re-group with
+// its compensating aggregates — or "" when the head is not shareable.
+// Queries whose MergeTailKeys match (and whose windows end at the same
+// absolute log position) re-group identical rows into identical columns,
+// so one subscriber can compute the head once per slide and the rest
+// apply only their residual tail (HAVING-style selections and the final
+// projection, whose constants are deliberately NOT part of the key — a
+// family of same-shape thresholds shares one re-group).
+//
+// Shareability requires: a shareable fragment (the head's inputs must be
+// the interned slot files), exactly one grouped merge block, every
+// concatenation feeding that block (its outputs are the only columns an
+// adopted head carries), and residual merge instructions reading only the
+// merged outputs, static values, or their own results. Unlike
+// FragmentKey, the window length N IS part of the key: the head re-groups
+// the whole window, so RANGE 4096 and RANGE 2048 never share tails even
+// though they share fragments.
+func (ip *IncPlan) MergeTailKey(s int) string {
+	frag := ip.FragmentKey(s)
+	if frag == "" || ip.HasJoin || ip.Landmark || len(ip.GroupMerges) != 1 {
+		return ""
+	}
+	spec := &ip.GroupMerges[0]
+	headIn := map[plan.Reg]bool{}
+	for _, r := range spec.CatKeys {
+		headIn[r] = true
+	}
+	for _, ag := range spec.Aggs {
+		headIn[ag.Cat] = true
+	}
+	// Slot positions are the canonical identity of retained values (the
+	// fragment key pins what slot i holds); render each concat by the slot
+	// position it gathers.
+	slotPos := map[plan.Reg]int{}
+	for i, r := range ip.SlotRegs[s] {
+		slotPos[r] = i
+	}
+	canon := map[plan.Reg]int{}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "frag:%sN=%d\nhead:\n", frag, ip.N)
+	for _, c := range ip.Concats {
+		if !headIn[c.Dst] {
+			return "" // a concat bypasses the head: adopters would miss it
+		}
+		if c.Kind != ConcatPerBW || c.Source != s {
+			return ""
+		}
+		pos, ok := slotPos[c.Src]
+		if !ok {
+			return ""
+		}
+		canon[c.Dst] = len(canon)
+		fmt.Fprintf(&sb, "cat slot%d -> c%d\n", pos, canon[c.Dst])
+	}
+	render := func(r plan.Reg) bool {
+		id, ok := canon[r]
+		if !ok {
+			return false
+		}
+		fmt.Fprintf(&sb, " c%d", id)
+		return true
+	}
+	sb.WriteString("group")
+	for _, r := range spec.CatKeys {
+		if !render(r) {
+			return ""
+		}
+	}
+	sb.WriteString(" ->")
+	for _, r := range spec.KeyOuts {
+		canon[r] = len(canon)
+		fmt.Fprintf(&sb, " c%d", canon[r])
+	}
+	sb.WriteByte('\n')
+	for _, ag := range spec.Aggs {
+		fmt.Fprintf(&sb, "agg %s", ag.Kind)
+		if !render(ag.Cat) {
+			return ""
+		}
+		sb.WriteString(" ->")
+		canon[ag.Out] = len(canon)
+		fmt.Fprintf(&sb, " c%d\n", canon[ag.Out])
+	}
+	// Residual instructions (everything outside the head block) must not
+	// read the concatenated partials: an adopted head does not carry them.
+	for idx, in := range ip.Merge {
+		if idx >= spec.Start && idx < spec.Start+spec.Len {
+			continue
+		}
+		for _, r := range in.In {
+			if headIn[r] {
+				return ""
+			}
+		}
+	}
+	return sb.String()
+}
+
+// MergeTailFingerprint returns the display hash of MergeTailKey(s), or ""
+// when the merge head is not shareable.
+func (ip *IncPlan) MergeTailFingerprint(s int) string {
+	return canonFingerprint(ip.MergeTailKey(s))
+}
+
+func canonFingerprint(key string) string {
 	if key == "" {
 		return ""
 	}

@@ -23,6 +23,14 @@ type StepStats struct {
 	MainNS      int64
 	PartitionNS int64
 	MergeNS     int64
+	// ScatterNS and StitchNS refine PartitionNS-adjacent work on the
+	// sharded merge path: the parallel scatter of rows into per-worker x
+	// per-shard cells, and the pairwise tree stitch that restores global
+	// first-occurrence order. Both are zero when the block ran
+	// single-shard. The total merge cost of a step is
+	// ScatterNS + PartitionNS + StitchNS + MergeNS.
+	ScatterNS int64
+	StitchNS  int64
 	// SharedNS is the time attributed to adopting a shared fragment partial
 	// computed by another query (registry wait plus handoff). Zero on the
 	// private path and on slides this query led itself; the engine fills it
@@ -40,6 +48,38 @@ type StepStats struct {
 type StepResult struct {
 	Table *exec.Table
 	Stats StepStats
+}
+
+// MergeHead is the output of a plan's grouped merge block — the merged key
+// columns (KeyOuts order) and the compensating aggregate columns (Aggs
+// order). It is the unit of merge-tail sharing: every column is freshly
+// allocated by the block and immutable afterwards, so queries with equal
+// MergeTailKeys at the same absolute window end can adopt one head
+// read-only and run only their residual tail over it.
+type MergeHead struct {
+	Keys []*vector.Vector
+	Aggs []*vector.Vector
+}
+
+// TailExchange threads merge-tail sharing through one slide of
+// StepFilesTail. Exactly one of Fetch/Publish is set per slide:
+//
+//   - Fetch (follower): called once before the slide's merge. A non-nil
+//     head is adopted — the concatenations and the grouped re-group are
+//     skipped and the head's columns are installed directly, so the slide
+//     pays only its residual tail. A nil head or error falls back to the
+//     private merge (results identical either way).
+//   - Publish (leader): called exactly once per slide with the captured
+//     head, or nil when the slide did not merge (window still filling) or
+//     the block's outputs were not capturable. The engine maps a nil head
+//     to an abort for waiting followers.
+//
+// The engine guarantees deadlock freedom by acquiring leadership per
+// absolute window end and processing slides in ascending end order: a
+// leader waiting in Fetch can only wait on strictly smaller ends.
+type TailExchange struct {
+	Fetch   func() (*MergeHead, error)
+	Publish func(*MergeHead, error)
 }
 
 // Options tune runtime execution. They never change plan semantics:
@@ -118,6 +158,16 @@ type Runtime struct {
 	stitchOrder  []algebra.ShardRef
 	stitchRepr   vector.Sel
 
+	// fused is the scatter/shard/tree-stitch kernel state of the
+	// single-int64-key grouped merge fast path; the scratch below carries
+	// the per-part column layout into it. lazyConcat binds multi-part
+	// concatenations as views so the fused kernel reads slot partials in
+	// place instead of materializing a fresh concatenation every firing.
+	fused      *algebra.Fused
+	fusedAggs  []algebra.FusedAgg
+	fusedParts []fusedPart
+	lazyConcat bool
+
 	// mergeEnv is the reusable merge-stage register file; its entries are
 	// cleared after every firing so it never pins a slide's vectors.
 	mergeEnv []exec.Datum
@@ -175,6 +225,11 @@ func NewRuntimeOpts(ip *IncPlan, opts Options) *Runtime {
 			rt.groupMergeAt[ip.GroupMerges[i].Start] = &ip.GroupMerges[i]
 		}
 		rt.partitioner = algebra.NewPartitioner()
+		rt.fused = algebra.NewFused()
+		// Landmark plans compact merge outputs back into slots, which must
+		// hold dense vectors; everything else can feed the merge stage
+		// multi-part views (vec() materializes lazily where needed).
+		rt.lazyConcat = !ip.Landmark
 	}
 	rt.envs = make([]*workerEnv, rt.par)
 	for i := range rt.envs {
@@ -312,6 +367,12 @@ func (rt *Runtime) stepSlides(slides [][][]vector.View, inputs []exec.Input, out
 // rotation, join-matrix update, merge — and is the common substrate of the
 // private step path and the engine's shared-fragment path.
 func (rt *Runtime) applySlide(newFiles []regFile, inputs []exec.Input, fragNS int64) (StepResult, error) {
+	return rt.applySlideTail(newFiles, inputs, fragNS, nil)
+}
+
+// applySlideTail is applySlide with an optional merge-tail exchange (see
+// TailExchange). A nil tx is the private path.
+func (rt *Runtime) applySlideTail(newFiles []regFile, inputs []exec.Input, fragNS int64, tx *TailExchange) (StepResult, error) {
 	var stats StepStats
 	t1 := time.Now()
 	evicted := false
@@ -338,10 +399,14 @@ func (rt *Runtime) applySlide(newFiles []regFile, inputs []exec.Input, fragNS in
 	stats.MainNS = fragNS + time.Since(t1).Nanoseconds()
 
 	if !rt.ready() {
+		if tx != nil && tx.Publish != nil {
+			// The window is still filling: nothing merged, nothing to adopt.
+			tx.Publish(nil, nil)
+		}
 		return StepResult{Stats: stats}, nil
 	}
 	t2 := time.Now()
-	tbl, env, partNS, err := rt.merge(inputs)
+	tbl, env, mt, err := rt.merge(inputs, tx)
 	if err != nil {
 		return StepResult{}, err
 	}
@@ -351,8 +416,10 @@ func (rt *Runtime) applySlide(newFiles []regFile, inputs []exec.Input, fragNS in
 	// env is the reusable merge register file: clear it so it does not pin
 	// the slide's concatenations and result columns past this firing.
 	clear(env)
-	stats.PartitionNS = partNS
-	stats.MergeNS = time.Since(t2).Nanoseconds() - partNS
+	stats.ScatterNS = mt.scatter
+	stats.PartitionNS = mt.partition
+	stats.StitchNS = mt.stitch
+	stats.MergeNS = time.Since(t2).Nanoseconds() - mt.scatter - mt.partition - mt.stitch
 	stats.Emitted = true
 	stats.ResultRows = tbl.NumRows()
 	return StepResult{Table: tbl, Stats: stats}, nil
@@ -394,6 +461,14 @@ func (rt *Runtime) EvalFragments(slides [][]vector.View, inputs []exec.Input) ([
 // evenly across them. The serial tail is identical to StepBatch, so
 // results are bit-identical to private evaluation.
 func (rt *Runtime) StepFiles(files []SlotFile, shared []bool, evalNS int64, inputs []exec.Input) ([]StepResult, error) {
+	return rt.StepFilesTail(files, shared, evalNS, inputs, nil)
+}
+
+// StepFilesTail is StepFiles with an optional merge-tail exchange per
+// slide (tails may be nil, or hold nil entries for slides that merge
+// privately). Slides are processed in order; the engine relies on that to
+// keep the tail exchange deadlock-free (ascending window ends).
+func (rt *Runtime) StepFilesTail(files []SlotFile, shared []bool, evalNS int64, inputs []exec.Input, tails []*TailExchange) ([]StepResult, error) {
 	if len(rt.srcIdx) != 1 || rt.ip.HasJoin {
 		return nil, fmt.Errorf("core: fragment stepping is limited to single-stream plans")
 	}
@@ -412,7 +487,11 @@ func (rt *Runtime) StepFiles(files []SlotFile, shared []bool, evalNS int64, inpu
 		if !shared[sl] && owned > 0 {
 			fragNS = evalNS / int64(owned)
 		}
-		res, err := rt.applySlide(files[sl:sl+1], inputs, fragNS)
+		var tx *TailExchange
+		if sl < len(tails) {
+			tx = tails[sl]
+		}
+		res, err := rt.applySlideTail(files[sl:sl+1], inputs, fragNS, tx)
 		if err != nil {
 			return out, err
 		}
@@ -583,38 +662,121 @@ func (rt *Runtime) runCell(i, j int, inputs []exec.Input, w *workerEnv) (regFile
 	return file, nil
 }
 
-// merge materializes the concatenations, runs the merge fragment and
-// returns the window result plus the merge environment (used for landmark
-// compaction) and the nanoseconds spent in partitioned grouped re-groups.
-// Grouped-aggregation blocks execute through mergeGrouped — partitioned
-// across the worker pool when the partials are large enough — instead of
-// instruction-by-instruction; results are bit-identical either way.
-func (rt *Runtime) merge(inputs []exec.Input) (*exec.Table, []exec.Datum, int64, error) {
+// mergeTimings splits a firing's sharded-merge cost by stage: the scatter
+// of rows into per-worker x per-shard cells, the per-shard fused
+// re-group+aggregate, and the pairwise tree stitch. All zero for blocks
+// that ran single-shard (their cost is plain MergeNS).
+type mergeTimings struct {
+	scatter   int64
+	partition int64
+	stitch    int64
+}
+
+// fusedPart is one contiguous part of a grouped block's input columns,
+// aligned row-for-row: the key payload plus one AggCol per aggregate.
+type fusedPart struct {
+	base int32
+	keys []int64
+	aggs []algebra.AggCol
+}
+
+// merge binds the concatenations, runs the merge fragment and returns the
+// window result plus the merge environment (used for landmark compaction)
+// and the per-stage timings of sharded grouped re-groups.
+// Grouped-aggregation blocks execute through mergeGrouped — fused and
+// partitioned across the worker pool when the partials are large enough —
+// instead of instruction-by-instruction; results are bit-identical either
+// way. Multi-part concatenations bind as views when the plan allows it, so
+// the grouped kernel reads slot partials in place and a fresh
+// concatenation is only materialized for consumers that need one (vec()
+// caches it in the register on first use).
+func (rt *Runtime) merge(inputs []exec.Input, tx *TailExchange) (*exec.Table, []exec.Datum, mergeTimings, error) {
 	env := rt.mergeEnv
 	clear(env) // stale entries from an errored firing must not leak in
 	rt.copyStatic(env)
-	for _, spec := range rt.ip.Concats {
-		vecs, err := rt.gather(spec)
-		if err != nil {
-			return nil, nil, 0, err
+	var mt mergeTimings
+
+	// Merge-tail exchange: tailSpec is the single shareable grouped block
+	// (the engine only passes tx for plans whose MergeTailKey is non-empty,
+	// which requires exactly one block). A follower fetches the leader's
+	// head before any concat work; a leader captures and publishes its
+	// block outputs the moment the block completes.
+	var tailSpec *GroupMergeSpec
+	var adopt *MergeHead
+	published := false
+	if tx != nil && len(rt.ip.GroupMerges) == 1 {
+		tailSpec = &rt.ip.GroupMerges[0]
+		if tx.Fetch != nil {
+			if h, err := tx.Fetch(); err == nil && h != nil &&
+				len(h.Keys) == len(tailSpec.KeyOuts) && len(h.Aggs) == len(tailSpec.Aggs) {
+				adopt = h
+			}
 		}
-		env[spec.Dst] = exec.VecDatum(vector.Concat(vecs...))
+	}
+	publishHead := func() {
+		if tailSpec == nil || tx == nil || tx.Publish == nil || published {
+			return
+		}
+		published = true
+		head := &MergeHead{
+			Keys: make([]*vector.Vector, len(tailSpec.KeyOuts)),
+			Aggs: make([]*vector.Vector, len(tailSpec.Aggs)),
+		}
+		for i, r := range tailSpec.KeyOuts {
+			if env[r].Kind != exec.KindVec {
+				tx.Publish(nil, nil)
+				return
+			}
+			head.Keys[i] = env[r].Vec
+		}
+		for i, ag := range tailSpec.Aggs {
+			if env[ag.Out].Kind != exec.KindVec {
+				tx.Publish(nil, nil)
+				return
+			}
+			head.Aggs[i] = env[ag.Out].Vec
+		}
+		tx.Publish(head, nil)
+	}
+
+	if adopt == nil {
+		for _, spec := range rt.ip.Concats {
+			vecs, err := rt.gather(spec)
+			if err != nil {
+				return nil, nil, mt, err
+			}
+			if rt.lazyConcat && len(vecs) > 1 {
+				view := vector.NewView(vecs[0].Type(), vecs...)
+				env[spec.Dst] = exec.ViewDatum(view)
+				continue
+			}
+			env[spec.Dst] = exec.VecDatum(vector.Concat(vecs...))
+		}
+	} else {
+		// Adopted head: the concatenations only feed the grouped block
+		// (MergeTailKey eligibility), so skip them and install the merged
+		// outputs directly.
+		for i, r := range tailSpec.KeyOuts {
+			env[r] = exec.VecDatum(adopt.Keys[i])
+		}
+		for i, ag := range tailSpec.Aggs {
+			env[ag.Out] = exec.VecDatum(adopt.Aggs[i])
+		}
 	}
 	var result *exec.Table
-	var partNS int64
 	for idx := 0; idx < len(rt.ip.Merge); idx++ {
+		if tailSpec != nil && idx == tailSpec.Start+tailSpec.Len {
+			publishHead() // block complete (kernel or instruction path)
+		}
+		if adopt != nil && idx >= tailSpec.Start && idx < tailSpec.Start+tailSpec.Len {
+			continue // the adopted head already filled the block's outputs
+		}
 		if spec, ok := rt.groupMergeAt[idx]; ok {
-			t0 := time.Now()
-			handled, sharded, err := rt.mergeGrouped(spec, env)
+			handled, err := rt.mergeGrouped(spec, env, &mt)
 			if err != nil {
-				return nil, nil, partNS, err
+				return nil, nil, mt, err
 			}
 			if handled {
-				// Only genuinely sharded blocks count as partition-stage
-				// time; the single-shard kernel is serial merge work.
-				if sharded {
-					partNS += time.Since(t0).Nanoseconds()
-				}
 				idx += spec.Len - 1
 				continue
 			}
@@ -623,19 +785,20 @@ func (rt *Runtime) merge(inputs []exec.Input) (*exec.Table, []exec.Datum, int64,
 		if in.Op == plan.OpResult {
 			tbl, err := exec.BuildResult(in, env)
 			if err != nil {
-				return nil, nil, partNS, fmt.Errorf("core: merge result: %w", err)
+				return nil, nil, mt, fmt.Errorf("core: merge result: %w", err)
 			}
 			result = tbl
 			continue
 		}
 		if err := exec.ExecInstr(in, env, inputs); err != nil {
-			return nil, nil, partNS, fmt.Errorf("core: merge stage: %w", err)
+			return nil, nil, mt, fmt.Errorf("core: merge stage: %w", err)
 		}
 	}
+	publishHead() // block ends at the final instruction
 	if result == nil {
-		return nil, nil, partNS, fmt.Errorf("core: merge produced no result")
+		return nil, nil, mt, fmt.Errorf("core: merge produced no result")
 	}
-	return result, env, partNS, nil
+	return result, env, mt, nil
 }
 
 // partitionMinRows is the concatenated-partial size below which sharding
@@ -659,16 +822,215 @@ func (rt *Runtime) mergeShards(rows int) int {
 	return p
 }
 
-// mergeGrouped executes one grouped-aggregation compensation block: the
-// concatenated partial keys are hash-partitioned into P disjoint shards,
-// each shard is re-grouped and re-aggregated on the worker pool with
-// reusable per-shard hashtables, and the per-shard results are stitched
-// back in global first-appearance order — exactly the ordering (and, for
-// floats, the exact summation sequence) of the serial block, so results
-// are bit-identical at any parallelism. P degrades to 1 (still reusing the
-// hashtable, skipping the partition scan) when parallelism is off or the
-// block is too small to shard profitably.
-func (rt *Runtime) mergeGrouped(spec *GroupMergeSpec, env []exec.Datum) (handled, sharded bool, err error) {
+// mergeGrouped executes one grouped-aggregation compensation block,
+// bit-identical to the plain instruction path at any configuration. Two
+// kernels implement it:
+//
+//   - the fused scatter/shard/tree-stitch kernel (single int64/timestamp
+//     key, Sum/Min/Max over int64/float64 partials — the common shape):
+//     grouping and aggregation run in one pass per shard over scattered
+//     row payloads, and shards stitch back pairwise up a binary tree;
+//   - the index-based Partitioner kernel for every other shape (generic
+//     multi-column keys, non-numeric aggregates), unchanged from PR 5.
+//
+// P degrades to 1 (reusing the hashtable, skipping scatter and stitch)
+// when parallelism is off or the block is too small to shard profitably.
+func (rt *Runtime) mergeGrouped(spec *GroupMergeSpec, env []exec.Datum, mt *mergeTimings) (handled bool, err error) {
+	if ok, err := rt.mergeFused(spec, env, mt); ok || err != nil {
+		return ok, err
+	}
+	return rt.mergeGroupedIndex(spec, env, mt)
+}
+
+// datumCol reports the column type and row count of a merge input that is
+// either a dense vector or a multi-part view.
+func datumCol(d exec.Datum) (vector.Type, int, bool) {
+	switch d.Kind {
+	case exec.KindVec:
+		return d.Vec.Type(), d.Vec.Len(), true
+	case exec.KindView:
+		return d.View.Type(), d.View.Len(), true
+	}
+	return 0, 0, false
+}
+
+// datumParts lists a merge input's contiguous parts (a dense vector is
+// one part).
+func datumParts(d exec.Datum) []*vector.Vector {
+	if d.Kind == exec.KindVec {
+		return []*vector.Vector{d.Vec}
+	}
+	return d.View.Parts()
+}
+
+// mergeFused runs the grouped block through the fused kernel when its
+// shape allows, reading the (possibly multi-part) inputs in place.
+func (rt *Runtime) mergeFused(spec *GroupMergeSpec, env []exec.Datum, mt *mergeTimings) (bool, error) {
+	if len(spec.CatKeys) != 1 {
+		return false, nil
+	}
+	keyD := env[spec.CatKeys[0]]
+	keyTyp, rows, ok := datumCol(keyD)
+	if !ok || !vector.IntKind(keyTyp) {
+		return false, nil
+	}
+	aggs := rt.fusedAggs[:0]
+	for _, ag := range spec.Aggs {
+		d := env[ag.Cat]
+		typ, n, ok := datumCol(d)
+		if !ok || n != rows {
+			return false, nil
+		}
+		fa := algebra.FusedAgg{Kind: ag.Kind, Typ: typ}
+		if !fa.Fusible() {
+			return false, nil
+		}
+		aggs = append(aggs, fa)
+	}
+	rt.fusedAggs = aggs
+
+	// Align the key and aggregate columns part-for-part. All columns of
+	// one block concatenate the same slot ring, so their part layouts
+	// coincide; any mismatch (impossible today, cheap to verify) falls
+	// back to the index kernel over dense columns.
+	keyParts := datumParts(keyD)
+	parts := rt.fusedParts[:0]
+	base := int32(0)
+	for _, kp := range keyParts {
+		parts = append(parts, fusedPart{base: base, keys: kp.Int64s()})
+		base += int32(kp.Len())
+	}
+	for _, ag := range spec.Aggs {
+		aps := datumParts(env[ag.Cat])
+		if len(aps) != len(parts) {
+			rt.fusedParts = parts
+			return false, nil
+		}
+		for j, ap := range aps {
+			if ap.Len() != len(parts[j].keys) {
+				rt.fusedParts = parts
+				return false, nil
+			}
+			var col algebra.AggCol
+			if ap.Type() == vector.Float64 {
+				col.F = ap.Float64s()
+			} else {
+				col.I = ap.Int64s()
+			}
+			parts[j].aggs = append(parts[j].aggs, col)
+		}
+	}
+	rt.fusedParts = parts
+	defer func() {
+		// Release the part references so they do not pin slot vectors.
+		for j := range rt.fusedParts {
+			rt.fusedParts[j] = fusedPart{}
+		}
+	}()
+
+	f := rt.fused
+	p := rt.mergeShards(rows)
+	if p == 1 {
+		f.Begin(1, 1, rows, keyTyp, aggs)
+		for _, pt := range parts {
+			f.GroupRangeDirect(pt.keys, pt.aggs, 0, len(pt.keys))
+		}
+	} else {
+		workers := rt.scatterWorkers(rows)
+		f.Begin(p, workers, rows, keyTyp, aggs)
+		t0 := time.Now()
+		err := rt.forEach(workers, func(w int, _ *workerEnv) error {
+			lo, hi := w*rows/workers, (w+1)*rows/workers
+			for _, pt := range parts {
+				plo, phi := int(pt.base), int(pt.base)+len(pt.keys)
+				a, b := lo, hi
+				if a < plo {
+					a = plo
+				}
+				if b > phi {
+					b = phi
+				}
+				if a < b {
+					f.ScatterRange(w, pt.base, pt.keys, pt.aggs, a-plo, b-plo)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return false, err
+		}
+		t1 := time.Now()
+		mt.scatter += t1.Sub(t0).Nanoseconds()
+		err = rt.forEach(p, func(s int, _ *workerEnv) error {
+			f.GroupShard(s)
+			return nil
+		})
+		if err != nil {
+			return false, err
+		}
+		t2 := time.Now()
+		mt.partition += t2.Sub(t1).Nanoseconds()
+		for pairs := f.BeginStitch(); pairs > 0; pairs = f.CommitLevel() {
+			if err := rt.forEach(pairs, func(i int, _ *workerEnv) error {
+				f.StitchPair(i)
+				return nil
+			}); err != nil {
+				return false, err
+			}
+		}
+		defer func() {
+			mt.stitch += time.Since(t2).Nanoseconds()
+		}()
+	}
+	keyVec, aggVecs := f.Finish()
+	env[spec.KeyOuts[0]] = exec.VecDatum(keyVec)
+	for i, ag := range spec.Aggs {
+		env[ag.Out] = exec.VecDatum(aggVecs[i])
+	}
+	return true, nil
+}
+
+// scatterWorkers bounds the scatter fan-out so each worker covers a
+// meaningful range (a worker per few thousand rows saturates memory
+// bandwidth; more just adds handoff).
+func (rt *Runtime) scatterWorkers(rows int) int {
+	w := rows / 4096
+	if w > rt.par {
+		w = rt.par
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// mergeGroupedIndex is the index-based grouped kernel: partition row ids,
+// re-group each shard through GroupWithKeys, stitch serially by ascending
+// representative. It handles every key/aggregate shape the fused kernel
+// does not.
+func (rt *Runtime) mergeGroupedIndex(spec *GroupMergeSpec, env []exec.Datum, mt *mergeTimings) (handled bool, err error) {
+	t0 := time.Now()
+	sharded := false
+	var scat int64
+	defer func() {
+		if handled && sharded {
+			mt.scatter += scat
+			mt.partition += time.Since(t0).Nanoseconds() - scat
+		}
+	}()
+	// This kernel gathers random rows, so it needs dense columns;
+	// materialize any lazily bound views once (vec() semantics: the dense
+	// copy is cached back into the register).
+	for _, r := range spec.CatKeys {
+		if d := env[r]; d.Kind == exec.KindView {
+			env[r] = exec.VecDatum(d.View.Vector())
+		}
+	}
+	for _, ag := range spec.Aggs {
+		if d := env[ag.Cat]; d.Kind == exec.KindView {
+			env[ag.Cat] = exec.VecDatum(d.View.Vector())
+		}
+	}
 	if cap(rt.mergeKeys) < len(spec.CatKeys) {
 		rt.mergeKeys = make([]*vector.Vector, len(spec.CatKeys))
 	}
@@ -676,7 +1038,7 @@ func (rt *Runtime) mergeGrouped(spec *GroupMergeSpec, env []exec.Datum) (handled
 	for i, r := range spec.CatKeys {
 		d := env[r]
 		if d.Kind != exec.KindVec {
-			return false, false, nil // fall back to the plain instruction path
+			return false, nil // fall back to the plain instruction path
 		}
 		keys[i] = d.Vec
 	}
@@ -695,15 +1057,44 @@ func (rt *Runtime) mergeGrouped(spec *GroupMergeSpec, env []exec.Datum) (handled
 		for _, ag := range spec.Aggs {
 			d := env[ag.Cat]
 			if d.Kind != exec.KindVec {
-				return false, false, fmt.Errorf("core: grouped merge r%d holds non-vector partials", ag.Cat)
+				return false, fmt.Errorf("core: grouped merge r%d holds non-vector partials", ag.Cat)
 			}
 			env[ag.Out] = exec.VecDatum(algebra.GroupedAgg(ag.Kind, d.Vec, nil, g))
 		}
 		clear(keys) // don't pin the slide's concatenated key columns
-		return true, false, nil
+		return true, nil
 	}
+	sharded = true
 	pt.Reset(p)
-	pt.Split(keys)
+	ts := time.Now()
+	if workers := rt.scatterWorkers(rows); workers > 1 {
+		// Parallel scatter: each worker hashes a contiguous ascending row
+		// range into private per-worker x per-shard sub-selections, then
+		// the shards concatenate their cells in worker order — shard
+		// contents identical to the serial Split scan at any worker count.
+		generic := !(len(keys) == 1 && vector.IntKind(keys[0].Type()))
+		pt.BeginScatter(workers, rows, generic)
+		if scErr := rt.forEach(workers, func(w int, _ *workerEnv) error {
+			lo, hi := w*rows/workers, (w+1)*rows/workers
+			if generic {
+				pt.ScatterGenericRange(w, keys, lo, hi)
+			} else {
+				pt.ScatterIntRange(w, keys[0].Int64s(), lo, hi)
+			}
+			return nil
+		}); scErr != nil {
+			return false, scErr
+		}
+		if fErr := rt.forEach(p, func(s int, _ *workerEnv) error {
+			pt.FinishShard(s)
+			return nil
+		}); fErr != nil {
+			return false, fErr
+		}
+	} else {
+		pt.Split(keys)
+	}
+	scat = time.Since(ts).Nanoseconds()
 	rowKeys := pt.RowKeys() // generic keys built once in the Split scan
 
 	if cap(rt.shardGroups) < p {
@@ -739,7 +1130,7 @@ func (rt *Runtime) mergeGrouped(spec *GroupMergeSpec, env []exec.Datum) (handled
 		return nil
 	})
 	if poolErr != nil {
-		return false, false, poolErr
+		return false, poolErr
 	}
 	rt.stitchOrder, rt.stitchRepr = algebra.StitchShardsInto(shards, rt.stitchOrder, rt.stitchRepr)
 	order, repr := rt.stitchOrder, rt.stitchRepr
@@ -758,7 +1149,7 @@ func (rt *Runtime) mergeGrouped(spec *GroupMergeSpec, env []exec.Datum) (handled
 	}
 	pt.ReleaseKeys()
 	clear(keys) // don't pin the slide's concatenated key columns
-	return true, true, nil
+	return true, nil
 }
 
 func (rt *Runtime) gather(spec ConcatSpec) ([]*vector.Vector, error) {

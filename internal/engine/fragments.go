@@ -19,10 +19,16 @@ var errFragmentAborted = errors.New("engine: shared fragment leader aborted")
 type fragmentRegistry struct {
 	mu    sync.Mutex
 	frags map[string]*sharedFragment
+	// tails is the companion catalog of shareable merge heads (canonical
+	// merge-tail key -> sharedTail); see sharedTail below.
+	tails map[string]*sharedTail
 }
 
 func newFragmentRegistry() *fragmentRegistry {
-	return &fragmentRegistry{frags: map[string]*sharedFragment{}}
+	return &fragmentRegistry{
+		frags: map[string]*sharedFragment{},
+		tails: map[string]*sharedTail{},
+	}
 }
 
 // sharedFragment is one canonical per-basic-window fragment with its
@@ -186,6 +192,164 @@ func (sf *sharedFragment) cached() int {
 	sf.mu.Lock()
 	defer sf.mu.Unlock()
 	return len(sf.cache)
+}
+
+// errTailAborted marks a shared merge head whose leader errored, exited,
+// or produced an uncapturable head; waiting followers fall back to their
+// private merge (each keeps its own slot ring, so the fallback is free of
+// coordination).
+var errTailAborted = errors.New("engine: shared merge-tail leader aborted")
+
+// sharedTail is one canonical merge head — the concat + grouped re-group
+// shared by every subscribed query whose MergeTailKey matches — with the
+// cache of heads in flight. Heads are keyed by the absolute log position
+// where the window ENDS: unlike fragments (keyed by slide start, window
+// length excluded), a head re-groups the whole window, so only queries
+// merging the exact same row range may adopt it. Lock order matches
+// sharedFragment: fragmentRegistry.mu > sharedTail.mu.
+type sharedTail struct {
+	reg *fragmentRegistry
+	key string
+	fp  string // display fingerprint (core.MergeTailFingerprint)
+
+	mu sync.Mutex
+	// subs maps each subscribed query to the absolute window end it will
+	// merge next; the minimum is the prune horizon.
+	subs map[*ContinuousQuery]int64
+	// cache holds in-flight heads keyed by absolute window end.
+	cache map[int64]*tailPartial
+	// consumes amortizes pruning exactly like sharedFragment.consumes.
+	consumes int
+}
+
+// tailPartial is one window end's shared merge head. The leader (first
+// query to acquire the end) computes and publishes it; followers wait on
+// done. head and err are written once before done closes. A nil head with
+// nil err (slide skipped: window still filling) is normalized to
+// errTailAborted at publish so followers always fall back cleanly.
+type tailPartial struct {
+	end  int64
+	done chan struct{}
+	head *core.MergeHead
+	err  error
+}
+
+// attachTail subscribes q to the merge tail named by key, creating it on
+// first use; pos is the absolute end of q's next window.
+func (fr *fragmentRegistry) attachTail(key, fp string, q *ContinuousQuery, pos int64) *sharedTail {
+	fr.mu.Lock()
+	st, ok := fr.tails[key]
+	if !ok {
+		st = &sharedTail{
+			reg:   fr,
+			key:   key,
+			fp:    fp,
+			subs:  map[*ContinuousQuery]int64{},
+			cache: map[int64]*tailPartial{},
+		}
+		fr.tails[key] = st
+	}
+	fr.mu.Unlock()
+	st.mu.Lock()
+	st.subs[q] = pos
+	st.mu.Unlock()
+	return st
+}
+
+// detachTail unsubscribes q, pruning the cache and deleting the tail from
+// the registry once no subscriber remains.
+func (fr *fragmentRegistry) detachTail(st *sharedTail, q *ContinuousQuery) {
+	fr.mu.Lock()
+	st.mu.Lock()
+	delete(st.subs, q)
+	if len(st.subs) == 0 {
+		clear(st.cache)
+		delete(fr.tails, st.key)
+	} else {
+		st.pruneLocked()
+	}
+	st.mu.Unlock()
+	fr.mu.Unlock()
+}
+
+// acquire claims the merge head for the window ending at absolute position
+// end. lead=true means the caller must merge the window and publish the
+// head (success, error, or skip). lead=false returns the cached partial to
+// adopt. Deadlock freedom is positional: queries merge their slides in
+// ascending end order, and a leader blocked in a follower wait at end E has
+// already published every head it leads below E, so wait-for edges always
+// point at strictly smaller ends.
+func (st *sharedTail) acquire(end int64) (p *tailPartial, lead bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if p, ok := st.cache[end]; ok {
+		return p, false
+	}
+	p = &tailPartial{end: end, done: make(chan struct{})}
+	st.cache[end] = p
+	return p, true
+}
+
+// publish installs the merged head (or the leader's error) and releases
+// every waiting follower. Exactly once per partial.
+func (p *tailPartial) publish(head *core.MergeHead, err error) {
+	if head == nil && err == nil {
+		err = errTailAborted
+	}
+	p.head = head
+	p.err = err
+	close(p.done)
+}
+
+// wait blocks until the leader publishes.
+func (p *tailPartial) wait() { <-p.done }
+
+// consumedTo records that q has merged every window ending below pos and
+// prunes heads no remaining subscriber will adopt.
+func (st *sharedTail) consumedTo(q *ContinuousQuery, pos int64) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if _, ok := st.subs[q]; !ok {
+		return
+	}
+	st.subs[q] = pos
+	st.consumes++
+	if st.consumes >= len(st.subs) {
+		st.pruneLocked()
+	}
+}
+
+func (st *sharedTail) pruneLocked() {
+	st.consumes = 0
+	if len(st.subs) == 0 {
+		clear(st.cache)
+		return
+	}
+	min := int64(-1)
+	for _, pos := range st.subs {
+		if min < 0 || pos < min {
+			min = pos
+		}
+	}
+	for end, p := range st.cache {
+		if p.end < min {
+			delete(st.cache, end)
+		}
+	}
+}
+
+// subscribers reports the current subscriber count (Explain, tests).
+func (st *sharedTail) subscribers() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.subs)
+}
+
+// cachedTails reports the number of heads currently held (testing hook).
+func (st *sharedTail) cached() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.cache)
 }
 
 // fragmentsOf returns a stream's fragment registry (testing hook).

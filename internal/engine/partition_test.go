@@ -141,14 +141,15 @@ func TestPartitionStatsSurfaced(t *testing.T) {
 	if len(c.results) == 0 {
 		t.Fatal("no windows")
 	}
-	frag, _, part, merge, total := q.StageBreakdown()
+	st := q.StageBreakdown()
+	frag, part, merge, total := st.FragmentNS, st.PartitionNS, st.MergeNS, st.TotalNS
 	if frag <= 0 || part <= 0 || merge <= 0 {
 		t.Fatalf("stage breakdown: frag=%d part=%d merge=%d", frag, part, merge)
 	}
 	m, lump, tot := q.CostBreakdown()
-	if m != frag || lump != part+merge || tot != total {
-		t.Fatalf("CostBreakdown (%d,%d,%d) inconsistent with StageBreakdown (%d,%d,%d,%d)",
-			m, lump, tot, frag, part, merge, total)
+	if m != frag || lump != st.ScatterNS+part+st.StitchNS+merge || tot != total {
+		t.Fatalf("CostBreakdown (%d,%d,%d) inconsistent with StageBreakdown (%+v)",
+			m, lump, tot, st)
 	}
 	var sawPart bool
 	for _, r := range c.results {

@@ -54,6 +54,13 @@ type Options struct {
 	// benchmark baseline for fragment sharing; results are identical
 	// either way.
 	PrivateFragments bool
+	// PrivateMergeTails opts this query out of merge-tail sharing while
+	// leaving fragment sharing on: the query always runs its own concat +
+	// grouped re-group even when other subscribers intern an identical
+	// merge head. Implied by PrivateFragments (tail sharing rides on the
+	// fragment catalog's bit-identical slot files). The benchmark baseline
+	// for tail sharing; results are identical either way.
+	PrivateMergeTails bool
 	// OnResult is invoked synchronously for every produced window result.
 	OnResult func(*Result)
 }
@@ -100,12 +107,14 @@ type ContinuousQuery struct {
 	// terminal error. Step execution is already serialized by stepMu;
 	// statsMu exists so readers (Windows, CostBreakdown, Err) are
 	// race-free against a running worker.
-	statsMu sync.Mutex
-	windows int
-	totalNS int64
-	mainNS  int64
-	partNS  int64
-	mergeNS int64
+	statsMu   sync.Mutex
+	windows   int
+	totalNS   int64
+	mainNS    int64
+	partNS    int64
+	mergeNS   int64
+	scatterNS int64
+	stitchNS  int64
 	// batchedSlides counts slides executed through StepBatch (the
 	// intra-query parallel path), for observability and tests.
 	batchedSlides int64
@@ -113,13 +122,20 @@ type ContinuousQuery struct {
 	// ineligible or opted out). Guarded by statsMu so Deregister clearing
 	// it never races a late synchronous pump.
 	frag *sharedFragment
+	// tail is the query's interned shared merge tail (nil when ineligible
+	// or opted out); like frag, guarded by statsMu.
+	tail *sharedTail
 	// sharedNS accumulates time spent adopting partials another query
 	// computed (registry wait + handoff); sharedSlides / leadSlides count
 	// slides adopted vs led through the shared path.
 	sharedNS     int64
 	sharedSlides int64
 	leadSlides   int64
-	err          error
+	// tailAdopted / tailLed count window merges whose head was adopted
+	// from the merge-tail catalog vs computed and published by this query.
+	tailAdopted int64
+	tailLed     int64
+	err         error
 	// emitting is true while the query's OnResult callback is running.
 	// Deregister/Stop consult it to avoid self-deadlock when the callback
 	// itself tears the scheduler down (see stopWorker).
@@ -149,6 +165,14 @@ func (q *ContinuousQuery) fragment() *sharedFragment {
 	q.statsMu.Lock()
 	defer q.statsMu.Unlock()
 	return q.frag
+}
+
+// mergeTail returns the query's shared merge tail, or nil when tail
+// sharing is off for this query.
+func (q *ContinuousQuery) mergeTail() *sharedTail {
+	q.statsMu.Lock()
+	defer q.statsMu.Unlock()
+	return q.tail
 }
 
 // notifyData posts a non-blocking wake-up for the query's worker.
@@ -298,6 +322,19 @@ func (e *Engine) Register(query string, opts Options) (*ContinuousQuery, error) 
 		fragKey = q.inc.FragmentKey(0)
 		fragFP = q.inc.FragmentFingerprint(0)
 	}
+	// Merge-tail sharing rides on fragment sharing (adopted heads re-group
+	// interned, bit-identical slot files) and is limited to count windows:
+	// only there does the absolute window END determine the window's exact
+	// row range (end - N*slide rows), which is what keys the head cache.
+	// Time windows anchor their slide grids at registration time, so two
+	// queries can close windows at the same position with different spans.
+	var tailKey, tailFP string
+	if fragKey != "" && !opts.PrivateMergeTails {
+		if w := prog.Sources[0].Window; w.Kind == sql.CountWindow && w.SlideDur == 0 {
+			tailKey = q.inc.MergeTailKey(0)
+			tailFP = q.inc.MergeTailFingerprint(0)
+		}
+	}
 
 	// Wire cursors onto the shared stream logs.
 	e.mu.Lock()
@@ -325,6 +362,11 @@ func (e *Engine) Register(query string, opts Options) (*ContinuousQuery, error) 
 				pos := qi.cur.PosLocked()
 				qi.cur.Unlock()
 				q.frag = si.frags.attach(fragKey, fragFP, q, pos)
+				if tailKey != "" {
+					// The cursor position is a lower bound on every window
+					// end this query will merge — a safe prune horizon.
+					q.tail = si.frags.attachTail(tailKey, tailFP, q, pos)
+				}
 			}
 			// Publish a fresh subscriber snapshot (copy-on-write) so
 			// receptors can iterate the slice without cloning per append.
@@ -368,8 +410,13 @@ func (e *Engine) Deregister(q *ContinuousQuery) {
 	// q was its last subscriber.
 	q.statsMu.Lock()
 	frag := q.frag
+	tail := q.tail
 	q.frag = nil
+	q.tail = nil
 	q.statsMu.Unlock()
+	if tail != nil {
+		tail.reg.detachTail(tail, q)
+	}
 	if frag != nil {
 		frag.reg.detach(frag, q)
 	}
@@ -414,24 +461,49 @@ func (q *ContinuousQuery) bumpWindows() int {
 }
 
 // CostBreakdown returns cumulative (main, merge, total) nanoseconds in the
-// paper's two-stage form; the merge lump includes the partitioned re-group
-// share. See StageBreakdown for the three-stage split.
+// paper's two-stage form; the merge lump includes the scatter, the
+// partitioned re-group and the stitch shares. See StageBreakdown for the
+// per-stage split.
 func (q *ContinuousQuery) CostBreakdown() (mainNS, mergeNS, totalNS int64) {
 	q.statsMu.Lock()
 	defer q.statsMu.Unlock()
-	return q.mainNS, q.partNS + q.mergeNS, q.totalNS
+	return q.mainNS, q.scatterNS + q.partNS + q.stitchNS + q.mergeNS, q.totalNS
 }
 
-// StageBreakdown returns cumulative per-stage nanoseconds: fragment work
-// this query evaluated itself (per-basic-window / per-segment-part
-// evaluation), time spent adopting shared fragment partials computed by
-// other queries (registry wait + handoff), the partitioned grouped
-// re-group inside the merge, the serial merge remainder, and the total
-// step wall time.
-func (q *ContinuousQuery) StageBreakdown() (fragmentNS, sharedNS, partitionNS, mergeNS, totalNS int64) {
+// Stages is the cumulative per-stage step time of one query (see
+// ContinuousQuery.StageBreakdown). All values are nanoseconds.
+type Stages struct {
+	// FragmentNS is fragment work the query evaluated itself (per-basic-
+	// window / per-segment-part evaluation).
+	FragmentNS int64
+	// SharedNS is time spent adopting work computed by other queries —
+	// shared fragment partials and shared merge heads (registry wait +
+	// handoff).
+	SharedNS int64
+	// ScatterNS is the parallel hash-scatter that splits merge rows into
+	// shards; PartitionNS the sharded grouped re-group itself; StitchNS
+	// the tree reduction that restores the serial group order.
+	ScatterNS   int64
+	PartitionNS int64
+	StitchNS    int64
+	// MergeNS is the serial merge remainder; TotalNS the step wall time.
+	MergeNS int64
+	TotalNS int64
+}
+
+// StageBreakdown returns the query's cumulative per-stage step time.
+func (q *ContinuousQuery) StageBreakdown() Stages {
 	q.statsMu.Lock()
 	defer q.statsMu.Unlock()
-	return q.mainNS, q.sharedNS, q.partNS, q.mergeNS, q.totalNS
+	return Stages{
+		FragmentNS:  q.mainNS,
+		SharedNS:    q.sharedNS,
+		ScatterNS:   q.scatterNS,
+		PartitionNS: q.partNS,
+		StitchNS:    q.stitchNS,
+		MergeNS:     q.mergeNS,
+		TotalNS:     q.totalNS,
+	}
 }
 
 // BatchedSlides reports how many window slides drained through the
@@ -448,6 +520,14 @@ func (q *ContinuousQuery) SharedSlides() (adopted, led int64) {
 	q.statsMu.Lock()
 	defer q.statsMu.Unlock()
 	return q.sharedSlides, q.leadSlides
+}
+
+// SharedTails reports how many window merges adopted a shared merge head
+// from the tail catalog versus computed and published one.
+func (q *ContinuousQuery) SharedTails() (adopted, led int64) {
+	q.statsMu.Lock()
+	defer q.statsMu.Unlock()
+	return q.tailAdopted, q.tailLed
 }
 
 // Fingerprint returns the canonical fingerprint of the query's pre-merge
@@ -473,6 +553,11 @@ func (q *ContinuousQuery) Explain() string {
 	}
 	if frag := q.fragment(); frag != nil {
 		s += fmt.Sprintf("fragment sharing: fingerprint %s shared×%d\n", frag.fp, frag.subscribers())
+		if tail := q.mergeTail(); tail != nil {
+			s += fmt.Sprintf("merge tail: fingerprint %s merge shared×%d\n", tail.fp, tail.subscribers())
+		} else {
+			s += "merge tail: private\n"
+		}
 	} else if q.Mode == Incremental {
 		s += "fragment sharing: off (private evaluation)\n"
 	}
@@ -898,6 +983,65 @@ func (q *ContinuousQuery) fireShared(frag *sharedFragment, b *slideBatch) (int, 
 		}
 	}()
 
+	// Merge-tail sharing: claim the head of every window this batch closes.
+	// Leaders publish from inside the merge (the Publish hook below) the
+	// moment the grouped block completes; followers block in Fetch. The
+	// exchange is deadlock-free because StepFilesTail processes slides in
+	// ascending window-end order and leadership is fixed here, up front: a
+	// query waiting at end E has already published every head it leads
+	// below E, and the leader it waits on is either past E or below it and
+	// descending waits cannot cycle. All fragment partials are published
+	// before any tail runs (leaders publish theirs right after EvalFragments
+	// below, and the deferred abort above covers errors), so a tail wait can
+	// never hold up a fragment wait either.
+	var tails []*core.TailExchange
+	var tailWait []int64 // per-slide adoption wait (ns), written in Fetch
+	var tailAdopt []bool // slide adopted a shared head
+	var tailPub []bool   // led slide published (success or abort)
+	var tailParts []*tailPartial
+	var tailLead []bool
+	tail := q.mergeTail()
+	if tail != nil {
+		tails = make([]*core.TailExchange, k)
+		tailWait = make([]int64, k)
+		tailAdopt = make([]bool, k)
+		tailPub = make([]bool, k)
+		tailParts = make([]*tailPartial, k)
+		tailLead = make([]bool, k)
+		for sl := 0; sl < k; sl++ {
+			sl := sl
+			p, ld := tail.acquire(base + int64(ends[sl]))
+			tailParts[sl], tailLead[sl] = p, ld
+			if ld {
+				tails[sl] = &core.TailExchange{Publish: func(h *core.MergeHead, err error) {
+					if !tailPub[sl] {
+						tailPub[sl] = true
+						p.publish(h, err)
+					}
+				}}
+			} else {
+				tails[sl] = &core.TailExchange{Fetch: func() (*core.MergeHead, error) {
+					tw := time.Now()
+					p.wait()
+					tailWait[sl] = time.Since(tw).Nanoseconds()
+					if p.err == nil {
+						tailAdopt[sl] = true
+					}
+					return p.head, p.err
+				}}
+			}
+		}
+		// Owed heads must be released even if the step errors out mid-batch.
+		defer func() {
+			for sl := range tailParts {
+				if tailLead[sl] && !tailPub[sl] {
+					tailPub[sl] = true
+					tailParts[sl].publish(nil, errTailAborted)
+				}
+			}
+		}()
+	}
+
 	// Evaluate the slides this query leads (including end-mismatch slides
 	// it computes privately), in slide order so partials are bit-identical
 	// to the private StepBatch path.
@@ -977,7 +1121,7 @@ func (q *ContinuousQuery) fireShared(frag *sharedFragment, b *slideBatch) (int, 
 		nShared++
 	}
 
-	results, err := q.rt.StepFiles(files, sharedMask, evalNS, inputs)
+	results, err := q.rt.StepFilesTail(files, sharedMask, evalNS, inputs, tails)
 	if err != nil {
 		return 0, err
 	}
@@ -990,17 +1134,40 @@ func (q *ContinuousQuery) fireShared(frag *sharedFragment, b *slideBatch) (int, 
 	qi.cur.Unlock()
 	frag.consumedTo(q, base+int64(ends[k-1]))
 
+	nTailAdopt := int64(0)
+	nTailLed := int64(0)
+	if tail != nil {
+		tail.consumedTo(q, base+int64(ends[k-1])+1)
+		for sl := 0; sl < k; sl++ {
+			if tailAdopt[sl] {
+				nTailAdopt++
+			} else if tailLead[sl] {
+				nTailLed++
+			}
+		}
+	}
+
 	q.statsMu.Lock()
 	if k > 1 {
 		q.batchedSlides += int64(k)
 	}
 	q.sharedSlides += int64(nShared)
 	q.leadSlides += int64(k - nShared)
+	q.tailAdopted += nTailAdopt
+	q.tailLed += nTailLed
 	q.statsMu.Unlock()
 	stepNS := time.Since(t0).Nanoseconds() / int64(k)
 	for i := range results {
 		if sharedMask[i] && nShared > 0 {
 			results[i].Stats.SharedNS = waitNS / int64(nShared)
+		}
+		if tailWait != nil && tailWait[i] > 0 {
+			// The adoption wait ran inside the merge; reattribute it from
+			// the merge lump to shared time so stage sums stay meaningful.
+			if results[i].Stats.MergeNS > tailWait[i] {
+				results[i].Stats.MergeNS -= tailWait[i]
+			}
+			results[i].Stats.SharedNS += tailWait[i]
 		}
 		q.account(results[i].Stats, stepNS)
 		if results[i].Table != nil {
@@ -1220,7 +1387,9 @@ func (q *ContinuousQuery) account(stats core.StepStats, stepNS int64) {
 	q.statsMu.Lock()
 	q.mainNS += stats.MainNS
 	q.sharedNS += stats.SharedNS
+	q.scatterNS += stats.ScatterNS
 	q.partNS += stats.PartitionNS
+	q.stitchNS += stats.StitchNS
 	q.mergeNS += stats.MergeNS
 	q.totalNS += stepNS
 	q.statsMu.Unlock()

@@ -1,0 +1,187 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSharedTailLifecycle covers the merge-tail catalog: queries with the
+// same fragment, window length and head shape but different HAVING
+// thresholds intern one sharedTail; different window lengths do not; heads
+// are adopted during pumping, pruned after, and the tail disappears when
+// its last subscriber deregisters.
+func TestSharedTailLifecycle(t *testing.T) {
+	e := sharedTestEngine(t)
+	const sqlA = `SELECT x1, sum(x2) FROM f [RANGE 128 SLIDE 64] GROUP BY x1 HAVING sum(x2) > 100`
+	const sqlB = `SELECT x1, sum(x2) FROM f [RANGE 128 SLIDE 64] GROUP BY x1 HAVING sum(x2) > 12000`
+	const sqlOtherN = `SELECT x1, sum(x2) FROM f [RANGE 256 SLIDE 64] GROUP BY x1 HAVING sum(x2) > 100`
+	var cA, cB collector
+	qA, err := e.Register(sqlA, Options{Mode: Incremental, OnResult: cA.add})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qB, err := e.Register(sqlB, Options{Mode: Incremental, OnResult: cB.add})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qN, err := e.Register(sqlOtherN, Options{Mode: Incremental})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qPriv, err := e.Register(sqlA, Options{Mode: Incremental, PrivateMergeTails: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	st := qA.mergeTail()
+	if st == nil || st != qB.mergeTail() {
+		t.Fatal("qA and qB must intern the same merge tail")
+	}
+	if qN.mergeTail() == st {
+		t.Fatal("different window length must not share a merge tail")
+	}
+	if qN.mergeTail() == nil {
+		t.Fatal("qN should intern its own merge tail")
+	}
+	if qPriv.mergeTail() != nil {
+		t.Fatal("PrivateMergeTails query must not attach a tail")
+	}
+	if qPriv.fragment() == nil {
+		t.Fatal("PrivateMergeTails must leave fragment sharing on")
+	}
+	if got := st.subscribers(); got != 2 {
+		t.Fatalf("tail has %d subscribers, want 2", got)
+	}
+	if ex := qA.Explain(); !strings.Contains(ex, "merge shared×2") {
+		t.Errorf("Explain misses merge tail sharing:\n%s", ex)
+	}
+	if ex := qPriv.Explain(); !strings.Contains(ex, "merge tail: private") {
+		t.Errorf("Explain misses private merge tail:\n%s", ex)
+	}
+
+	feedSharedMix(t, e, 11, 2048, 256)
+	if _, err := e.Pump(); err != nil {
+		t.Fatal(err)
+	}
+	aA, lA := qA.SharedTails()
+	aB, lB := qB.SharedTails()
+	if aA+aB == 0 {
+		t.Fatalf("no merge head was ever adopted (qA %d/%d, qB %d/%d)", aA, lA, aB, lB)
+	}
+	if lA+lB == 0 {
+		t.Fatal("no merge head was ever led")
+	}
+	if a, l := qPriv.SharedTails(); a != 0 || l != 0 {
+		t.Fatalf("private query touched the tail catalog (%d adopted, %d led)", a, l)
+	}
+	if got := st.cached(); got != 0 {
+		t.Fatalf("%d heads cached after full drain (prune failed)", got)
+	}
+
+	// Residual tails must differ: same head, different HAVING thresholds.
+	if len(cA.results) == 0 || len(cB.results) == 0 {
+		t.Fatal("no windows")
+	}
+	same := true
+	for i := range cA.results {
+		if i >= len(cB.results) {
+			break
+		}
+		if tableKey(cA.results[i].Table, false) != tableKey(cB.results[i].Table, false) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different HAVING thresholds produced identical result streams — residuals not applied?")
+	}
+
+	e.Deregister(qB)
+	if got := st.subscribers(); got != 1 {
+		t.Fatalf("tail has %d subscribers after deregister, want 1", got)
+	}
+	if qB.mergeTail() != nil {
+		t.Fatal("deregistered query still holds its tail")
+	}
+	e.Deregister(qA)
+	e.Deregister(qN)
+	e.Deregister(qPriv)
+	reg := e.fragmentsOf("f")
+	reg.mu.Lock()
+	nTails := len(reg.tails)
+	reg.mu.Unlock()
+	if nTails != 0 {
+		t.Fatalf("registry holds %d tails after deregistering every subscriber, want 0", nTails)
+	}
+}
+
+// TestSharedTailParity pins bit-identical results with tail sharing on vs
+// off for a same-head clique whose members differ only in residual
+// constants, at parallelism 1 and 4 (batched slides interleave leader and
+// follower windows within one firing).
+func TestSharedTailParity(t *testing.T) {
+	queries := []string{
+		`SELECT x1, sum(x2), sum(x3) FROM f [RANGE 256 SLIDE 64] GROUP BY x1 HAVING sum(x2) > 500`,
+		`SELECT x1, sum(x2), sum(x3) FROM f [RANGE 256 SLIDE 64] GROUP BY x1 HAVING sum(x2) > 5000`,
+		`SELECT x1, sum(x2), sum(x3) FROM f [RANGE 256 SLIDE 64] GROUP BY x1 HAVING sum(x2) > 50000`,
+		`SELECT x1, sum(x2), sum(x3) FROM f [RANGE 256 SLIDE 64] GROUP BY x1`,
+	}
+	run := func(privateTails bool, par, pumpPar int) ([]string, int64) {
+		e := sharedTestEngine(t)
+		e.streamLog("f").SetSealRows(96)
+		cols := make([]*collector, len(queries))
+		regs := make([]*ContinuousQuery, len(queries))
+		for i, sql := range queries {
+			cols[i] = &collector{}
+			q, err := e.Register(sql, Options{
+				Mode: Incremental, Parallelism: par,
+				PrivateMergeTails: privateTails, OnResult: cols[i].add,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			regs[i] = q
+		}
+		feedSharedMix(t, e, 1234, 4096, 192)
+		var err error
+		if pumpPar > 1 {
+			_, err = e.PumpParallel(pumpPar)
+		} else {
+			_, err = e.Pump()
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		keys := make([]string, len(queries))
+		var adopted int64
+		for i, c := range cols {
+			if len(c.results) == 0 {
+				t.Fatalf("query %d produced no windows", i)
+			}
+			var sb strings.Builder
+			for _, r := range c.results {
+				sb.WriteString(tableKey(r.Table, false))
+				sb.WriteByte('|')
+			}
+			keys[i] = sb.String()
+			a, _ := regs[i].SharedTails()
+			adopted += a
+		}
+		return keys, adopted
+	}
+	want, privAdopted := run(true, 1, 1)
+	if privAdopted != 0 {
+		t.Fatalf("private baseline adopted %d merge heads", privAdopted)
+	}
+	for _, cfg := range []struct{ par, pumpPar int }{{1, 1}, {4, 1}, {2, 4}} {
+		got, adopted := run(false, cfg.par, cfg.pumpPar)
+		if adopted == 0 {
+			t.Fatalf("par=%d pump=%d: tail sharing never engaged", cfg.par, cfg.pumpPar)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("par=%d pump=%d: query %d diverges under tail sharing:\nshared  %s\nprivate %s",
+					cfg.par, cfg.pumpPar, i, got[i], want[i])
+			}
+		}
+	}
+}

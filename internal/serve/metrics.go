@@ -77,7 +77,9 @@ func (s *Server) writeMetrics(sb *strings.Builder) {
 		}{
 			{"fragment", qs.Fragment.Seconds()},
 			{"shared", qs.Shared.Seconds()},
+			{"scatter", qs.Scatter.Seconds()},
 			{"partition", qs.Partition.Seconds()},
+			{"stitch", qs.Stitch.Seconds()},
 			{"merge", qs.Merge.Seconds()},
 			{"total", qs.Total.Seconds()},
 		} {

@@ -18,11 +18,20 @@ type View struct {
 
 // NewView builds a view of type t over the given parts (empty parts are
 // allowed and contribute nothing). All parts must have type t (Int64 and
-// Timestamp are interchangeable, as everywhere).
+// Timestamp are interchangeable, as everywhere). The parts slice is built
+// in one pass — Append's copy-on-extend would make many-part views
+// quadratic.
 func NewView(t Type, parts ...*Vector) View {
-	v := View{typ: t}
+	v := View{typ: t, parts: make([]*Vector, 0, len(parts))}
 	for _, p := range parts {
-		v = v.Append(p)
+		if p.typ != t && !(IntKind(p.typ) && IntKind(t)) {
+			panic("vector: view part type " + p.typ.String() + " into " + t.String())
+		}
+		if p.Len() == 0 {
+			continue
+		}
+		v.parts = append(v.parts, p)
+		v.n += p.Len()
 	}
 	return v
 }
