@@ -16,6 +16,15 @@
 // closes, owed windows are flushed to every subscriber, then connections
 // end with a BYE frame.
 //
+// -data DIR makes the server durable: stream data is journaled as
+// checksummed columnar segments under DIR, DDL and standing queries go to
+// DIR/MANIFEST.json, and a restart (even after SIGKILL) replays the log —
+// torn tails truncated at the last valid record — re-deriving watermarks
+// and re-registering every standing query. A client that re-issues its
+// REGISTER after reconnecting adopts its recovered query instead of
+// creating a duplicate. -ram-budget bounds resident segment memory per
+// stream; colder segments are served from disk on demand.
+//
 // Shell commands (terminated by newline; SQL statements by ';'):
 //
 //	CREATE STREAM <name> (<col> <type>, ...)
@@ -61,6 +70,8 @@ func main() {
 	pprofOn := flag.Bool("pprof", false, "also serve net/http/pprof under /debug/pprof/ on the -metrics address")
 	connect := flag.String("connect", "", "run the shell against a remote datacelld at this address")
 	drain := flag.Duration("drain", 5*time.Second, "graceful-drain bound for shutdown (server mode)")
+	dataDir := flag.String("data", "", "persist stream data and standing queries in this directory and recover them on restart (server mode only)")
+	ramBudget := flag.Int64("ram-budget", 0, "per-stream resident segment bytes before eviction to the -data directory (0 = never evict)")
 	flag.Parse()
 
 	var err error
@@ -69,7 +80,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "datacelld: -listen and -connect are mutually exclusive")
 		os.Exit(2)
 	case *listen != "":
-		err = runServer(*listen, *metrics, *pprofOn, *drain)
+		err = runServer(*listen, *metrics, *pprofOn, *drain, *dataDir, *ramBudget)
 	case *connect != "":
 		err = runRemoteShell(*connect)
 	default:
@@ -83,8 +94,22 @@ func main() {
 
 // runServer hosts one engine behind the wire protocol until a signal
 // drains it.
-func runServer(addr, metricsAddr string, pprofOn bool, drain time.Duration) error {
-	db := datacell.New()
+func runServer(addr, metricsAddr string, pprofOn bool, drain time.Duration, dataDir string, ramBudget int64) error {
+	var db *datacell.DB
+	if dataDir != "" {
+		var err error
+		db, err = datacell.OpenConfig(dataDir, datacell.StoreConfig{RAMBudget: ramBudget})
+		if err != nil {
+			return err
+		}
+		defer db.Close()
+		if rec := db.RecoveredQueries(); len(rec) > 0 {
+			fmt.Printf("datacelld: recovered %d standing quer%s from %s (replaying retained windows; re-REGISTER to resubscribe)\n",
+				len(rec), map[bool]string{true: "y", false: "ies"}[len(rec) == 1], dataDir)
+		}
+	} else {
+		db = datacell.New()
+	}
 	srv := serve.New(db, serve.Config{DrainTimeout: drain})
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {

@@ -49,10 +49,11 @@ var figures = []struct {
 	{"parallel", nil}, // special-cased likewise
 	{"merge", nil},    // special-cased likewise
 	{"serve", nil},    // special-cased likewise
+	{"storage", nil},  // special-cased likewise
 }
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate (4a..9inset, 'scaling', 'fanout', 'parallel', 'merge', 'serve', or 'all')")
+	fig := flag.String("fig", "all", "figure to regenerate (4a..9inset, 'scaling', 'fanout', 'parallel', 'merge', 'serve', 'storage', or 'all')")
 	scale := flag.Int("scale", 64, "divide the paper's window sizes by this factor")
 	windows := flag.Int("windows", 0, "override the number of measured windows (0 = paper default)")
 	jsonDir := flag.String("json", "", "directory to write machine-readable BENCH_*.json results into (empty = off)")
@@ -76,6 +77,8 @@ func main() {
 			tbl, err = runMerge(cfg, *jsonDir)
 		case "serve":
 			tbl, err = runServe(cfg, *jsonDir)
+		case "storage":
+			tbl, err = runStorage(cfg, *jsonDir)
 		default:
 			tbl, err = f.run(cfg)
 		}
@@ -156,6 +159,25 @@ func runServe(cfg bench.Config, jsonDir string) (*bench.Table, error) {
 		fmt.Printf("wrote %s\n", path)
 	}
 	return bench.ServeTable(points, slide, windows), nil
+}
+
+// runStorage measures the durable-segment-log sweep (ingest per backend
+// plus recovery replay) once and feeds the single measurement to both the
+// printed table and (when -json is set) the machine-readable
+// BENCH_storage.json.
+func runStorage(cfg bench.Config, jsonDir string) (*bench.Table, error) {
+	points, replay, err := bench.MeasureStorage(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if jsonDir != "" {
+		path, err := bench.WriteStorageJSON(points, replay, jsonDir)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+	return bench.StorageTable(points, replay), nil
 }
 
 // runParallel measures the intra-query parallelism sweep once and feeds

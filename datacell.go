@@ -54,6 +54,7 @@ import (
 	"datacell/internal/catalog"
 	"datacell/internal/engine"
 	"datacell/internal/exec"
+	"datacell/internal/storage"
 	"datacell/internal/vector"
 )
 
@@ -166,6 +167,15 @@ type Table = exec.Table
 // DB is a DataCell instance: catalog, baskets, factories and scheduler.
 type DB struct {
 	eng *engine.Engine
+
+	// dir is the persistent data directory (nil for a memory instance —
+	// see Open).
+	dir *storage.Dir
+
+	// recMu guards recovered, the replayed standing queries awaiting
+	// adoption (see RecoveredQueries / AdoptRecovered).
+	recMu     sync.Mutex
+	recovered []*Query
 
 	// clockMu guards clocks, the per-stream arrival-clock registry (see
 	// streamClock).

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"datacell/internal/catalog"
+	"datacell/internal/storage"
 	"datacell/internal/vector"
 )
 
@@ -16,19 +17,24 @@ const DefaultSealRows = 8192
 // segment is one contiguous run of the log. base is the absolute position
 // of its first tuple; a sealed segment is immutable and safe to read
 // without the log lock.
+//
+// With a durable store attached, a sealed segment's column payloads may be
+// evicted (cols == nil, "cold") and fetched back on demand; the arrival
+// timestamps always stay resident — at 8 bytes/row they are cheap, and
+// keeping them makes watermark counting (CountUntilLocked) and length
+// bookkeeping work without touching the disk.
 type segment struct {
-	cols   []*vector.Vector
-	ts     []int64
-	base   int64
-	sealed bool
+	cols      []*vector.Vector // nil when evicted
+	ts        []int64
+	base      int64
+	bytes     int64 // payload footprint, accounted at seal/fetch time
+	sealed    bool
+	persisted bool // the store holds a sealed copy; eviction is allowed
 }
 
-func (s *segment) len() int {
-	if len(s.cols) == 0 {
-		return len(s.ts)
-	}
-	return s.cols[0].Len()
-}
+func (s *segment) len() int { return len(s.ts) }
+
+func (s *segment) cold() bool { return s.cols == nil }
 
 // Basket is a per-stream shared segment log. All mutating and
 // position-dependent accesses happen between Lock/Unlock; the *Locked
@@ -49,6 +55,16 @@ type Basket struct {
 	appended int64
 
 	cursors []*Cursor
+
+	// store persists sealed segments; storage.Memory{} means RAM-only
+	// (the historical behavior). ramBudget caps the resident payload
+	// bytes of sealed persisted segments (0 = unlimited); the mutable
+	// tail never counts against it because it cannot be evicted.
+	store         storage.Store
+	ramBudget     int64
+	residentBytes int64
+	fetches       int64
+	evictions     int64
 }
 
 // New creates an empty segment log with the default seal threshold.
@@ -59,11 +75,57 @@ func New(name string, schema catalog.Schema) *Basket {
 // NewWithSeal creates an empty segment log sealing segments at sealRows
 // tuples (values < 1 fall back to DefaultSealRows).
 func NewWithSeal(name string, schema catalog.Schema, sealRows int) *Basket {
+	return NewStored(name, schema, sealRows, storage.Memory{}, 0)
+}
+
+// NewStored creates an empty segment log backed by a persistent store.
+// Sealed segments are written through to the store; when the store is
+// durable, clean cold segments are evicted once resident sealed payloads
+// exceed ramBudget bytes (0 = never evict).
+func NewStored(name string, schema catalog.Schema, sealRows int, store storage.Store, ramBudget int64) *Basket {
 	if sealRows < 1 {
 		sealRows = DefaultSealRows
 	}
-	b := &Basket{name: name, schema: schema, sealRows: sealRows}
+	if store == nil {
+		store = storage.Memory{}
+	}
+	b := &Basket{name: name, schema: schema, sealRows: sealRows, store: store, ramBudget: ramBudget}
 	b.segs = []*segment{b.newSegment(0)}
+	return b
+}
+
+// Restore rebuilds a segment log from recovered store segments (in base
+// order, the last possibly unsealed — it becomes the mutable tail). The
+// basket resumes with head/appended counters continuing the crashed run's
+// absolute row space.
+func Restore(name string, schema catalog.Schema, sealRows int, store storage.Store, ramBudget int64, recovered []storage.SegmentData) *Basket {
+	if sealRows < 1 {
+		sealRows = DefaultSealRows
+	}
+	if store == nil {
+		store = storage.Memory{}
+	}
+	b := &Basket{name: name, schema: schema, sealRows: sealRows, store: store, ramBudget: ramBudget}
+	for _, sd := range recovered {
+		s := &segment{cols: sd.Cols, ts: sd.TS, base: sd.Base, sealed: sd.Sealed, persisted: sd.Sealed}
+		if s.sealed {
+			s.bytes = payloadBytes(s.cols, s.ts)
+			b.residentBytes += s.bytes
+		}
+		b.segs = append(b.segs, s)
+	}
+	if len(b.segs) == 0 {
+		b.segs = []*segment{b.newSegment(0)}
+	} else {
+		b.head = b.segs[0].base
+		last := b.segs[len(b.segs)-1]
+		b.appended = last.base + int64(last.len())
+		if last.sealed {
+			// All recovered segments sealed: open a fresh tail after them.
+			b.segs = append(b.segs, b.newSegment(b.appended))
+		}
+	}
+	b.evictLocked(nil)
 	return b
 }
 
@@ -101,14 +163,89 @@ func (b *Basket) Unlock() { b.mu.Unlock() }
 
 func (b *Basket) tail() *segment { return b.segs[len(b.segs)-1] }
 
-// maybeSealLocked seals the tail once it reaches the threshold, opens a
-// fresh tail, and gives reclamation a chance to drop dead head segments.
-func (b *Basket) maybeSealLocked() {
-	if t := b.tail(); t.len() >= b.sealRows {
-		t.sealed = true
-		b.segs = append(b.segs, b.newSegment(b.appended))
-		b.reclaimLocked()
+// payloadBytes estimates the RAM footprint of a segment's column payloads
+// plus its timestamp run (string headers count 16 bytes + data).
+func payloadBytes(cols []*vector.Vector, ts []int64) int64 {
+	n := int64(8 * len(ts))
+	for _, c := range cols {
+		switch c.Type() {
+		case vector.Int64, vector.Timestamp, vector.Float64:
+			n += 8 * int64(c.Len())
+		case vector.Bool:
+			n += int64(c.Len())
+		case vector.Str:
+			for _, s := range c.Strs() {
+				n += 16 + int64(len(s))
+			}
+		}
 	}
+	return n
+}
+
+// maybeSealLocked seals the tail once it reaches the threshold — writing
+// it through to the store — opens a fresh tail, and gives reclamation and
+// eviction a chance to run. A store error leaves the segment sealed in
+// RAM but unpersisted (never evicted), so reads keep working; the error
+// surfaces to the appender.
+func (b *Basket) maybeSealLocked() error {
+	t := b.tail()
+	if t.len() < b.sealRows {
+		return nil
+	}
+	t.sealed = true
+	t.bytes = payloadBytes(t.cols, t.ts)
+	b.residentBytes += t.bytes
+	err := b.store.Seal(t.base, t.len())
+	if err == nil {
+		t.persisted = true
+	} else {
+		err = fmt.Errorf("basket %s: seal segment %d: %w", b.name, t.base, err)
+	}
+	b.segs = append(b.segs, b.newSegment(b.appended))
+	b.reclaimLocked()
+	b.evictLocked(nil)
+	return err
+}
+
+// evictLocked drops the column payloads of resident sealed persisted
+// segments, oldest first, until the resident footprint fits the RAM
+// budget. protect (the segment just fetched for an in-flight read) and
+// the tail are never evicted. No-op without a durable store or budget.
+func (b *Basket) evictLocked(protect *segment) {
+	if b.ramBudget <= 0 || !b.store.Durable() {
+		return
+	}
+	for _, s := range b.segs {
+		if b.residentBytes <= b.ramBudget {
+			return
+		}
+		if s == protect || !s.sealed || !s.persisted || s.cold() {
+			continue
+		}
+		s.cols = nil
+		b.residentBytes -= s.bytes
+		b.evictions++
+	}
+}
+
+// fetchLocked loads a cold segment's columns back from the store. The
+// read happens under the log lock — a deliberate tradeoff: cold fetches
+// are rare (long windows touching spilled history) and keeping them under
+// the lock preserves the invariant that a built View is always backed by
+// resident payloads. A fetch failure panics: the store accepted Seal, so
+// the segment's durability was promised.
+func (b *Basket) fetchLocked(s *segment) {
+	sd, err := b.store.Fetch(s.base)
+	if err != nil {
+		panic(fmt.Sprintf("basket %s: fetch of persisted segment %d failed: %v", b.name, s.base, err))
+	}
+	if sd.Rows != s.len() {
+		panic(fmt.Sprintf("basket %s: segment %d fetched %d rows, want %d", b.name, s.base, sd.Rows, s.len()))
+	}
+	s.cols = sd.Cols
+	b.residentBytes += s.bytes
+	b.fetches++
+	b.evictLocked(s)
 }
 
 // minHorizonLocked returns the smallest cursor position — the oldest tuple
@@ -119,6 +256,25 @@ func (b *Basket) minHorizonLocked() int64 {
 	for _, c := range b.cursors {
 		if c.pos < min {
 			min = c.pos
+		}
+	}
+	return min
+}
+
+// minRetainLocked returns the oldest absolute offset the persistent store
+// must keep. Crash recovery replays each standing query from its
+// registration offset (c.start), which trails its live read position, so
+// the store retains back to the earliest live registration — the
+// no-checkpoint tradeoff: disk history grows until a query deregisters.
+// With no cursors the store only needs what RAM still retains.
+func (b *Basket) minRetainLocked() int64 {
+	if len(b.cursors) == 0 {
+		return b.head
+	}
+	min := b.cursors[0].start
+	for _, c := range b.cursors[1:] {
+		if c.start < min {
+			min = c.start
 		}
 	}
 	return min
@@ -138,32 +294,39 @@ func (b *Basket) reclaimLocked() {
 		drop++
 	}
 	if drop > 0 {
+		for _, s := range b.segs[:drop] {
+			if !s.cold() {
+				b.residentBytes -= s.bytes
+			}
+		}
 		// Re-slice via copy so the dropped segment pointers are released
 		// to the GC instead of lingering in the backing array.
 		b.segs = append([]*segment(nil), b.segs[drop:]...)
 		b.head = b.segs[0].base
+		// Best-effort: trim the store to the replay floor (not the RAM
+		// head — recovery re-reads from registration offsets). A failure
+		// only leaves stale files, which later Drops and recovery tolerate.
+		_ = b.store.Drop(b.minRetainLocked())
 	}
 }
 
-// AppendRowLocked appends one tuple with the given arrival timestamp.
+// AppendRowLocked appends one tuple with the given arrival timestamp. It
+// lands through the columnar path so the store sees one record per row;
+// batch ingest (AppendColumnsLocked) amortizes that per-record overhead.
 func (b *Basket) AppendRowLocked(vals []vector.Value, ts int64) error {
 	if len(vals) != b.schema.Arity() {
 		return fmt.Errorf("basket %s: tuple arity %d, want %d", b.name, len(vals), b.schema.Arity())
 	}
+	cols := make([]*vector.Vector, len(vals))
 	for i, v := range vals {
 		want := b.schema.Cols[i].Type
 		if v.Typ != want && !(vector.IntKind(v.Typ) && vector.IntKind(want)) {
 			return fmt.Errorf("basket %s: column %s expects %s, got %s", b.name, b.schema.Cols[i].Name, want, v.Typ)
 		}
+		cols[i] = vector.New(want, 1)
+		cols[i].AppendValue(v)
 	}
-	t := b.tail()
-	for i, v := range vals {
-		t.cols[i].AppendValue(v)
-	}
-	t.ts = append(t.ts, ts)
-	b.appended++
-	b.maybeSealLocked()
-	return nil
+	return b.AppendColumnsLocked(cols, []int64{ts})
 }
 
 // AppendColumnsLocked appends a batch in columnar form — the receptor's
@@ -197,20 +360,27 @@ func (b *Basket) AppendColumnsLocked(cols []*vector.Vector, ts []int64) error {
 		return nil
 	}
 	// Split the batch at seal boundaries so segments stay near sealRows
-	// even when one batch is much larger than the threshold.
+	// even when one batch is much larger than the threshold. Each slice
+	// also lands in the store as one record, so the on-disk segment files
+	// mirror the in-memory chain chunk for chunk.
+	var firstErr error
 	off := 0
 	for off < n {
 		// SetSealRows may have shrunk the threshold below the current
 		// tail occupancy; seal first so room below is always positive.
-		b.maybeSealLocked()
+		if err := b.maybeSealLocked(); err != nil && firstErr == nil {
+			firstErr = err
+		}
 		t := b.tail()
 		room := b.sealRows - t.len()
 		take := n - off
 		if take > room {
 			take = room
 		}
+		chunk := make([]*vector.Vector, len(cols))
 		for i, c := range cols {
-			t.cols[i].AppendVector(c.Slice(off, off+take))
+			chunk[i] = c.Slice(off, off+take)
+			t.cols[i].AppendVector(chunk[i])
 		}
 		if ts == nil {
 			for k := 0; k < take; k++ {
@@ -219,11 +389,16 @@ func (b *Basket) AppendColumnsLocked(cols []*vector.Vector, ts []int64) error {
 		} else {
 			t.ts = append(t.ts, ts[off:off+take]...)
 		}
+		if err := b.store.AppendChunk(t.base, chunk, t.ts[t.len()-take:]); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("basket %s: persist chunk at %d: %w", b.name, t.base, err)
+		}
 		b.appended += int64(take)
 		off += take
-		b.maybeSealLocked()
+		if err := b.maybeSealLocked(); err != nil && firstErr == nil {
+			firstErr = err
+		}
 	}
-	return nil
+	return firstErr
 }
 
 // Appended returns the total number of tuples ever appended.
@@ -267,6 +442,44 @@ func (b *Basket) Cursors() int {
 	return len(b.cursors)
 }
 
+// SetRAMBudget retunes the resident-payload cap (0 = unlimited) and
+// evicts immediately if the new budget is already exceeded.
+func (b *Basket) SetRAMBudget(bytes int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.ramBudget = bytes
+	b.evictLocked(nil)
+}
+
+// StorageStats is a point-in-time snapshot of one log's residency state.
+type StorageStats struct {
+	Segments      int   // live segments including the tail
+	Cold          int   // sealed segments currently evicted to the store
+	ResidentBytes int64 // payload bytes of resident sealed segments
+	Fetches       int64 // cold segments read back from the store
+	Evictions     int64 // segments whose payloads were dropped under budget
+	Durable       bool  // the store persists sealed segments
+}
+
+// StorageStats returns residency and spill counters for this log.
+func (b *Basket) StorageStats() StorageStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	st := StorageStats{
+		Segments:      len(b.segs),
+		ResidentBytes: b.residentBytes,
+		Fetches:       b.fetches,
+		Evictions:     b.evictions,
+		Durable:       b.store.Durable(),
+	}
+	for _, s := range b.segs {
+		if s.cold() {
+			st.Cold++
+		}
+	}
+	return st
+}
+
 // NewCursorLocked registers a new reader positioned at the current end of
 // the log: a freshly subscribed query sees only tuples appended from now
 // on, exactly like a freshly created private basket did.
@@ -281,6 +494,30 @@ func (b *Basket) NewCursor() *Cursor {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return b.NewCursorLocked()
+}
+
+// NewCursorAtLocked registers a reader at an explicit absolute position,
+// clamped to the retained range [head, appended]. Recovery uses it to
+// re-wire a standing query's cursor at its persisted start offset; if the
+// log was partially reclaimed or lost a torn tail, the cursor lands on
+// the nearest retained tuple.
+func (b *Basket) NewCursorAtLocked(pos int64) *Cursor {
+	if pos < b.head {
+		pos = b.head
+	}
+	if pos > b.appended {
+		pos = b.appended
+	}
+	c := &Cursor{log: b, pos: pos, start: pos}
+	b.cursors = append(b.cursors, c)
+	return c
+}
+
+// NewCursorAt locks and registers a reader at an absolute position.
+func (b *Basket) NewCursorAt(pos int64) *Cursor {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.NewCursorAtLocked(pos)
 }
 
 // locate returns the index of the segment containing absolute position
@@ -360,6 +597,9 @@ func (c *Cursor) ViewLocked(lo, hi int) View {
 		if s.base >= absHi {
 			break
 		}
+		if s.cold() {
+			c.log.fetchLocked(s)
+		}
 		slo, shi := int64(0), int64(s.len())
 		if absLo > s.base {
 			slo = absLo - s.base
@@ -377,14 +617,36 @@ func (c *Cursor) ViewLocked(lo, hi int) View {
 
 // TimestampsLocked returns the arrival timestamps of cursor-relative rows
 // [lo, hi): zero-copy when the range lies in one segment, a materialized
-// copy when it spans a boundary.
+// copy when it spans a boundary. Timestamps stay resident even for
+// evicted segments, so this never touches the store.
 func (c *Cursor) TimestampsLocked(lo, hi int) []int64 {
-	v := c.ViewLocked(lo, hi)
-	if len(v.ts) == 1 {
-		return v.ts[0]
+	if lo < 0 || hi < lo || hi > c.LenLocked() {
+		panic(fmt.Sprintf("basket %s: timestamps [%d,%d) of %d", c.log.name, lo, hi, c.LenLocked()))
+	}
+	if hi == lo {
+		return nil
+	}
+	var parts [][]int64
+	absLo, absHi := c.pos+int64(lo), c.pos+int64(hi)
+	for si := c.log.locate(absLo); si < len(c.log.segs); si++ {
+		s := c.log.segs[si]
+		if s.base >= absHi {
+			break
+		}
+		slo, shi := int64(0), int64(s.len())
+		if absLo > s.base {
+			slo = absLo - s.base
+		}
+		if absHi < s.base+int64(s.len()) {
+			shi = absHi - s.base
+		}
+		parts = append(parts, s.ts[slo:shi])
+	}
+	if len(parts) == 1 {
+		return parts[0]
 	}
 	out := make([]int64, 0, hi-lo)
-	for _, part := range v.ts {
+	for _, part := range parts {
 		out = append(out, part...)
 	}
 	return out

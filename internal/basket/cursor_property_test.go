@@ -1,0 +1,135 @@
+package basket
+
+import (
+	"math/rand"
+	"testing"
+
+	"datacell/internal/vector"
+)
+
+// Property test for cursor reclamation: under randomized attach / detach /
+// advance / append churn, the log must (a) never reclaim a row a live
+// cursor can still read — head <= min live position — and (b) actually
+// reclaim once nobody needs a sealed segment, so memory is bounded by the
+// laggiest subscriber, not by history. Every cursor read cross-checks the
+// expected values, so a wrongly dropped or misaligned segment shows up as
+// corrupt data, not just a bad counter.
+
+func TestCursorReclamationProperty(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42, 1234} {
+		seed := seed
+		t.Run("", func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			b := NewWithSeal("s", spillSchema(), 8)
+			var cursors []*Cursor
+			var next int64 // value/row counter: row i holds x1=i
+
+			appendRows := func(n int) {
+				ints := make([]int64, n)
+				strs := make([]string, n)
+				ts := make([]int64, n)
+				for i := range ints {
+					ints[i] = next + int64(i)
+					strs[i] = "v"
+					ts[i] = next + int64(i)
+				}
+				b.Lock()
+				err := b.AppendColumnsLocked([]*vector.Vector{vector.FromInt64(ints), vector.FromStr(strs)}, ts)
+				b.Unlock()
+				if err != nil {
+					t.Fatal(err)
+				}
+				next += int64(n)
+			}
+
+			checkInvariants := func() {
+				b.Lock()
+				defer b.Unlock()
+				minPos := b.appended
+				for _, c := range cursors {
+					if c.pos < minPos {
+						minPos = c.pos
+					}
+				}
+				if b.head > minPos {
+					t.Fatalf("seed %d: head %d passed live cursor at %d", seed, b.head, minPos)
+				}
+				// With no cursors everything sealed is dropped; only the
+				// mutable tail (< sealRows rows) may remain.
+				if len(cursors) == 0 && b.appended-b.head >= 8 {
+					t.Fatalf("seed %d: no cursors but %d rows retained", seed, b.appended-b.head)
+				}
+				// With subscribers, retention is bounded by the laggiest
+				// one (whole segments only, so up to sealRows-1 slack per
+				// boundary plus the mutable tail).
+				if len(cursors) > 0 && minPos-b.head >= int64(2*8) {
+					t.Fatalf("seed %d: %d reclaimable rows below min cursor %d not reclaimed",
+						seed, minPos-b.head, minPos)
+				}
+			}
+
+			appendRows(4)
+			for step := 0; step < 400; step++ {
+				switch op := rng.Intn(10); {
+				case op < 4: // append a burst (crosses seal boundaries often)
+					appendRows(1 + rng.Intn(13))
+				case op < 6: // attach, sometimes at an explicit position
+					var c *Cursor
+					if rng.Intn(2) == 0 && len(cursors) > 0 {
+						donor := cursors[rng.Intn(len(cursors))]
+						donor.Lock()
+						pos := donor.PosLocked()
+						donor.Unlock()
+						c = b.NewCursorAt(pos)
+					} else {
+						c = b.NewCursor()
+					}
+					cursors = append(cursors, c)
+				case op < 7: // detach
+					if len(cursors) > 0 {
+						i := rng.Intn(len(cursors))
+						cursors[i].Close()
+						cursors = append(cursors[:i], cursors[i+1:]...)
+					}
+				default: // advance a cursor after verifying what it reads
+					if len(cursors) == 0 {
+						continue
+					}
+					c := cursors[rng.Intn(len(cursors))]
+					c.Lock()
+					n := c.LenLocked()
+					if n > 0 {
+						k := 1 + rng.Intn(n)
+						v := c.ViewLocked(0, k)
+						base := c.PosLocked()
+						got := v.Cols()[0].Int64s()
+						for i := 0; i < k; i++ {
+							if got[i] != base+int64(i) {
+								c.Unlock()
+								t.Fatalf("seed %d step %d: cursor at %d read %d at offset %d",
+									seed, step, base, got[i], i)
+							}
+						}
+						c.AdvanceLocked(k)
+					}
+					c.Unlock()
+				}
+				checkInvariants()
+			}
+
+			// Drain: close everything; the log must reclaim down to empty.
+			for _, c := range cursors {
+				c.Close()
+			}
+			cursors = nil
+			appendRows(1) // reclaim runs on the append path
+			b.Lock()
+			b.reclaimLocked()
+			b.Unlock()
+			checkInvariants()
+			if b.Segments() > 2 {
+				t.Fatalf("seed %d: %d segments left after all cursors closed", seed, b.Segments())
+			}
+		})
+	}
+}

@@ -13,13 +13,36 @@ package bench
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"strings"
 
+	"datacell/internal/basket"
 	"datacell/internal/catalog"
 	"datacell/internal/engine"
 	"datacell/internal/vector"
 	"datacell/internal/workload"
 )
+
+// RunMeta records the run environment every BENCH_*.json carries, so a
+// result file is interpretable without the machine that made it: the
+// toolchain version, the host's CPU budget, and the ingest seal threshold
+// (segment granularity bounds how fragment views split).
+type RunMeta struct {
+	GoVersion     string `json:"go_version"`
+	GOMAXPROCS    int    `json:"gomaxprocs"`
+	NumCPU        int    `json:"num_cpu"`
+	SealThreshold int    `json:"seal_threshold_rows"`
+}
+
+// NewRunMeta captures the current run environment.
+func NewRunMeta() RunMeta {
+	return RunMeta{
+		GoVersion:     runtime.Version(),
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		NumCPU:        runtime.NumCPU(),
+		SealThreshold: basket.DefaultSealRows,
+	}
+}
 
 // Config controls experiment scaling.
 type Config struct {

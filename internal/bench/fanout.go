@@ -290,9 +290,10 @@ func FanoutSlideTable(points []FanoutSlidePoint, window, slide int) *Table {
 func WriteFanoutJSON(points []FanoutPoint, slidePoints []FanoutSlidePoint, dir string) (string, error) {
 	blob, err := json.MarshalIndent(struct {
 		Bench       string             `json:"bench"`
+		Meta        RunMeta            `json:"meta"`
 		Points      []FanoutPoint      `json:"points"`
 		SlidePoints []FanoutSlidePoint `json:"slide_points,omitempty"`
-	}{Bench: "fanout", Points: points, SlidePoints: slidePoints}, "", "  ")
+	}{Bench: "fanout", Meta: NewRunMeta(), Points: points, SlidePoints: slidePoints}, "", "  ")
 	if err != nil {
 		return "", err
 	}

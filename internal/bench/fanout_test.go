@@ -41,11 +41,15 @@ func TestWriteFanoutJSON(t *testing.T) {
 	}
 	var got struct {
 		Bench       string             `json:"bench"`
+		Meta        RunMeta            `json:"meta"`
 		Points      []FanoutPoint      `json:"points"`
 		SlidePoints []FanoutSlidePoint `json:"slide_points"`
 	}
 	if err := json.Unmarshal(blob, &got); err != nil {
 		t.Fatal(err)
+	}
+	if got.Meta.GoVersion == "" || got.Meta.GOMAXPROCS == 0 || got.Meta.SealThreshold == 0 {
+		t.Fatalf("run metadata missing: %+v", got.Meta)
 	}
 	if got.Bench != "fanout" || len(got.Points) != len(FanoutQueryCounts) {
 		t.Fatalf("parsed: %+v", got)

@@ -8,7 +8,6 @@ import (
 	"sort"
 	"time"
 
-	"datacell/internal/basket"
 	"datacell/internal/engine"
 	"datacell/internal/vector"
 	"datacell/internal/workload"
@@ -249,14 +248,11 @@ func MergeTable(points []MergePoint, window, slide, slides int) *Table {
 // threshold (segment granularity bounds how fragment views split), and the
 // toolchain version.
 type MergeRunMeta struct {
-	GoVersion     string `json:"go_version"`
-	GOMAXPROCS    int    `json:"gomaxprocs"`
-	NumCPU        int    `json:"num_cpu"`
-	WorkerSweep   []int  `json:"worker_sweep"`
-	SealThreshold int    `json:"seal_threshold_rows"`
-	Window        int    `json:"window"`
-	Slide         int    `json:"slide"`
-	Slides        int    `json:"slides"`
+	RunMeta
+	WorkerSweep []int `json:"worker_sweep"`
+	Window      int   `json:"window"`
+	Slide       int   `json:"slide"`
+	Slides      int   `json:"slides"`
 }
 
 // NewMergeRunMeta captures the current run environment for the given sweep
@@ -265,14 +261,11 @@ func NewMergeRunMeta(window, slide, slides int) MergeRunMeta {
 	counts := MergeWorkerCounts()
 	sort.Ints(counts)
 	return MergeRunMeta{
-		GoVersion:     runtime.Version(),
-		GOMAXPROCS:    runtime.GOMAXPROCS(0),
-		NumCPU:        runtime.NumCPU(),
-		WorkerSweep:   counts,
-		SealThreshold: basket.DefaultSealRows,
-		Window:        window,
-		Slide:         slide,
-		Slides:        slides,
+		RunMeta:     NewRunMeta(),
+		WorkerSweep: counts,
+		Window:      window,
+		Slide:       slide,
+		Slides:      slides,
 	}
 }
 

@@ -236,8 +236,9 @@ func ServeTable(points []ServePoint, slide, windows int) *Table {
 func WriteServeJSON(points []ServePoint, dir string) (string, error) {
 	blob, err := json.MarshalIndent(struct {
 		Bench  string       `json:"bench"`
+		Meta   RunMeta      `json:"meta"`
 		Points []ServePoint `json:"points"`
-	}{Bench: "serve", Points: points}, "", "  ")
+	}{Bench: "serve", Meta: NewRunMeta(), Points: points}, "", "  ")
 	if err != nil {
 		return "", err
 	}

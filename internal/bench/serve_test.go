@@ -66,6 +66,7 @@ func TestWriteServeJSON(t *testing.T) {
 	}
 	var got struct {
 		Bench  string       `json:"bench"`
+		Meta   RunMeta      `json:"meta"`
 		Points []ServePoint `json:"points"`
 	}
 	if err := json.Unmarshal(blob, &got); err != nil {
@@ -73,6 +74,9 @@ func TestWriteServeJSON(t *testing.T) {
 	}
 	if got.Bench != "serve" || len(got.Points) != 1 || got.Points[0].ShareFactor != 16 {
 		t.Fatalf("parsed: %+v", got)
+	}
+	if got.Meta.GoVersion == "" || got.Meta.NumCPU == 0 || got.Meta.SealThreshold == 0 {
+		t.Fatalf("run metadata missing: %+v", got.Meta)
 	}
 }
 

@@ -1,0 +1,212 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"datacell/internal/engine"
+	"datacell/internal/storage"
+	"datacell/internal/workload"
+)
+
+// This file measures what durability costs (not a paper figure): the same
+// ingest workload runs against the memory backend, the disk backend
+// (fsync at seal only — the default), and the disk backend with per-chunk
+// fsync, then the disk log is reopened and replayed to measure recovery
+// throughput. cmd/dcbench renders the table (-fig storage) and can emit
+// the machine-readable BENCH_storage.json consumed by CI.
+
+// StoragePoint is one measured ingest run.
+type StoragePoint struct {
+	Backend    string  `json:"backend"` // memory | disk | disk_sync
+	Rows       int     `json:"rows"`
+	Batch      int     `json:"batch"`
+	WallMS     float64 `json:"wall_ms"`
+	RowsPerSec float64 `json:"rows_per_sec"`
+	// Overhead is this backend's wall time relative to the memory run
+	// (1.0 = free durability).
+	Overhead float64 `json:"overhead_vs_memory"`
+}
+
+// StorageReplay is the measured crash-recovery replay of the disk run.
+type StorageReplay struct {
+	Rows       int     `json:"rows"`
+	Segments   int     `json:"segments"`
+	WallMS     float64 `json:"wall_ms"`
+	RowsPerSec float64 `json:"rows_per_sec"`
+}
+
+// StorageParams derives the ingest size from the config: 2^21 rows at
+// Scale 1 in 1024-row batches.
+func StorageParams(cfg Config) (rows, batch int) {
+	rows = cfg.scale(1 << 21)
+	if rows < 1<<14 {
+		rows = 1 << 14
+	}
+	return rows, 1024
+}
+
+// measureStorageIngest feeds rows through a standing query (so sealed
+// segments stay pinned, like any subscribed stream) and returns the wall
+// time of the append+pump loop. dir == "" selects the memory backend.
+func measureStorageIngest(dir string, rows, batch int, syncChunks bool) (time.Duration, error) {
+	var e *engine.Engine
+	if dir == "" {
+		e = engine.New()
+	} else {
+		d, err := storage.OpenDir(dir)
+		if err != nil {
+			return 0, err
+		}
+		d.SetSyncChunks(syncChunks)
+		defer d.Close()
+		e = engine.NewWithStore(d, 0)
+	}
+	if err := e.RegisterStream("s", intSchema()); err != nil {
+		return 0, err
+	}
+	// A wide-slide query keeps per-window work negligible: the measured
+	// loop is ingest + seal, not query evaluation.
+	_, err := e.Register(fmt.Sprintf("SELECT sum(x2) FROM s [RANGE %d SLIDE %d]", rows/2, rows/4),
+		engine.Options{Mode: engine.Incremental})
+	if err != nil {
+		return 0, err
+	}
+	gen := workload.NewGen(42, 1024, 1000)
+	t0 := time.Now()
+	for off := 0; off < rows; off += batch {
+		n := batch
+		if off+n > rows {
+			n = rows - off
+		}
+		if err := e.AppendColumns("s", gen.Next(n), nil); err != nil {
+			return 0, err
+		}
+		if _, err := e.Pump(); err != nil {
+			return 0, err
+		}
+	}
+	return time.Since(t0), nil
+}
+
+// MeasureStorage runs the three ingest backends plus the recovery replay.
+func MeasureStorage(cfg Config) ([]StoragePoint, StorageReplay, error) {
+	rows, batch := StorageParams(cfg)
+	var points []StoragePoint
+	var replay StorageReplay
+
+	point := func(backend string, d time.Duration) StoragePoint {
+		return StoragePoint{
+			Backend:    backend,
+			Rows:       rows,
+			Batch:      batch,
+			WallMS:     float64(d.Nanoseconds()) / 1e6,
+			RowsPerSec: float64(rows) / d.Seconds(),
+		}
+	}
+
+	memD, err := measureStorageIngest("", rows, batch, false)
+	if err != nil {
+		return nil, replay, err
+	}
+	points = append(points, point("memory", memD))
+	points[0].Overhead = 1
+
+	diskDir, err := os.MkdirTemp("", "dcbench-storage")
+	if err != nil {
+		return nil, replay, err
+	}
+	defer os.RemoveAll(diskDir)
+	diskD, err := measureStorageIngest(diskDir, rows, batch, false)
+	if err != nil {
+		return nil, replay, err
+	}
+	p := point("disk", diskD)
+	p.Overhead = diskD.Seconds() / memD.Seconds()
+	points = append(points, p)
+
+	syncDir, err := os.MkdirTemp("", "dcbench-storage-sync")
+	if err != nil {
+		return nil, replay, err
+	}
+	defer os.RemoveAll(syncDir)
+	syncD, err := measureStorageIngest(syncDir, rows, batch, true)
+	if err != nil {
+		return nil, replay, err
+	}
+	p = point("disk_sync", syncD)
+	p.Overhead = syncD.Seconds() / memD.Seconds()
+	points = append(points, p)
+
+	// Replay: reopen the (abandoned, not sealed) disk log and rebuild the
+	// engine from it — the restart path of a crashed datacelld.
+	d, err := storage.OpenDir(diskDir)
+	if err != nil {
+		return nil, replay, err
+	}
+	defer d.Close()
+	e2 := engine.NewWithStore(d, 0)
+	t0 := time.Now()
+	if _, err := e2.Recover(); err != nil {
+		return nil, replay, err
+	}
+	wall := time.Since(t0)
+	st, ok := e2.StreamStorageStats("s")
+	if !ok {
+		return nil, replay, fmt.Errorf("bench: stream s missing after recovery")
+	}
+	appended, _ := e2.StreamAppended("s")
+	recRows := int(appended)
+	if recRows != rows {
+		return nil, replay, fmt.Errorf("bench: recovered %d of %d rows from a clean log", recRows, rows)
+	}
+	replay = StorageReplay{
+		Rows:       recRows,
+		Segments:   st.Segments,
+		WallMS:     float64(wall.Nanoseconds()) / 1e6,
+		RowsPerSec: float64(recRows) / wall.Seconds(),
+	}
+	return points, replay, nil
+}
+
+// StorageTable renders the storage sweep like the other figures.
+func StorageTable(points []StoragePoint, replay StorageReplay) *Table {
+	t := &Table{
+		Figure: "storage",
+		Title:  "Durable segment log: ingest overhead and recovery replay",
+		Header: []string{"backend", "rows", "wall ms", "rows/s", "overhead"},
+		Notes: fmt.Sprintf("replay: %d rows / %d segments in %.1f ms (%.0f rows/s)",
+			replay.Rows, replay.Segments, replay.WallMS, replay.RowsPerSec),
+	}
+	for _, p := range points {
+		t.Rows = append(t.Rows, []string{
+			p.Backend,
+			fmt.Sprintf("%d", p.Rows),
+			fmt.Sprintf("%.1f", p.WallMS),
+			fmt.Sprintf("%.0f", p.RowsPerSec),
+			fmt.Sprintf("%.2fx", p.Overhead),
+		})
+	}
+	return t
+}
+
+// WriteStorageJSON writes the storage sweep plus run metadata as
+// BENCH_storage.json into dir.
+func WriteStorageJSON(points []StoragePoint, replay StorageReplay, dir string) (string, error) {
+	blob, err := json.MarshalIndent(struct {
+		Bench  string         `json:"bench"`
+		Meta   RunMeta        `json:"meta"`
+		Points []StoragePoint `json:"points"`
+		Replay StorageReplay  `json:"replay"`
+	}{Bench: "storage", Meta: NewRunMeta(), Points: points, Replay: replay}, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	path := dir + string(os.PathSeparator) + "BENCH_storage.json"
+	if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}

@@ -1,0 +1,63 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestMeasureStorageAndWriteJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("storage sweep in -short mode")
+	}
+	points, replay, err := MeasureStorage(Config{Scale: 1 << 30, Quiet: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("%d points, want memory/disk/disk_sync", len(points))
+	}
+	for _, p := range points {
+		if p.RowsPerSec <= 0 || p.WallMS <= 0 {
+			t.Fatalf("degenerate point %+v", p)
+		}
+	}
+	if points[0].Backend != "memory" || points[0].Overhead != 1 {
+		t.Fatalf("memory point %+v", points[0])
+	}
+	if replay.Rows != points[0].Rows || replay.Segments == 0 || replay.RowsPerSec <= 0 {
+		t.Fatalf("replay %+v", replay)
+	}
+
+	dir := t.TempDir()
+	path, err := WriteStorageJSON(points, replay, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path) != "BENCH_storage.json" {
+		t.Fatalf("path: %s", path)
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		Bench  string         `json:"bench"`
+		Meta   RunMeta        `json:"meta"`
+		Points []StoragePoint `json:"points"`
+		Replay StorageReplay  `json:"replay"`
+	}
+	if err := json.Unmarshal(blob, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Bench != "storage" || len(got.Points) != 3 || got.Replay.Rows != replay.Rows {
+		t.Fatalf("parsed: %+v", got)
+	}
+	if got.Meta.GoVersion == "" || got.Meta.SealThreshold == 0 {
+		t.Fatalf("run metadata missing: %+v", got.Meta)
+	}
+	if tbl := StorageTable(points, replay); len(tbl.Rows) != 3 {
+		t.Fatalf("table rows: %d", len(tbl.Rows))
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"datacell/internal/catalog"
 	"datacell/internal/exec"
 	"datacell/internal/plan"
+	"datacell/internal/storage"
 	"datacell/internal/vector"
 )
 
@@ -58,6 +59,20 @@ type Engine struct {
 	// loadNS accumulates wall time spent appending stream data (the
 	// "loading" component of the paper's cost breakdown figure).
 	loadNS int64
+
+	// store is the persistent data directory (nil = memory-only engine).
+	// When set, stream logs write sealed segments through it, the catalog
+	// and standing queries are journaled to its manifest, and Recover can
+	// rebuild the whole engine after a crash. ramBudget caps each stream
+	// log's resident sealed payload bytes (0 = never evict). recovering
+	// suppresses manifest writes while Recover replays the manifest's own
+	// entries (guarded by mu).
+	store      *storage.Dir
+	ramBudget  int64
+	recovering bool
+	// sealRows overrides basket.DefaultSealRows for streams registered
+	// after SetSealRows (0 = default; guarded by mu).
+	sealRows int
 
 	// Concurrent scheduler state (see scheduler.go). schedMu is always
 	// acquired before mu when both are needed.
@@ -112,6 +127,36 @@ func New() *Engine {
 	}
 }
 
+// NewWithStore creates an engine backed by a persistent data directory:
+// stream logs write sealed segments through the store, DDL and standing
+// queries are journaled to the manifest, and sealed segments may be
+// evicted under ramBudget bytes per stream (0 = never evict). Call
+// Recover before registering anything to replay a previous run.
+func NewWithStore(dir *storage.Dir, ramBudget int64) *Engine {
+	e := New()
+	e.store = dir
+	e.ramBudget = ramBudget
+	return e
+}
+
+// SetSealRows overrides the per-stream seal threshold for streams
+// registered (or recovered) afterwards. Values < 1 keep the default.
+// The threshold only shapes future segments; recovery accepts logs
+// sealed at any size.
+func (e *Engine) SetSealRows(n int) {
+	e.mu.Lock()
+	e.sealRows = n
+	e.mu.Unlock()
+}
+
+// sealRowsLocked returns the effective seal threshold. Caller holds e.mu.
+func (e *Engine) sealRowsLocked() int {
+	if e.sealRows > 0 {
+		return e.sealRows
+	}
+	return basket.DefaultSealRows
+}
+
 // Catalog exposes the engine's catalog (read-mostly).
 func (e *Engine) Catalog() *catalog.Catalog { return e.cat }
 
@@ -125,18 +170,43 @@ func (e *Engine) SetDefaultParallelism(n int) {
 	e.mu.Unlock()
 }
 
-// RegisterStream declares a stream source.
+// RegisterStream declares a stream source. With a store attached the
+// stream's segment log persists sealed segments and the definition is
+// journaled to the manifest.
 func (e *Engine) RegisterStream(name string, schema catalog.Schema) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if err := e.cat.Register(&catalog.Source{Name: name, Kind: catalog.Stream, Schema: schema}); err != nil {
 		return err
 	}
-	e.streams[name] = &streamInfo{schema: schema, log: basket.New(name, schema), frags: newFragmentRegistry()}
+	log, err := e.newStreamLogLocked(name, schema)
+	if err != nil {
+		_ = e.cat.Drop(name)
+		return err
+	}
+	e.streams[name] = &streamInfo{schema: schema, log: log, frags: newFragmentRegistry()}
+	if err := e.persistSourceLocked(name, schema, true); err != nil {
+		return fmt.Errorf("engine: stream %s registered but not journaled: %w", name, err)
+	}
 	return nil
 }
 
-// RegisterTable declares a persistent table.
+// newStreamLogLocked builds a stream's segment log: store-backed when the
+// engine has a data directory, memory-only otherwise.
+func (e *Engine) newStreamLogLocked(name string, schema catalog.Schema) (*basket.Basket, error) {
+	if e.store == nil {
+		return basket.New(name, schema), nil
+	}
+	sl, err := e.store.Stream(name, schema)
+	if err != nil {
+		return nil, err
+	}
+	return basket.NewStored(name, schema, e.sealRowsLocked(), sl, e.ramBudget), nil
+}
+
+// RegisterTable declares a persistent table. Table DDL is journaled to
+// the manifest; table rows are not (see docs/ARCHITECTURE.md — reload
+// tables after recovery).
 func (e *Engine) RegisterTable(name string, schema catalog.Schema) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -148,6 +218,9 @@ func (e *Engine) RegisterTable(name string, schema catalog.Schema) error {
 		cols[i] = vector.New(c.Type, 0)
 	}
 	e.tables[name] = &tableStore{schema: schema, cols: cols}
+	if err := e.persistSourceLocked(name, schema, false); err != nil {
+		return fmt.Errorf("engine: table %s registered but not journaled: %w", name, err)
+	}
 	return nil
 }
 

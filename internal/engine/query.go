@@ -10,6 +10,7 @@ import (
 	"datacell/internal/exec"
 	"datacell/internal/plan"
 	"datacell/internal/sql"
+	"datacell/internal/storage"
 	"datacell/internal/vector"
 )
 
@@ -242,6 +243,15 @@ func (qi *queryInput) advanceWatermarkLocked(ts int64) {
 // Register compiles and installs a continuous query. At least one source
 // must be a windowed stream.
 func (e *Engine) Register(query string, opts Options) (*ContinuousQuery, error) {
+	return e.register(query, opts, nil, 0)
+}
+
+// register is the shared registration path. startAt, when non-nil, maps
+// stream names to absolute cursor start offsets (recovery replay);
+// otherwise cursors start at the current end of each log. presetSeq > 0
+// pins the query's sequence number (and id q<seq>) instead of allocating
+// a fresh one — recovery uses it to keep crashed-run ids stable.
+func (e *Engine) register(query string, opts Options, startAt map[string]int64, presetSeq int) (*ContinuousQuery, error) {
 	prog, err := plan.Compile(query, e.cat)
 	if err != nil {
 		return nil, err
@@ -260,9 +270,18 @@ func (e *Engine) Register(query string, opts Options) (*ContinuousQuery, error) 
 	}
 
 	e.mu.Lock()
-	e.nextID++
-	id := fmt.Sprintf("q%d", e.nextID)
-	seq := e.nextID
+	seq := presetSeq
+	if seq <= 0 {
+		e.nextID++
+		seq = e.nextID
+	} else if seq > e.nextID {
+		e.nextID = seq
+	}
+	id := fmt.Sprintf("q%d", seq)
+	if _, dup := e.queries[id]; dup {
+		e.mu.Unlock()
+		return nil, fmt.Errorf("engine: query id %s already registered", id)
+	}
 	e.mu.Unlock()
 
 	mode := opts.Mode
@@ -336,7 +355,9 @@ func (e *Engine) Register(query string, opts Options) (*ContinuousQuery, error) 
 		}
 	}
 
-	// Wire cursors onto the shared stream logs.
+	// Wire cursors onto the shared stream logs, recording each start
+	// offset so the registration can be journaled (and replayed) exactly.
+	starts := map[string]int64{}
 	e.mu.Lock()
 	for i, src := range prog.Sources {
 		qi := &queryInput{q: q, srcIdx: i, stream: src.Name, spec: src.Window}
@@ -351,16 +372,24 @@ func (e *Engine) Register(query string, opts Options) (*ContinuousQuery, error) 
 				e.mu.Unlock()
 				return nil, fmt.Errorf("engine: unknown stream %q", src.Name)
 			}
-			// The cursor starts at the current end of the log: a fresh
-			// subscriber sees only tuples appended from now on.
-			qi.cur = si.log.NewCursor()
+			if at, ok := startAt[src.Name]; ok {
+				// Recovery replay: rewind to the persisted registration
+				// offset (clamped to the retained log) so the query re-reads
+				// the whole history it had consumed before the crash.
+				qi.cur = si.log.NewCursorAt(at)
+			} else {
+				// The cursor starts at the current end of the log: a fresh
+				// subscriber sees only tuples appended from now on.
+				qi.cur = si.log.NewCursor()
+			}
 			qi.watermark = si.watermark
+			qi.cur.Lock()
+			pos := qi.cur.PosLocked()
+			qi.cur.Unlock()
+			starts[src.Name] = pos
 			if fragKey != "" {
 				// Intern the query's fragment in the stream's shared-plan
 				// catalog, anchored at the cursor's absolute position.
-				qi.cur.Lock()
-				pos := qi.cur.PosLocked()
-				qi.cur.Unlock()
 				q.frag = si.frags.attach(fragKey, fragFP, q, pos)
 				if tailKey != "" {
 					// The cursor position is a lower bound on every window
@@ -379,6 +408,25 @@ func (e *Engine) Register(query string, opts Options) (*ContinuousQuery, error) 
 	}
 	e.queries[id] = q
 	e.mu.Unlock()
+
+	// Journal the registration. On failure the query is unwound: a standing
+	// query that would silently vanish on restart is worse than a failed
+	// Register.
+	def := storage.QueryDef{
+		Seq: seq, SQL: query, Mode: uint8(opts.Mode),
+		AutoThreshold:     opts.AutoThreshold,
+		Chunks:            opts.Chunks,
+		AdaptiveChunks:    opts.AdaptiveChunks,
+		Parallelism:       opts.Parallelism,
+		SerialMergeInstr:  opts.SerialMergeInstr,
+		PrivateFragments:  opts.PrivateFragments,
+		PrivateMergeTails: opts.PrivateMergeTails,
+		Start:             starts,
+	}
+	if err := e.persistQuery(seq, &def); err != nil {
+		e.Deregister(q)
+		return nil, fmt.Errorf("engine: journal query %s: %w", id, err)
+	}
 	// If the scheduler is live, give the new factory its worker right away.
 	e.maybeStartWorker(q)
 	return q, nil
@@ -424,6 +472,10 @@ func (e *Engine) Deregister(q *ContinuousQuery) {
 		e.detachLocked(qi)
 	}
 	e.mu.Unlock()
+	// Drop the registration from the manifest so a restart does not
+	// resurrect the query. Best-effort: a failed journal write leaves a
+	// stale entry whose replay the owner can Deregister again.
+	_ = e.persistQuery(q.seq, nil)
 }
 
 // detachLocked removes one query input from its stream's subscriber

@@ -49,6 +49,30 @@ func (s *Server) writeMetrics(sb *strings.Builder) {
 	fmt.Fprintf(sb, "# TYPE datacell_serve_append_rows_total counter\n")
 	fmt.Fprintf(sb, "datacell_serve_append_rows_total %d\n", st.AppendRows)
 
+	// Storage tier: per-stream segment residency (durable instances only
+	// report Durable=true; memory instances still export the counters so
+	// dashboards need not branch).
+	storage := s.db.StorageByStream()
+	streams := make([]string, 0, len(storage))
+	for name := range storage {
+		streams = append(streams, name)
+	}
+	sort.Strings(streams)
+	fmt.Fprintf(sb, "# HELP datacell_stream_segments Segments in the stream's log (resident or spilled).\n")
+	for _, name := range streams {
+		ss := storage[name]
+		durable := 0
+		if ss.Durable {
+			durable = 1
+		}
+		fmt.Fprintf(sb, "datacell_stream_durable{stream=%q} %d\n", name, durable)
+		fmt.Fprintf(sb, "datacell_stream_segments{stream=%q,residency=\"resident\"} %d\n", name, ss.Segments-ss.Cold)
+		fmt.Fprintf(sb, "datacell_stream_segments{stream=%q,residency=\"spilled\"} %d\n", name, ss.Cold)
+		fmt.Fprintf(sb, "datacell_stream_resident_bytes{stream=%q} %d\n", name, ss.ResidentBytes)
+		fmt.Fprintf(sb, "datacell_stream_segment_fetches_total{stream=%q} %d\n", name, ss.Fetches)
+		fmt.Fprintf(sb, "datacell_stream_segment_evictions_total{stream=%q} %d\n", name, ss.Evictions)
+	}
+
 	s.mu.Lock()
 	shared := make([]*sharedSub, 0, len(s.shared))
 	for _, ss := range s.shared {

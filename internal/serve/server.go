@@ -279,10 +279,16 @@ func (s *Server) register(c *conn, sql string, mode datacell.Mode, policy Policy
 	}
 	ss := s.shared[key]
 	if ss == nil {
-		q, err := s.db.Register(key.sql, datacell.Options{Mode: mode})
-		if err != nil {
-			s.mu.Unlock()
-			return nil, "", err
+		// A matching query recovered from the data directory resumes —
+		// replay backlog and all — instead of registering a duplicate.
+		q := s.db.AdoptRecovered(key.sql, mode)
+		if q == nil {
+			var err error
+			q, err = s.db.Register(key.sql, datacell.Options{Mode: mode})
+			if err != nil {
+				s.mu.Unlock()
+				return nil, "", err
+			}
 		}
 		ctx, cancel := context.WithCancel(context.Background())
 		ch, err := q.Subscribe(ctx, datacell.SubOptions{Buffer: s.cfg.sharedBuffer()})

@@ -616,6 +616,9 @@ func TestMetricsEndpoint(t *testing.T) {
 		`datacell_query_windows_total{query="s1"} 2`,
 		`stage="fragment"`,
 		`outcome="delivered"`,
+		`datacell_stream_durable{stream="s"} 0`,
+		`datacell_stream_segments{stream="s",residency="resident"}`,
+		`datacell_stream_resident_bytes{stream="s"}`,
 	} {
 		if !strings.Contains(body, want) {
 			t.Errorf("metrics missing %q\n%s", want, body)
