@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	dcbench [-fig 4a|4b|5a|5b|6a|6b|7a|7b|8|9|9inset|scaling|fanout|parallel|merge|serve|all]
+//	dcbench [-fig 4a|4b|5a|5b|6a|6b|7a|7b|8|9|9inset|scaling|fanout|parallel|merge|joins|serve|all]
 //	        [-scale N] [-windows N] [-json DIR]
 //
 // -scale divides the paper's window sizes (default 64; -scale 1 runs the
@@ -14,9 +14,11 @@
 // that support it (fanout → DIR/BENCH_fanout.json with ns/op and allocs/op
 // per query count, parallel → DIR/BENCH_parallel.json with wall time and
 // speedup per worker count, merge → DIR/BENCH_merge.json with per-stage
-// times and merge speedup per key domain x worker count, serve →
-// DIR/BENCH_serve.json with end-to-end p50/p99 latency per client count),
-// so CI can track the perf trajectory across commits.
+// times and merge speedup per key domain x worker count, joins →
+// DIR/BENCH_joins.json with join-stage time, interned-table reuse, and
+// speedup per filter skew x plan arm, serve → DIR/BENCH_serve.json with
+// end-to-end p50/p99 latency per client count), so CI can track the perf
+// trajectory across commits.
 package main
 
 import (
@@ -48,12 +50,13 @@ var figures = []struct {
 	{"fanout", nil},   // special-cased: one sweep feeds both table and JSON
 	{"parallel", nil}, // special-cased likewise
 	{"merge", nil},    // special-cased likewise
+	{"joins", nil},    // special-cased likewise
 	{"serve", nil},    // special-cased likewise
 	{"storage", nil},  // special-cased likewise
 }
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate (4a..9inset, 'scaling', 'fanout', 'parallel', 'merge', 'serve', 'storage', or 'all')")
+	fig := flag.String("fig", "all", "figure to regenerate (4a..9inset, 'scaling', 'fanout', 'parallel', 'merge', 'joins', 'serve', 'storage', or 'all')")
 	scale := flag.Int("scale", 64, "divide the paper's window sizes by this factor")
 	windows := flag.Int("windows", 0, "override the number of measured windows (0 = paper default)")
 	jsonDir := flag.String("json", "", "directory to write machine-readable BENCH_*.json results into (empty = off)")
@@ -75,6 +78,8 @@ func main() {
 			tbl, err = runParallel(cfg, *jsonDir)
 		case "merge":
 			tbl, err = runMerge(cfg, *jsonDir)
+		case "joins":
+			tbl, err = runJoins(cfg, *jsonDir)
 		case "serve":
 			tbl, err = runServe(cfg, *jsonDir)
 		case "storage":
@@ -139,6 +144,26 @@ func runMerge(cfg bench.Config, jsonDir string) (*bench.Table, error) {
 		fmt.Printf("wrote %s\n", path)
 	}
 	return bench.MergeTable(points, window, slide, slides), nil
+}
+
+// runJoins measures the adaptive-join-planning sweep (filter skews x plan
+// arm) once and feeds the single measurement to both the printed table and
+// (when -json is set) the machine-readable BENCH_joins.json.
+func runJoins(cfg bench.Config, jsonDir string) (*bench.Table, error) {
+	window, slide, slides := bench.JoinsParams(cfg)
+	const workers = 4
+	points, err := bench.MeasureJoinsSweep(workers, window, slide, slides)
+	if err != nil {
+		return nil, err
+	}
+	if jsonDir != "" {
+		path, err := bench.WriteJoinsJSON(points, bench.NewJoinsRunMeta(workers, window, slide, slides), jsonDir)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+	return bench.JoinsTable(points, window, slide, slides), nil
 }
 
 // runServe measures the serving-tier latency sweep (N TCP clients over M

@@ -143,6 +143,15 @@ type Options struct {
 	// and every subscriber applies only its residual tail. Implied by
 	// PrivateFragments; results are bit-identical either way.
 	PrivateMergeTails bool
+	// PrivateJoinPlan opts a stream-stream join query out of adaptive join
+	// planning: the join matrix then evaluates in written order with the
+	// right side building a fresh hash table per cell, instead of picking
+	// the build side per cell greedily from exact post-filter cardinalities,
+	// interning per-basic-window build tables, and zeroing cells with an
+	// empty side. The benchmark baseline for the greedy planner; results
+	// are bit-identical either way. See Query.Explain and the README
+	// "Tuning" section.
+	PrivateJoinPlan bool
 }
 
 // Result is one window result.
@@ -410,6 +419,7 @@ func (db *DB) Register(query string, opts Options) (*Query, error) {
 		Parallelism:       opts.Parallelism,
 		PrivateFragments:  opts.PrivateFragments,
 		PrivateMergeTails: opts.PrivateMergeTails,
+		PrivateJoinPlan:   opts.PrivateJoinPlan,
 		OnResult: func(r *engine.Result) {
 			q.deliver(&Result{
 				Window:           r.Window,
@@ -568,6 +578,13 @@ type QueryStats struct {
 	// BatchedSlides counts slides drained through the intra-query parallel
 	// StepBatch path.
 	BatchedSlides int64
+	// Join is the join-matrix update share of Fragment (stream-stream join
+	// queries only): adaptive planning, build tables, cell evaluation.
+	// BuildsReused counts matrix cells served by an interned per-basic-
+	// window build table instead of building one — zero with
+	// Options.PrivateJoinPlan (see Query.Explain).
+	Join         time.Duration
+	BuildsReused int64
 	// Delivered and Dropped count results handed to this query's
 	// subscription channels versus discarded by a DropOldest subscription.
 	Delivered, Dropped int64
@@ -593,6 +610,8 @@ func (q *Query) Stats() QueryStats {
 		AdoptedTails:  tailsAdopted,
 		LedTails:      tailsLed,
 		BatchedSlides: q.cq.BatchedSlides(),
+		Join:          time.Duration(st.JoinNS),
+		BuildsReused:  st.BuildsReused,
 		Delivered:     q.delivered.Load(),
 		Dropped:       q.dropped.Load(),
 	}

@@ -267,17 +267,81 @@ func GroupWithKeys(t *GroupTable, keys []*vector.Vector, sel vector.Sel, rowKeys
 
 // Probe joins probe rows of v (restricted to sel) against the table,
 // returning (probe row, build row) pairs ordered by probe position and,
-// within one probe row, by build position.
+// within one probe row, by build position. Two passes: the first counts
+// matches so the output selections are allocated exactly once at final
+// size; the second fills them. Probing is read-only and safe to run
+// concurrently from multiple goroutines.
 func (t *IntTable) Probe(v *vector.Vector, sel vector.Sel) JoinResult {
+	out := JoinResult{Left: vector.Sel{}, Right: vector.Sel{}}
+	if len(t.keys) == 0 {
+		return out
+	}
 	vals := v.Int64s()
-	var out JoinResult
-	out.Left = vector.Sel{}
-	out.Right = vector.Sel{}
-	probeOne := func(pos int32, key int64) {
+	total := 0
+	countOne := func(key int64) {
+		for e := t.heads[hashInt64(key, t.mask)]; e != 0; e = t.next[e-1] {
+			if t.keys[e-1] == key {
+				total++
+			}
+		}
+	}
+	if sel == nil {
+		for _, k := range vals {
+			countOne(k)
+		}
+	} else {
+		for _, i := range sel {
+			countOne(vals[i])
+		}
+	}
+	if total == 0 {
+		return out
+	}
+	out.Left = make(vector.Sel, 0, total)
+	out.Right = make(vector.Sel, 0, total)
+	fillOne := func(pos int32, key int64) {
 		for e := t.heads[hashInt64(key, t.mask)]; e != 0; e = t.next[e-1] {
 			if t.keys[e-1] == key {
 				out.Left = append(out.Left, pos)
 				out.Right = append(out.Right, t.rows[e-1])
+			}
+		}
+	}
+	if sel == nil {
+		for i, k := range vals {
+			fillOne(int32(i), k)
+		}
+	} else {
+		for _, i := range sel {
+			fillOne(i, vals[i])
+		}
+	}
+	return out
+}
+
+// ProbeFlipped joins probe rows of v (the RIGHT side of the join;
+// restricted to sel) against a table built over the LEFT side, emitting
+// pairs in canonical left-row order — build rows in ascending build order
+// (= ascending original position when the build selection was nil or
+// ascending), probe rows ascending within each build row — via a stable
+// counting scatter over the dense build indices.
+func (t *IntTable) ProbeFlipped(v *vector.Vector, sel vector.Sel) JoinResult {
+	out := JoinResult{Left: vector.Sel{}, Right: vector.Sel{}}
+	n := len(t.keys)
+	if n == 0 {
+		return out
+	}
+	vals := v.Int64s()
+	// Pass 1: walk probe rows in ascending order, recording each match as
+	// a (dense build index, probe row) pair and counting per build index.
+	cnt := make([]int32, n+1)
+	var denses, probes []int32
+	probeOne := func(pos int32, key int64) {
+		for e := t.heads[hashInt64(key, t.mask)]; e != 0; e = t.next[e-1] {
+			if t.keys[e-1] == key {
+				denses = append(denses, e-1)
+				probes = append(probes, pos)
+				cnt[e]++
 			}
 		}
 	}
@@ -289,6 +353,23 @@ func (t *IntTable) Probe(v *vector.Vector, sel vector.Sel) JoinResult {
 		for _, i := range sel {
 			probeOne(i, vals[i])
 		}
+	}
+	total := len(denses)
+	if total == 0 {
+		return out
+	}
+	// Prefix-sum to per-build-index offsets, then scatter. The scatter is
+	// stable, so within one build row the probe rows stay ascending.
+	for i := 0; i < n; i++ {
+		cnt[i+1] += cnt[i]
+	}
+	out.Left = make(vector.Sel, total)
+	out.Right = make(vector.Sel, total)
+	for k, d := range denses {
+		at := cnt[d]
+		cnt[d]++
+		out.Left[at] = t.rows[d]
+		out.Right[at] = probes[k]
 	}
 	return out
 }

@@ -1,12 +1,18 @@
 package algebra
 
 import (
+	"encoding/binary"
+	"math"
+
 	"datacell/internal/vector"
 )
 
 // JoinResult holds the aligned selection vectors produced by an equi-join:
 // for every output row i, Left[i] is a row position in the left input and
-// Right[i] the matching row position in the right input.
+// Right[i] the matching row position in the right input. Results are always
+// canonical: ordered by left row position ascending and, within one left
+// row, by right row position ascending — regardless of which side built
+// the hash table.
 type JoinResult struct {
 	Left  vector.Sel
 	Right vector.Sel
@@ -15,57 +21,267 @@ type JoinResult struct {
 // Len returns the number of matched pairs.
 func (j JoinResult) Len() int { return len(j.Left) }
 
+// JoinTable is a reusable equi-join build table: build once over one
+// input, probe it any number of times — concurrently, from any goroutine —
+// with the other input's rows. Both probe directions restore the canonical
+// (left-ascending) pair order, so the orientation is invisible in results.
+// Implemented by IntTable (int64/timestamp keys) and GenericTable
+// (everything else).
+//
+// Canonical ordering of ProbeFlipped requires the table was built with a
+// nil selection or one in ascending row order (selections produced by
+// Select are; so is nil = natural order).
+type JoinTable interface {
+	// Len returns the number of build rows.
+	Len() int
+	// Probe treats the table as built over the RIGHT input and joins the
+	// given LEFT rows against it.
+	Probe(v *vector.Vector, sel vector.Sel) JoinResult
+	// ProbeFlipped treats the table as built over the LEFT input and joins
+	// the given RIGHT rows against it, restoring canonical left-row order
+	// via a stable counting scatter.
+	ProbeFlipped(v *vector.Vector, sel vector.Sel) JoinResult
+}
+
+// BuildTable builds the reusable join table over the rows of v (restricted
+// to sel; nil = all rows): the open-addressing IntTable for integer keys,
+// the GenericTable for every other type.
+func BuildTable(v *vector.Vector, sel vector.Sel) JoinTable {
+	if vector.IntKind(v.Type()) {
+		return BuildInt(v, sel)
+	}
+	return BuildGeneric(v, sel)
+}
+
 // HashJoin computes the equi-join between the rows of l (restricted to
 // lsel, or all rows when nil) and the rows of r (restricted to rsel). The
 // build side is the right input; the probe scans the left input, so output
-// pairs are ordered by left row position. Keys hash by their boxed value
-// for non-numeric types and by raw payload for int64/float64.
+// pairs are canonical without any reordering.
 func HashJoin(l *vector.Vector, lsel vector.Sel, r *vector.Vector, rsel vector.Sel) JoinResult {
-	if (l.Type() == vector.Int64 || l.Type() == vector.Timestamp) &&
-		(r.Type() == vector.Int64 || r.Type() == vector.Timestamp) {
-		return hashJoinInt64(l, lsel, r, rsel)
+	if vector.IntKind(l.Type()) && vector.IntKind(r.Type()) {
+		return BuildInt(r, rsel).Probe(l, lsel)
 	}
-	return hashJoinGeneric(l, lsel, r, rsel)
+	return BuildGeneric(r, rsel).Probe(l, lsel)
 }
 
-func hashJoinInt64(l *vector.Vector, lsel vector.Sel, r *vector.Vector, rsel vector.Sel) JoinResult {
-	// Build on the right side with the open-addressing table, probe left.
-	return BuildInt(r, rsel).Probe(l, lsel)
+// HashJoinBuildLeft computes the same join with the build side flipped:
+// the table is built over the LEFT input and probed with the right rows.
+// Results are bit-identical to HashJoin — the flipped probe restores
+// canonical order — so callers may pick the orientation purely by cost.
+func HashJoinBuildLeft(l *vector.Vector, lsel vector.Sel, r *vector.Vector, rsel vector.Sel) JoinResult {
+	if vector.IntKind(l.Type()) && vector.IntKind(r.Type()) {
+		return BuildInt(l, lsel).ProbeFlipped(r, rsel)
+	}
+	return BuildGeneric(l, lsel).ProbeFlipped(r, rsel)
 }
 
-func hashJoinGeneric(l *vector.Vector, lsel vector.Sel, r *vector.Vector, rsel vector.Sel) JoinResult {
-	ht := make(map[string][]int32, buildSize(r.Len(), rsel))
-	key := func(v *vector.Vector, i int32) string { return v.Get(int(i)).String() }
-	if rsel == nil {
-		for i := 0; i < r.Len(); i++ {
-			k := key(r, int32(i))
-			ht[k] = append(ht[k], int32(i))
+// GenericTable is the reusable join table for non-integer keys: rows are
+// grouped by a typed byte encoding of their key value, so building and
+// probing never allocate a string per row (at most one small allocation
+// per distinct build key, for the map entry). Probing is read-only and
+// safe to run concurrently.
+type GenericTable struct {
+	ids   map[string]int32 // encoded key -> dense key group id
+	gid   []int32          // build index -> key group id
+	pos   []int32          // build index -> original row position
+	start []int32          // group id -> offset into rows (len = groups+1)
+	rows  []int32          // build row positions bucketed by group, ascending
+}
+
+// BuildGeneric builds a GenericTable over the rows of v (restricted to
+// sel; nil = all rows).
+func BuildGeneric(v *vector.Vector, sel vector.Sel) *GenericTable {
+	n := buildSize(v.Len(), sel)
+	t := &GenericTable{
+		ids: make(map[string]int32, n),
+		gid: make([]int32, n),
+		pos: make([]int32, n),
+	}
+	var buf []byte
+	groups := int32(0)
+	for i := 0; i < n; i++ {
+		row := int32(i)
+		if sel != nil {
+			row = sel[i]
 		}
-	} else {
-		for _, i := range rsel {
-			k := key(r, i)
-			ht[k] = append(ht[k], i)
+		buf = appendJoinKey(buf[:0], v, int(row))
+		id, ok := t.ids[string(buf)]
+		if !ok {
+			id = groups
+			groups++
+			t.ids[string(buf)] = id
+		}
+		t.gid[i] = id
+		t.pos[i] = row
+	}
+	// Bucket the build rows by group, preserving ascending build order
+	// within each group (a stable counting fill).
+	t.start = make([]int32, groups+1)
+	for _, g := range t.gid {
+		t.start[g+1]++
+	}
+	for g := int32(0); g < groups; g++ {
+		t.start[g+1] += t.start[g]
+	}
+	t.rows = make([]int32, n)
+	fill := append([]int32(nil), t.start[:groups]...)
+	for i, g := range t.gid {
+		t.rows[fill[g]] = t.pos[i]
+		fill[g]++
+	}
+	return t
+}
+
+// Len returns the number of build rows.
+func (t *GenericTable) Len() int { return len(t.gid) }
+
+// lookup returns the group id of the probe row's key, or -1.
+func (t *GenericTable) lookup(buf []byte) int32 {
+	if id, ok := t.ids[string(buf)]; ok { // no-alloc map read
+		return id
+	}
+	return -1
+}
+
+// Probe joins probe rows of v (the left side; restricted to sel) against
+// the table. Output slices are presized from the build-table match counts.
+func (t *GenericTable) Probe(v *vector.Vector, sel vector.Sel) JoinResult {
+	out := JoinResult{Left: vector.Sel{}, Right: vector.Sel{}}
+	if len(t.gid) == 0 {
+		return out
+	}
+	n := buildSize(v.Len(), sel)
+	gids := make([]int32, n)
+	var buf []byte
+	total := 0
+	for i := 0; i < n; i++ {
+		row := int32(i)
+		if sel != nil {
+			row = sel[i]
+		}
+		buf = appendJoinKey(buf[:0], v, int(row))
+		g := t.lookup(buf)
+		gids[i] = g
+		if g >= 0 {
+			total += int(t.start[g+1] - t.start[g])
 		}
 	}
-	var out JoinResult
-	probe := func(i int32) {
-		if matches, ok := ht[key(l, i)]; ok {
-			for _, m := range matches {
-				out.Left = append(out.Left, i)
-				out.Right = append(out.Right, m)
-			}
-		}
+	if total == 0 {
+		return out
 	}
-	if lsel == nil {
-		for i := 0; i < l.Len(); i++ {
-			probe(int32(i))
+	out.Left = make(vector.Sel, 0, total)
+	out.Right = make(vector.Sel, 0, total)
+	for i, g := range gids {
+		if g < 0 {
+			continue
 		}
-	} else {
-		for _, i := range lsel {
-			probe(i)
+		row := int32(i)
+		if sel != nil {
+			row = sel[i]
+		}
+		for _, m := range t.rows[t.start[g]:t.start[g+1]] {
+			out.Left = append(out.Left, row)
+			out.Right = append(out.Right, m)
 		}
 	}
 	return out
+}
+
+// ProbeFlipped joins probe rows of v (the right side; restricted to sel)
+// against a table built over the left side, emitting pairs in canonical
+// left-row order: build rows ascending, probe rows ascending within each.
+func (t *GenericTable) ProbeFlipped(v *vector.Vector, sel vector.Sel) JoinResult {
+	out := JoinResult{Left: vector.Sel{}, Right: vector.Sel{}}
+	if len(t.gid) == 0 {
+		return out
+	}
+	groups := int32(len(t.start) - 1)
+	// Bucket the matching probe rows by key group, ascending within each
+	// (the probe scan is ascending, the fill is stable).
+	cnt := make([]int32, groups+1)
+	n := buildSize(v.Len(), sel)
+	gids := make([]int32, n)
+	var buf []byte
+	for i := 0; i < n; i++ {
+		row := int32(i)
+		if sel != nil {
+			row = sel[i]
+		}
+		buf = appendJoinKey(buf[:0], v, int(row))
+		g := t.lookup(buf)
+		gids[i] = g
+		if g >= 0 {
+			cnt[g+1]++
+		}
+	}
+	for g := int32(0); g < groups; g++ {
+		cnt[g+1] += cnt[g]
+	}
+	matched := cnt[groups]
+	if matched == 0 {
+		return out
+	}
+	probe := make([]int32, matched)
+	fill := append([]int32(nil), cnt[:groups]...)
+	total := 0
+	for i, g := range gids {
+		if g < 0 {
+			continue
+		}
+		row := int32(i)
+		if sel != nil {
+			row = sel[i]
+		}
+		probe[fill[g]] = row
+		fill[g]++
+		total += int(t.start[g+1] - t.start[g])
+	}
+	out.Left = make(vector.Sel, 0, total)
+	out.Right = make(vector.Sel, 0, total)
+	// Walk build rows in ascending build order (= ascending original
+	// position for nil/ascending build selections): canonical left order.
+	for b, g := range t.gid {
+		for _, r := range probe[cnt[g]:fill[g]] {
+			out.Left = append(out.Left, t.pos[b])
+			out.Right = append(out.Right, r)
+		}
+	}
+	return out
+}
+
+// appendJoinKey appends a typed, self-consistent byte encoding of row i of
+// v: equal values encode equally, across the numeric types too (an
+// integral float encodes as its integer), matching the engine's float
+// comparison semantics for mixed-type equi-joins.
+func appendJoinKey(buf []byte, v *vector.Vector, i int) []byte {
+	switch v.Type() {
+	case vector.Int64, vector.Timestamp:
+		buf = append(buf, 1)
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(v.Int64s()[i]))
+	case vector.Float64:
+		f := v.Float64s()[i]
+		if f == math.Trunc(f) && f >= math.MinInt64 && f <= math.MaxInt64 {
+			buf = append(buf, 1)
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(int64(f)))
+		} else {
+			buf = append(buf, 2)
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(f))
+		}
+	case vector.Str:
+		buf = append(buf, 3)
+		buf = append(buf, v.Strs()[i]...)
+	case vector.Bool:
+		buf = append(buf, 4)
+		if v.Bools()[i] {
+			buf = append(buf, 1)
+		} else {
+			buf = append(buf, 0)
+		}
+	default:
+		buf = append(buf, 0)
+		buf = append(buf, v.Get(i).String()...)
+	}
+	return buf
 }
 
 func buildSize(n int, sel vector.Sel) int {

@@ -1,0 +1,308 @@
+package algebra
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"datacell/internal/vector"
+)
+
+// oracleKey reduces a key value to a comparable canonical form mirroring
+// the engine's equi-join semantics: integers and integral floats compare
+// equal across types, non-integral floats compare by bit pattern (NaN
+// joins NaN, matching the historical string-keyed behavior).
+type oracleKey struct {
+	kind byte
+	i    int64
+	s    string
+}
+
+func keyAt(v *vector.Vector, row int) oracleKey {
+	switch v.Type() {
+	case vector.Int64, vector.Timestamp:
+		return oracleKey{kind: 'i', i: v.Int64s()[row]}
+	case vector.Float64:
+		f := v.Float64s()[row]
+		if f == math.Trunc(f) && f >= math.MinInt64 && f <= math.MaxInt64 {
+			return oracleKey{kind: 'i', i: int64(f)}
+		}
+		return oracleKey{kind: 'f', i: int64(math.Float64bits(f))}
+	case vector.Str:
+		return oracleKey{kind: 's', s: v.Strs()[row]}
+	case vector.Bool:
+		if v.Bools()[row] {
+			return oracleKey{kind: 'b', i: 1}
+		}
+		return oracleKey{kind: 'b', i: 0}
+	}
+	return oracleKey{kind: '?', s: v.Get(row).String()}
+}
+
+// nestedLoopJoin is the join oracle: left rows in selection order, right
+// rows in selection order within each — the canonical pair order.
+func nestedLoopJoin(l *vector.Vector, lsel vector.Sel, r *vector.Vector, rsel vector.Sel) JoinResult {
+	out := JoinResult{Left: vector.Sel{}, Right: vector.Sel{}}
+	ln := buildSize(l.Len(), lsel)
+	rn := buildSize(r.Len(), rsel)
+	for i := 0; i < ln; i++ {
+		li := int32(i)
+		if lsel != nil {
+			li = lsel[i]
+		}
+		lk := keyAt(l, int(li))
+		for j := 0; j < rn; j++ {
+			rj := int32(j)
+			if rsel != nil {
+				rj = rsel[j]
+			}
+			if lk == keyAt(r, int(rj)) {
+				out.Left = append(out.Left, li)
+				out.Right = append(out.Right, rj)
+			}
+		}
+	}
+	return out
+}
+
+func sameJoin(t *testing.T, what string, got, want JoinResult) {
+	t.Helper()
+	if len(got.Left) != len(want.Left) || len(got.Right) != len(want.Right) {
+		t.Fatalf("%s: got %d/%d pairs, want %d/%d", what, len(got.Left), len(got.Right), len(want.Left), len(want.Right))
+	}
+	for i := range want.Left {
+		if got.Left[i] != want.Left[i] || got.Right[i] != want.Right[i] {
+			t.Fatalf("%s: pair %d = (%d,%d), want (%d,%d)", what, i, got.Left[i], got.Right[i], want.Left[i], want.Right[i])
+		}
+	}
+}
+
+// randVector builds a random key vector of the given type with keys drawn
+// from a small domain (to force duplicates and cross-type matches).
+func randVector(rng *rand.Rand, typ vector.Type, n, domain int) *vector.Vector {
+	switch typ {
+	case vector.Int64:
+		vals := make([]int64, n)
+		for i := range vals {
+			vals[i] = int64(rng.Intn(domain))
+		}
+		return vector.FromInt64(vals)
+	case vector.Float64:
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = float64(rng.Intn(domain))
+			if rng.Intn(4) == 0 {
+				vals[i] += 0.5
+			}
+		}
+		return vector.FromFloat64(vals)
+	case vector.Str:
+		vals := make([]string, n)
+		for i := range vals {
+			vals[i] = string(rune('a' + rng.Intn(domain%26+1)))
+		}
+		return vector.FromStr(vals)
+	default:
+		vals := make([]bool, n)
+		for i := range vals {
+			vals[i] = rng.Intn(2) == 0
+		}
+		return vector.FromBool(vals)
+	}
+}
+
+func randSel(rng *rand.Rand, n int) vector.Sel {
+	switch rng.Intn(3) {
+	case 0:
+		return nil
+	case 1:
+		return vector.Sel{} // empty selection: zero rows survive the filter
+	default:
+		sel := vector.Sel{}
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 0 {
+				sel = append(sel, int32(i))
+			}
+		}
+		return sel
+	}
+}
+
+// Property: HashJoin (build right), HashJoinBuildLeft (build left), and the
+// interface path through BuildTable all agree bit-for-bit with the
+// nested-loop oracle, for every key type and random ascending selections.
+func TestHashJoinOrientationsMatchOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	types := []vector.Type{vector.Int64, vector.Float64, vector.Str, vector.Bool}
+	for trial := 0; trial < 300; trial++ {
+		typ := types[trial%len(types)]
+		l := randVector(rng, typ, rng.Intn(40), 1+rng.Intn(8))
+		r := randVector(rng, typ, rng.Intn(40), 1+rng.Intn(8))
+		lsel := randSel(rng, l.Len())
+		rsel := randSel(rng, r.Len())
+		want := nestedLoopJoin(l, lsel, r, rsel)
+		sameJoin(t, "HashJoin", HashJoin(l, lsel, r, rsel), want)
+		sameJoin(t, "HashJoinBuildLeft", HashJoinBuildLeft(l, lsel, r, rsel), want)
+		sameJoin(t, "BuildTable(r).Probe(l)", BuildTable(r, rsel).Probe(l, lsel), want)
+		sameJoin(t, "BuildTable(l).ProbeFlipped(r)", BuildTable(l, lsel).ProbeFlipped(r, rsel), want)
+	}
+}
+
+// Mixed-type equi-joins: an int key joins an integral float key, in either
+// orientation (the engine's comparison semantics, preserved from the
+// string-keyed implementation).
+func TestHashJoinMixedIntFloat(t *testing.T) {
+	l := vector.FromInt64([]int64{5, 7, -3})
+	r := vector.FromFloat64([]float64{5.0, 7.5, -3.0, 5.0})
+	want := JoinResult{Left: vector.Sel{0, 0, 2}, Right: vector.Sel{0, 3, 2}}
+	sameJoin(t, "int-left", HashJoin(l, nil, r, nil), want)
+	sameJoin(t, "int-left flipped", HashJoinBuildLeft(l, nil, r, nil), want)
+}
+
+// A table built once must serve many probes (interning): repeated and
+// concurrent probes of both directions return identical results.
+func TestJoinTableReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, typ := range []vector.Type{vector.Int64, vector.Str} {
+		build := randVector(rng, typ, 64, 8)
+		tbl := BuildTable(build, nil)
+		probes := make([]*vector.Vector, 4)
+		for i := range probes {
+			probes[i] = randVector(rng, typ, 32, 8)
+		}
+		type result struct{ p, f JoinResult }
+		first := make([]result, len(probes))
+		for i, p := range probes {
+			first[i] = result{tbl.Probe(p, nil), tbl.ProbeFlipped(p, nil)}
+		}
+		done := make(chan struct{})
+		for w := 0; w < 4; w++ {
+			go func() {
+				defer close(done)
+				for i, p := range probes {
+					sameJoin(t, "reused Probe", tbl.Probe(p, nil), first[i].p)
+					sameJoin(t, "reused ProbeFlipped", tbl.ProbeFlipped(p, nil), first[i].f)
+				}
+			}()
+			<-done
+			done = make(chan struct{})
+		}
+	}
+}
+
+// Empty inputs terminate without touching the other side.
+func TestJoinEmptySides(t *testing.T) {
+	empty := vector.FromInt64(nil)
+	full := vector.FromInt64([]int64{1, 2, 3})
+	for _, j := range []JoinResult{
+		HashJoin(empty, nil, full, nil),
+		HashJoin(full, nil, empty, nil),
+		HashJoinBuildLeft(empty, nil, full, nil),
+		HashJoinBuildLeft(full, nil, empty, nil),
+		BuildTable(full, vector.Sel{}).Probe(full, nil),
+		BuildTable(full, vector.Sel{}).ProbeFlipped(full, nil),
+	} {
+		if j.Len() != 0 || j.Left == nil || j.Right == nil {
+			t.Fatalf("empty-side join: got %d pairs (nil sels: %v/%v)", j.Len(), j.Left == nil, j.Right == nil)
+		}
+	}
+}
+
+// Generic-key probing must not allocate a string per probe row.
+func TestGenericProbeAllocs(t *testing.T) {
+	vals := make([]string, 1024)
+	for i := range vals {
+		vals[i] = string(rune('a' + i%16))
+	}
+	v := vector.FromStr(vals)
+	tbl := BuildGeneric(v, nil)
+	probe := vector.FromStr([]string{"zz", "zq", "zx", "zv"}) // no matches
+	allocs := testing.AllocsPerRun(100, func() {
+		tbl.Probe(probe, nil)
+	})
+	// One gids scratch slice per probe; the per-row string allocations of
+	// the old map[string][]int32 implementation are gone.
+	if allocs > 2 {
+		t.Fatalf("generic no-match probe allocates %.0f times per run", allocs)
+	}
+}
+
+// FuzzHashJoin drives both orientations against the nested-loop oracle
+// with fuzzer-chosen key bytes, types, and selections.
+func FuzzHashJoin(f *testing.F) {
+	f.Add([]byte{0, 3, 3, 1, 2, 3, 1, 2, 4, 0xFF}, uint8(0))
+	f.Add([]byte{1, 5, 2, 9, 9, 9, 9, 9, 9, 9}, uint8(3))
+	f.Add([]byte{2, 4, 4, 'a', 'b', 'a', 'c', 'a', 'a', 'b', 'b'}, uint8(1))
+	f.Add([]byte{3, 8, 8, 0, 1, 0, 1, 1, 1, 0, 0, 1, 0}, uint8(2))
+	f.Fuzz(func(t *testing.T, data []byte, selByte uint8) {
+		if len(data) < 3 {
+			return
+		}
+		typ := []vector.Type{vector.Int64, vector.Float64, vector.Str, vector.Bool}[data[0]%4]
+		ln := int(data[1]) % 48
+		rn := int(data[2]) % 48
+		data = data[3:]
+		take := func(n int) *vector.Vector {
+			rng := rand.New(rand.NewSource(int64(n)))
+			switch typ {
+			case vector.Int64:
+				vals := make([]int64, n)
+				for i := range vals {
+					if len(data) > 0 {
+						vals[i] = int64(int8(data[0]))
+						data = data[1:]
+					}
+				}
+				return vector.FromInt64(vals)
+			case vector.Float64:
+				vals := make([]float64, n)
+				for i := range vals {
+					if len(data) > 0 {
+						vals[i] = float64(int8(data[0]))
+						if data[0]%5 == 0 {
+							vals[i] += 0.25
+						}
+						data = data[1:]
+					}
+				}
+				return vector.FromFloat64(vals)
+			case vector.Str:
+				vals := make([]string, n)
+				for i := range vals {
+					if len(data) > 0 {
+						vals[i] = string(rune('a' + data[0]%8))
+						data = data[1:]
+					}
+				}
+				return vector.FromStr(vals)
+			default:
+				vals := make([]bool, n)
+				for i := range vals {
+					if len(data) > 0 {
+						vals[i] = data[0]%2 == 0
+						data = data[1:]
+					}
+				}
+				_ = rng
+				return vector.FromBool(vals)
+			}
+		}
+		l := take(ln)
+		r := take(rn)
+		sels := func(bit uint8, n int) vector.Sel {
+			if bit == 0 {
+				return nil
+			}
+			sel := vector.Sel{}
+			for i := bit % 3; int(i) < n; i += 1 + bit%3 {
+				sel = append(sel, int32(i))
+			}
+			return sel
+		}
+		lsel := sels(selByte&3, ln)
+		rsel := sels((selByte>>2)&3, rn)
+		want := nestedLoopJoin(l, lsel, r, rsel)
+		sameJoin(t, "HashJoin", HashJoin(l, lsel, r, rsel), want)
+		sameJoin(t, "HashJoinBuildLeft", HashJoinBuildLeft(l, lsel, r, rsel), want)
+	})
+}

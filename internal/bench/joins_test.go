@@ -1,0 +1,76 @@
+package bench
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestJoinsSweepChecksums runs a small joins sweep end to end: each skew's
+// greedy cell must produce the same window count and checksum as its
+// written-order baseline (MeasureJoinsSweep hard-fails on checksum drift;
+// this re-asserts it on the returned points), the greedy arms must report
+// interned-table reuse, and the baseline arms must report none.
+func TestJoinsSweepChecksums(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	points, err := MeasureJoinsSweep(4, 4096, 512, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2*len(JoinsSkews()) {
+		t.Fatalf("sweep returned %d points, want %d", len(points), 2*len(JoinsSkews()))
+	}
+	perSkew := map[int][]JoinsPoint{}
+	for _, p := range points {
+		perSkew[p.Skew] = append(perSkew[p.Skew], p)
+	}
+	for skew, pts := range perSkew {
+		var base, greedy *JoinsPoint
+		for i := range pts {
+			if pts[i].Baseline {
+				base = &pts[i]
+			} else {
+				greedy = &pts[i]
+			}
+		}
+		if base == nil || greedy == nil {
+			t.Fatalf("skew=%d: sweep lacks a baseline/greedy pair", skew)
+		}
+		if greedy.Windows != base.Windows {
+			t.Errorf("skew=%d: greedy %d windows, baseline %d", skew, greedy.Windows, base.Windows)
+		}
+		if greedy.ResultSum != base.ResultSum {
+			t.Errorf("skew=%d: checksum %d != baseline %d", skew, greedy.ResultSum, base.ResultSum)
+		}
+		if greedy.BuildsReused == 0 {
+			t.Errorf("skew=%d: greedy arm reused no interned tables", skew)
+		}
+		if base.BuildsReused != 0 {
+			t.Errorf("skew=%d: written-order baseline reports %d reused builds", skew, base.BuildsReused)
+		}
+	}
+}
+
+// BenchmarkAdaptiveJoins measures the backlog-drain wall time of the
+// Q2-shaped join under the 1000x-selective filter, written-order vs greedy
+// — the acceptance benchmark for the adaptive planner (the greedy arm
+// builds the tiny post-filter side once per basic window instead of the
+// full side once per cell).
+func BenchmarkAdaptiveJoins(b *testing.B) {
+	const (
+		window = 1 << 14
+		slide  = 1 << 11
+		slides = 16
+	)
+	for _, cell := range []struct {
+		name     string
+		baseline bool
+	}{{"written", true}, {"greedy", false}} {
+		b.Run(cell.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := MeasureJoins(1000, 4, window, slide, slides, cell.baseline); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

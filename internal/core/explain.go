@@ -44,6 +44,10 @@ func (ip *IncPlan) Explain() string {
 		writeStage(title, instrs)
 	}
 	writeStage("per join-matrix cell", ip.Cell)
+	if ip.Join != nil {
+		fmt.Fprintf(&sb, "join planning: greedy per-cell build side from exact post-filter cardinalities (r%d vs r%d), interned per-bw build tables, empty sides zero their cells\n",
+			ip.Join.LeftIn, ip.Join.RightIn)
+	}
 
 	if len(ip.Concats) > 0 {
 		sb.WriteString("merge inputs:\n")

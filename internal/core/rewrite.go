@@ -103,6 +103,10 @@ type IncPlan struct {
 	CellSources [2]int
 	// HasJoin reports whether a stream-stream join matrix exists.
 	HasJoin bool
+	// Join describes the matrix's equi-join instruction so the runtime can
+	// plan it adaptively (greedy build-side choice, interned per-bw build
+	// tables, empty-side early termination). Nil when HasJoin is false.
+	Join *JoinSpec
 	// Merge instructions run once per step over concatenated partials and
 	// end with the OpResult.
 	Merge []plan.Instr
@@ -133,6 +137,18 @@ type IncPlan struct {
 
 // ClassOf returns the stage of an original-program register.
 func (ip *IncPlan) ClassOf(r plan.Reg) Class { return ip.classes[r] }
+
+// JoinSpec locates the stream-stream equi-join inside the Cell stage:
+// Cell[At] is the OpHashJoin whose key inputs are the per-basic-window
+// registers LeftIn (source CellSources[0]) and RightIn (CellSources[1]) and
+// whose outputs are the aligned selections OutL/OutR. The runtime may
+// evaluate it through either build orientation — results are canonical
+// either way — and substitute interned per-bw build tables.
+type JoinSpec struct {
+	LeftIn, RightIn plan.Reg
+	OutL, OutR      plan.Reg
+	At              int
+}
 
 // cluster captures a grouped-aggregation pattern (group, repr, key takes,
 // grouped aggs) that must be merged by re-grouping concatenated partials.
@@ -421,22 +437,22 @@ func (rw *rewriter) classifyJoin(in plan.Instr) error {
 		}
 		rw.ip.HasJoin = true
 		rw.ip.CellSources = [2]int{ls, rs}
-		if rw.intKey(in.In[0]) && rw.intKey(in.In[1]) {
-			// Build each right basic window's hash table once (a per-bw
-			// intermediate kept in its slot) and probe it from all n
-			// matrix cells in its column — the join replication of Fig 3e
-			// with MonetDB-style intermediate reuse.
-			bld := rw.newRegIn(ClassPerBW, rs)
-			rw.ip.PerBW[rs] = append(rw.ip.PerBW[rs], plan.Instr{Op: plan.OpHashBuild, In: []plan.Reg{in.In[1]}, Out: []plan.Reg{bld}})
-			probe := plan.Instr{Op: plan.OpHashProbe, In: []plan.Reg{in.In[0], bld}, Out: in.Out}
-			rw.setOut(probe, ClassCell, -1)
-			rw.ip.Cell = append(rw.ip.Cell, probe)
-			rw.needCellInputs(probe.In)
-			return nil
-		}
+		// The join instruction stays in the cell stage as written; JoinSpec
+		// lets the runtime plan it per slide — pick the build side greedily
+		// from exact post-filter cardinalities, intern each basic window's
+		// build table in its slot ring and probe it from every cell in its
+		// row/column (the join replication of Fig 3e with MonetDB-style
+		// intermediate reuse), and zero empty cells without evaluation.
 		rw.setOut(in, ClassCell, -1)
 		rw.ip.Cell = append(rw.ip.Cell, in)
 		rw.needCellInputs(in.In)
+		rw.ip.Join = &JoinSpec{
+			LeftIn:  in.In[0],
+			RightIn: in.In[1],
+			OutL:    in.Out[0],
+			OutR:    in.Out[1],
+			At:      len(rw.ip.Cell) - 1,
+		}
 	case lc == ClassCell || rc == ClassCell:
 		return fmt.Errorf("core: joins over join results are not supported incrementally")
 	default:

@@ -149,18 +149,31 @@ func TestRewriteJoinBuildsCellStage(t *testing.T) {
 		cellOps = append(cellOps, in.Op.String())
 	}
 	text := strings.Join(cellOps, " ")
-	if !strings.Contains(text, "hashprobe") && !strings.Contains(text, "hashjoin") {
+	if !strings.Contains(text, "hashjoin") {
 		t.Errorf("cell stage lacks the join: %s", text)
 	}
-	// The reusable build side lives in the right stream's per-bw stage.
-	foundBuild := false
-	for _, in := range ip.PerBW[1] {
-		if in.Op == plan.OpHashBuild {
-			foundBuild = true
-		}
+	// The join is described to the runtime for adaptive planning: its key
+	// registers must be retained in the two sources' slots so the planner
+	// can read exact post-filter cardinalities and intern build tables.
+	if ip.Join == nil {
+		t.Fatal("stream-stream join lacks a JoinSpec")
 	}
-	if !foundBuild {
-		t.Error("right stream per-bw stage lacks the hash build")
+	if ip.Join.At < 0 || ip.Join.At >= len(ip.Cell) || ip.Cell[ip.Join.At].Op != plan.OpHashJoin {
+		t.Fatalf("JoinSpec.At = %d does not locate the hashjoin in %s", ip.Join.At, text)
+	}
+	if ip.ClassOf(ip.Join.LeftIn) != ClassPerBW || ip.ClassOf(ip.Join.RightIn) != ClassPerBW {
+		t.Errorf("join key regs r%d/r%d are not per-bw", ip.Join.LeftIn, ip.Join.RightIn)
+	}
+	inSlots := func(s int, r plan.Reg) bool {
+		for _, sr := range ip.SlotRegs[s] {
+			if sr == r {
+				return true
+			}
+		}
+		return false
+	}
+	if !inSlots(0, ip.Join.LeftIn) || !inSlots(1, ip.Join.RightIn) {
+		t.Errorf("join key regs r%d/r%d not retained in slots %v", ip.Join.LeftIn, ip.Join.RightIn, ip.SlotRegs)
 	}
 	// Partial aggregates (max, sum, count for avg) computed per cell.
 	if !strings.Contains(text, "agg") {

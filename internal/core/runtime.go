@@ -36,6 +36,14 @@ type StepStats struct {
 	// private path and on slides this query led itself; the engine fills it
 	// in for adopted slides, where MainNS carries no fragment cost.
 	SharedNS int64
+	// JoinNS is the join-matrix update cost of the slide — planning, build
+	// tables, cell evaluation — on both the adaptive and the written-order
+	// path, so the two are directly comparable. It is a subset of MainNS.
+	JoinNS int64
+	// BuildsReused counts the slide's join-matrix cells served by an
+	// interned build table instead of building one: probing cells minus
+	// tables built this slide. Zero on the written-order path.
+	BuildsReused int64
 	// Emitted reports whether this step produced a window result (false
 	// while the preface, i.e. the first window, is still filling).
 	Emitted bool
@@ -99,6 +107,11 @@ type Options struct {
 	// grouping per firing. Results are identical; this exists as the
 	// benchmark/testing baseline for the kernel.
 	SerialMergeInstr bool
+	// PrivateJoinPlan disables adaptive join planning: matrix cells then
+	// evaluate in written order with the right side building a fresh hash
+	// table per cell. Results are identical; this exists as the
+	// benchmark/testing baseline for the greedy planner.
+	PrivateJoinPlan bool
 }
 
 // SlotFile stores the retained datums of one basic window (or one matrix
@@ -181,8 +194,41 @@ type Runtime struct {
 	slideBuf  [][][]vector.View
 	resBuf    []StepResult
 
+	// Adaptive join planning state (planJoin). joinAdaptive gates the
+	// greedy path; joinLPos/joinRPos are the slot positions of the join's
+	// key registers; joinTables are the interned per-basic-window build
+	// tables, rings aligned with slots[CellSources[0]] / [1] (an entry is
+	// nil until some cell chose to build that side; eviction drops ring
+	// heads in lockstep with the slots, releasing the table). emptyCellOK
+	// marks plans whose cell stage degenerates to a constant file when the
+	// join is empty, letting emptyFile zero whole rows/columns of cells
+	// without evaluating them.
+	joinAdaptive bool
+	joinLPos     int
+	joinRPos     int
+	joinTables   [2][]algebra.JoinTable
+	joinPlans    []joinDecision
+	emptyCellOK  bool
+	emptyFile    regFile
+
 	steps int
 }
+
+// joinDecision is the planner's verdict for one new matrix cell, aligned
+// with the cellIdx scratch.
+type joinDecision uint8
+
+const (
+	// joinWritten evaluates the cell program as written (baseline).
+	joinWritten joinDecision = iota
+	// joinEmpty: one side has no post-filter rows — the join is empty.
+	joinEmpty
+	// joinBuildRight uses the right bw's interned table, probing left rows.
+	joinBuildRight
+	// joinBuildLeft uses the left bw's interned table, probing right rows
+	// through the order-restoring flipped probe.
+	joinBuildLeft
+)
 
 // NewRuntime prepares a sequential executor for an incremental plan.
 func NewRuntime(ip *IncPlan) *Runtime { return NewRuntimeOpts(ip, Options{}) }
@@ -238,11 +284,75 @@ func NewRuntimeOpts(ip *IncPlan, opts Options) *Runtime {
 			inputs: make([]exec.Input, len(ip.Prog.Sources)),
 		}
 	}
+	rt.initJoinPlanner(opts)
 	return rt
+}
+
+// initJoinPlanner enables greedy adaptive join planning when the plan has a
+// stream-stream join matrix and nothing rules the fast path out. Landmark
+// plans are excluded: compactLandmark rewrites slot files in place each
+// firing, which would invalidate interned build tables.
+func (rt *Runtime) initJoinPlanner(opts Options) {
+	ip := rt.ip
+	if ip.Join == nil || ip.Landmark || opts.PrivateJoinPlan {
+		return
+	}
+	ls, rs := ip.CellSources[0], ip.CellSources[1]
+	lp, lok := rt.slotPos[ls][ip.Join.LeftIn]
+	rp, rok := rt.slotPos[rs][ip.Join.RightIn]
+	if !lok || !rok {
+		return
+	}
+	rt.joinAdaptive = true
+	rt.joinLPos, rt.joinRPos = lp, rp
+	rt.emptyCellOK = rt.emptyCellConstant()
+}
+
+// emptyCellConstant reports whether the cell stage produces the same slot
+// file for every cell whose join result is empty, so one cached file can
+// zero entire rows/columns of the matrix without evaluation. It proves
+// this by constant propagation from the join's (empty) output selections:
+// an instruction's output is empty-constant when all its inputs are, or
+// when it is an OpTake of a schema-typed column through an empty-constant
+// selection (an empty take yields the typed empty column no matter which
+// basic-window pair the cell covers). Every cell instruction must be
+// empty-constant — then in particular every retained CellReg is.
+func (rt *Runtime) emptyCellConstant() bool {
+	constant := map[plan.Reg]bool{rt.ip.Join.OutL: true, rt.ip.Join.OutR: true}
+	for at, in := range rt.ip.Cell {
+		if at == rt.ip.Join.At {
+			continue
+		}
+		if at < rt.ip.Join.At {
+			// Cell work scheduled before the join: out of scope.
+			return false
+		}
+		all := len(in.In) > 0
+		for _, r := range in.In {
+			if !constant[r] {
+				all = false
+			}
+		}
+		switch {
+		case all:
+		case in.Op == plan.OpTake && len(in.In) == 2 && constant[in.In[1]]:
+			// take(column, empty) is the typed empty column; the column's
+			// type is fixed by the plan regardless of the cell's bw pair.
+		default:
+			return false
+		}
+		for _, r := range in.Out {
+			constant[r] = true
+		}
+	}
+	return true
 }
 
 // Steps returns the number of window slides processed so far.
 func (rt *Runtime) Steps() int { return rt.steps }
+
+// AdaptiveJoin reports whether greedy adaptive join planning is active.
+func (rt *Runtime) AdaptiveJoin() bool { return rt.joinAdaptive }
 
 // Parallelism returns the configured fragment-worker bound (>= 1).
 func (rt *Runtime) Parallelism() int { return rt.par }
@@ -392,9 +502,11 @@ func (rt *Runtime) applySlideTail(newFiles []regFile, inputs []exec.Input, fragN
 		rt.slots[s] = append(rt.slots[s], file)
 	}
 	if rt.ip.HasJoin {
-		if err := rt.updateCells(evicted, inputs); err != nil {
+		tj := time.Now()
+		if err := rt.updateCells(evicted, inputs, &stats); err != nil {
 			return StepResult{}, err
 		}
+		stats.JoinNS = time.Since(tj).Nanoseconds()
 	}
 	stats.MainNS = fragNS + time.Since(t1).Nanoseconds()
 
@@ -596,13 +708,27 @@ func (rt *Runtime) combineChunks(s int, chunks []regFile) regFile {
 // evicted basic windows, then evaluate the cells involving the new ones.
 // The new cells of one slide are independent of each other (each reads
 // only the immutable slot files), so they fan out across the worker pool;
-// assignment back into the matrix is serial and index-ordered.
-func (rt *Runtime) updateCells(evicted bool, inputs []exec.Input) error {
+// assignment back into the matrix is serial and index-ordered. On the
+// adaptive path planJoin first decides each new cell's fate — zeroed,
+// probe an interned left table, probe an interned right table — from the
+// exact post-filter cardinalities of the slide.
+func (rt *Runtime) updateCells(evicted bool, inputs []exec.Input, stats *StepStats) error {
 	ls, rs := rt.ip.CellSources[0], rt.ip.CellSources[1]
 	if evicted && len(rt.cells) > 0 {
 		rt.cells = rt.cells[1:]
 		for i := range rt.cells {
 			rt.cells[i] = rt.cells[i][1:]
+		}
+	}
+	if evicted && rt.joinAdaptive {
+		// Expire the evicted basic windows' interned build tables in
+		// lockstep with their slots (nil the head first so the sliced ring
+		// does not pin the table's memory).
+		for k := range rt.joinTables {
+			if len(rt.joinTables[k]) > 0 {
+				rt.joinTables[k][0] = nil
+				rt.joinTables[k] = rt.joinTables[k][1:]
+			}
 		}
 	}
 	L, R := len(rt.slots[ls]), len(rt.slots[rs])
@@ -621,12 +747,25 @@ func (rt *Runtime) updateCells(evicted bool, inputs []exec.Input) error {
 		}
 	}
 	coords := rt.cellIdx
+	if rt.joinAdaptive {
+		if err := rt.planJoin(coords, stats); err != nil {
+			return err
+		}
+	}
 	if cap(rt.cellFiles) < len(coords) {
 		rt.cellFiles = make([]regFile, len(coords))
 	}
 	cfiles := rt.cellFiles[:len(coords)]
 	err := rt.forEach(len(coords), func(t int, w *workerEnv) error {
-		f, err := rt.runCell(coords[t][0], coords[t][1], inputs, w)
+		d := joinWritten
+		if rt.joinAdaptive {
+			d = rt.joinPlans[t]
+			if d == joinEmpty && rt.emptyFile != nil {
+				cfiles[t] = rt.emptyFile
+				return nil
+			}
+		}
+		f, err := rt.runCell(coords[t][0], coords[t][1], d, inputs, w)
 		cfiles[t] = f
 		return err
 	})
@@ -635,12 +774,138 @@ func (rt *Runtime) updateCells(evicted bool, inputs []exec.Input) error {
 	}
 	for t, c := range coords {
 		rt.cells[c[0]][c[1]] = cfiles[t]
+		if rt.emptyCellOK && rt.emptyFile == nil && rt.joinAdaptive && rt.joinPlans[t] == joinEmpty {
+			// Cache the first evaluated empty-join cell file: every later
+			// empty cell of this plan is this exact file (emptyCellConstant
+			// proved the cell stage constant on empty joins), so zeroed
+			// rows/columns assign it without any evaluation.
+			rt.emptyFile = cfiles[t]
+		}
 		cfiles[t] = nil
 	}
 	return nil
 }
 
-func (rt *Runtime) runCell(i, j int, inputs []exec.Input, w *workerEnv) (regFile, error) {
+// joinKeyRows returns the post-filter cardinality of side k's basic window
+// at ring position p — the length of the retained join-key column.
+func (rt *Runtime) joinKeyRows(k, p int) int {
+	if k == 0 {
+		return rt.slots[rt.ip.CellSources[0]][p][rt.joinLPos].Rows()
+	}
+	return rt.slots[rt.ip.CellSources[1]][p][rt.joinRPos].Rows()
+}
+
+// planJoin decides each new cell's evaluation greedily from the exact
+// post-filter cardinalities of the slide's live basic windows — the
+// statistics-free planning the paper's setting makes possible: at fire
+// time, every fragment size is known, not estimated.
+//
+// Cost model per probing cell: a probe costs rows(probe side); a missing
+// build table costs ~2x rows(build side) amortized over the new cells that
+// would share it this slide (every later slide reuses it for free, so this
+// is an upper bound on its marginal cost). The greedy rule therefore
+// converges on interning the large side's table once and sweeping the
+// small side across it — in a 1000x-skewed matrix the per-cell cost drops
+// from O(large) to O(small). Ties build right, matching the written order.
+// Cells with an empty side are zeroed without evaluation.
+func (rt *Runtime) planJoin(coords [][2]int, stats *StepStats) error {
+	if cap(rt.joinPlans) < len(coords) {
+		rt.joinPlans = make([]joinDecision, len(coords))
+	}
+	rt.joinPlans = rt.joinPlans[:len(coords)]
+	ls, rs := rt.ip.CellSources[0], rt.ip.CellSources[1]
+	L, R := len(rt.slots[ls]), len(rt.slots[rs])
+	// Count the new cells per row/column: the amortization denominators.
+	rowNew := make([]int32, L)
+	colNew := make([]int32, R)
+	for _, c := range coords {
+		rowNew[c[0]]++
+		colNew[c[1]]++
+	}
+	for k, n := range [2]int{L, R} {
+		for len(rt.joinTables[k]) < n {
+			rt.joinTables[k] = append(rt.joinTables[k], nil)
+		}
+	}
+	var needL, needR []int // ring positions whose table must be built now
+	probes := 0
+	for t, c := range coords {
+		i, j := c[0], c[1]
+		lrows, rrows := rt.joinKeyRows(0, i), rt.joinKeyRows(1, j)
+		if lrows == 0 || rrows == 0 {
+			rt.joinPlans[t] = joinEmpty
+			continue
+		}
+		probes++
+		costRight := float64(lrows)
+		if rt.joinTables[1][j] == nil {
+			costRight += 2 * float64(rrows) / float64(colNew[j])
+		}
+		costLeft := float64(rrows)
+		if rt.joinTables[0][i] == nil {
+			costLeft += 2 * float64(lrows) / float64(rowNew[i])
+		}
+		if costLeft < costRight {
+			rt.joinPlans[t] = joinBuildLeft
+			if rt.joinTables[0][i] == nil {
+				rt.joinTables[0][i] = pendingJoinTable
+				needL = append(needL, i)
+			}
+		} else {
+			rt.joinPlans[t] = joinBuildRight
+			if rt.joinTables[1][j] == nil {
+				rt.joinTables[1][j] = pendingJoinTable
+				needR = append(needR, j)
+			}
+		}
+	}
+	// Build the missing tables (typically 0-2 per slide in steady state;
+	// every other probing cell reuses an interned one).
+	builds := len(needL) + len(needR)
+	err := rt.forEach(builds, func(t int, w *workerEnv) error {
+		side, pos := 0, 0
+		if t < len(needL) {
+			pos = needL[t]
+		} else {
+			side, pos = 1, needR[t-len(needL)]
+		}
+		v, err := rt.joinKeyVec(side, pos)
+		if err != nil {
+			return err
+		}
+		rt.joinTables[side][pos] = algebra.BuildTable(v, nil)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	stats.BuildsReused += int64(probes - builds)
+	return nil
+}
+
+// pendingJoinTable marks a ring entry claimed by planJoin before its build
+// runs; it is never probed.
+var pendingJoinTable = algebra.JoinTable((*algebra.IntTable)(nil))
+
+// joinKeyVec returns side k's retained join-key column at ring position p
+// as a dense vector.
+func (rt *Runtime) joinKeyVec(k, p int) (*vector.Vector, error) {
+	var d exec.Datum
+	if k == 0 {
+		d = rt.slots[rt.ip.CellSources[0]][p][rt.joinLPos]
+	} else {
+		d = rt.slots[rt.ip.CellSources[1]][p][rt.joinRPos]
+	}
+	switch d.Kind {
+	case exec.KindVec:
+		return d.Vec, nil
+	case exec.KindView:
+		return d.View.Materialize(), nil
+	}
+	return nil, fmt.Errorf("core: join key slot holds non-vector datum (kind %d)", d.Kind)
+}
+
+func (rt *Runtime) runCell(i, j int, decision joinDecision, inputs []exec.Input, w *workerEnv) (regFile, error) {
 	ls, rs := rt.ip.CellSources[0], rt.ip.CellSources[1]
 	env := w.env
 	rt.copyStatic(env)
@@ -650,7 +915,13 @@ func (rt *Runtime) runCell(i, j int, inputs []exec.Input, w *workerEnv) (regFile
 	for pos, r := range rt.ip.SlotRegs[rs] {
 		env[r] = rt.slots[rs][j][pos]
 	}
-	for _, in := range rt.ip.Cell {
+	for at, in := range rt.ip.Cell {
+		if decision != joinWritten && at == rt.ip.Join.At {
+			if err := rt.execPlannedJoin(i, j, decision, env); err != nil {
+				return nil, err
+			}
+			continue
+		}
 		if err := exec.ExecInstr(in, env, inputs); err != nil {
 			return nil, fmt.Errorf("core: cell (%d,%d): %w", i, j, err)
 		}
@@ -660,6 +931,33 @@ func (rt *Runtime) runCell(i, j int, inputs []exec.Input, w *workerEnv) (regFile
 		file[pos] = env[r]
 	}
 	return file, nil
+}
+
+// execPlannedJoin evaluates the matrix's join instruction for cell (i,j)
+// as planned: empty result, or a probe of the interned build table in the
+// chosen orientation. Both orientations emit pairs in canonical left-row
+// order, so the result is bit-identical to the written-order evaluation.
+func (rt *Runtime) execPlannedJoin(i, j int, decision joinDecision, env []exec.Datum) error {
+	var res algebra.JoinResult
+	switch decision {
+	case joinEmpty:
+		res = algebra.JoinResult{Left: vector.Sel{}, Right: vector.Sel{}}
+	case joinBuildRight:
+		v, err := rt.joinKeyVec(0, i)
+		if err != nil {
+			return err
+		}
+		res = rt.joinTables[1][j].Probe(v, nil)
+	case joinBuildLeft:
+		v, err := rt.joinKeyVec(1, j)
+		if err != nil {
+			return err
+		}
+		res = rt.joinTables[0][i].ProbeFlipped(v, nil)
+	}
+	env[rt.ip.Join.OutL] = exec.SelDatum(res.Left)
+	env[rt.ip.Join.OutR] = exec.SelDatum(res.Right)
+	return nil
 }
 
 // mergeTimings splits a firing's sharded-merge cost by stage: the scatter
@@ -1209,6 +1507,21 @@ func (rt *Runtime) CellCount() int {
 	total := 0
 	for _, row := range rt.cells {
 		total += len(row)
+	}
+	return total
+}
+
+// JoinTableCount reports the number of interned per-basic-window join
+// build tables currently held (both sides). Bounded by the live basic
+// windows, for observability and the expiry lifecycle tests.
+func (rt *Runtime) JoinTableCount() int {
+	total := 0
+	for _, ring := range rt.joinTables {
+		for _, t := range ring {
+			if t != nil {
+				total++
+			}
+		}
 	}
 	return total
 }

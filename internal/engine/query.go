@@ -62,6 +62,12 @@ type Options struct {
 	// fragment catalog's bit-identical slot files). The benchmark baseline
 	// for tail sharing; results are identical either way.
 	PrivateMergeTails bool
+	// PrivateJoinPlan disables adaptive join planning for stream-stream
+	// join matrices: cells evaluate in written order, the right side
+	// building a fresh hash table per cell, with no build-table interning
+	// or empty-side early termination. The benchmark baseline for the
+	// greedy planner; results are identical either way. See core.Options.
+	PrivateJoinPlan bool
 	// OnResult is invoked synchronously for every produced window result.
 	OnResult func(*Result)
 }
@@ -116,6 +122,10 @@ type ContinuousQuery struct {
 	mergeNS   int64
 	scatterNS int64
 	stitchNS  int64
+	// joinNS is the join-matrix update share of mainNS; buildsReused
+	// counts matrix cells served by an interned build table.
+	joinNS       int64
+	buildsReused int64
 	// batchedSlides counts slides executed through StepBatch (the
 	// intra-query parallel path), for observability and tests.
 	batchedSlides int64
@@ -321,7 +331,11 @@ func (e *Engine) register(query string, opts Options, startAt map[string]int64, 
 			return nil, err
 		}
 		q.inc = inc
-		q.rt = core.NewRuntimeOpts(inc, core.Options{Parallelism: par, SerialMergeInstr: opts.SerialMergeInstr})
+		q.rt = core.NewRuntimeOpts(inc, core.Options{
+			Parallelism:      par,
+			SerialMergeInstr: opts.SerialMergeInstr,
+			PrivateJoinPlan:  opts.PrivateJoinPlan,
+		})
 		if opts.Chunks > 1 || opts.AdaptiveChunks {
 			if inc.HasJoin {
 				return nil, fmt.Errorf("engine: chunked processing supports single-stream plans only")
@@ -421,6 +435,7 @@ func (e *Engine) register(query string, opts Options, startAt map[string]int64, 
 		SerialMergeInstr:  opts.SerialMergeInstr,
 		PrivateFragments:  opts.PrivateFragments,
 		PrivateMergeTails: opts.PrivateMergeTails,
+		PrivateJoinPlan:   opts.PrivateJoinPlan,
 		Start:             starts,
 	}
 	if err := e.persistQuery(seq, &def); err != nil {
@@ -541,6 +556,13 @@ type Stages struct {
 	// MergeNS is the serial merge remainder; TotalNS the step wall time.
 	MergeNS int64
 	TotalNS int64
+	// JoinNS is the join-matrix update share of FragmentNS (planning,
+	// build tables, cell evaluation) — comparable across the adaptive and
+	// written-order paths. BuildsReused counts matrix cells served by an
+	// interned per-basic-window build table instead of building one (zero
+	// with Options.PrivateJoinPlan).
+	JoinNS       int64
+	BuildsReused int64
 }
 
 // StageBreakdown returns the query's cumulative per-stage step time.
@@ -548,13 +570,15 @@ func (q *ContinuousQuery) StageBreakdown() Stages {
 	q.statsMu.Lock()
 	defer q.statsMu.Unlock()
 	return Stages{
-		FragmentNS:  q.mainNS,
-		SharedNS:    q.sharedNS,
-		ScatterNS:   q.scatterNS,
-		PartitionNS: q.partNS,
-		StitchNS:    q.stitchNS,
-		MergeNS:     q.mergeNS,
-		TotalNS:     q.totalNS,
+		FragmentNS:   q.mainNS,
+		SharedNS:     q.sharedNS,
+		ScatterNS:    q.scatterNS,
+		PartitionNS:  q.partNS,
+		StitchNS:     q.stitchNS,
+		MergeNS:      q.mergeNS,
+		TotalNS:      q.totalNS,
+		JoinNS:       q.joinNS,
+		BuildsReused: q.buildsReused,
 	}
 }
 
@@ -602,6 +626,16 @@ func (q *ContinuousQuery) Explain() string {
 	s := fmt.Sprintf("query %s [%s]: %s\n", q.ID, q.Mode, q.SQL)
 	if q.inc != nil {
 		s += q.inc.Explain()
+	}
+	if q.inc != nil && q.inc.HasJoin {
+		if q.rt == nil || !q.rt.AdaptiveJoin() {
+			s += "join: written-order baseline, right side builds per cell (PrivateJoinPlan)\n"
+		} else {
+			q.statsMu.Lock()
+			reused := q.buildsReused
+			q.statsMu.Unlock()
+			s += fmt.Sprintf("join: build=right|left per cell (greedy, exact cardinalities), tables reused×%d\n", reused)
+		}
 	}
 	if frag := q.fragment(); frag != nil {
 		s += fmt.Sprintf("fragment sharing: fingerprint %s shared×%d\n", frag.fp, frag.subscribers())
@@ -1443,6 +1477,8 @@ func (q *ContinuousQuery) account(stats core.StepStats, stepNS int64) {
 	q.partNS += stats.PartitionNS
 	q.stitchNS += stats.StitchNS
 	q.mergeNS += stats.MergeNS
+	q.joinNS += stats.JoinNS
+	q.buildsReused += stats.BuildsReused
 	q.totalNS += stepNS
 	q.statsMu.Unlock()
 }

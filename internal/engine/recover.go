@@ -178,6 +178,7 @@ func (e *Engine) RegisterRecovered(def storage.QueryDef, onResult func(*Result))
 		SerialMergeInstr:  def.SerialMergeInstr,
 		PrivateFragments:  def.PrivateFragments,
 		PrivateMergeTails: def.PrivateMergeTails,
+		PrivateJoinPlan:   def.PrivateJoinPlan,
 		OnResult:          onResult,
 	}
 	return e.register(def.SQL, opts, def.Start, def.Seq)

@@ -33,7 +33,7 @@ type Datum struct {
 	Vec    *vector.Vector
 	Sel    vector.Sel
 	Groups *algebra.Groups
-	Table  *algebra.IntTable
+	Table  algebra.JoinTable
 	View   vector.View
 }
 
@@ -63,8 +63,8 @@ func SelDatum(s vector.Sel) Datum {
 // GroupsDatum wraps a group assignment.
 func GroupsDatum(g *algebra.Groups) Datum { return Datum{Kind: KindGroups, Groups: g} }
 
-// TableDatum wraps a join hash table.
-func TableDatum(t *algebra.IntTable) Datum { return Datum{Kind: KindTable, Table: t} }
+// TableDatum wraps a reusable join build table.
+func TableDatum(t algebra.JoinTable) Datum { return Datum{Kind: KindTable, Table: t} }
 
 // Rows returns the cardinality a datum represents.
 func (d Datum) Rows() int {
@@ -302,7 +302,7 @@ func ExecInstr(in plan.Instr, regs []Datum, inputs []Input) error {
 		if err != nil {
 			return err
 		}
-		regs[in.Out[0]] = TableDatum(algebra.BuildInt(v, nil))
+		regs[in.Out[0]] = TableDatum(algebra.BuildTable(v, nil))
 
 	case plan.OpHashProbe:
 		v, err := vec(regs, in.In[0])

@@ -38,6 +38,7 @@ type QueryDef struct {
 	SerialMergeInstr  bool             `json:"serial_merge_instr,omitempty"`
 	PrivateFragments  bool             `json:"private_fragments,omitempty"`
 	PrivateMergeTails bool             `json:"private_merge_tails,omitempty"`
+	PrivateJoinPlan   bool             `json:"private_join_plan,omitempty"`
 	Start             map[string]int64 `json:"start,omitempty"`
 }
 
